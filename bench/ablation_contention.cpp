@@ -1,0 +1,46 @@
+// Ablation: the shared-resource contention term of the execution simulator
+// (DESIGN.md item 3). With the term disabled, concurrency is never harmful,
+// the DP finds the same schedule at every batch size, and the paper's
+// Table 3 batch-size specialization disappears. With it, large batches
+// favor fewer/merged stages.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace ios;
+
+  std::printf("Ablation: memory-contention coefficient vs batch-size "
+              "specialization (Inception V3, V100)\n\n");
+
+  TablePrinter t({"contention coef", "opt@1 run@1 (ms)", "opt@32 run@1 (ms)",
+                  "opt@1 run@32 (ms)", "opt@32 run@32 (ms)",
+                  "specialization effect"});
+  for (double coef : {0.0, 0.35, 0.7}) {
+    DeviceSpec dev = tesla_v100();
+    dev.mem_contention_coef = coef;
+
+    const Graph g1 = models::inception_v3(1);
+    const Graph g32 = models::inception_v3(32);
+    const Schedule q1 = bench::ios_schedule(g1, dev);
+    const Schedule q32 = bench::ios_schedule(g32, dev);
+    Executor e1(g1, bench::config_for(dev));
+    Executor e32(g32, bench::config_for(dev));
+
+    const double l11 = e1.schedule_latency_us(q1) / 1000.0;
+    const double l12 = e1.schedule_latency_us(q32) / 1000.0;
+    const double l21 = e32.schedule_latency_us(q1) / 1000.0;
+    const double l22 = e32.schedule_latency_us(q32) / 1000.0;
+    // How much the mismatched schedules lose against the diagonal.
+    const double effect = 0.5 * ((l12 / l11 - 1) + (l21 / l22 - 1)) * 100;
+    t.add_row({TablePrinter::fmt(coef, 2), TablePrinter::fmt(l11, 2),
+               TablePrinter::fmt(l12, 2), TablePrinter::fmt(l21, 2),
+               TablePrinter::fmt(l22, 2),
+               TablePrinter::fmt(effect, 1) + "%"});
+  }
+  t.print();
+  std::printf("\n(the specialization effect should grow with the contention "
+              "coefficient; at 0 the schedules are interchangeable)\n");
+  return 0;
+}

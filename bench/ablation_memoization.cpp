@@ -1,0 +1,65 @@
+// Ablation: the cost[S] memoization (DESIGN.md item 1). Without it the DP
+// re-solves shared sub-schedules and the number of explored transitions
+// explodes; with it the search visits each state once. Reported both as a
+// google-benchmark timing and as transition counts.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace ios;
+
+void run_dp(bool memoize, benchmark::State& state) {
+  const Graph g = models::fig2_graph(1);
+  for (auto _ : state) {
+    CostModel cost(g, bench::config_for(tesla_v100()));
+    SchedulerOptions options;
+    options.memoize = memoize;
+    SchedulerStats stats;
+    const Schedule q = IosScheduler(cost, options).schedule_graph(&stats);
+    benchmark::DoNotOptimize(q);
+    state.counters["transitions"] =
+        static_cast<double>(stats.transitions);
+    state.counters["measurements"] =
+        static_cast<double>(stats.measurements);
+  }
+}
+
+void BM_DpWithMemoization(benchmark::State& state) { run_dp(true, state); }
+void BM_DpWithoutMemoization(benchmark::State& state) { run_dp(false, state); }
+
+BENCHMARK(BM_DpWithMemoization);
+BENCHMARK(BM_DpWithoutMemoization);
+
+// A wider block (the Inception-E block, n=11) where the gap is dramatic.
+void run_block_dp(bool memoize, benchmark::State& state) {
+  const Graph g = models::inception_v3(1);
+  const auto blocks = g.blocks();
+  for (auto _ : state) {
+    CostModel cost(g, bench::config_for(tesla_v100()));
+    SchedulerOptions options;
+    options.memoize = memoize;
+    // Keep the no-memo variant tractable with the default pruning.
+    SchedulerStats stats;
+    IosScheduler scheduler(cost, options);
+    const Schedule q = scheduler.schedule_block(blocks[10], &stats);
+    benchmark::DoNotOptimize(q);
+    state.counters["transitions"] = static_cast<double>(stats.transitions);
+  }
+}
+
+void BM_InceptionEBlockWithMemoization(benchmark::State& state) {
+  run_block_dp(true, state);
+}
+void BM_InceptionEBlockWithoutMemoization(benchmark::State& state) {
+  run_block_dp(false, state);
+}
+
+BENCHMARK(BM_InceptionEBlockWithMemoization);
+BENCHMARK(BM_InceptionEBlockWithoutMemoization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Figure 10: the schedules IOS finds for the last block of Inception V3
+// when optimizing for batch size 1 vs batch size 32, and the cross-executed
+// latencies (paper: the bs-1 schedule is 28% faster at bs 1; the bs-32
+// schedule is 8% faster at bs 32; the bs-32 schedule has more stages and
+// uses operator merge).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+namespace {
+
+ios::Schedule schedule_last_block(const ios::Graph& g,
+                                  const ios::DeviceSpec& dev) {
+  using namespace ios;
+  CostModel cost(g, bench::config_for(dev));
+  IosScheduler scheduler(cost);
+  const auto blocks = g.blocks();
+  // Block 11 is the second Inception-E block (the network's last
+  // inception block).
+  return scheduler.schedule_block(blocks[11]);
+}
+
+double block_latency(const ios::Graph& g, const ios::DeviceSpec& dev,
+                     const ios::Schedule& q) {
+  ios::Executor ex(g, ios::bench::config_for(dev));
+  return ex.schedule_latency_us(q);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ios;
+  const DeviceSpec dev = tesla_v100();
+
+  const Graph g1 = models::inception_v3(1);
+  const Graph g32 = models::inception_v3(32);
+
+  const Schedule q1 = schedule_last_block(g1, dev);
+  const Schedule q32 = schedule_last_block(g32, dev);
+
+  std::printf("Figure 10: IOS schedules for the last Inception V3 block\n\n");
+  std::printf("schedule optimized for batch size 1 (%zu stages):\n%s\n",
+              q1.stages.size(), q1.to_string(g1).c_str());
+  std::printf("schedule optimized for batch size 32 (%zu stages):\n%s\n",
+              q32.stages.size(), q32.to_string(g32).c_str());
+
+  const double l1_q1 = block_latency(g1, dev, q1);
+  const double l1_q32 = block_latency(g1, dev, q32);
+  const double l32_q1 = block_latency(g32, dev, q1);
+  const double l32_q32 = block_latency(g32, dev, q32);
+
+  std::printf("block latency at bs=1:  schedule(1) %.1f us, schedule(32) "
+              "%.1f us -> schedule(1) is %.0f%% faster (paper: 28%%)\n",
+              l1_q1, l1_q32, (l1_q32 / l1_q1 - 1) * 100);
+  std::printf("block latency at bs=32: schedule(1) %.1f us, schedule(32) "
+              "%.1f us -> schedule(32) is %.0f%% faster (paper: 8%%)\n",
+              l32_q1, l32_q32, (l32_q1 / l32_q32 - 1) * 100);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 11: Inception V3 throughput (images/s) across batch sizes 1..128
+// for Sequential, TVM-cuDNN, TASO, TensorRT, and IOS. Expected shape:
+// throughput grows with batch and saturates; IOS stays on top at every
+// batch size, with the largest relative win at small batches.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace ios;
+  const DeviceSpec dev = tesla_v100();
+
+  std::printf("Figure 11: Inception V3 throughput (images/s) vs batch size, "
+              "Tesla V100\n\n");
+
+  TablePrinter t({"batch", "Sequential", "TVM-cuDNN", "TASO", "TensorRT",
+                  "IOS", "IOS speedup vs best baseline"});
+  for (int batch : {1, 16, 32, 64, 128}) {
+    const Graph g = models::inception_v3(batch);
+    Executor ex(g, bench::config_for(dev));
+    auto thr = [&](double lat_us) { return batch / (lat_us / 1e6); };
+
+    const double seq = ex.schedule_latency_us(sequential_schedule(g));
+    const double tvm =
+        frameworks::run_framework(g, dev, frameworks::tvm_cudnn_spec())
+            .latency_us;
+    const double taso =
+        frameworks::run_framework(g, dev, frameworks::taso_spec()).latency_us;
+    const double trt =
+        frameworks::run_framework(g, dev, frameworks::tensorrt_spec())
+            .latency_us;
+    const double ios_lat =
+        bench::latency_us(g, dev, bench::ios_schedule(g, dev));
+    const double best_baseline = std::min({seq, tvm, taso, trt});
+
+    t.add_row({std::to_string(batch), TablePrinter::fmt(thr(seq), 0),
+               TablePrinter::fmt(thr(tvm), 0), TablePrinter::fmt(thr(taso), 0),
+               TablePrinter::fmt(thr(trt), 0),
+               TablePrinter::fmt(thr(ios_lat), 0),
+               TablePrinter::fmt(best_baseline / ios_lat, 2) + "x"});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 12: intra-operator parallelism (TVM-AutoTune) vs inter-operator
+// parallelism (IOS). Expected shape: IOS wins on the dense-conv networks
+// (Inception V3, SqueezeNet), TVM wins on the separable-conv networks
+// (RandWire, NasNet), and IOS's optimization cost is about two orders of
+// magnitude smaller (paper: 3 vs 208 GPU hours for all four networks).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace ios;
+  const DeviceSpec dev = tesla_v100();
+
+  std::vector<bench::SeriesRow> rows;
+  double tvm_cost_s = 0;
+  double ios_cost_s = 0;
+  for (const auto& m : bench::paper_models()) {
+    const Graph g = m.build(1);
+    const auto tvm =
+        frameworks::run_framework(g, dev, frameworks::tvm_autotune_spec());
+    SchedulerStats stats;
+    const Schedule q = bench::ios_schedule(g, dev, IosVariant::kBoth,
+                                           PruningStrategy{}, &stats);
+    tvm_cost_s += tvm.optimization_cost_s;
+    ios_cost_s += stats.profiling_cost_us / 1e6 + stats.search_wall_ms / 1e3;
+    rows.push_back(bench::SeriesRow{
+        m.name, {tvm.latency_us, bench::latency_us(g, dev, q)}});
+  }
+
+  bench::print_normalized(
+      "Figure 12: TVM-AutoTune vs IOS, batch size 1, Tesla V100",
+      {"TVM-AutoTune", "IOS"}, rows);
+
+  std::printf("total optimization cost (all 4 networks, simulated GPU "
+              "time):\n  TVM-AutoTune: %.1f GPU-hours\n  IOS: %.2f "
+              "GPU-hours (%.0fx cheaper; paper: 208 vs 3 GPU-hours)\n",
+              tvm_cost_s / 3600.0, ios_cost_s / 3600.0,
+              tvm_cost_s / std::max(ios_cost_s, 1e-9));
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 13 / Appendix A: the complexity bound ((n/d+2) choose 2)^d is tight.
+// For d independent chains of c operators each, the exact number of DP pairs
+// (including empty endings, as counted by Lemma 3) equals the bound.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/analysis.hpp"
+
+int main() {
+  using namespace ios;
+
+  std::printf("Figure 13: tightness of the ((n/d+2) choose 2)^d transition "
+              "bound on d independent chains of c operators\n\n");
+
+  TablePrinter t({"c (chain len)", "d (chains)", "n", "width", "#(S,S')",
+                  "#states", "bound", "#(S,S') + #states == bound"});
+  for (int d = 1; d <= 4; ++d) {
+    for (int c = 1; c <= 4; ++c) {
+      const Graph g = models::fig13_chains(1, c, d);
+      const BlockDag dag(g, g.blocks()[0]);
+      const auto counts = dag.count_transitions();
+      const double bound = BlockDag::transition_upper_bound(c * d, d);
+      const bool tight =
+          static_cast<double>(counts.transitions + counts.states) == bound;
+      t.add_row({std::to_string(c), std::to_string(d),
+                 std::to_string(c * d), std::to_string(dag.width()),
+                 std::to_string(counts.transitions),
+                 std::to_string(counts.states), TablePrinter::fmt(bound, 0),
+                 tight ? "yes" : "NO"});
+    }
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 14 (Appendix B): the Figure 6 schedule comparison repeated on an
+// RTX 2080Ti (Turing) to show the optimization generalizes across GPU
+// architectures.
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace ios;
+  const DeviceSpec dev = rtx_2080ti();
+
+  std::vector<bench::SeriesRow> rows;
+  for (const auto& m : bench::paper_models()) {
+    const Graph g = m.build(1);
+    Executor ex(g, bench::config_for(dev));
+    bench::SeriesRow row{m.name, {}};
+    row.latencies_us.push_back(ex.schedule_latency_us(sequential_schedule(g)));
+    row.latencies_us.push_back(ex.schedule_latency_us(greedy_schedule(g)));
+    for (IosVariant v :
+         {IosVariant::kMerge, IosVariant::kParallel, IosVariant::kBoth}) {
+      row.latencies_us.push_back(
+          bench::latency_us(g, dev, bench::ios_schedule(g, dev, v)));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  bench::print_normalized(
+      "Figure 14: schedule comparison, batch size 1, RTX 2080Ti",
+      {"Sequential", "Greedy", "IOS-Merge", "IOS-Parallel", "IOS-Both"},
+      rows);
+  return 0;
+}

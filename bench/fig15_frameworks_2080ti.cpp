@@ -1,0 +1,33 @@
+// Figure 15 (Appendix B): the Figure 7 framework comparison repeated on an
+// RTX 2080Ti.
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace ios;
+  const DeviceSpec dev = rtx_2080ti();
+
+  std::vector<std::string> methods;
+  for (const auto& spec : frameworks::cudnn_baselines()) {
+    methods.push_back(spec.name);
+  }
+  methods.push_back("IOS");
+
+  std::vector<bench::SeriesRow> rows;
+  for (const auto& m : bench::paper_models()) {
+    const Graph g = m.build(1);
+    bench::SeriesRow row{m.name, {}};
+    for (const auto& spec : frameworks::cudnn_baselines()) {
+      row.latencies_us.push_back(
+          frameworks::run_framework(g, dev, spec).latency_us);
+    }
+    row.latencies_us.push_back(
+        bench::latency_us(g, dev, bench::ios_schedule(g, dev)));
+    rows.push_back(std::move(row));
+  }
+
+  bench::print_normalized(
+      "Figure 15: cuDNN-based framework comparison, batch size 1, RTX 2080Ti",
+      methods, rows);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 1: the motivation trend — device peak performance rises while the
+// average computation per convolution falls, widening the utilization gap.
+// Representatives (as in the paper): VGG on GTX 980Ti (2013-era), Inception
+// V3 on GTX 1080 (2015), NasNet on Tesla V100 (2018). We additionally
+// measure each era's *actual* single-kernel utilization on the simulator —
+// the gap the paper motivates IOS with.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "sim/kernel_model.hpp"
+
+namespace {
+
+using namespace ios;
+
+struct EraRow {
+  const char* year;
+  Graph graph;
+  DeviceSpec device;
+};
+
+}  // namespace
+
+int main() {
+  using namespace ios;
+
+  std::printf("Figure 1: average FLOPs per convolution vs device peak "
+              "performance\n(paper: VGG 2330 MFLOPs/conv & ~16 convs on "
+              "5767 GFLOPs/s; Inception ~116 MFLOPs & 94 convs on 8873; "
+              "NasNet ~82 MFLOPs & 535 convs on 15700)\n\n");
+
+  EraRow rows[] = {
+      {"2013", models::vgg16(1), gtx_980ti()},
+      {"2015", models::inception_v3(1), gtx_1080()},
+      {"2018", models::nasnet_a(1), tesla_v100()},
+  };
+
+  TablePrinter t({"year", "network", "#conv", "avg MFLOPs/conv",
+                  "device", "peak GFLOPs/s", "measured conv util"});
+  for (EraRow& row : rows) {
+    const Graph& g = row.graph;
+    int convs = 0;
+    std::int64_t conv_flops = 0;
+    double util_sum = 0;
+    Engine engine(row.device);
+    for (const Op& op : g.ops()) {
+      if (op.kind != OpKind::kConv2d && op.kind != OpKind::kSepConv) continue;
+      ++convs;
+      conv_flops += g.flops(op.id);
+      const KernelDesc k = kernel_for_op(g, op.id);
+      const double lat = engine.kernel_latency_us(k);
+      util_sum += (k.flops / lat) / row.device.peak_flops_per_us();
+    }
+    t.add_row({row.year, g.name(), std::to_string(convs),
+               TablePrinter::fmt(static_cast<double>(conv_flops) / convs / 1e6,
+                                 0),
+               row.device.name,
+               TablePrinter::fmt(row.device.peak_tflops * 1000, 0),
+               TablePrinter::fmt(util_sum / convs * 100, 1) + "%"});
+  }
+  t.print();
+  std::printf("\n(average per-convolution work falls by ~2 orders of "
+              "magnitude while peak performance triples: single kernels "
+              "cannot utilize modern devices)\n");
+  return 0;
+}

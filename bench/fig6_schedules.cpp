@@ -1,0 +1,34 @@
+// Figure 6: end-to-end comparison of Sequential, Greedy, IOS-Merge,
+// IOS-Parallel, and IOS-Both schedules across the four benchmark CNNs at
+// batch size 1 on Tesla V100. Throughput is normalized to the best schedule
+// per model. Expected shape: IOS-Both >= every other schedule; greedy beats
+// sequential on RandWire/NasNet but degrades SqueezeNet.
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace ios;
+  const DeviceSpec dev = tesla_v100();
+
+  std::vector<bench::SeriesRow> rows;
+  for (const auto& m : bench::paper_models()) {
+    const Graph g = m.build(1);
+    Executor ex(g, bench::config_for(dev));
+    bench::SeriesRow row{m.name, {}};
+    row.latencies_us.push_back(
+        ex.schedule_latency_us(sequential_schedule(g)));
+    row.latencies_us.push_back(ex.schedule_latency_us(greedy_schedule(g)));
+    for (IosVariant v :
+         {IosVariant::kMerge, IosVariant::kParallel, IosVariant::kBoth}) {
+      row.latencies_us.push_back(
+          bench::latency_us(g, dev, bench::ios_schedule(g, dev, v)));
+    }
+    rows.push_back(std::move(row));
+  }
+
+  bench::print_normalized(
+      "Figure 6: schedule comparison, batch size 1, Tesla V100",
+      {"Sequential", "Greedy", "IOS-Merge", "IOS-Parallel", "IOS-Both"},
+      rows);
+  return 0;
+}

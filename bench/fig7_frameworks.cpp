@@ -1,0 +1,35 @@
+// Figure 7: end-to-end comparison of the cuDNN-based frameworks
+// (TensorFlow, TensorFlow-XLA, TASO, TVM-cuDNN, TensorRT) against IOS at
+// batch size 1 on Tesla V100. Expected shape: IOS wins on every network,
+// 1.1-1.5x over the best baseline.
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace ios;
+  const DeviceSpec dev = tesla_v100();
+
+  std::vector<std::string> methods;
+  for (const auto& spec : frameworks::cudnn_baselines()) {
+    methods.push_back(spec.name);
+  }
+  methods.push_back("IOS");
+
+  std::vector<bench::SeriesRow> rows;
+  for (const auto& m : bench::paper_models()) {
+    const Graph g = m.build(1);
+    bench::SeriesRow row{m.name, {}};
+    for (const auto& spec : frameworks::cudnn_baselines()) {
+      row.latencies_us.push_back(
+          frameworks::run_framework(g, dev, spec).latency_us);
+    }
+    row.latencies_us.push_back(
+        bench::latency_us(g, dev, bench::ios_schedule(g, dev)));
+    rows.push_back(std::move(row));
+  }
+
+  bench::print_normalized(
+      "Figure 7: cuDNN-based framework comparison, batch size 1, Tesla V100",
+      methods, rows);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Section 5 observation: ResNet-34/50 expose almost no inter-operator
+// parallelism (only the downsample shortcut can overlap the main path), so
+// IOS gains only 2-5%. This bench reproduces that claim and contrasts it
+// with the multi-branch Inception V3.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace ios;
+  const DeviceSpec dev = tesla_v100();
+
+  std::printf("ResNet has limited inter-operator parallelism (paper "
+              "Section 5: 2-5%% speedup)\n\n");
+
+  TablePrinter t({"model", "sequential (ms)", "IOS (ms)", "speedup"});
+  const bench::NamedModel rows[] = {
+      {"ResNet-34", [](int b) { return models::resnet34(b); }},
+      {"ResNet-50", [](int b) { return models::resnet50(b); }},
+      {"Inception V3", [](int b) { return models::inception_v3(b); }},
+  };
+  for (const auto& m : rows) {
+    const Graph g = m.build(1);
+    Executor ex(g, bench::config_for(dev));
+    const double seq = ex.schedule_latency_us(sequential_schedule(g));
+    const double ios_lat =
+        bench::latency_us(g, dev, bench::ios_schedule(g, dev));
+    t.add_row({m.name, TablePrinter::fmt(seq / 1000.0, 2),
+               TablePrinter::fmt(ios_lat / 1000.0, 2),
+               TablePrinter::fmt(seq / ios_lat, 3) + "x"});
+  }
+  t.print();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Table 2: the CNN benchmarks — number of blocks, number of operators, and
+// the main operator type of each network.
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "core/analysis.hpp"
+
+int main() {
+  using namespace ios;
+
+  std::printf(
+      "Table 2: CNN benchmarks (paper reference: InceptionV3 11/119 "
+      "Conv-Relu, RandWire 3/120 Relu-SepConv,\n"
+      "NasNet 13/374 Relu-SepConv, SqueezeNet 10/50 Conv-Relu; our counts "
+      "include stem/classifier blocks)\n\n");
+
+  TablePrinter t({"Network", "#Blocks", "#Operators", "Operator Type",
+                  "GFLOPs(bs1)"});
+  for (const auto& m : bench::paper_models()) {
+    const Graph g = m.build(1);
+    const NetworkSummary s = summarize_network(g);
+    t.add_row({s.name, std::to_string(s.num_blocks),
+               std::to_string(s.num_ops), s.main_op_type,
+               TablePrinter::fmt(static_cast<double>(g.total_flops()) / 1e9,
+                                 2)});
+  }
+  // Auxiliary models used in the discussion sections.
+  for (const Graph& g :
+       {models::resnet34(1), models::resnet50(1), models::vgg16(1)}) {
+    const NetworkSummary s = summarize_network(g);
+    t.add_row({s.name + " (aux)", std::to_string(s.num_blocks),
+               std::to_string(s.num_ops), s.main_op_type,
+               TablePrinter::fmt(static_cast<double>(g.total_flops()) / 1e9,
+                                 2)});
+  }
+  t.print();
+  return 0;
+}

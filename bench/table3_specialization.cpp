@@ -1,0 +1,58 @@
+// Table 3: specialized schedules win. (1) Schedules optimized for batch size
+// 1/32/128 are cross-executed on each batch size; (2) schedules optimized
+// for Tesla K80 / V100 are cross-executed on each device. The diagonal
+// should be the best entry of every row (paper Section 7.2).
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace ios;
+
+  std::printf("Table 3 (1): Inception V3 latency (ms), schedules specialized "
+              "per batch size (V100)\n");
+  std::printf("(paper: rows bs=1/32/128, diagonal best: 4.03 / 27.44 / "
+              "103.29 ms)\n\n");
+  const int batches[] = {1, 32, 128};
+  std::vector<Schedule> by_batch;
+  for (int b : batches) {
+    by_batch.push_back(bench::ios_schedule(models::inception_v3(b),
+                                           tesla_v100()));
+  }
+  {
+    TablePrinter t({"execute \\ optimized for", "bs=1", "bs=32", "bs=128"});
+    for (int i = 0; i < 3; ++i) {
+      const Graph g = models::inception_v3(batches[i]);
+      Executor ex(g, bench::config_for(tesla_v100()));
+      std::vector<std::string> row{"bs=" + std::to_string(batches[i])};
+      for (int j = 0; j < 3; ++j) {
+        row.push_back(TablePrinter::fmt(
+            ex.schedule_latency_us(by_batch[static_cast<std::size_t>(j)]) /
+                1000.0,
+            2));
+      }
+      t.add_row(std::move(row));
+    }
+    t.print();
+  }
+
+  std::printf("\nTable 3 (2): Inception V3 latency (ms), schedules "
+              "specialized per device (batch size 1)\n");
+  std::printf("(paper: K80 row 13.87/14.65; V100 row 4.49/4.03)\n\n");
+  const Graph g1 = models::inception_v3(1);
+  const Schedule q_k80 = bench::ios_schedule(g1, tesla_k80());
+  const Schedule q_v100 = bench::ios_schedule(g1, tesla_v100());
+  {
+    TablePrinter t({"execute \\ optimized for", "K80", "V100"});
+    for (const DeviceSpec& dev : {tesla_k80(), tesla_v100()}) {
+      Executor ex(g1, bench::config_for(dev));
+      t.add_row({dev.name,
+                 TablePrinter::fmt(ex.schedule_latency_us(q_k80) / 1000.0, 2),
+                 TablePrinter::fmt(ex.schedule_latency_us(q_v100) / 1000.0,
+                                   2)});
+    }
+    t.print();
+  }
+  return 0;
+}

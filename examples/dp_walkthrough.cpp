@@ -1,0 +1,97 @@
+// A guided replay of the paper's Figure 5: the dynamic program on the
+// 3-operator graph (a -> b, with c independent). Prints every state S, the
+// endings S' enumerated from it, the measured stage latency L_{S'}, and the
+// resulting cost[S] / choice[S], then reconstructs the optimal schedule
+// back-to-front exactly like INTER_OPERATOR_SCHEDULER (Algorithm 1 L6-11).
+//
+//   $ ./dp_walkthrough
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "core/block_dag.hpp"
+#include "models/models.hpp"
+#include "runtime/cost_model.hpp"
+#include "util/hash.hpp"
+
+namespace {
+
+using namespace ios;
+
+std::string names(const Graph& g, const BlockDag& dag, Set64 s) {
+  std::string out = "{";
+  bool first = true;
+  for (int i : s) {
+    if (!first) out += ", ";
+    out += g.op(dag.op_of(i)).name;
+    first = false;
+  }
+  return out + "}";
+}
+
+struct Walkthrough {
+  const Graph& g;
+  const BlockDag& dag;
+  CostModel& cost;
+  std::unordered_map<std::uint64_t, double, U64Hasher> cost_memo;
+  std::unordered_map<std::uint64_t, Set64, U64Hasher> choice;
+
+  double scheduler(Set64 s) {  // SCHEDULER (Algorithm 1 L13-22)
+    if (s.empty()) return 0;
+    auto it = cost_memo.find(s.bits());
+    if (it != cost_memo.end()) {
+      std::printf("  state S=%s already solved: cost[S]=%.1f us (memoized)\n",
+                  names(g, dag, s).c_str(), it->second);
+      return it->second;
+    }
+    std::printf("  solving state S=%s\n", names(g, dag, s).c_str());
+    double best = 1e300;
+    Set64 best_ending;
+    dag.for_each_ending(s, 64, [&](Set64 ending) {
+      const StageChoice stage = cost.generate_stage(dag.to_ops(ending));
+      const double total = scheduler(s - ending) + stage.latency_us;
+      std::printf("    ending S'=%-10s L_S'=%6.1f us -> L_S=%6.1f us%s\n",
+                  names(g, dag, ending).c_str(), stage.latency_us, total,
+                  total < best ? "  (new best)" : "");
+      if (total < best) {
+        best = total;
+        best_ending = ending;
+      }
+    });
+    cost_memo[s.bits()] = best;
+    choice[s.bits()] = best_ending;
+    std::printf("  => cost[%s] = %.1f us, choice = %s\n",
+                names(g, dag, s).c_str(), best,
+                names(g, dag, best_ending).c_str());
+    return best;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const Graph g = models::fig5_graph(1);
+  const auto blocks = g.blocks();
+  const BlockDag dag(g, blocks[0]);
+  CostModel cost(g, ExecConfig{tesla_v100(), KernelModelParams{}});
+
+  std::printf("Figure 5 walkthrough: computation graph with a -> b and "
+              "independent c\n\n");
+  Walkthrough w{g, dag, cost, {}, {}};
+  const double total = w.scheduler(dag.all());
+
+  std::printf("\nschedule construction (choice[] walk, back to front):\n");
+  Set64 s = dag.all();
+  std::vector<Set64> stages;
+  while (!s.empty()) {
+    const Set64 ending = w.choice.at(s.bits());
+    stages.insert(stages.begin(), ending);
+    s -= ending;
+  }
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    std::printf("  stage %zu: %s\n", i + 1, names(g, dag, stages[i]).c_str());
+  }
+  std::printf("\noptimal latency cost[V] = %.1f us over %zu stages\n", total,
+              stages.size());
+  return 0;
+}

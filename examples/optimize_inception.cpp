@@ -1,0 +1,57 @@
+// End-to-end walkthrough on a real network: optimize Inception V3 with IOS,
+// print the per-block schedules it found, and compare against the sequential
+// / greedy schedules and the simulated framework baselines.
+//
+//   $ ./optimize_inception
+
+#include <cstdio>
+
+#include "core/scheduler.hpp"
+#include "frameworks/frameworks.hpp"
+#include "models/models.hpp"
+#include "schedule/baselines.hpp"
+
+int main() {
+  using namespace ios;
+
+  const Graph g = models::inception_v3(/*batch=*/1);
+  const DeviceSpec device = tesla_v100();
+  const ExecConfig config{device, KernelModelParams{}};
+
+  std::printf("optimizing %s (%d ops, %zu blocks) for %s, batch 1...\n",
+              g.name().c_str(), static_cast<int>(g.schedulable_ops().size()),
+              g.blocks().size(), device.name.c_str());
+
+  CostModel cost(g, config);
+  SchedulerStats stats;
+  const Schedule schedule = IosScheduler(cost).schedule_graph(&stats);
+  validate_schedule(g, schedule);
+
+  std::printf("done: %zu stages, %lld stage profiles, %.1f s simulated "
+              "profiling, %.0f ms search time\n\n",
+              schedule.stages.size(),
+              static_cast<long long>(stats.measurements),
+              stats.profiling_cost_us / 1e6, stats.search_wall_ms);
+
+  // Show the schedule found for the last (widest) inception block.
+  const auto blocks = g.blocks();
+  std::printf("schedule of the last inception block:\n");
+  CostModel block_cost(g, config);
+  const Schedule block_schedule =
+      IosScheduler(block_cost).schedule_block(blocks[11]);
+  std::printf("%s\n", block_schedule.to_string(g).c_str());
+
+  Executor executor(g, config);
+  std::printf("latency comparison (batch 1, %s):\n", device.name.c_str());
+  std::printf("  %-16s %8.2f ms\n", "sequential",
+              executor.schedule_latency_us(sequential_schedule(g)) / 1000.0);
+  std::printf("  %-16s %8.2f ms\n", "greedy",
+              executor.schedule_latency_us(greedy_schedule(g)) / 1000.0);
+  for (const auto& spec : frameworks::cudnn_baselines()) {
+    std::printf("  %-16s %8.2f ms\n", spec.name.c_str(),
+                frameworks::run_framework(g, device, spec).latency_us / 1000.0);
+  }
+  std::printf("  %-16s %8.2f ms\n", "IOS",
+              executor.schedule_latency_us(schedule) / 1000.0);
+  return 0;
+}

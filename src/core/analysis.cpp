@@ -1,0 +1,46 @@
+#include "core/analysis.hpp"
+
+namespace ios {
+
+BlockComplexity analyze_block(const Graph& g, std::span<const OpId> block_ops,
+                              int block_index) {
+  BlockDag dag(g, block_ops);
+  BlockComplexity out;
+  out.block_index = block_index;
+  out.n = dag.size();
+  out.d = dag.width();
+  out.upper_bound = BlockDag::transition_upper_bound(out.n, out.d);
+  const auto counts = dag.count_transitions();
+  out.states = counts.states;
+  out.transitions = counts.transitions;
+  out.num_schedules = dag.count_schedules();
+  return out;
+}
+
+BlockComplexity largest_block_complexity(const Graph& g) {
+  const auto blocks = g.blocks();
+  int best = 0;
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    if (blocks[i].size() > blocks[static_cast<std::size_t>(best)].size()) {
+      best = static_cast<int>(i);
+    }
+  }
+  return analyze_block(g, blocks[static_cast<std::size_t>(best)], best);
+}
+
+NetworkSummary summarize_network(const Graph& g) {
+  NetworkSummary s;
+  s.name = g.name();
+  s.num_blocks = static_cast<int>(g.blocks().size());
+  int convs = 0, sepconvs = 0;
+  for (const Op& op : g.ops()) {
+    if (!op.schedulable()) continue;
+    ++s.num_ops;
+    if (op.kind == OpKind::kConv2d) ++convs;
+    if (op.kind == OpKind::kSepConv) ++sepconvs;
+  }
+  s.main_op_type = sepconvs > convs ? "Relu-SepConv" : "Conv-Relu";
+  return s;
+}
+
+}  // namespace ios

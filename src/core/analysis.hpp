@@ -1,0 +1,38 @@
+#pragma once
+// Complexity analysis utilities behind Table 1 and Table 2 of the paper:
+// per-block operator count n, DAG width d, the closed-form transition bound,
+// the exact number of (S, S') transitions, the number of feasible schedules,
+// and whole-network summaries.
+
+#include <string>
+
+#include "core/block_dag.hpp"
+
+namespace ios {
+
+struct BlockComplexity {
+  int block_index = 0;
+  int n = 0;                    ///< operators in the block
+  int d = 0;                    ///< width of the block DAG
+  double upper_bound = 0;       ///< ((n/d+2) choose 2)^d
+  std::int64_t states = 0;      ///< distinct DP states
+  std::int64_t transitions = 0; ///< exact #(S, S')
+  double num_schedules = 0;     ///< #feasible schedules
+};
+
+BlockComplexity analyze_block(const Graph& g, std::span<const OpId> block_ops,
+                              int block_index);
+
+/// Analysis of the block with the most operators (the paper's Table 1 rows).
+BlockComplexity largest_block_complexity(const Graph& g);
+
+struct NetworkSummary {
+  std::string name;
+  int num_blocks = 0;
+  int num_ops = 0;            ///< schedulable operators
+  std::string main_op_type;   ///< e.g. "Conv-Relu" / "Relu-SepConv"
+};
+
+NetworkSummary summarize_network(const Graph& g);
+
+}  // namespace ios

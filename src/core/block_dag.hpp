@@ -1,0 +1,93 @@
+#pragma once
+// BlockDag: the per-block view the dynamic program works on. Operators of
+// one block are re-indexed into [0, n) (n <= 64) so subsets of them — the
+// states S and endings S' of Algorithm 1 — are Set64 bitmasks. Provides
+// ending enumeration, weakly-connected-component grouping, DAG width
+// (Definition 1, computed via Dilworth's theorem), and the state/transition
+// counting behind Table 1.
+
+#include <functional>
+#include <span>
+
+#include "graph/graph.hpp"
+#include "util/bitset64.hpp"
+
+namespace ios {
+
+class BlockDag {
+ public:
+  /// @param block_ops ops of one block in topological (id) order; <= 64.
+  BlockDag(const Graph& g, std::span<const OpId> block_ops);
+
+  int size() const { return n_; }
+  Set64 all() const { return Set64::full(n_); }
+  OpId op_of(int local) const { return ops_[static_cast<std::size_t>(local)]; }
+  int local_of(OpId id) const;
+
+  /// Direct successors/predecessors within the block.
+  Set64 succ_mask(int local) const {
+    return succ_[static_cast<std::size_t>(local)];
+  }
+  Set64 pred_mask(int local) const {
+    return pred_[static_cast<std::size_t>(local)];
+  }
+  /// Undirected adjacency within the block (for group construction).
+  Set64 adj_mask(int local) const {
+    return adj_[static_cast<std::size_t>(local)];
+  }
+
+  std::vector<OpId> to_ops(Set64 s) const;
+
+  /// Invokes `f` once for every non-empty ending S' of S — every non-empty
+  /// subset of S closed under in-S successors (Figure 4). Enumeration order
+  /// is deterministic. `max_ops`, when < 64, prunes endings larger than that
+  /// many operators (the r*s cap of the pruning strategy); `max_group_ops`
+  /// prunes endings containing a weakly connected component larger than r
+  /// (components only grow as ops are added, so the cut is exact).
+  void for_each_ending(Set64 s, int max_ops,
+                       const std::function<void(Set64)>& f) const {
+    for_each_ending(s, max_ops, 64, f);
+  }
+  void for_each_ending(Set64 s, int max_ops, int max_group_ops,
+                       const std::function<void(Set64)>& f) const;
+
+  /// Weakly connected components of the induced subgraph on `s`, each a
+  /// Set64, ordered by smallest member.
+  std::vector<Set64> components(Set64 s) const;
+
+  /// Width d of the block DAG (Definition 1): size of the largest
+  /// antichain, computed as n minus a maximum matching on the transitive
+  /// closure (Dilworth / Corollary 1).
+  int width() const;
+
+  /// Number of distinct (S, S') pairs the unpruned dynamic program visits —
+  /// the "#(S, S')" column of Table 1. Also reports the number of states.
+  struct TransitionCount {
+    std::int64_t states = 0;
+    std::int64_t transitions = 0;
+  };
+  TransitionCount count_transitions() const;
+
+  /// Total number of feasible schedules (ordered partitions of the block
+  /// into endings) — the "#Schedules" column of Table 1. Returned as double
+  /// because the count reaches ~1e22 on RandWire.
+  double count_schedules() const;
+
+  /// The paper's closed-form upper bound ((n/d+2) choose 2)^d on the number
+  /// of transitions, evaluated with real-valued n/d.
+  static double transition_upper_bound(int n, int d);
+
+ private:
+  void rec_endings(std::span<const int> rev_topo, std::size_t pos, Set64 s,
+                   Set64 chosen, std::vector<Set64>& comps, int max_ops,
+                   int max_group_ops,
+                   const std::function<void(Set64)>& f) const;
+
+  int n_ = 0;
+  std::vector<OpId> ops_;
+  std::vector<Set64> succ_;
+  std::vector<Set64> pred_;
+  std::vector<Set64> adj_;
+};
+
+}  // namespace ios

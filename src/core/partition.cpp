@@ -1,0 +1,107 @@
+#include "core/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ios {
+
+std::vector<std::vector<OpId>> auto_partition(const Graph& g,
+                                              const PartitionOptions& options) {
+  if (options.max_block_ops < 1 || options.max_block_ops > 64) {
+    throw std::invalid_argument("max_block_ops must be in [1, 64]");
+  }
+
+  const std::vector<OpId> ops = g.schedulable_ops();  // topological order
+  const int n = static_cast<int>(ops.size());
+  if (n == 0) return {};
+
+  std::unordered_map<OpId, int> position;
+  for (int i = 0; i < n; ++i) position[ops[static_cast<std::size_t>(i)]] = i;
+
+  // cut[i] == true: a block boundary may be placed after position i, i.e.
+  // every edge crossing the boundary starts at ops[i] itself. Graph inputs
+  // are visible everywhere and do not count as crossings.
+  std::vector<char> cut(static_cast<std::size_t>(n), 0);
+  // Sweep with a multiset of "open" edges: for each position, edges from
+  // earlier schedulable ops to later ops.
+  std::vector<int> open_from(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (OpId succ : g.succs(ops[static_cast<std::size_t>(i)])) {
+      auto it = position.find(succ);
+      if (it != position.end() && it->second > i) {
+        ++open_from[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  // crossing(i) = edges (u, w) with pos(u) <= i < pos(w). Boundary after i
+  // is a cut iff all such edges have pos(u) == i.
+  // Track, for each boundary, the number of crossing edges that start
+  // strictly before i.
+  std::vector<int> ends_at(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    for (OpId pred : g.preds(ops[static_cast<std::size_t>(i)])) {
+      auto it = position.find(pred);
+      if (it != position.end() && it->second < i) {
+        ++ends_at[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  int open_before = 0;  // edges starting at positions < i+1 and ending > i
+  for (int i = 0; i < n; ++i) {
+    // Edges ending exactly at i close before considering boundary after i.
+    open_before -= ends_at[static_cast<std::size_t>(i)];
+    // Cut after i iff no edge from positions < i crosses the boundary
+    // (edges from i itself are allowed: its output tensor is the cut).
+    cut[static_cast<std::size_t>(i)] = open_before == 0;
+    open_before += open_from[static_cast<std::size_t>(i)];
+  }
+  cut[static_cast<std::size_t>(n - 1)] = 1;  // the end is always a boundary
+
+  // Split into minimal segments at every cut, then coalesce greedily.
+  std::vector<std::pair<int, int>> segments;  // [begin, end] inclusive
+  int begin = 0;
+  for (int i = 0; i < n; ++i) {
+    if (cut[static_cast<std::size_t>(i)]) {
+      segments.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+
+  std::vector<std::vector<OpId>> blocks;
+  std::vector<OpId> current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      blocks.push_back(std::move(current));
+      current.clear();
+    }
+  };
+  for (const auto& [s, e] : segments) {
+    const int seg_size = e - s + 1;
+    if (seg_size > options.max_block_ops) {
+      // Unsplittable oversized segment: flush and chunk it by topo order.
+      flush();
+      for (int i = s; i <= e; i += options.max_block_ops) {
+        std::vector<OpId> chunk;
+        for (int j = i; j <= std::min(e, i + options.max_block_ops - 1); ++j) {
+          chunk.push_back(ops[static_cast<std::size_t>(j)]);
+        }
+        blocks.push_back(std::move(chunk));
+      }
+      continue;
+    }
+    if ((static_cast<int>(current.size()) + seg_size > options.max_block_ops &&
+         static_cast<int>(current.size()) >= options.min_block_ops) ||
+        static_cast<int>(current.size()) + seg_size > 64) {
+      flush();
+    }
+    for (int j = s; j <= e; ++j) {
+      current.push_back(ops[static_cast<std::size_t>(j)]);
+    }
+    if (static_cast<int>(current.size()) >= options.max_block_ops) flush();
+  }
+  flush();
+  return blocks;
+}
+
+}  // namespace ios

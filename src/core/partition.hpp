@@ -1,0 +1,39 @@
+#pragma once
+// Automatic block partitioning. The paper (Section 4.2) optimizes each block
+// of a network separately: "modern convolution neural networks usually
+// construct the network by stacking multiple blocks, making it possible to
+// optimize each block separately". Model builders mark blocks explicitly;
+// for graphs that arrive without block annotations (imported graphs, custom
+// builders), this pass recovers them.
+//
+// A *cut point* is a schedulable operator whose output is the only tensor
+// crossing from the prefix to the suffix of the topological order — every
+// dependency path passes through it, so scheduling the two sides separately
+// loses nothing. Consecutive segments between cut points are coalesced until
+// a size budget is reached (the DP is exponential in block width, and Set64
+// limits blocks to 64 operators).
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ios {
+
+struct PartitionOptions {
+  /// Coalesce adjacent segments while the combined block stays at or below
+  /// this many operators. Must be <= 64 (the DP's Set64 state limit).
+  int max_block_ops = 40;
+  /// Keep coalescing while a block is below this size, even across cut
+  /// points (avoids degenerate one-op blocks on chain networks).
+  int min_block_ops = 4;
+};
+
+/// Partitions the schedulable operators of `g` into blocks, ignoring any
+/// block annotations already present. Returned blocks are in topological
+/// order; each is a topologically ordered op list of size <= max_block_ops
+/// (unless a single unsplittable segment exceeds it, in which case the
+/// segment is chunked by topological order as a fallback).
+std::vector<std::vector<OpId>> auto_partition(
+    const Graph& g, const PartitionOptions& options = {});
+
+}  // namespace ios

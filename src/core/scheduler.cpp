@@ -1,0 +1,177 @@
+#include "core/scheduler.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ios {
+
+const char* ios_variant_name(IosVariant v) {
+  switch (v) {
+    case IosVariant::kBoth: return "IOS-Both";
+    case IosVariant::kParallel: return "IOS-Parallel";
+    case IosVariant::kMerge: return "IOS-Merge";
+  }
+  return "?";
+}
+
+IosScheduler::IosScheduler(CostModel& cost, SchedulerOptions options)
+    : cost_(cost), options_(options) {
+  if (options_.pruning.r < 1 || options_.pruning.s < 1) {
+    throw std::invalid_argument("pruning parameters must be >= 1");
+  }
+}
+
+Stage IosScheduler::build_stage(const BlockDag& dag, Set64 ending,
+                                StageBuild build) const {
+  Stage stage;
+  switch (build) {
+    case StageBuild::kConcurrentGroups:
+      stage.strategy = StageStrategy::kConcurrent;
+      for (Set64 comp : dag.components(ending)) {
+        stage.groups.push_back(Group{dag.to_ops(comp)});
+      }
+      break;
+    case StageBuild::kMergeSingle:
+      stage.strategy = StageStrategy::kMerge;
+      stage.groups.push_back(Group{dag.to_ops(ending)});
+      break;
+    case StageBuild::kSequentialSingle:
+      stage.strategy = StageStrategy::kConcurrent;
+      stage.groups.push_back(Group{dag.to_ops(ending)});
+      break;
+  }
+  return stage;
+}
+
+const IosScheduler::EndingEval& IosScheduler::evaluate_ending(
+    BlockContext& ctx, Set64 ending, SchedulerStats* stats) {
+  auto it = ctx.ending_cache.find(ending.bits());
+  if (it != ctx.ending_cache.end()) return it->second;
+
+  EndingEval eval;
+  // Pruning strategy P(r, s): group sizes were already bounded by the
+  // enumeration; the group-count bound s is checked here.
+  const std::vector<Set64> comps = ctx.dag.components(ending);
+  if (!options_.pruning.unrestricted() &&
+      static_cast<int>(comps.size()) > options_.pruning.s) {
+    eval.pruned = true;
+    return ctx.ending_cache.emplace(ending.bits(), eval).first->second;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::vector<OpId> ops = ctx.dag.to_ops(ending);
+
+  double l_concurrent = kInf;
+  if (options_.variant != IosVariant::kMerge) {
+    l_concurrent =
+        cost_.measure(build_stage(ctx.dag, ending, StageBuild::kConcurrentGroups));
+  }
+
+  double l_merge = kInf;
+  if (options_.variant != IosVariant::kParallel && ops.size() >= 2 &&
+      analyze_merge(cost_.graph(), ops)) {
+    l_merge =
+        cost_.measure(build_stage(ctx.dag, ending, StageBuild::kMergeSingle));
+  }
+
+  if (options_.variant == IosVariant::kMerge && !std::isfinite(l_merge)) {
+    // IOS-Merge fallback: execute the ending's operators sequentially on a
+    // single stream (so IOS-Merge degenerates to the sequential schedule on
+    // networks with nothing to merge, as reported in Section 6.1).
+    eval.build = StageBuild::kSequentialSingle;
+    eval.latency_us =
+        cost_.measure(build_stage(ctx.dag, ending, StageBuild::kSequentialSingle));
+  } else if (l_concurrent <= l_merge) {
+    eval.build = StageBuild::kConcurrentGroups;
+    eval.latency_us = l_concurrent;
+  } else {
+    eval.build = StageBuild::kMergeSingle;
+    eval.latency_us = l_merge;
+  }
+  (void)stats;
+  return ctx.ending_cache.emplace(ending.bits(), eval).first->second;
+}
+
+double IosScheduler::solve(BlockContext& ctx, Set64 s, SchedulerStats* stats) {
+  if (s.empty()) return 0;  // cost[emptyset] = 0
+  if (options_.memoize) {
+    auto it = ctx.memo.find(s.bits());
+    if (it != ctx.memo.end()) return it->second.cost;
+  }
+  if (stats) ++stats->states;
+
+  Entry best;
+  best.cost = std::numeric_limits<double>::infinity();
+  const int max_ops = options_.pruning.unrestricted()
+                          ? 64
+                          : options_.pruning.r * options_.pruning.s;
+  const int max_group_ops =
+      options_.pruning.unrestricted() ? 64 : options_.pruning.r;
+  ctx.dag.for_each_ending(s, max_ops, max_group_ops, [&](Set64 ending) {
+    const EndingEval& eval = evaluate_ending(ctx, ending, stats);
+    if (eval.pruned) return;
+    if (stats) ++stats->transitions;
+    const double total = solve(ctx, s - ending, stats) + eval.latency_us;
+    if (total < best.cost) {
+      best.cost = total;
+      best.choice = ending.bits();
+      best.build = eval.build;
+    }
+  });
+
+  if (!std::isfinite(best.cost)) {
+    throw std::logic_error("no feasible ending found for a non-empty state");
+  }
+  ctx.memo[s.bits()] = best;
+  return best.cost;
+}
+
+Schedule IosScheduler::schedule_block(std::span<const OpId> block_ops,
+                                      SchedulerStats* stats) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::int64_t measurements_before = cost_.num_measurements();
+  const double profiling_before = cost_.profiling_cost_us();
+
+  BlockDag dag(cost_.graph(), block_ops);
+  BlockContext ctx{dag, {}, {}};
+  solve(ctx, dag.all(), stats);
+
+  // Schedule construction (Algorithm 1 L6-11): walk choice[] from the full
+  // set back to the empty set, prepending stages.
+  Schedule q;
+  Set64 s = dag.all();
+  while (!s.empty()) {
+    const Entry& e = ctx.memo.at(s.bits());
+    const Set64 ending{e.choice};
+    q.stages.insert(q.stages.begin(), build_stage(dag, ending, e.build));
+    s -= ending;
+  }
+
+  if (stats) {
+    stats->measurements += cost_.num_measurements() - measurements_before;
+    stats->profiling_cost_us += cost_.profiling_cost_us() - profiling_before;
+    stats->search_wall_ms +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  return q;
+}
+
+Schedule IosScheduler::schedule_partition(
+    const std::vector<std::vector<OpId>>& blocks, SchedulerStats* stats) {
+  Schedule q;
+  for (const std::vector<OpId>& block : blocks) {
+    Schedule bq = schedule_block(block, stats);
+    for (Stage& stage : bq.stages) q.stages.push_back(std::move(stage));
+  }
+  return q;
+}
+
+Schedule IosScheduler::schedule_graph(SchedulerStats* stats) {
+  return schedule_partition(cost_.graph().blocks(), stats);
+}
+
+}  // namespace ios

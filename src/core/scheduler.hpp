@@ -1,0 +1,117 @@
+#pragma once
+// IOS: the Inter-Operator Scheduler (Algorithm 1 of the paper).
+//
+// For each block of the computation graph, the scheduler runs a dynamic
+// program over the block's operator subsets: cost[S] = min over endings S'
+// of S of (cost[S - S'] + stage_latency[S']), where stage_latency is
+// measured by the profiling CostModel and the stage's parallelization
+// strategy ("concurrent execution" vs "operator merge") is chosen by
+// GENERATE_STAGE. choice[S] records the argmin so the optimal schedule can
+// be reconstructed back-to-front.
+
+#include <unordered_map>
+
+#include "core/block_dag.hpp"
+#include "runtime/cost_model.hpp"
+#include "schedule/schedule.hpp"
+#include "util/hash.hpp"
+
+namespace ios {
+
+/// The pruning strategy P of Section 4.3: an ending is explored only if it
+/// has at most `s` groups of at most `r` operators each.
+struct PruningStrategy {
+  int r = 3;  ///< max operators per group
+  int s = 8;  ///< max groups per stage
+
+  static PruningStrategy none() { return {64, 64}; }
+  bool unrestricted() const { return r >= 64 && s >= 64; }
+};
+
+/// Which parallelization strategies GENERATE_STAGE may use (Section 6.1).
+enum class IosVariant {
+  kBoth,      ///< IOS-Both: pick the cheaper of merge / concurrent
+  kParallel,  ///< IOS-Parallel: concurrent execution only
+  kMerge,     ///< IOS-Merge: operator merge only (non-mergeable endings
+              ///< execute their operators sequentially on one stream)
+};
+
+const char* ios_variant_name(IosVariant v);
+
+struct SchedulerOptions {
+  PruningStrategy pruning{};
+  IosVariant variant = IosVariant::kBoth;
+  /// Ablation knob: disable the cost[S] memoization (the DP then re-solves
+  /// shared sub-schedules exponentially often).
+  bool memoize = true;
+};
+
+struct SchedulerStats {
+  std::int64_t states = 0;       ///< distinct S values solved
+  std::int64_t transitions = 0;  ///< (S, S') pairs explored
+  std::int64_t measurements = 0; ///< distinct stage profiles requested
+  double profiling_cost_us = 0;  ///< simulated device time spent profiling
+  double search_wall_ms = 0;     ///< host time spent in the DP itself
+};
+
+class IosScheduler {
+ public:
+  IosScheduler(CostModel& cost, SchedulerOptions options = {});
+
+  /// Schedules every block of the cost model's graph and concatenates the
+  /// per-block schedules (Section 4.2: blocks are optimized separately).
+  Schedule schedule_graph(SchedulerStats* stats = nullptr);
+
+  /// Schedules one block given its operators.
+  Schedule schedule_block(std::span<const OpId> block_ops,
+                          SchedulerStats* stats = nullptr);
+
+  /// Schedules an explicit partition (e.g. from auto_partition()) instead of
+  /// the graph's built-in block annotations.
+  Schedule schedule_partition(const std::vector<std::vector<OpId>>& blocks,
+                              SchedulerStats* stats = nullptr);
+
+ private:
+  /// How the stage for a chosen ending is constructed.
+  enum class StageBuild {
+    kConcurrentGroups,  ///< one group per weakly connected component
+    kMergeSingle,       ///< all ops stacked into one merged kernel
+    kSequentialSingle,  ///< one group, one stream (IOS-Merge fallback)
+  };
+
+  struct Entry {
+    double cost = 0;
+    std::uint64_t choice = 0;  // ending mask of the last stage
+    StageBuild build = StageBuild::kConcurrentGroups;
+  };
+
+  /// Cached per-ending evaluation: GENERATE_STAGE's result plus the pruning
+  /// verdict. Both depend only on the ending (not on the DP state), so they
+  /// are computed once per distinct ending instead of once per transition.
+  struct EndingEval {
+    bool pruned = false;
+    double latency_us = 0;
+    StageBuild build = StageBuild::kConcurrentGroups;
+  };
+
+  struct BlockContext {
+    const BlockDag& dag;
+    std::unordered_map<std::uint64_t, Entry, U64Hasher> memo;
+    std::unordered_map<std::uint64_t, EndingEval, U64Hasher> ending_cache;
+  };
+
+  /// GENERATE_STAGE (Algorithm 1 L23-33) specialized by the variant,
+  /// memoized per ending together with the P(r, s) check.
+  const EndingEval& evaluate_ending(BlockContext& ctx, Set64 ending,
+                                    SchedulerStats* stats);
+
+  /// SCHEDULER (Algorithm 1 L13-22).
+  double solve(BlockContext& ctx, Set64 s, SchedulerStats* stats);
+
+  Stage build_stage(const BlockDag& dag, Set64 ending, StageBuild build) const;
+
+  CostModel& cost_;
+  SchedulerOptions options_;
+};
+
+}  // namespace ios

@@ -1,0 +1,270 @@
+#include "graph/graph.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace ios {
+
+Graph::Graph(int batch, std::string name)
+    : batch_(batch), name_(std::move(name)) {
+  if (batch <= 0) throw std::invalid_argument("batch must be positive");
+}
+
+const Op& Graph::checked_op(OpId id) const {
+  if (id < 0 || id >= num_ops()) {
+    throw std::out_of_range("op id out of range: " + std::to_string(id));
+  }
+  return ops_[static_cast<std::size_t>(id)];
+}
+
+int Graph::begin_block() { return next_block_++; }
+
+OpId Graph::add_op(Op op) {
+  op.id = static_cast<OpId>(ops_.size());
+  // Ops added before the first begin_block() land in block 0.
+  op.block = next_block_ == 0 ? 0 : next_block_ - 1;
+  if (op.name.empty()) {
+    op.name = std::string(op_kind_name(op.kind)) + "_" + std::to_string(op.id);
+  }
+  for (OpId in : op.inputs) {
+    if (in < 0 || in >= num_ops()) {
+      throw std::out_of_range("op input id out of range: " +
+                              std::to_string(in));
+    }
+    succs_[static_cast<std::size_t>(in)].push_back(op.id);
+  }
+  succs_.emplace_back();
+  ops_.push_back(std::move(op));
+  return ops_.back().id;
+}
+
+std::vector<TensorDesc> Graph::input_descs(const Op& op) const {
+  std::vector<TensorDesc> descs;
+  descs.reserve(op.inputs.size());
+  for (OpId in : op.inputs) descs.push_back(this->op(in).output);
+  return descs;
+}
+
+OpId Graph::input(int c, int h, int w, std::string name) {
+  Op op;
+  op.kind = OpKind::kInput;
+  op.name = std::move(name);
+  op.output = TensorDesc{batch_, c, h, w};
+  return add_op(std::move(op));
+}
+
+OpId Graph::conv2d(OpId in, const Conv2dAttrs& attrs, std::string name) {
+  const TensorDesc& x = checked_op(in).output;
+  if (attrs.out_channels <= 0) throw std::invalid_argument("conv out_channels");
+  Op op;
+  op.kind = OpKind::kConv2d;
+  op.name = std::move(name);
+  op.inputs = {in};
+  op.output = TensorDesc{x.n, attrs.out_channels,
+                         conv_out_dim(x.h, attrs.kh, attrs.sh, attrs.ph),
+                         conv_out_dim(x.w, attrs.kw, attrs.sw, attrs.pw)};
+  op.attrs = attrs;
+  return add_op(std::move(op));
+}
+
+OpId Graph::sepconv(OpId in, const SepConvAttrs& attrs, std::string name) {
+  const OpId ins[] = {in};
+  return sepconv(std::span<const OpId>(ins), attrs, std::move(name));
+}
+
+OpId Graph::sepconv(std::span<const OpId> ins, const SepConvAttrs& attrs,
+                    std::string name) {
+  if (ins.empty()) throw std::invalid_argument("sepconv needs inputs");
+  if (attrs.out_channels <= 0)
+    throw std::invalid_argument("sepconv out_channels");
+  const TensorDesc& x = checked_op(ins[0]).output;
+  for (OpId i : ins) {
+    if (!(checked_op(i).output == x)) {
+      throw std::invalid_argument("sepconv inputs disagree on shape");
+    }
+  }
+  Op op;
+  op.kind = OpKind::kSepConv;
+  op.name = std::move(name);
+  op.inputs.assign(ins.begin(), ins.end());
+  op.output = TensorDesc{x.n, attrs.out_channels,
+                         conv_out_dim(x.h, attrs.k, attrs.sh, attrs.ph),
+                         conv_out_dim(x.w, attrs.k, attrs.sw, attrs.pw)};
+  op.attrs = attrs;
+  return add_op(std::move(op));
+}
+
+OpId Graph::pool2d(OpId in, const Pool2dAttrs& attrs, std::string name) {
+  const TensorDesc& x = checked_op(in).output;
+  Op op;
+  op.kind = OpKind::kPool2d;
+  op.name = std::move(name);
+  op.inputs = {in};
+  if (attrs.kind == Pool2dAttrs::Kind::kGlobalAvg) {
+    op.output = TensorDesc{x.n, x.c, 1, 1};
+  } else {
+    op.output = TensorDesc{x.n, x.c,
+                           conv_out_dim(x.h, attrs.kh, attrs.sh, attrs.ph),
+                           conv_out_dim(x.w, attrs.kw, attrs.sw, attrs.pw)};
+  }
+  op.attrs = attrs;
+  return add_op(std::move(op));
+}
+
+OpId Graph::matmul(OpId in, const MatmulAttrs& attrs, std::string name) {
+  const TensorDesc& x = checked_op(in).output;
+  Op op;
+  op.kind = OpKind::kMatmul;
+  op.name = std::move(name);
+  op.inputs = {in};
+  op.output = TensorDesc{x.n, attrs.out_features, 1, 1};
+  op.attrs = attrs;
+  return add_op(std::move(op));
+}
+
+OpId Graph::relu(OpId in, std::string name) {
+  Op op;
+  op.kind = OpKind::kRelu;
+  op.name = std::move(name);
+  op.inputs = {in};
+  op.output = checked_op(in).output;
+  return add_op(std::move(op));
+}
+
+OpId Graph::concat(std::span<const OpId> ins, std::string name) {
+  if (ins.empty()) throw std::invalid_argument("concat needs inputs");
+  const TensorDesc& first = checked_op(ins[0]).output;
+  int channels = 0;
+  for (OpId in : ins) {
+    const TensorDesc& d = checked_op(in).output;
+    if (d.n != first.n || d.h != first.h || d.w != first.w) {
+      throw std::invalid_argument("concat inputs disagree on N/H/W");
+    }
+    channels += d.c;
+  }
+  Op op;
+  op.kind = OpKind::kConcat;
+  op.name = std::move(name);
+  op.inputs.assign(ins.begin(), ins.end());
+  op.output = TensorDesc{first.n, channels, first.h, first.w};
+  op.attrs = ConcatAttrs{};
+  return add_op(std::move(op));
+}
+
+OpId Graph::add(OpId a, OpId b, std::string name) {
+  if (!(checked_op(a).output == checked_op(b).output)) {
+    throw std::invalid_argument("add inputs must have identical shapes");
+  }
+  Op op;
+  op.kind = OpKind::kAdd;
+  op.name = std::move(name);
+  op.inputs = {a, b};
+  op.output = this->op(a).output;
+  return add_op(std::move(op));
+}
+
+OpId Graph::identity(OpId in, std::string name) {
+  Op op;
+  op.kind = OpKind::kIdentity;
+  op.name = std::move(name);
+  op.inputs = {in};
+  op.output = checked_op(in).output;
+  return add_op(std::move(op));
+}
+
+OpId Graph::split(OpId in, int begin_channel, int end_channel,
+                  std::string name) {
+  const TensorDesc& x = checked_op(in).output;
+  if (!(0 <= begin_channel && begin_channel < end_channel &&
+        end_channel <= x.c)) {
+    throw std::invalid_argument("split channel range invalid");
+  }
+  Op op;
+  op.kind = OpKind::kSplit;
+  op.name = std::move(name);
+  op.inputs = {in};
+  op.output = TensorDesc{x.n, end_channel - begin_channel, x.h, x.w};
+  op.attrs = SplitAttrs{begin_channel, end_channel};
+  return add_op(std::move(op));
+}
+
+std::vector<std::vector<OpId>> Graph::blocks() const {
+  std::vector<std::vector<OpId>> out(
+      static_cast<std::size_t>(std::max(next_block_, 1)));
+  for (const Op& op : ops_) {
+    if (!op.schedulable()) continue;
+    out[static_cast<std::size_t>(op.block)].push_back(op.id);
+  }
+  // Drop empty trailing blocks (e.g. begin_block() with no schedulable ops).
+  while (!out.empty() && out.back().empty()) out.pop_back();
+  return out;
+}
+
+std::vector<OpId> Graph::schedulable_ops() const {
+  std::vector<OpId> out;
+  out.reserve(ops_.size());
+  for (const Op& op : ops_) {
+    if (op.schedulable()) out.push_back(op.id);
+  }
+  return out;
+}
+
+std::int64_t Graph::flops(OpId id) const {
+  const Op& o = op(id);
+  return op_flops(o, input_descs(o));
+}
+
+std::int64_t Graph::weight_bytes(OpId id) const {
+  const Op& o = op(id);
+  return op_weight_bytes(o, input_descs(o));
+}
+
+std::int64_t Graph::input_bytes(OpId id) const {
+  std::int64_t b = 0;
+  for (OpId in : op(id).inputs) b += op(in).output.bytes();
+  return b;
+}
+
+std::int64_t Graph::output_bytes(OpId id) const { return op(id).output.bytes(); }
+
+std::int64_t Graph::total_flops() const {
+  std::int64_t f = 0;
+  for (const Op& op : ops_) f += flops(op.id);
+  return f;
+}
+
+void Graph::validate() const {
+  for (const Op& op : ops_) {
+    for (OpId in : op.inputs) {
+      if (in >= op.id) {
+        throw std::runtime_error("graph is not topologically ordered at op " +
+                                 op.name);
+      }
+      // Block indices must be monotone along edges so that blocks can be
+      // scheduled one after another (Section 4.2 block-wise optimization).
+      if (this->op(in).schedulable() && this->op(in).block > op.block) {
+        throw std::runtime_error("edge goes backwards across blocks: " +
+                                 this->op(in).name + " -> " + op.name);
+      }
+    }
+    if (op.schedulable() && op.inputs.empty()) {
+      throw std::runtime_error("non-input op without inputs: " + op.name);
+    }
+  }
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream out;
+  out << name_ << " (batch=" << batch_ << ", ops=" << num_ops() << ")\n";
+  for (const Op& op : ops_) {
+    out << "  #" << op.id << " b" << op.block << " "
+        << op_kind_name(op.kind) << " " << op.name << " "
+        << op.output.to_string() << " <-";
+    for (OpId in : op.inputs) out << " #" << in;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ios

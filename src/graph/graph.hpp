@@ -1,0 +1,95 @@
+#pragma once
+// The computation graph G = (V, E): a DAG of operators whose edges are
+// tensors (Section 3 of the paper). Provides a builder API used by the model
+// zoo, adjacency queries used by the scheduler, and validation.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/op.hpp"
+
+namespace ios {
+
+class Graph {
+ public:
+  /// @param batch batch size N of every tensor in the graph.
+  explicit Graph(int batch, std::string name = "graph");
+
+  // ---- builder API -------------------------------------------------------
+
+  /// Starts a new block; ops added afterwards belong to it. Returns its index.
+  int begin_block();
+
+  OpId input(int c, int h, int w, std::string name = "input");
+
+  /// Conv-Relu unit. Same padding rules as cuDNN cross-correlation.
+  OpId conv2d(OpId in, const Conv2dAttrs& attrs, std::string name = "");
+
+  /// Relu-SepConv unit (depthwise k x k followed by pointwise 1x1). The
+  /// multi-input overload sums identically-shaped inputs before the unit.
+  OpId sepconv(OpId in, const SepConvAttrs& attrs, std::string name = "");
+  OpId sepconv(std::span<const OpId> ins, const SepConvAttrs& attrs,
+               std::string name = "");
+
+  OpId pool2d(OpId in, const Pool2dAttrs& attrs, std::string name = "");
+  OpId matmul(OpId in, const MatmulAttrs& attrs, std::string name = "");
+  OpId relu(OpId in, std::string name = "");
+  OpId concat(std::span<const OpId> ins, std::string name = "");
+  OpId add(OpId a, OpId b, std::string name = "");
+  OpId identity(OpId in, std::string name = "");
+  OpId split(OpId in, int begin_channel, int end_channel,
+             std::string name = "");
+
+  // ---- queries -----------------------------------------------------------
+
+  int batch() const { return batch_; }
+  const std::string& name() const { return name_; }
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  const Op& op(OpId id) const { return ops_[static_cast<std::size_t>(id)]; }
+  std::span<const Op> ops() const { return ops_; }
+
+  std::span<const OpId> preds(OpId id) const {
+    return ops_[static_cast<std::size_t>(id)].inputs;
+  }
+  std::span<const OpId> succs(OpId id) const {
+    return succs_[static_cast<std::size_t>(id)];
+  }
+
+  /// Ids grouped by block, blocks in creation order; ops in insertion
+  /// (hence topological) order within each block. Input ops are excluded.
+  std::vector<std::vector<OpId>> blocks() const;
+
+  int num_blocks() const { return next_block_; }
+
+  /// All non-input ops in insertion order (a valid topological order).
+  std::vector<OpId> schedulable_ops() const;
+
+  std::int64_t flops(OpId id) const;
+  std::int64_t weight_bytes(OpId id) const;
+  std::int64_t input_bytes(OpId id) const;
+  std::int64_t output_bytes(OpId id) const;
+
+  std::int64_t total_flops() const;
+
+  /// Checks DAG invariants (defined inputs, consistent shapes, blocks are
+  /// contiguous in dependency order). Throws std::runtime_error on violation.
+  void validate() const;
+
+  std::string to_string() const;
+
+ private:
+  OpId add_op(Op op);
+  std::vector<TensorDesc> input_descs(const Op& op) const;
+
+  /// Bounds-checked access for builder methods (throws std::out_of_range).
+  const Op& checked_op(OpId id) const;
+
+  int batch_;
+  std::string name_;
+  int next_block_ = 0;
+  std::vector<Op> ops_;
+  std::vector<std::vector<OpId>> succs_;
+};
+
+}  // namespace ios

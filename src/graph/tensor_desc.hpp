@@ -1,0 +1,40 @@
+#pragma once
+// Shape/type descriptor for the tensors flowing along computation-graph
+// edges. The reproduction uses NCHW fp32 throughout (the paper's engine is
+// cuDNN fp32).
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace ios {
+
+struct TensorDesc {
+  int n = 1;  ///< batch size
+  int c = 0;  ///< channels
+  int h = 1;  ///< height
+  int w = 1;  ///< width
+
+  std::int64_t numel() const {
+    return static_cast<std::int64_t>(n) * c * h * w;
+  }
+
+  /// Size in bytes at fp32.
+  std::int64_t bytes() const { return numel() * 4; }
+
+  bool operator==(const TensorDesc&) const = default;
+
+  std::string to_string() const {
+    return "[" + std::to_string(n) + "," + std::to_string(c) + "," +
+           std::to_string(h) + "," + std::to_string(w) + "]";
+  }
+};
+
+/// Output spatial extent of a strided, padded sliding window.
+inline int conv_out_dim(int in, int kernel, int stride, int pad) {
+  const int out = (in + 2 * pad - kernel) / stride + 1;
+  assert(out > 0);
+  return out;
+}
+
+}  // namespace ios

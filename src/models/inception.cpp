@@ -1,0 +1,204 @@
+#include "models/models.hpp"
+
+namespace ios::models {
+
+namespace {
+
+// Branch channel configurations follow the torchvision Inception V3.
+
+Conv2dAttrs conv(int out_c, int kh, int kw, int stride = 1, int ph = -1,
+                 int pw = -1) {
+  // Default "same" padding for odd kernels when stride is 1.
+  if (ph < 0) ph = (kh - 1) / 2;
+  if (pw < 0) pw = (kw - 1) / 2;
+  return Conv2dAttrs{.out_channels = out_c,
+                     .kh = kh,
+                     .kw = kw,
+                     .sh = stride,
+                     .sw = stride,
+                     .ph = ph,
+                     .pw = pw,
+                     .post_relu = true};
+}
+
+Pool2dAttrs avg_pool_3x3_s1() {
+  return Pool2dAttrs{Pool2dAttrs::Kind::kAvg, 3, 3, 1, 1, 1, 1};
+}
+
+Pool2dAttrs max_pool_3x3_s2() {
+  return Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 2, 2, 0, 0};
+}
+
+OpId inception_a(Graph& g, OpId x, int pool_proj, const std::string& tag) {
+  g.begin_block();
+  const OpId b0 = g.conv2d(x, conv(64, 1, 1), tag + "_b0_1x1");
+  const OpId b1a = g.conv2d(x, conv(48, 1, 1), tag + "_b1_1x1");
+  const OpId b1b = g.conv2d(b1a, conv(64, 5, 5), tag + "_b1_5x5");
+  const OpId b2a = g.conv2d(x, conv(64, 1, 1), tag + "_b2_1x1");
+  const OpId b2b = g.conv2d(b2a, conv(96, 3, 3), tag + "_b2_3x3a");
+  const OpId b2c = g.conv2d(b2b, conv(96, 3, 3), tag + "_b2_3x3b");
+  const OpId b3a = g.pool2d(x, avg_pool_3x3_s1(), tag + "_b3_pool");
+  const OpId b3b = g.conv2d(b3a, conv(pool_proj, 1, 1), tag + "_b3_1x1");
+  const OpId outs[] = {b0, b1b, b2c, b3b};
+  return g.concat(outs, tag + "_concat");
+}
+
+OpId reduction_a(Graph& g, OpId x, const std::string& tag) {
+  g.begin_block();
+  const OpId b0 = g.conv2d(x, conv(384, 3, 3, 2, 0, 0), tag + "_b0_3x3s2");
+  const OpId b1a = g.conv2d(x, conv(64, 1, 1), tag + "_b1_1x1");
+  const OpId b1b = g.conv2d(b1a, conv(96, 3, 3), tag + "_b1_3x3");
+  const OpId b1c = g.conv2d(b1b, conv(96, 3, 3, 2, 0, 0), tag + "_b1_3x3s2");
+  const OpId b2 = g.pool2d(x, max_pool_3x3_s2(), tag + "_pool");
+  const OpId outs[] = {b0, b1c, b2};
+  return g.concat(outs, tag + "_concat");
+}
+
+OpId inception_b(Graph& g, OpId x, int c7, const std::string& tag) {
+  g.begin_block();
+  const OpId b0 = g.conv2d(x, conv(192, 1, 1), tag + "_b0_1x1");
+  const OpId b1a = g.conv2d(x, conv(c7, 1, 1), tag + "_b1_1x1");
+  const OpId b1b = g.conv2d(b1a, conv(c7, 1, 7), tag + "_b1_1x7");
+  const OpId b1c = g.conv2d(b1b, conv(192, 7, 1), tag + "_b1_7x1");
+  const OpId b2a = g.conv2d(x, conv(c7, 1, 1), tag + "_b2_1x1");
+  const OpId b2b = g.conv2d(b2a, conv(c7, 7, 1), tag + "_b2_7x1a");
+  const OpId b2c = g.conv2d(b2b, conv(c7, 1, 7), tag + "_b2_1x7a");
+  const OpId b2d = g.conv2d(b2c, conv(c7, 7, 1), tag + "_b2_7x1b");
+  const OpId b2e = g.conv2d(b2d, conv(192, 1, 7), tag + "_b2_1x7b");
+  const OpId b3a = g.pool2d(x, avg_pool_3x3_s1(), tag + "_b3_pool");
+  const OpId b3b = g.conv2d(b3a, conv(192, 1, 1), tag + "_b3_1x1");
+  const OpId outs[] = {b0, b1c, b2e, b3b};
+  return g.concat(outs, tag + "_concat");
+}
+
+OpId reduction_b(Graph& g, OpId x, const std::string& tag) {
+  g.begin_block();
+  const OpId b0a = g.conv2d(x, conv(192, 1, 1), tag + "_b0_1x1");
+  const OpId b0b = g.conv2d(b0a, conv(320, 3, 3, 2, 0, 0), tag + "_b0_3x3s2");
+  const OpId b1a = g.conv2d(x, conv(192, 1, 1), tag + "_b1_1x1");
+  const OpId b1b = g.conv2d(b1a, conv(192, 1, 7), tag + "_b1_1x7");
+  const OpId b1c = g.conv2d(b1b, conv(192, 7, 1), tag + "_b1_7x1");
+  const OpId b1d = g.conv2d(b1c, conv(192, 3, 3, 2, 0, 0), tag + "_b1_3x3s2");
+  const OpId b2 = g.pool2d(x, max_pool_3x3_s2(), tag + "_pool");
+  const OpId outs[] = {b0b, b1d, b2};
+  return g.concat(outs, tag + "_concat");
+}
+
+// Inception-E: the network's widest block — n = 11 schedule units with
+// width d = 6 — and the subject of the paper's Figure 10 schedule study.
+OpId inception_e(Graph& g, OpId x, const std::string& tag) {
+  g.begin_block();
+  const OpId b0 = g.conv2d(x, conv(320, 1, 1), tag + "_b0_1x1");
+  const OpId b1a = g.conv2d(x, conv(384, 1, 1), tag + "_b1_1x1");
+  const OpId b1b = g.conv2d(b1a, conv(384, 1, 3), tag + "_b1_1x3");
+  const OpId b1c = g.conv2d(b1a, conv(384, 3, 1), tag + "_b1_3x1");
+  const OpId b2a = g.conv2d(x, conv(448, 1, 1), tag + "_b2_1x1");
+  const OpId b2b = g.conv2d(b2a, conv(384, 3, 3), tag + "_b2_3x3");
+  const OpId b2c = g.conv2d(b2b, conv(384, 1, 3), tag + "_b2_1x3");
+  const OpId b2d = g.conv2d(b2b, conv(384, 3, 1), tag + "_b2_3x1");
+  const OpId b3a = g.pool2d(x, avg_pool_3x3_s1(), tag + "_b3_pool");
+  const OpId b3b = g.conv2d(b3a, conv(192, 1, 1), tag + "_b3_1x1");
+  const OpId outs[] = {b0, b1b, b1c, b2c, b2d, b3b};
+  return g.concat(outs, tag + "_concat");
+}
+
+}  // namespace
+
+Graph inception_v3(int batch) {
+  Graph g(batch, "InceptionV3");
+  const OpId in = g.input(3, 299, 299, "image");
+
+  // Stem.
+  g.begin_block();
+  OpId x = g.conv2d(in, conv(32, 3, 3, 2, 0, 0), "stem_conv1");
+  x = g.conv2d(x, conv(32, 3, 3, 1, 0, 0), "stem_conv2");
+  x = g.conv2d(x, conv(64, 3, 3), "stem_conv3");
+  x = g.pool2d(x, max_pool_3x3_s2(), "stem_pool1");
+  x = g.conv2d(x, conv(80, 1, 1), "stem_conv4");
+  x = g.conv2d(x, conv(192, 3, 3, 1, 0, 0), "stem_conv5");
+  x = g.pool2d(x, max_pool_3x3_s2(), "stem_pool2");
+
+  x = inception_a(g, x, 32, "mixed1");
+  x = inception_a(g, x, 64, "mixed2");
+  x = inception_a(g, x, 64, "mixed3");
+  x = reduction_a(g, x, "mixed4");
+  x = inception_b(g, x, 128, "mixed5");
+  x = inception_b(g, x, 160, "mixed6");
+  x = inception_b(g, x, 160, "mixed7");
+  x = inception_b(g, x, 192, "mixed8");
+  x = reduction_b(g, x, "mixed9");
+  x = inception_e(g, x, "mixed10");
+  x = inception_e(g, x, "mixed11");
+
+  // Classifier.
+  g.begin_block();
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0},
+               "gap");
+  g.matmul(x, MatmulAttrs{.out_features = 1000, .post_relu = false}, "fc");
+
+  g.validate();
+  return g;
+}
+
+Graph fig2_graph(int batch) {
+  Graph g(batch, "Fig2");
+  const OpId in = g.input(384, 15, 15, "input");
+  g.begin_block();
+  const OpId a = g.conv2d(in, conv(384, 3, 3), "conv_a");
+  const OpId b = g.conv2d(a, conv(768, 3, 3), "conv_b");
+  const OpId c = g.conv2d(in, conv(384, 3, 3), "conv_c");
+  const OpId d = g.conv2d(in, conv(768, 3, 3), "conv_d");
+  const OpId outs[] = {b, c, d};
+  g.concat(outs, "concat");
+  g.validate();
+  return g;
+}
+
+Graph fig3_graph(int batch) {
+  Graph g(batch, "Fig3");
+  const OpId in = g.input(64, 16, 16, "input");
+  g.begin_block();
+  const OpId a = g.conv2d(in, conv(128, 3, 3), "conv_a");
+  const OpId b = g.conv2d(in, conv(256, 3, 3), "conv_b");
+  const OpId c = g.conv2d(a, conv(64, 3, 3), "conv_c");
+  const OpId d = g.conv2d(c, conv(64, 3, 3), "conv_d");
+  const OpId e = g.matmul(b, MatmulAttrs{.out_features = 256}, "matmul_e");
+  (void)d;
+  (void)e;
+  g.validate();
+  return g;
+}
+
+Graph fig5_graph(int batch) {
+  Graph g(batch, "Fig5");
+  const OpId in = g.input(64, 14, 14, "input");
+  g.begin_block();
+  const OpId a = g.conv2d(in, conv(128, 3, 3), "a");
+  g.conv2d(a, conv(128, 3, 3), "b");
+  g.conv2d(in, conv(64, 3, 3), "c");
+  g.validate();
+  return g;
+}
+
+Graph fig13_chains(int batch, int chain_length, int num_chains) {
+  Graph g(batch, "Fig13");
+  const OpId in = g.input(32, 8, 8, "input");
+  g.begin_block();
+  std::vector<OpId> tails;
+  for (int chain = 0; chain < num_chains; ++chain) {
+    OpId x = in;
+    for (int i = 0; i < chain_length; ++i) {
+      x = g.conv2d(x, conv(32, 3, 3),
+                   "chain" + std::to_string(chain) + "_op" + std::to_string(i));
+    }
+    tails.push_back(x);
+  }
+  // The concat joining the chains lives in its own block so the analyzed
+  // block is exactly the d independent chains of Appendix A.
+  g.begin_block();
+  g.concat(tails, "out");
+  g.validate();
+  return g;
+}
+
+}  // namespace ios::models

@@ -1,0 +1,200 @@
+// Lightweight mobile networks from the paper's background section, plus the
+// original GoogLeNet. These extend the model zoo beyond the four evaluation
+// networks: MobileNetV2 and ShuffleNetV2 demonstrate the paper's point that
+// lightweight designs leave big accelerators idle; GoogLeNet is the earliest
+// multi-branch CNN the paper cites.
+
+#include "models/models.hpp"
+
+namespace ios::models {
+
+namespace {
+
+Conv2dAttrs conv(int out_c, int k, int stride = 1) {
+  return Conv2dAttrs{.out_channels = out_c, .kh = k, .kw = k, .sh = stride,
+                     .sw = stride, .ph = (k - 1) / 2, .pw = (k - 1) / 2,
+                     .post_relu = true};
+}
+
+/// MobileNetV2 inverted residual: 1x1 expansion (ratio t), depthwise 3x3 +
+/// 1x1 projection (one SepConv unit), and a residual add when the block
+/// keeps its shape.
+OpId inverted_residual(Graph& g, OpId x, int out_c, int stride, int expand,
+                       const std::string& tag) {
+  g.begin_block();
+  const int in_c = g.op(x).output.c;
+  OpId h = x;
+  if (expand != 1) {
+    h = g.conv2d(h, conv(in_c * expand, 1), tag + "_expand");
+  }
+  h = g.sepconv(h,
+                SepConvAttrs{.out_channels = out_c, .k = 3, .sh = stride,
+                             .sw = stride, .ph = 1, .pw = 1,
+                             .pre_relu = false},
+                tag + "_dwproj");
+  if (stride == 1 && in_c == out_c) {
+    h = g.add(h, x, tag + "_res");
+  }
+  return h;
+}
+
+}  // namespace
+
+Graph mobilenet_v2(int batch) {
+  Graph g(batch, "MobileNetV2");
+  const OpId in = g.input(3, 224, 224, "image");
+  g.begin_block();
+  OpId x = g.conv2d(in, conv(32, 3, 2), "stem");
+
+  struct StageCfg {
+    int t, c, n, s;
+  };
+  const StageCfg cfg[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+                          {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+                          {6, 320, 1, 1}};
+  int block = 0;
+  for (const StageCfg& s : cfg) {
+    for (int i = 0; i < s.n; ++i) {
+      x = inverted_residual(g, x, s.c, i == 0 ? s.s : 1, s.t,
+                            "ir" + std::to_string(block++));
+    }
+  }
+
+  g.begin_block();
+  x = g.conv2d(x, conv(1280, 1), "head_conv");
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0},
+               "gap");
+  g.matmul(x, MatmulAttrs{.out_features = 1000, .post_relu = false}, "fc");
+  g.validate();
+  return g;
+}
+
+namespace {
+
+/// ShuffleNetV2 basic unit: channel split; the right half runs
+/// 1x1 -> depthwise+1x1 (SepConv); the halves concat back. The channel
+/// shuffle is a layout permutation with no FLOPs — modeled as an identity
+/// schedule unit (it is still a kernel launch at runtime).
+OpId shuffle_unit(Graph& g, OpId x, const std::string& tag) {
+  g.begin_block();
+  const int c = g.op(x).output.c;
+  const int half = c / 2;
+  const OpId left = g.split(x, 0, half, tag + "_split_l");
+  const OpId right_in = g.split(x, half, c, tag + "_split_r");
+  OpId right = g.conv2d(right_in, conv(half, 1), tag + "_pw1");
+  right = g.sepconv(right,
+                    SepConvAttrs{.out_channels = half, .k = 3, .sh = 1,
+                                 .sw = 1, .ph = 1, .pw = 1, .pre_relu = false},
+                    tag + "_dw");
+  const OpId parts[] = {left, right};
+  const OpId cat = g.concat(parts, tag + "_concat");
+  return g.identity(cat, tag + "_shuffle");
+}
+
+/// Downsampling unit: both branches stride-2, doubling channels.
+OpId shuffle_down_unit(Graph& g, OpId x, int out_c, const std::string& tag) {
+  g.begin_block();
+  const int half = out_c / 2;
+  const OpId left = g.sepconv(
+      x, SepConvAttrs{.out_channels = half, .k = 3, .sh = 2, .sw = 2, .ph = 1,
+                      .pw = 1, .pre_relu = false},
+      tag + "_l_dw");
+  OpId right = g.conv2d(x, conv(half, 1), tag + "_r_pw1");
+  right = g.sepconv(right,
+                    SepConvAttrs{.out_channels = half, .k = 3, .sh = 2,
+                                 .sw = 2, .ph = 1, .pw = 1, .pre_relu = false},
+                    tag + "_r_dw");
+  const OpId parts[] = {left, right};
+  const OpId cat = g.concat(parts, tag + "_concat");
+  return g.identity(cat, tag + "_shuffle");
+}
+
+}  // namespace
+
+Graph shufflenet_v2(int batch) {
+  Graph g(batch, "ShuffleNetV2");
+  const OpId in = g.input(3, 224, 224, "image");
+  g.begin_block();
+  OpId x = g.conv2d(in, conv(24, 3, 2), "stem_conv");
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 2, 2, 1, 1},
+               "stem_pool");
+
+  const int stage_channels[] = {116, 232, 464};
+  const int stage_repeats[] = {4, 8, 4};
+  int unit = 0;
+  for (int stage = 0; stage < 3; ++stage) {
+    x = shuffle_down_unit(g, x, stage_channels[stage],
+                          "u" + std::to_string(unit++));
+    for (int i = 1; i < stage_repeats[stage]; ++i) {
+      x = shuffle_unit(g, x, "u" + std::to_string(unit++));
+    }
+  }
+
+  g.begin_block();
+  x = g.conv2d(x, conv(1024, 1), "head_conv");
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0},
+               "gap");
+  g.matmul(x, MatmulAttrs{.out_features = 1000, .post_relu = false}, "fc");
+  g.validate();
+  return g;
+}
+
+namespace {
+
+/// GoogLeNet inception module: 1x1 / 1x1->3x3 / 1x1->5x5 / pool->1x1.
+OpId googlenet_module(Graph& g, OpId x, int c1, int c3r, int c3, int c5r,
+                      int c5, int pool_proj, const std::string& tag) {
+  g.begin_block();
+  const OpId b0 = g.conv2d(x, conv(c1, 1), tag + "_1x1");
+  const OpId b1a = g.conv2d(x, conv(c3r, 1), tag + "_3x3r");
+  const OpId b1b = g.conv2d(b1a, conv(c3, 3), tag + "_3x3");
+  const OpId b2a = g.conv2d(x, conv(c5r, 1), tag + "_5x5r");
+  const OpId b2b = g.conv2d(b2a, conv(c5, 5), tag + "_5x5");
+  const OpId b3a = g.pool2d(
+      x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 1, 1, 1, 1},
+      tag + "_pool");
+  const OpId b3b = g.conv2d(b3a, conv(pool_proj, 1), tag + "_proj");
+  const OpId outs[] = {b0, b1b, b2b, b3b};
+  return g.concat(outs, tag + "_concat");
+}
+
+}  // namespace
+
+Graph googlenet(int batch) {
+  Graph g(batch, "GoogLeNet");
+  const OpId in = g.input(3, 224, 224, "image");
+  g.begin_block();
+  OpId x = g.conv2d(in,
+                    Conv2dAttrs{.out_channels = 64, .kh = 7, .kw = 7, .sh = 2,
+                                .sw = 2, .ph = 3, .pw = 3, .post_relu = true},
+                    "stem_conv1");
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 2, 2, 1, 1},
+               "stem_pool1");
+  x = g.conv2d(x, conv(64, 1), "stem_conv2");
+  x = g.conv2d(x, conv(192, 3), "stem_conv3");
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 2, 2, 1, 1},
+               "stem_pool2");
+
+  x = googlenet_module(g, x, 64, 96, 128, 16, 32, 32, "i3a");
+  x = googlenet_module(g, x, 128, 128, 192, 32, 96, 64, "i3b");
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 2, 2, 1, 1},
+               "pool3");
+  x = googlenet_module(g, x, 192, 96, 208, 16, 48, 64, "i4a");
+  x = googlenet_module(g, x, 160, 112, 224, 24, 64, 64, "i4b");
+  x = googlenet_module(g, x, 128, 128, 256, 24, 64, 64, "i4c");
+  x = googlenet_module(g, x, 112, 144, 288, 32, 64, 64, "i4d");
+  x = googlenet_module(g, x, 256, 160, 320, 32, 128, 128, "i4e");
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 2, 2, 1, 1},
+               "pool4");
+  x = googlenet_module(g, x, 256, 160, 320, 32, 128, 128, "i5a");
+  x = googlenet_module(g, x, 384, 192, 384, 48, 128, 128, "i5b");
+
+  g.begin_block();
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0},
+               "gap");
+  g.matmul(x, MatmulAttrs{.out_features = 1000, .post_relu = false}, "fc");
+  g.validate();
+  return g;
+}
+
+}  // namespace ios::models

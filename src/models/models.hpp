@@ -1,0 +1,72 @@
+#pragma once
+// Model zoo: the four CNNs benchmarked in the paper (Table 2) plus the
+// auxiliary networks used in its discussion sections, and the small didactic
+// graphs from Figures 2, 3, 5, and 13. All builders take the batch size;
+// stochastic builders (RandWire) additionally take a seed.
+
+#include <memory>
+
+#include "graph/graph.hpp"
+
+namespace ios::models {
+
+/// Inception V3 (Szegedy et al. 2016): 299x299 input; stem, 3x Inception-A,
+/// Reduction-A, 4x Inception-B, Reduction-B, 2x Inception-E, classifier.
+/// Largest block is an Inception-E block: n = 11 operators, width d = 6
+/// (paper Table 1).
+Graph inception_v3(int batch);
+
+/// RandWire (Xie et al. 2019), Watts-Strogatz WS(32, 4, 0.75) regime with
+/// three random stages. Each stage block has n = 33 schedule units (32
+/// Relu-SepConv nodes + output concat). The default seed is chosen so the
+/// largest stage width matches the paper's d = 8.
+inline constexpr std::uint64_t kRandwireDefaultSeed = 0;
+Graph randwire(int batch, std::uint64_t seed = kRandwireDefaultSeed);
+
+/// NASNet-A (Zoph et al. 2018): stem + 12 cells in three resolution groups.
+/// Each cell is one block with n = 18 schedule units and width d = 8.
+Graph nasnet_a(int batch);
+
+/// SqueezeNet v1.1 with simple bypass (Iandola et al. 2016): stem, 8 fire
+/// modules, classifier.
+Graph squeezenet(int batch);
+
+/// ResNet-34: almost purely sequential; used for the Section 5 observation
+/// that IOS only gains 2-5% on ResNets (downsample branch only).
+Graph resnet34(int batch);
+
+/// ResNet-50 (bottleneck blocks), same purpose as resnet34.
+Graph resnet50(int batch);
+
+/// VGG-16: the single-branch 2013-era network of Figure 1's trend line.
+Graph vgg16(int batch);
+
+/// MobileNetV2 (Sandler et al. 2018): inverted-residual blocks; one of the
+/// "lightweight design" networks the paper's background section names as
+/// unable to utilize big accelerators.
+Graph mobilenet_v2(int batch);
+
+/// ShuffleNetV2: channel-split units (exercises the Split operator in a
+/// real network), the other lightweight design from the background section.
+Graph shufflenet_v2(int batch);
+
+/// GoogLeNet / Inception V1 (Szegedy et al. 2015): nine 4-branch inception
+/// modules; the earliest multi-branch network the paper cites.
+Graph googlenet(int batch);
+
+/// The motivating example of Figure 2: convolution [a] feeding [b], with
+/// [c] and [d] parallel, concatenated to 1920 channels.
+Graph fig2_graph(int batch);
+
+/// The example of Figure 3: conv a, b (mergeable, same input), then
+/// conv c -> conv d concurrent with matmul e.
+Graph fig3_graph(int batch);
+
+/// The 3-operator graph of Figure 5 (a -> b, c independent).
+Graph fig5_graph(int batch);
+
+/// The complexity-tightness example of Figure 13 / Appendix A: d
+/// independent chains of c operators each, in one block.
+Graph fig13_chains(int batch, int chain_length, int num_chains);
+
+}  // namespace ios::models

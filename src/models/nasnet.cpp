@@ -1,0 +1,119 @@
+#include "models/models.hpp"
+
+namespace ios::models {
+
+namespace {
+
+SepConvAttrs sep(int out_c, int k, int stride = 1) {
+  return SepConvAttrs{.out_channels = out_c, .k = k, .sh = stride,
+                      .sw = stride, .ph = (k - 1) / 2, .pw = (k - 1) / 2,
+                      .pre_relu = true};
+}
+
+Conv2dAttrs conv1x1(int out_c, int stride = 1) {
+  return Conv2dAttrs{.out_channels = out_c, .kh = 1, .kw = 1, .sh = stride,
+                     .sw = stride, .ph = 0, .pw = 0, .post_relu = true};
+}
+
+Pool2dAttrs avg3(int stride = 1) {
+  return Pool2dAttrs{Pool2dAttrs::Kind::kAvg, 3, 3, stride, stride, 1, 1};
+}
+
+Pool2dAttrs max3(int stride = 1) {
+  return Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, stride, stride, 1, 1};
+}
+
+struct CellOut {
+  OpId out = kInvalidOp;   // cell output (concat)
+  OpId hidden = kInvalidOp;  // value to feed as h_{i-1} to the next cell
+};
+
+/// One NASNet-A style cell: two 1x1 adjust convolutions on the cell inputs
+/// followed by five add-combines over separable convolutions, poolings and
+/// identities, concluded by a concat. Exactly 18 schedule units per cell,
+/// with width 8 (the last two combines consume earlier combine outputs):
+/// this matches the paper's Table 1 row for NasNet (n = 18, d = 8).
+CellOut nasnet_cell(Graph& g, OpId h_prev, OpId h, int channels, int stride,
+                    const std::string& tag) {
+  g.begin_block();
+  // Adjust both inputs to `channels` (and reduce resolution when the cell
+  // is a reduction cell).
+  const OpId x1 = g.conv2d(h_prev, conv1x1(channels, stride), tag + "_adj1");
+  const OpId x2 = g.conv2d(h, conv1x1(channels, stride), tag + "_adj2");
+
+  // Combine 1: sep5x5(x1) + sep3x3(x2)
+  const OpId c1a = g.sepconv(x1, sep(channels, 5), tag + "_c1_sep5");
+  const OpId c1b = g.sepconv(x2, sep(channels, 3), tag + "_c1_sep3");
+  const OpId c1 = g.add(c1a, c1b, tag + "_c1");
+  // Combine 2: sep5x5(x1) + sep3x3(x1)
+  const OpId c2a = g.sepconv(x1, sep(channels, 5), tag + "_c2_sep5");
+  const OpId c2b = g.sepconv(x1, sep(channels, 3), tag + "_c2_sep3");
+  const OpId c2 = g.add(c2a, c2b, tag + "_c2");
+  // Combine 3: avg3x3(x2) + identity(x1)
+  const OpId c3a = g.pool2d(x2, avg3(), tag + "_c3_avg");
+  const OpId c3b = g.identity(x1, tag + "_c3_id");
+  const OpId c3 = g.add(c3a, c3b, tag + "_c3");
+  // Combine 4: avg3x3(c1) + sep3x3(x2) — consumes combine 1's output.
+  const OpId c4a = g.pool2d(c1, avg3(), tag + "_c4_avg");
+  const OpId c4b = g.sepconv(x2, sep(channels, 3), tag + "_c4_sep3");
+  const OpId c4 = g.add(c4a, c4b, tag + "_c4");
+  // Combine 5: max3x3(c2) + sep5x5(x2) — consumes combine 2's output.
+  const OpId c5a = g.pool2d(c2, max3(), tag + "_c5_max");
+  const OpId c5b = g.sepconv(x2, sep(channels, 5), tag + "_c5_sep5");
+  const OpId c5 = g.add(c5a, c5b, tag + "_c5");
+
+  const OpId outs[] = {c3, c4, c5};
+  CellOut result;
+  result.out = g.concat(outs, tag + "_concat");
+  result.hidden = result.out;
+  return result;
+}
+
+}  // namespace
+
+Graph nasnet_a(int batch) {
+  Graph g(batch, "NasNet");
+  const OpId in = g.input(3, 224, 224, "image");
+
+  g.begin_block();
+  OpId x = g.conv2d(in,
+                    Conv2dAttrs{.out_channels = 32, .kh = 3, .kw = 3, .sh = 2,
+                                .sw = 2, .ph = 1, .pw = 1, .post_relu = true},
+                    "stem_conv1");
+  x = g.conv2d(x,
+               Conv2dAttrs{.out_channels = 44, .kh = 3, .kw = 3, .sh = 2,
+                           .sw = 2, .ph = 1, .pw = 1, .post_relu = true},
+               "stem_conv2");
+
+  // Three resolution groups of four cells; the first cell of group 2 and 3
+  // is a stride-2 reduction cell. Every cell is its own block.
+  OpId h_prev = x;
+  OpId h = x;
+  int channels = 44;
+  int cell_index = 0;
+  for (int group = 0; group < 3; ++group) {
+    if (group > 0) channels *= 2;
+    for (int i = 0; i < 4; ++i) {
+      const int stride = (group > 0 && i == 0) ? 2 : 1;
+      // A reduction cell changes resolution, so both inputs must be taken
+      // from the same resolution: feed h twice.
+      const OpId a = stride == 2 ? h : h_prev;
+      const CellOut cell =
+          nasnet_cell(g, a, h, channels, stride,
+                      "cell" + std::to_string(cell_index++));
+      h_prev = h;
+      if (stride == 2) h_prev = cell.out;
+      h = cell.out;
+    }
+  }
+
+  g.begin_block();
+  x = g.pool2d(h, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0},
+               "gap");
+  g.matmul(x, MatmulAttrs{.out_features = 1000, .post_relu = false}, "fc");
+
+  g.validate();
+  return g;
+}
+
+}  // namespace ios::models

@@ -1,0 +1,140 @@
+#include "models/models.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace ios::models {
+
+namespace {
+
+/// Watts-Strogatz small-world graph WS(n, k, p) converted to a DAG by
+/// directing every edge from the lower-numbered node to the higher-numbered
+/// one (the RandWire paper's construction). Returns adjacency: preds[i] =
+/// sorted predecessors of node i.
+std::vector<std::vector<int>> watts_strogatz_dag(int n, int k, double p,
+                                                 Rng& rng) {
+  // Ring lattice: each node connects to its k nearest neighbours (k/2 on
+  // each side), then each edge's far endpoint is rewired with probability p.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 1; j <= k / 2; ++j) {
+      edges.emplace_back(i, (i + j) % n);
+    }
+  }
+  for (auto& [u, v] : edges) {
+    if (rng.bernoulli(p)) {
+      // Rewire v to a uniformly random node distinct from u and not
+      // duplicating an existing edge from u (retry a few times).
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        const int w = rng.uniform_int(n);
+        if (w == u || w == v) continue;
+        bool duplicate = false;
+        for (const auto& [a, b] : edges) {
+          if ((a == u && b == w) || (a == w && b == u)) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          v = w;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> preds(static_cast<std::size_t>(n));
+  for (const auto& [u, v] : edges) {
+    const int lo = std::min(u, v);
+    const int hi = std::max(u, v);
+    if (lo == hi) continue;
+    auto& pl = preds[static_cast<std::size_t>(hi)];
+    if (std::find(pl.begin(), pl.end(), lo) == pl.end()) pl.push_back(lo);
+  }
+  for (auto& pl : preds) std::sort(pl.begin(), pl.end());
+  return preds;
+}
+
+/// One RandWire stage: 32 Relu-SepConv nodes wired by the WS DAG, entry
+/// nodes reading the stage input with stride 2, plus an output concat of the
+/// sink nodes — 33 schedule units in one block (paper Table 1: n = 33).
+OpId randwire_stage(Graph& g, OpId x, int channels, int stage_index,
+                    Rng& rng) {
+  constexpr int kNodes = 32;
+  const auto preds = watts_strogatz_dag(kNodes, 4, 0.75, rng);
+
+  g.begin_block();
+  const std::string tag = "stage" + std::to_string(stage_index);
+  std::vector<OpId> node_op(kNodes, kInvalidOp);
+  std::vector<char> has_succ(kNodes, 0);
+  for (int i = 0; i < kNodes; ++i) {
+    for (int p : preds[static_cast<std::size_t>(i)]) has_succ[static_cast<std::size_t>(p)] = 1;
+  }
+
+  for (int i = 0; i < kNodes; ++i) {
+    const std::string name = tag + "_node" + std::to_string(i);
+    if (preds[static_cast<std::size_t>(i)].empty()) {
+      // Entry node: consumes the stage input at stride 2.
+      node_op[static_cast<std::size_t>(i)] = g.sepconv(
+          x, SepConvAttrs{.out_channels = channels, .k = 3, .sh = 2, .sw = 2,
+                          .ph = 1, .pw = 1, .pre_relu = true},
+          name);
+    } else {
+      std::vector<OpId> ins;
+      for (int p : preds[static_cast<std::size_t>(i)]) {
+        ins.push_back(node_op[static_cast<std::size_t>(p)]);
+      }
+      node_op[static_cast<std::size_t>(i)] = g.sepconv(
+          ins, SepConvAttrs{.out_channels = channels, .k = 3, .sh = 1, .sw = 1,
+                            .ph = 1, .pw = 1, .pre_relu = true},
+          name);
+    }
+  }
+
+  std::vector<OpId> sinks;
+  for (int i = 0; i < kNodes; ++i) {
+    if (!has_succ[static_cast<std::size_t>(i)]) {
+      sinks.push_back(node_op[static_cast<std::size_t>(i)]);
+    }
+  }
+  return g.concat(sinks, tag + "_out");
+}
+
+}  // namespace
+
+Graph randwire(int batch, std::uint64_t seed) {
+  Graph g(batch, "RandWire");
+  Rng rng(seed);
+  const OpId in = g.input(3, 224, 224, "image");
+
+  // Stem: conv s2 -> conv s2, reaching 56x56.
+  g.begin_block();
+  OpId x = g.conv2d(in,
+                    Conv2dAttrs{.out_channels = 32, .kh = 3, .kw = 3, .sh = 2,
+                                .sw = 2, .ph = 1, .pw = 1, .post_relu = true},
+                    "stem_conv1");
+  x = g.conv2d(x,
+               Conv2dAttrs{.out_channels = 64, .kh = 3, .kw = 3, .sh = 2,
+                           .sw = 2, .ph = 1, .pw = 1, .post_relu = true},
+               "stem_conv2");
+
+  x = randwire_stage(g, x, 64, 1, rng);    // 28x28
+  x = randwire_stage(g, x, 128, 2, rng);   // 14x14
+  x = randwire_stage(g, x, 256, 3, rng);   // 7x7
+
+  // Classifier.
+  g.begin_block();
+  x = g.conv2d(x,
+               Conv2dAttrs{.out_channels = 1280, .kh = 1, .kw = 1,
+                           .post_relu = true},
+               "head_conv");
+  x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0},
+               "gap");
+  g.matmul(x, MatmulAttrs{.out_features = 1000, .post_relu = false}, "fc");
+
+  g.validate();
+  return g;
+}
+
+}  // namespace ios::models

@@ -1,0 +1,127 @@
+#include "models/models.hpp"
+
+namespace ios::models {
+
+namespace {
+
+Conv2dAttrs conv(int out_c, int k, int stride = 1, bool relu = true) {
+  return Conv2dAttrs{.out_channels = out_c, .kh = k, .kw = k, .sh = stride,
+                     .sw = stride, .ph = (k - 1) / 2, .pw = (k - 1) / 2,
+                     .post_relu = relu};
+}
+
+/// Basic residual block (ResNet-18/34): conv3x3 - conv3x3 + shortcut.
+/// When the block changes channels/stride, the shortcut is a 1x1
+/// "downsample" convolution — the only inter-operator parallelism a ResNet
+/// offers (Section 5: 2-5% speedup only).
+OpId basic_block(Graph& g, OpId x, int out_c, int stride,
+                 const std::string& tag) {
+  g.begin_block();
+  const OpId c1 = g.conv2d(x, conv(out_c, 3, stride), tag + "_conv1");
+  const OpId c2 = g.conv2d(c1, conv(out_c, 3, 1, false), tag + "_conv2");
+  OpId shortcut = x;
+  if (stride != 1 || g.op(x).output.c != out_c) {
+    shortcut = g.conv2d(x, conv(out_c, 1, stride, false), tag + "_down");
+  }
+  const OpId sum = g.add(c2, shortcut, tag + "_add");
+  return g.relu(sum, tag + "_relu");
+}
+
+/// Bottleneck residual block (ResNet-50): 1x1 - 3x3 - 1x1 + shortcut.
+OpId bottleneck_block(Graph& g, OpId x, int mid_c, int out_c, int stride,
+                      const std::string& tag) {
+  g.begin_block();
+  const OpId c1 = g.conv2d(x, conv(mid_c, 1), tag + "_conv1");
+  const OpId c2 = g.conv2d(c1, conv(mid_c, 3, stride), tag + "_conv2");
+  const OpId c3 = g.conv2d(c2, conv(out_c, 1, 1, false), tag + "_conv3");
+  OpId shortcut = x;
+  if (stride != 1 || g.op(x).output.c != out_c) {
+    shortcut = g.conv2d(x, conv(out_c, 1, stride, false), tag + "_down");
+  }
+  const OpId sum = g.add(c3, shortcut, tag + "_add");
+  return g.relu(sum, tag + "_relu");
+}
+
+OpId resnet_stem(Graph& g, OpId in) {
+  g.begin_block();
+  OpId x = g.conv2d(in,
+                    Conv2dAttrs{.out_channels = 64, .kh = 7, .kw = 7, .sh = 2,
+                                .sw = 2, .ph = 3, .pw = 3, .post_relu = true},
+                    "stem_conv");
+  return g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 2, 2, 1, 1},
+                  "stem_pool");
+}
+
+void resnet_head(Graph& g, OpId x) {
+  g.begin_block();
+  const OpId gap = g.pool2d(
+      x, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0}, "gap");
+  g.matmul(gap, MatmulAttrs{.out_features = 1000, .post_relu = false}, "fc");
+}
+
+}  // namespace
+
+Graph resnet34(int batch) {
+  Graph g(batch, "ResNet34");
+  const OpId in = g.input(3, 224, 224, "image");
+  OpId x = resnet_stem(g, in);
+  const int layers[4] = {3, 4, 6, 3};
+  int channels = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int i = 0; i < layers[stage]; ++i) {
+      const int stride = (stage > 0 && i == 0) ? 2 : 1;
+      x = basic_block(g, x, channels, stride,
+                      "s" + std::to_string(stage) + "b" + std::to_string(i));
+    }
+    channels *= 2;
+  }
+  resnet_head(g, x);
+  g.validate();
+  return g;
+}
+
+Graph resnet50(int batch) {
+  Graph g(batch, "ResNet50");
+  const OpId in = g.input(3, 224, 224, "image");
+  OpId x = resnet_stem(g, in);
+  const int layers[4] = {3, 4, 6, 3};
+  int mid = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int i = 0; i < layers[stage]; ++i) {
+      const int stride = (stage > 0 && i == 0) ? 2 : 1;
+      x = bottleneck_block(
+          g, x, mid, mid * 4, stride,
+          "s" + std::to_string(stage) + "b" + std::to_string(i));
+    }
+    mid *= 2;
+  }
+  resnet_head(g, x);
+  g.validate();
+  return g;
+}
+
+Graph vgg16(int batch) {
+  Graph g(batch, "VGG16");
+  const OpId in = g.input(3, 224, 224, "image");
+  g.begin_block();
+  const int cfg[] = {64, 64, -1, 128, 128, -1, 256, 256, 256, -1,
+                     512, 512, 512, -1, 512, 512, 512, -1};
+  OpId x = in;
+  int idx = 0;
+  for (int c : cfg) {
+    if (c < 0) {
+      x = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 2, 2, 2, 2, 0, 0},
+                   "pool" + std::to_string(idx));
+    } else {
+      x = g.conv2d(x, conv(c, 3), "conv" + std::to_string(idx));
+    }
+    ++idx;
+  }
+  x = g.matmul(x, MatmulAttrs{.out_features = 4096, .post_relu = true}, "fc1");
+  x = g.matmul(x, MatmulAttrs{.out_features = 4096, .post_relu = true}, "fc2");
+  g.matmul(x, MatmulAttrs{.out_features = 1000, .post_relu = false}, "fc3");
+  g.validate();
+  return g;
+}
+
+}  // namespace ios::models

@@ -1,0 +1,65 @@
+#include "models/models.hpp"
+
+namespace ios::models {
+
+namespace {
+
+Conv2dAttrs conv(int out_c, int k, int stride = 1) {
+  return Conv2dAttrs{.out_channels = out_c, .kh = k, .kw = k, .sh = stride,
+                     .sw = stride, .ph = (k - 1) / 2, .pw = (k - 1) / 2,
+                     .post_relu = true};
+}
+
+/// Fire module: squeeze 1x1 -> {expand 1x1, expand 3x3} -> concat.
+/// With `bypass`, the module input is added to the concat (SqueezeNet's
+/// simple-bypass variant; requires matching channel counts).
+OpId fire(Graph& g, OpId x, int squeeze_c, int expand_c, bool bypass,
+          const std::string& tag) {
+  g.begin_block();
+  const OpId s = g.conv2d(x, conv(squeeze_c, 1), tag + "_squeeze");
+  const OpId e1 = g.conv2d(s, conv(expand_c, 1), tag + "_expand1x1");
+  const OpId e3 = g.conv2d(s, conv(expand_c, 3), tag + "_expand3x3");
+  const OpId outs[] = {e1, e3};
+  OpId out = g.concat(outs, tag + "_concat");
+  if (bypass) out = g.add(out, x, tag + "_bypass");
+  return out;
+}
+
+Pool2dAttrs max_pool_3x3_s2() {
+  return Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 2, 2, 0, 0};
+}
+
+}  // namespace
+
+Graph squeezenet(int batch) {
+  Graph g(batch, "SqueezeNet");
+  const OpId in = g.input(3, 224, 224, "image");
+
+  g.begin_block();
+  OpId x = g.conv2d(in,
+                    Conv2dAttrs{.out_channels = 64, .kh = 3, .kw = 3, .sh = 2,
+                                .sw = 2, .ph = 0, .pw = 0, .post_relu = true},
+                    "conv1");
+  x = g.pool2d(x, max_pool_3x3_s2(), "pool1");
+
+  x = fire(g, x, 16, 64, false, "fire2");
+  x = fire(g, x, 16, 64, true, "fire3");
+  x = g.pool2d(x, max_pool_3x3_s2(), "pool3");
+  x = fire(g, x, 32, 128, false, "fire4");
+  x = fire(g, x, 32, 128, true, "fire5");
+  x = g.pool2d(x, max_pool_3x3_s2(), "pool5");
+  x = fire(g, x, 48, 192, false, "fire6");
+  x = fire(g, x, 48, 192, true, "fire7");
+  x = fire(g, x, 64, 256, false, "fire8");
+  x = fire(g, x, 64, 256, true, "fire9");
+
+  g.begin_block();
+  x = g.conv2d(x, conv(1000, 1), "conv10");
+  g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0},
+           "gap");
+
+  g.validate();
+  return g;
+}
+
+}  // namespace ios::models

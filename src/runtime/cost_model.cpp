@@ -1,0 +1,77 @@
+#include "runtime/cost_model.hpp"
+
+#include <limits>
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace ios {
+
+CostModel::CostModel(const Graph& g, ExecConfig cfg,
+                     ProfilingProtocol protocol)
+    : executor_(g, std::move(cfg)), protocol_(protocol) {}
+
+std::uint64_t CostModel::stage_key(const Stage& stage) const {
+  std::uint64_t h = stage.strategy == StageStrategy::kMerge ? 0x9e37u : 0x51edu;
+  for (const Group& grp : stage.groups) {
+    h = hash_combine(h, 0x60ull);
+    for (OpId id : grp.ops) {
+      h = hash_combine(h, static_cast<std::uint64_t>(id));
+    }
+    h = hash_combine(h, 0xabcdefull);
+  }
+  return h;
+}
+
+double CostModel::measure(const Stage& stage) {
+  const std::uint64_t key = stage_key(stage);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  const double true_latency = executor_.stage_latency_us(stage);
+  double latency = true_latency;
+  if (protocol_.noise_frac > 0) {
+    // Average `repeats` noisy samples, like real profiling would.
+    Rng rng(hash_combine(protocol_.noise_seed, key));
+    double sum = 0;
+    for (int i = 0; i < protocol_.repeats; ++i) {
+      const double jitter =
+          1.0 + protocol_.noise_frac * (2.0 * rng.uniform() - 1.0);
+      sum += true_latency * jitter;
+    }
+    latency = sum / protocol_.repeats;
+  }
+  ++num_measurements_;
+  profiling_cost_us_ += true_latency * (protocol_.warmup + protocol_.repeats);
+  cache_.emplace(key, latency);
+  return latency;
+}
+
+StageChoice CostModel::generate_stage(std::span<const OpId> ops) {
+  // Concurrent execution: partition into weakly connected groups (L24-25).
+  Stage concurrent;
+  concurrent.strategy = StageStrategy::kConcurrent;
+  concurrent.groups = partition_groups(graph(), ops);
+  const double l_concurrent = measure(concurrent);
+
+  // Operator merge (L26-29): only when all operators stack into one kernel.
+  double l_merge = std::numeric_limits<double>::infinity();
+  if (ops.size() >= 2 && analyze_merge(graph(), ops)) {
+    Stage merged;
+    merged.strategy = StageStrategy::kMerge;
+    merged.groups.push_back(Group{{ops.begin(), ops.end()}});
+    l_merge = measure(merged);
+  }
+
+  if (l_concurrent <= l_merge) {
+    return {l_concurrent, StageStrategy::kConcurrent};
+  }
+  return {l_merge, StageStrategy::kMerge};
+}
+
+void CostModel::reset_counters() {
+  num_measurements_ = 0;
+  profiling_cost_us_ = 0;
+}
+
+}  // namespace ios

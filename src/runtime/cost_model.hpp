@@ -1,0 +1,70 @@
+#pragma once
+// CostModel: the profiler that Algorithm 1 consults. IOS is a profile-based
+// scheduler — GENERATE_STAGE "directly measures the latencies of both
+// parallelization strategies on the hardware". Here the hardware is the
+// execution simulator; measurements are cached by stage signature, and the
+// model keeps account of how much (simulated) device time the profiling
+// consumed, which is what the paper reports as optimization cost.
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "runtime/executor.hpp"
+
+namespace ios {
+
+struct StageChoice {
+  double latency_us = 0;
+  StageStrategy strategy = StageStrategy::kConcurrent;
+};
+
+/// Profiling protocol: warmup runs are discarded, `repeats` runs averaged
+/// (the paper averages 5 measurements). `noise_frac` adds multiplicative
+/// measurement noise per run (deterministic per seed) — real GPU profiling
+/// is noisy, and tests use this to check the DP's robustness.
+struct ProfilingProtocol {
+  int warmup = 2;
+  int repeats = 5;
+  double noise_frac = 0.0;
+  std::uint64_t noise_seed = 1;
+};
+
+class CostModel {
+ public:
+  CostModel(const Graph& g, ExecConfig cfg, ProfilingProtocol protocol = {});
+  CostModel(const Graph& g, ExecConfig cfg, int warmup, int repeats)
+      : CostModel(g, std::move(cfg),
+                  ProfilingProtocol{warmup, repeats, 0.0, 1}) {}
+
+  const Graph& graph() const { return executor_.graph(); }
+  const Executor& executor() const { return executor_; }
+
+  /// Algorithm 1 GENERATE_STAGE: measures "concurrent execution" (groups =
+  /// weakly connected components) and, when mergeable, "operator merge";
+  /// returns the cheaper strategy and its latency.
+  StageChoice generate_stage(std::span<const OpId> ops);
+
+  /// Measured latency of a fully-specified stage (cached).
+  double measure(const Stage& stage);
+
+  /// Number of distinct stage configurations profiled so far.
+  std::int64_t num_measurements() const { return num_measurements_; }
+
+  /// Total simulated device time spent profiling, in microseconds. This is
+  /// the dominant part of IOS's optimization cost (Figure 9 / Figure 12).
+  double profiling_cost_us() const { return profiling_cost_us_; }
+
+  void reset_counters();
+
+ private:
+  std::uint64_t stage_key(const Stage& stage) const;
+
+  Executor executor_;
+  ProfilingProtocol protocol_;
+  std::unordered_map<std::uint64_t, double> cache_;
+  std::int64_t num_measurements_ = 0;
+  double profiling_cost_us_ = 0;
+};
+
+}  // namespace ios

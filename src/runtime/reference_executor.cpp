@@ -1,0 +1,167 @@
+#include "runtime/reference_executor.hpp"
+
+#include <stdexcept>
+
+#include "schedule/merge.hpp"
+#include "tensor/kernels.hpp"
+#include "util/hash.hpp"
+
+namespace ios {
+
+ReferenceExecutor::ReferenceExecutor(const Graph& g, std::uint64_t seed)
+    : graph_(g), weights_(g, seed) {}
+
+std::vector<Tensor> ReferenceExecutor::make_inputs(std::uint64_t seed) const {
+  std::vector<Tensor> inputs;
+  for (const Op& op : graph_.ops()) {
+    if (op.kind != OpKind::kInput) continue;
+    Tensor t(op.output);
+    t.fill_random(hash_combine(seed, static_cast<std::uint64_t>(op.id)));
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+void ReferenceExecutor::bind_inputs(std::span<const Tensor> inputs,
+                                    std::vector<Tensor>& vals) const {
+  std::size_t next = 0;
+  for (const Op& op : graph_.ops()) {
+    if (op.kind != OpKind::kInput) continue;
+    if (next >= inputs.size()) {
+      throw std::invalid_argument("not enough input tensors");
+    }
+    if (!(inputs[next].desc() == op.output)) {
+      throw std::invalid_argument("input tensor shape mismatch for " +
+                                  op.name);
+    }
+    vals[static_cast<std::size_t>(op.id)] = inputs[next++];
+  }
+  if (next != inputs.size()) {
+    throw std::invalid_argument("too many input tensors");
+  }
+}
+
+Tensor ReferenceExecutor::eval_op(OpId id,
+                                  const std::vector<Tensor>& vals) const {
+  const Op& op = graph_.op(id);
+  auto in = [&](std::size_t i) -> const Tensor& {
+    return vals[static_cast<std::size_t>(op.inputs[i])];
+  };
+  switch (op.kind) {
+    case OpKind::kInput:
+      throw std::logic_error("eval of input op");
+    case OpKind::kConv2d:
+      return kernels::conv2d(in(0), weights_.conv_weight(id), op.conv());
+    case OpKind::kSepConv: {
+      std::vector<const Tensor*> xs;
+      xs.reserve(op.inputs.size());
+      for (OpId i : op.inputs) {
+        xs.push_back(&vals[static_cast<std::size_t>(i)]);
+      }
+      return kernels::sepconv(xs, weights_.depthwise_weight(id),
+                              weights_.pointwise_weight(id), op.sepconv());
+    }
+    case OpKind::kPool2d:
+      return kernels::pool2d(in(0), op.pool());
+    case OpKind::kMatmul:
+      return kernels::matmul(in(0), weights_.matmul_weight(id), op.matmul());
+    case OpKind::kRelu:
+      return kernels::relu(in(0));
+    case OpKind::kConcat: {
+      std::vector<const Tensor*> xs;
+      xs.reserve(op.inputs.size());
+      for (OpId i : op.inputs) {
+        xs.push_back(&vals[static_cast<std::size_t>(i)]);
+      }
+      return kernels::concat(xs);
+    }
+    case OpKind::kAdd:
+      return kernels::add(in(0), in(1));
+    case OpKind::kIdentity:
+      return in(0);
+    case OpKind::kSplit:
+      return kernels::split(in(0), op.split().begin_channel,
+                            op.split().end_channel);
+  }
+  throw std::logic_error("unhandled op kind");
+}
+
+std::vector<Tensor> ReferenceExecutor::run_sequential(
+    std::span<const Tensor> inputs) const {
+  std::vector<Tensor> vals(static_cast<std::size_t>(graph_.num_ops()));
+  bind_inputs(inputs, vals);
+  for (const Op& op : graph_.ops()) {
+    if (!op.schedulable()) continue;
+    vals[static_cast<std::size_t>(op.id)] = eval_op(op.id, vals);
+  }
+  return vals;
+}
+
+namespace {
+
+/// Stacks the per-op conv weights into the merged kernel: op i's
+/// [out_c, in_c, kh, kw] weight lands at channel_offset[i], spatially
+/// centered inside the (KH x KW) merged extent, zero elsewhere.
+Tensor stack_merged_weight(const Graph& g, const WeightStore& weights,
+                           const MergeInfo& info) {
+  const Conv2dAttrs& m = info.merged_attrs;
+  const int in_c = g.op(info.shared_input).output.c;
+  Tensor merged(TensorDesc{m.out_channels, in_c, m.kh, m.kw});
+  for (std::size_t i = 0; i < info.ops.size(); ++i) {
+    const OpId id = info.ops[i];
+    const Conv2dAttrs& a = g.op(id).conv();
+    const Tensor& w = weights.conv_weight(id);
+    const auto [dh, dw] = info.spatial_offset[i];
+    const int oc_base = info.channel_offset[i];
+    for (int oc = 0; oc < a.out_channels; ++oc) {
+      for (int ic = 0; ic < in_c; ++ic) {
+        for (int kh = 0; kh < a.kh; ++kh) {
+          for (int kw = 0; kw < a.kw; ++kw) {
+            merged.at(oc_base + oc, ic, dh + kh, dw + kw) =
+                w.at(oc, ic, kh, kw);
+          }
+        }
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace
+
+std::vector<Tensor> ReferenceExecutor::run_schedule(
+    const Schedule& q, std::span<const Tensor> inputs) const {
+  validate_schedule(graph_, q);
+  std::vector<Tensor> vals(static_cast<std::size_t>(graph_.num_ops()));
+  bind_inputs(inputs, vals);
+
+  for (const Stage& stage : q.stages) {
+    if (stage.strategy == StageStrategy::kMerge) {
+      const std::vector<OpId> ops = stage.ops();
+      const auto info = analyze_merge(graph_, ops);
+      if (!info) throw std::runtime_error("merge stage is not mergeable");
+      const Tensor merged_w = stack_merged_weight(graph_, weights_, *info);
+      const Tensor merged_out =
+          kernels::conv2d(vals[static_cast<std::size_t>(info->shared_input)],
+                          merged_w, info->merged_attrs);
+      for (std::size_t i = 0; i < info->ops.size(); ++i) {
+        const OpId id = info->ops[i];
+        const int begin = info->channel_offset[i];
+        const int end = begin + graph_.op(id).conv().out_channels;
+        vals[static_cast<std::size_t>(id)] =
+            kernels::split(merged_out, begin, end);
+      }
+    } else {
+      // Concurrent stage: groups are independent; any group interleaving is
+      // valid, so execute group-by-group in stored order.
+      for (const Group& grp : stage.groups) {
+        for (OpId id : grp.ops) {
+          vals[static_cast<std::size_t>(id)] = eval_op(id, vals);
+        }
+      }
+    }
+  }
+  return vals;
+}
+
+}  // namespace ios

@@ -1,0 +1,46 @@
+#pragma once
+// ReferenceExecutor: executes a graph numerically on the CPU, either
+// sequentially (the oracle) or following a Schedule (applying the operator
+// merge transform with real weight stacking). The test suite uses it to
+// prove that every schedule IOS emits is functionally equivalent to the
+// original network.
+
+#include <span>
+#include <vector>
+
+#include "runtime/weights.hpp"
+#include "schedule/schedule.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ios {
+
+class ReferenceExecutor {
+ public:
+  /// @param seed controls the deterministic pseudo-random weights.
+  ReferenceExecutor(const Graph& g, std::uint64_t seed);
+
+  const Graph& graph() const { return graph_; }
+  const WeightStore& weights() const { return weights_; }
+
+  /// Runs every operator in topological order. Returns one tensor per op
+  /// (indexed by OpId); entry i is that operator's output.
+  std::vector<Tensor> run_sequential(std::span<const Tensor> inputs) const;
+
+  /// Runs the schedule stage by stage. Merge stages execute as one stacked
+  /// convolution whose output is sliced back per original operator.
+  std::vector<Tensor> run_schedule(const Schedule& q,
+                                   std::span<const Tensor> inputs) const;
+
+  /// Deterministic random inputs matching the graph's input ops.
+  std::vector<Tensor> make_inputs(std::uint64_t seed) const;
+
+ private:
+  Tensor eval_op(OpId id, const std::vector<Tensor>& vals) const;
+  void bind_inputs(std::span<const Tensor> inputs,
+                   std::vector<Tensor>& vals) const;
+
+  const Graph& graph_;
+  WeightStore weights_;
+};
+
+}  // namespace ios

@@ -1,0 +1,109 @@
+#include "runtime/trace_export.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "util/json.hpp"
+
+namespace ios {
+
+std::string to_chrome_trace(const SimResult& result) {
+  JsonValue events = JsonValue::array();
+  for (const KernelTiming& t : result.timeline) {
+    JsonValue e = JsonValue::object();
+    e.set("name", t.name);
+    e.set("ph", "X");
+    e.set("ts", t.start_us);
+    e.set("dur", t.end_us - t.start_us);
+    e.set("pid", 0);
+    e.set("tid", t.stream);
+    JsonValue args = JsonValue::object();
+    args.set("op", t.op);
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+  }
+  // Resident-warp counter track.
+  for (const WarpTraceEntry& w : result.warp_trace) {
+    JsonValue e = JsonValue::object();
+    e.set("name", "active_warps");
+    e.set("ph", "C");
+    e.set("ts", w.t_us);
+    e.set("pid", 0);
+    JsonValue args = JsonValue::object();
+    args.set("warps", w.active_warps);
+    e.set("args", std::move(args));
+    events.push_back(std::move(e));
+  }
+  JsonValue root = JsonValue::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", "ms");
+  return root.dump();
+}
+
+namespace {
+
+const char* kGroupColors[] = {"lightblue",  "lightsalmon", "palegreen",
+                              "plum",       "khaki",       "lightcyan",
+                              "mistyrose",  "lavender"};
+
+}  // namespace
+
+std::string to_dot(const Graph& g, const Schedule* schedule) {
+  std::ostringstream out;
+  out << "digraph \"" << g.name() << "\" {\n"
+      << "  rankdir=TB;\n  node [shape=box, style=filled, "
+         "fillcolor=white];\n";
+
+  std::unordered_map<OpId, int> stage_of;
+  std::unordered_map<OpId, std::size_t> group_of;
+  if (schedule != nullptr) {
+    for (std::size_t si = 0; si < schedule->stages.size(); ++si) {
+      const Stage& stage = schedule->stages[si];
+      for (std::size_t gi = 0; gi < stage.groups.size(); ++gi) {
+        for (OpId id : stage.groups[gi].ops) {
+          stage_of[id] = static_cast<int>(si);
+          group_of[id] = gi;
+        }
+      }
+    }
+  }
+
+  auto emit_node = [&](const Op& op) {
+    out << "    op" << op.id << " [label=\"" << op.name << "\\n"
+        << op_kind_name(op.kind) << " " << op.output.to_string() << "\"";
+    if (auto it = group_of.find(op.id); it != group_of.end()) {
+      out << ", fillcolor=" << kGroupColors[it->second % 8];
+    } else if (op.kind == OpKind::kInput) {
+      out << ", fillcolor=gray90, shape=ellipse";
+    }
+    out << "];\n";
+  };
+
+  if (schedule != nullptr) {
+    // Cluster by stage.
+    for (std::size_t si = 0; si < schedule->stages.size(); ++si) {
+      out << "  subgraph cluster_stage" << si << " {\n"
+          << "    label=\"stage " << si + 1 << " ["
+          << stage_strategy_name(schedule->stages[si].strategy) << "]\";\n";
+      for (OpId id : schedule->stages[si].ops()) {
+        emit_node(g.op(id));
+      }
+      out << "  }\n";
+    }
+    for (const Op& op : g.ops()) {
+      if (!stage_of.contains(op.id)) emit_node(op);
+    }
+  } else {
+    for (const Op& op : g.ops()) emit_node(op);
+  }
+
+  for (const Op& op : g.ops()) {
+    for (OpId in : op.inputs) {
+      out << "  op" << in << " -> op" << op.id << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ios

@@ -1,0 +1,22 @@
+#pragma once
+// Visualization exports: kernel timelines in the Chrome trace-event format
+// (open in chrome://tracing or Perfetto), and Graphviz DOT renderings of
+// computation graphs with their schedule overlaid.
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "schedule/schedule.hpp"
+#include "sim/kernel.hpp"
+
+namespace ios {
+
+/// Converts a simulation result into a Chrome trace-event JSON document.
+/// Each stream becomes a "thread", each kernel a complete ("X") event.
+std::string to_chrome_trace(const SimResult& result);
+
+/// Renders the graph as Graphviz DOT. When `schedule` is non-null, nodes
+/// are clustered by stage and colored by group.
+std::string to_dot(const Graph& g, const Schedule* schedule = nullptr);
+
+}  // namespace ios

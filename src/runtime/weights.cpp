@@ -1,0 +1,60 @@
+#include "runtime/weights.hpp"
+
+#include <cmath>
+
+#include "util/hash.hpp"
+
+namespace ios {
+
+const Tensor& WeightStore::cached(std::uint64_t key, TensorDesc desc,
+                                  double scale) const {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  Tensor t(desc);
+  t.fill_random(key);
+  float* d = t.data();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    d[i] = static_cast<float>(d[i] * scale);
+  }
+  return cache_.emplace(key, std::move(t)).first->second;
+}
+
+const Tensor& WeightStore::conv_weight(OpId id) const {
+  const Op& op = graph_.op(id);
+  const Conv2dAttrs& a = op.conv();
+  const int in_c = graph_.op(op.inputs[0]).output.c;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(in_c) * a.kh * a.kw);
+  return cached(hash_combine(seed_, static_cast<std::uint64_t>(id) * 4 + 0),
+                TensorDesc{a.out_channels, in_c, a.kh, a.kw}, scale);
+}
+
+const Tensor& WeightStore::depthwise_weight(OpId id) const {
+  const Op& op = graph_.op(id);
+  const SepConvAttrs& a = op.sepconv();
+  const int in_c = graph_.op(op.inputs[0]).output.c;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(a.k) * a.k);
+  return cached(hash_combine(seed_, static_cast<std::uint64_t>(id) * 4 + 1),
+                TensorDesc{in_c, 1, a.k, a.k}, scale);
+}
+
+const Tensor& WeightStore::pointwise_weight(OpId id) const {
+  const Op& op = graph_.op(id);
+  const SepConvAttrs& a = op.sepconv();
+  const int in_c = graph_.op(op.inputs[0]).output.c;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(in_c));
+  return cached(hash_combine(seed_, static_cast<std::uint64_t>(id) * 4 + 2),
+                TensorDesc{a.out_channels, in_c, 1, 1}, scale);
+}
+
+const Tensor& WeightStore::matmul_weight(OpId id) const {
+  const Op& op = graph_.op(id);
+  const MatmulAttrs& a = op.matmul();
+  const TensorDesc& in = graph_.op(op.inputs[0]).output;
+  const int in_features = in.c * in.h * in.w;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(in_features));
+  return cached(hash_combine(seed_, static_cast<std::uint64_t>(id) * 4 + 3),
+                TensorDesc{a.out_features, in_features, 1, 1}, scale);
+}
+
+}  // namespace ios

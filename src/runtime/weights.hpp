@@ -1,0 +1,39 @@
+#pragma once
+// WeightStore: deterministic pseudo-random parameters for every parametric
+// operator of a graph, generated lazily from (seed, op id). Weights are
+// scaled by 1/sqrt(fan_in) so deep stacks keep activations in a numerically
+// comfortable range.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ios {
+
+class WeightStore {
+ public:
+  WeightStore(const Graph& g, std::uint64_t seed) : graph_(g), seed_(seed) {}
+
+  /// Dense conv weight [out_c, in_c, kh, kw].
+  const Tensor& conv_weight(OpId id) const;
+
+  /// Depthwise weight [c, 1, k, k] of a SepConv unit.
+  const Tensor& depthwise_weight(OpId id) const;
+
+  /// Pointwise weight [out_c, c, 1, 1] of a SepConv unit.
+  const Tensor& pointwise_weight(OpId id) const;
+
+  /// FC weight [out_features, in_features] (stored as [out, in, 1, 1]).
+  const Tensor& matmul_weight(OpId id) const;
+
+ private:
+  const Tensor& cached(std::uint64_t key, TensorDesc desc, double scale) const;
+
+  const Graph& graph_;
+  std::uint64_t seed_;
+  mutable std::unordered_map<std::uint64_t, Tensor> cache_;
+};
+
+}  // namespace ios

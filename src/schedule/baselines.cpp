@@ -1,0 +1,48 @@
+#include "schedule/baselines.hpp"
+
+#include <unordered_set>
+
+namespace ios {
+
+Schedule sequential_schedule(const Graph& g) {
+  Schedule q;
+  for (OpId id : g.schedulable_ops()) {
+    Stage stage;
+    stage.strategy = StageStrategy::kConcurrent;
+    stage.groups.push_back(Group{{id}});
+    q.stages.push_back(std::move(stage));
+  }
+  return q;
+}
+
+Schedule greedy_schedule(const Graph& g) {
+  Schedule q;
+  for (const std::vector<OpId>& block : g.blocks()) {
+    std::unordered_set<OpId> remaining(block.begin(), block.end());
+    while (!remaining.empty()) {
+      std::vector<OpId> ready;
+      for (OpId id : block) {
+        if (!remaining.contains(id)) continue;
+        bool ok = true;
+        for (OpId pred : g.preds(id)) {
+          // Predecessors outside the block (earlier blocks / graph inputs)
+          // are complete by construction; only unscheduled in-block
+          // predecessors gate readiness.
+          if (remaining.contains(pred)) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) ready.push_back(id);
+      }
+      Stage stage;
+      stage.strategy = StageStrategy::kConcurrent;
+      stage.groups = partition_groups(g, ready);
+      q.stages.push_back(std::move(stage));
+      for (OpId id : ready) remaining.erase(id);
+    }
+  }
+  return q;
+}
+
+}  // namespace ios

@@ -1,0 +1,20 @@
+#pragma once
+// Baseline schedulers from Section 6.1 of the paper:
+//  * Sequential — operators one-by-one in topological order (what cuDNN-based
+//    frameworks do today);
+//  * Greedy — every operator whose predecessors completed goes into the
+//    current stage (Tang et al. 2018 / Graphi); eagerly wide early stages,
+//    starved late stages, and unbounded concurrency.
+
+#include "schedule/schedule.hpp"
+
+namespace ios {
+
+/// One stage per operator, in topological order.
+Schedule sequential_schedule(const Graph& g);
+
+/// Repeatedly schedules all currently-ready operators into one concurrent
+/// stage. Applied block-by-block so blocks stay sequential (like IOS).
+Schedule greedy_schedule(const Graph& g);
+
+}  // namespace ios

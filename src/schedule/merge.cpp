@@ -1,0 +1,74 @@
+#include "schedule/merge.hpp"
+
+#include <algorithm>
+
+namespace ios {
+
+std::optional<MergeInfo> analyze_merge(const Graph& g,
+                                       std::span<const OpId> ops) {
+  if (ops.empty()) return std::nullopt;
+
+  MergeInfo info;
+  info.ops.assign(ops.begin(), ops.end());
+  // Deterministic stacking order: by op id (topological / creation order).
+  std::sort(info.ops.begin(), info.ops.end());
+
+  const Op& first = g.op(info.ops[0]);
+  if (first.kind != OpKind::kConv2d) return std::nullopt;
+  if (first.inputs.size() != 1) return std::nullopt;
+  info.shared_input = first.inputs[0];
+
+  int max_kh = 0, max_kw = 0;
+  for (OpId id : info.ops) {
+    const Op& op = g.op(id);
+    if (op.kind != OpKind::kConv2d) return std::nullopt;
+    if (op.inputs.size() != 1 || op.inputs[0] != info.shared_input) {
+      return std::nullopt;  // kernels can be stacked only over one input
+    }
+    const Conv2dAttrs& a = op.conv();
+    const Conv2dAttrs& f = first.conv();
+    if (a.sh != f.sh || a.sw != f.sw) return std::nullopt;
+    if (a.post_relu != f.post_relu) return std::nullopt;
+    // Same output extent is required for channel stacking.
+    if (op.output.h != first.output.h || op.output.w != first.output.w) {
+      return std::nullopt;
+    }
+    // Parity: zero-padding a (kh x kw) kernel into (KH x KW) keeps the
+    // anchor centered only when extents differ by an even amount.
+    if ((a.kh - f.kh) % 2 != 0 || (a.kw - f.kw) % 2 != 0) return std::nullopt;
+    max_kh = std::max(max_kh, a.kh);
+    max_kw = std::max(max_kw, a.kw);
+  }
+
+  // The merged convolution pads each smaller kernel to (max_kh x max_kw);
+  // compensating padding keeps every op's output aligned. All ops must then
+  // agree on the merged padding.
+  const Conv2dAttrs& f = first.conv();
+  const int merged_ph = f.ph + (max_kh - f.kh) / 2;
+  const int merged_pw = f.pw + (max_kw - f.kw) / 2;
+  int channels = 0;
+  for (OpId id : info.ops) {
+    const Conv2dAttrs& a = g.op(id).conv();
+    if (a.ph + (max_kh - a.kh) / 2 != merged_ph ||
+        a.pw + (max_kw - a.kw) / 2 != merged_pw) {
+      return std::nullopt;
+    }
+    info.channel_offset.push_back(channels);
+    info.spatial_offset.emplace_back((max_kh - a.kh) / 2, (max_kw - a.kw) / 2);
+    channels += a.out_channels;
+  }
+
+  info.merged_attrs = Conv2dAttrs{
+      .out_channels = channels,
+      .kh = max_kh,
+      .kw = max_kw,
+      .sh = f.sh,
+      .sw = f.sw,
+      .ph = merged_ph,
+      .pw = merged_pw,
+      .post_relu = f.post_relu,
+  };
+  return info;
+}
+
+}  // namespace ios

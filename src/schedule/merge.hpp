@@ -1,0 +1,33 @@
+#pragma once
+// Operator-merge analysis (the paper's "operator merge" parallelization
+// strategy, Section 3). Convolutions consuming the same input tensor, with
+// equal strides and matching output extents, are stacked along the output
+// channel axis into one larger convolution; smaller kernels are zero-padded
+// to the common extent. A split per original operator recovers its output.
+
+#include <optional>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace ios {
+
+struct MergeInfo {
+  Conv2dAttrs merged_attrs;       ///< the stacked convolution
+  OpId shared_input = kInvalidOp; ///< common producer of every merged conv
+  std::vector<OpId> ops;          ///< merged convs in stacking order
+  std::vector<int> channel_offset; ///< output-channel offset per op
+  /// Spatial kernel offset per op: its (kh x kw) kernel sits centered in the
+  /// merged (KH x KW) kernel at this (top, left) offset.
+  std::vector<std::pair<int, int>> spatial_offset;
+};
+
+/// Returns the merge recipe if the operators are mergeable: at least one op,
+/// all dense convolutions with the same single input, equal strides and
+/// fused activation, kernel extents of equal parity, and identical output
+/// H/W after zero-padding smaller kernels. Otherwise std::nullopt (forcing
+/// the scheduler to pick concurrent execution, Algorithm 1 L26-29).
+std::optional<MergeInfo> analyze_merge(const Graph& g,
+                                       std::span<const OpId> ops);
+
+}  // namespace ios

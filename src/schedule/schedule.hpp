@@ -1,0 +1,60 @@
+#pragma once
+// Schedule IR (Section 3 of the paper): a schedule Q partitions the graph's
+// operators into stages executed sequentially; each stage either merges its
+// operators into one kernel ("operator merge") or partitions them into
+// weakly-connected groups executed concurrently on separate streams
+// ("concurrent execution").
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ios {
+
+enum class StageStrategy {
+  kConcurrent,  ///< disjoint groups on separate streams
+  kMerge,       ///< stack same-type operators into one kernel + splits
+};
+
+const char* stage_strategy_name(StageStrategy s);
+
+/// A group: operators executed sequentially on one stream, in the stored
+/// (topological) order.
+struct Group {
+  std::vector<OpId> ops;
+};
+
+struct Stage {
+  StageStrategy strategy = StageStrategy::kConcurrent;
+  std::vector<Group> groups;
+
+  /// All operators of the stage, group order.
+  std::vector<OpId> ops() const;
+  int num_ops() const;
+};
+
+struct Schedule {
+  std::vector<Stage> stages;
+
+  /// Total number of scheduled operators.
+  int num_ops() const;
+
+  std::string to_string(const Graph& g) const;
+};
+
+/// Partitions `ops` into weakly-connected components of the induced
+/// subgraph, each topologically ordered; components ordered by smallest
+/// member. This is the paper's group construction: operators joined by an
+/// edge land in the same group.
+std::vector<Group> partition_groups(const Graph& g, std::span<const OpId> ops);
+
+/// Checks that `q` is a feasible schedule of `g`: every schedulable op
+/// appears exactly once, all dependencies point to the same or an earlier
+/// stage (same-stage dependencies only within one group, respecting group
+/// order), and groups within a stage are pairwise independent.
+/// Throws std::runtime_error with a diagnostic on violation.
+void validate_schedule(const Graph& g, const Schedule& q);
+
+}  // namespace ios

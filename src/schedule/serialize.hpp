@@ -1,0 +1,46 @@
+#pragma once
+// (De)serialization of graphs and schedules. A persisted schedule plus its
+// context (model, device, batch size, scheduler settings) forms a
+// *scheduling recipe*: optimize once per deployment configuration, then
+// load the recipe at inference time — the workflow of the paper's released
+// implementation.
+
+#include <string>
+
+#include "core/scheduler.hpp"
+#include "graph/graph.hpp"
+#include "schedule/schedule.hpp"
+#include "util/json.hpp"
+
+namespace ios {
+
+/// Serializes the full graph: batch, name, every op with kind, name,
+/// inputs, block, and kind-specific attributes.
+JsonValue graph_to_json(const Graph& g);
+
+/// Rebuilds a graph through the builder API. Throws std::runtime_error on
+/// malformed documents.
+Graph graph_from_json(const JsonValue& v);
+
+JsonValue schedule_to_json(const Schedule& q);
+Schedule schedule_from_json(const JsonValue& v);
+
+/// A scheduling recipe: the schedule together with the configuration it was
+/// specialized for.
+struct Recipe {
+  std::string model;
+  std::string device;
+  int batch = 1;
+  IosVariant variant = IosVariant::kBoth;
+  PruningStrategy pruning;
+  Schedule schedule;
+};
+
+JsonValue recipe_to_json(const Recipe& r);
+Recipe recipe_from_json(const JsonValue& v);
+
+/// Convenience: persist/load a recipe at `path` (JSON file).
+void save_recipe(const Recipe& r, const std::string& path);
+Recipe load_recipe(const std::string& path);
+
+}  // namespace ios

@@ -1,0 +1,87 @@
+#include "sim/device.hpp"
+
+#include <stdexcept>
+
+namespace ios {
+
+DeviceSpec tesla_v100() {
+  DeviceSpec d;
+  d.name = "Tesla V100";
+  d.num_sms = 80;
+  d.warp_slots_per_sm = 64;
+  d.peak_tflops = 15.7;
+  d.dram_gbps = 900;
+  d.kernel_launch_us = 4.0;
+  d.stage_sync_us = 4.5;
+  d.stream_sync_us = 2.0;
+  return d;
+}
+
+DeviceSpec tesla_k80() {
+  DeviceSpec d;
+  d.name = "Tesla K80";
+  d.num_sms = 13;  // one GK210 die
+  d.warp_slots_per_sm = 64;
+  d.peak_tflops = 4.37;  // with GPU boost
+  d.dram_gbps = 240;
+  d.kernel_launch_us = 7.0;
+  d.stage_sync_us = 8.0;
+  d.stream_sync_us = 3.0;
+  // Kepler needs relatively more resident warps to hide latency and its
+  // small L2 makes co-resident kernels interfere more.
+  d.compute_sat_frac = 0.35;
+  d.mem_contention_coef = 0.55;
+  return d;
+}
+
+DeviceSpec rtx_2080ti() {
+  DeviceSpec d;
+  d.name = "RTX 2080Ti";
+  d.num_sms = 68;
+  d.warp_slots_per_sm = 32;  // Turing halves resident warps per SM
+  d.peak_tflops = 13.45;
+  d.dram_gbps = 616;
+  d.kernel_launch_us = 4.0;
+  d.stage_sync_us = 5.0;
+  d.stream_sync_us = 2.0;
+  d.mem_contention_coef = 0.4;
+  return d;
+}
+
+DeviceSpec gtx_1080() {
+  DeviceSpec d;
+  d.name = "GTX 1080";
+  d.num_sms = 20;
+  d.warp_slots_per_sm = 64;
+  d.peak_tflops = 8.87;
+  d.dram_gbps = 320;
+  d.kernel_launch_us = 5.5;
+  d.stage_sync_us = 8.0;
+  d.stream_sync_us = 2.5;
+  return d;
+}
+
+DeviceSpec gtx_980ti() {
+  DeviceSpec d;
+  d.name = "GTX 980Ti";
+  d.num_sms = 22;
+  d.warp_slots_per_sm = 64;
+  d.peak_tflops = 5.77;  // the paper's Figure 1 quotes 5767 GFLOPs/s
+  d.dram_gbps = 336;
+  d.kernel_launch_us = 6.0;
+  d.stage_sync_us = 9.0;
+  d.stream_sync_us = 2.5;
+  d.compute_sat_frac = 0.3;
+  return d;
+}
+
+DeviceSpec device_by_name(const std::string& name) {
+  if (name == "v100" || name == "Tesla V100") return tesla_v100();
+  if (name == "k80" || name == "Tesla K80") return tesla_k80();
+  if (name == "2080ti" || name == "RTX 2080Ti") return rtx_2080ti();
+  if (name == "1080" || name == "GTX 1080") return gtx_1080();
+  if (name == "980ti" || name == "GTX 980Ti") return gtx_980ti();
+  throw std::invalid_argument("unknown device: " + name);
+}
+
+}  // namespace ios

@@ -1,0 +1,56 @@
+#pragma once
+// Device models for the simulated GPUs. The paper evaluates on NVIDIA Tesla
+// V100 (primary), Tesla K80 (Table 3 device specialization) and RTX 2080Ti
+// (Appendix B). Each spec captures the handful of parameters the latency
+// model needs: parallelism capacity (warp slots), peak FP32 throughput, DRAM
+// bandwidth, and host-side launch/synchronization overheads.
+
+#include <string>
+
+namespace ios {
+
+struct DeviceSpec {
+  std::string name;
+  int num_sms = 0;
+  int warp_slots_per_sm = 64;  ///< max resident warps per SM
+  double peak_tflops = 0;      ///< peak FP32 TFLOP/s
+  double dram_gbps = 0;        ///< DRAM bandwidth, GB/s
+  double kernel_launch_us = 5; ///< host dispatch latency per kernel
+  double stage_sync_us = 9;    ///< event/synchronize cost closing a
+                               ///< multi-stream stage
+  double stream_sync_us = 2;   ///< additional event cost per extra stream
+  /// Fraction of total warp slots at which compute throughput reaches
+  /// 1 - 1/e of its ceiling (occupancy saturation constant).
+  double compute_sat_frac = 0.25;
+  /// Same for DRAM bandwidth; memory saturates with fewer warps in flight.
+  double memory_sat_frac = 0.08;
+  /// Shared-resource (L2 / DRAM row buffer) interference between
+  /// concurrently resident kernels: each kernel's memory throughput is
+  /// divided by 1 + coef * (n_active - 1) * occupancy^2. Negligible when
+  /// the device is under-occupied (small batches), substantial once the
+  /// warp slots are saturated — the paper's Section 7.2 contention effect.
+  double mem_contention_coef = 0.35;
+
+  int total_warp_slots() const { return num_sms * warp_slots_per_sm; }
+  double peak_flops_per_us() const { return peak_tflops * 1e6; }
+  double bytes_per_us() const { return dram_gbps * 1e3; }
+};
+
+/// NVIDIA Tesla V100 (Volta, 2017): the paper's primary platform.
+DeviceSpec tesla_v100();
+
+/// NVIDIA Tesla K80, one GK210 die (Kepler, 2014): the paper's low-end GPU.
+DeviceSpec tesla_k80();
+
+/// NVIDIA GeForce RTX 2080Ti (Turing, 2018): Appendix B platform.
+DeviceSpec rtx_2080ti();
+
+/// NVIDIA GTX 1080 (Pascal, 2016): used in the Figure 1 trend discussion.
+DeviceSpec gtx_1080();
+
+/// NVIDIA GTX 980Ti (Maxwell): the 2013-era representative of Figure 1.
+DeviceSpec gtx_980ti();
+
+DeviceSpec device_by_name(const std::string& name);
+
+}  // namespace ios

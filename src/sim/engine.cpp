@@ -1,0 +1,221 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ios {
+
+double SimResult::warp_time_integral() const {
+  double integral = 0;
+  for (std::size_t i = 0; i < warp_trace.size(); ++i) {
+    const double t0 = warp_trace[i].t_us;
+    const double t1 =
+        i + 1 < warp_trace.size() ? warp_trace[i + 1].t_us : makespan_us;
+    integral += warp_trace[i].active_warps * (t1 - t0);
+  }
+  return integral;
+}
+
+double SimResult::mean_active_warps() const {
+  return makespan_us > 0 ? warp_time_integral() / makespan_us : 0.0;
+}
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kTimeEps = 1e-9;  // microsecond-scale epsilon
+
+struct ActiveKernel {
+  int stream = 0;
+  int index = 0;            // position within its stream
+  double start_us = 0;      // activation time
+  double remaining = 1.0;   // fraction of the kernel's work left
+  double rate = 0;          // fraction per microsecond (recomputed per epoch)
+};
+
+double saturation(double warps, double slots, double frac) {
+  if (warps <= 0) return 0;
+  return 1.0 - std::exp(-warps / (slots * frac));
+}
+
+}  // namespace
+
+double Engine::kernel_latency_us(const KernelDesc& k) const {
+  std::vector<KernelStream> streams(1);
+  streams[0].push_back(k);
+  return run(streams).makespan_us;
+}
+
+SimResult Engine::run(const std::vector<KernelStream>& streams) const {
+  SimResult result;
+
+  const double slots = spec_.total_warp_slots();
+  const double peak = spec_.peak_flops_per_us();
+  const double bw = spec_.bytes_per_us();
+
+  const int num_streams = static_cast<int>(streams.size());
+  // next_launch[s]: time at which stream s's next kernel becomes active,
+  // or kInf if the stream is exhausted / its next kernel not yet scheduled.
+  std::vector<int> next_index(static_cast<std::size_t>(num_streams), 0);
+  std::vector<double> next_launch(static_cast<std::size_t>(num_streams), kInf);
+  for (int s = 0; s < num_streams; ++s) {
+    if (!streams[static_cast<std::size_t>(s)].empty()) {
+      next_launch[static_cast<std::size_t>(s)] = spec_.kernel_launch_us;
+    }
+  }
+
+  std::vector<ActiveKernel> active;
+  double now = 0;
+
+  auto kernel_of = [&](const ActiveKernel& a) -> const KernelDesc& {
+    return streams[static_cast<std::size_t>(a.stream)]
+                  [static_cast<std::size_t>(a.index)];
+  };
+
+  auto record_warp_segment = [&](double t) {
+    double warps = 0;
+    for (const ActiveKernel& a : active) {
+      warps += kernel_of(a).warps;
+    }
+    warps = std::min(warps, slots);
+    if (!result.warp_trace.empty() &&
+        result.warp_trace.back().active_warps == warps) {
+      return;  // merge identical adjacent segments
+    }
+    result.warp_trace.push_back({t, warps});
+  };
+
+  auto recompute_rates = [&]() {
+    // Proportional warp allocation under the slot cap.
+    double demand = 0;
+    for (const ActiveKernel& a : active) demand += kernel_of(a).warps;
+    const double scale = demand > slots ? slots / demand : 1.0;
+    const double total_alloc = std::min(demand, slots);
+    const double eff_c =
+        saturation(total_alloc, slots, spec_.compute_sat_frac);
+    const double eff_m = saturation(total_alloc, slots, spec_.memory_sat_frac);
+    // Shared-resource interference between co-resident kernels (Section 7.2
+    // of the paper): grows with occupancy, so concurrency is nearly free on
+    // an under-utilized device but costly when the batch already fills it.
+    const double occupancy = total_alloc / slots;
+    const double n_active = static_cast<double>(active.size());
+    const double contention =
+        1.0 + spec_.mem_contention_coef * (n_active - 1.0) * occupancy *
+                  occupancy;
+    for (ActiveKernel& a : active) {
+      const KernelDesc& k = kernel_of(a);
+      const double alloc = k.warps * scale;
+      const double share = total_alloc > 0 ? alloc / total_alloc : 0;
+      double rate = kInf;
+      if (k.flops > 0) {
+        rate = std::min(rate, peak * eff_c * share * k.efficiency / k.flops);
+      }
+      if (k.bytes > 0) {
+        rate = std::min(rate, bw * eff_m * share / (k.bytes * contention));
+      }
+      a.rate = rate;
+    }
+  };
+
+  int total_kernels = 0;
+  for (const KernelStream& s : streams) {
+    total_kernels += static_cast<int>(s.size());
+  }
+  int completed = 0;
+
+  while (completed < total_kernels) {
+    // Next event: earliest kernel completion or stream launch.
+    double next_event = kInf;
+    for (const ActiveKernel& a : active) {
+      if (a.rate <= 0) {
+        throw std::runtime_error("simulator stall: kernel has zero rate");
+      }
+      next_event = std::min(next_event, now + a.remaining / a.rate);
+    }
+    for (int s = 0; s < num_streams; ++s) {
+      next_event = std::min(next_event, next_launch[static_cast<std::size_t>(s)]);
+    }
+    assert(next_event < kInf && next_event >= now - kTimeEps);
+    next_event = std::max(next_event, now);
+
+    // Advance active kernels to the event time.
+    const double dt = next_event - now;
+    for (ActiveKernel& a : active) {
+      a.remaining -= a.rate * dt;
+    }
+    now = next_event;
+
+    // Retire finished kernels and schedule their stream's next launch.
+    bool changed = false;
+    for (std::size_t i = 0; i < active.size();) {
+      ActiveKernel& a = active[i];
+      if (a.remaining <= a.rate * kTimeEps + 1e-12) {
+        const KernelDesc& k = kernel_of(a);
+        result.timeline.push_back({k.op, k.name, a.stream, a.start_us, now});
+        const std::size_t si = static_cast<std::size_t>(a.stream);
+        next_index[si] = a.index + 1;
+        if (next_index[si] <
+            static_cast<int>(streams[si].size())) {
+          next_launch[si] = now + spec_.kernel_launch_us;
+        }
+        ++completed;
+        active[i] = active.back();
+        active.pop_back();
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // Activate newly launched kernels.
+    for (int s = 0; s < num_streams; ++s) {
+      const std::size_t si = static_cast<std::size_t>(s);
+      if (next_launch[si] <= now + kTimeEps) {
+        const KernelDesc& k = streams[si][static_cast<std::size_t>(next_index[si])];
+        ActiveKernel a;
+        a.stream = s;
+        a.index = next_index[si];
+        a.start_us = now;
+        // Zero-work kernels (pure bookkeeping) complete instantly; give them
+        // an epsilon of work so the loop retires them on the next iteration.
+        a.remaining = (k.flops <= 0 && k.bytes <= 0) ? 0.0 : 1.0;
+        active.push_back(a);
+        next_launch[si] = kInf;
+        changed = true;
+      }
+    }
+
+    if (changed) {
+      recompute_rates();
+      record_warp_segment(now);
+      // Instantly retire zero-work kernels activated above.
+      for (std::size_t i = 0; i < active.size();) {
+        if (active[i].remaining <= 0) {
+          const ActiveKernel& a = active[i];
+          const KernelDesc& k = kernel_of(a);
+          result.timeline.push_back({k.op, k.name, a.stream, a.start_us, now});
+          const std::size_t si = static_cast<std::size_t>(a.stream);
+          next_index[si] = a.index + 1;
+          if (next_index[si] < static_cast<int>(streams[si].size())) {
+            next_launch[si] = now + spec_.kernel_launch_us;
+          }
+          ++completed;
+          active[i] = active.back();
+          active.pop_back();
+        } else {
+          ++i;
+        }
+      }
+      recompute_rates();
+      record_warp_segment(now);
+    }
+  }
+
+  result.makespan_us = now;
+  return result;
+}
+
+}  // namespace ios

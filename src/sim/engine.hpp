@@ -1,0 +1,51 @@
+#pragma once
+// Event-driven multi-stream GPU execution simulator.
+//
+// This is the reproduction's substitute for running kernels through cuDNN on
+// real CUDA streams (Section 5 of the paper). The model:
+//
+//  * Each stream executes its kernels in order; a kernel becomes *active*
+//    `kernel_launch_us` after its predecessor in the stream finishes.
+//  * Active kernels share the device. Kernel k demands `warps_k` resident
+//    warps; if total demand exceeds the device's warp slots, allocations are
+//    scaled proportionally (the hardware work distributor interleaves thread
+//    blocks from concurrent grids).
+//  * Device-level throughput saturates with total resident warps A:
+//        eff_c(A) = 1 - exp(-A / (slots * compute_sat_frac))
+//        eff_m(A) = 1 - exp(-A / (slots * memory_sat_frac))
+//    so a single small kernel leaves the device under-utilized (the paper's
+//    Figures 1-2) while concurrent kernels raise utilization until the
+//    slots saturate, after which they only contend (the paper's "resource
+//    contention" effect that penalizes the greedy schedule).
+//  * Kernel k's instantaneous progress is roofline-limited:
+//        rate_k = min( P * eff_c(A) * share_k * efficiency_k / flops_k,
+//                      BW * eff_m(A) * share_k / bytes_k )
+//    with share_k = alloc_k / A. Compute- and memory-bound kernels therefore
+//    contend for the right resource.
+//
+// The simulator is deterministic and returns the full kernel timeline plus a
+// resident-warp trace (used to reproduce the paper's Figure 8).
+
+#include "sim/device.hpp"
+#include "sim/kernel.hpp"
+
+namespace ios {
+
+class Engine {
+ public:
+  explicit Engine(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  const DeviceSpec& device() const { return spec_; }
+
+  /// Simulates the concurrent execution of the given streams starting at
+  /// t = 0. Returns the makespan and traces.
+  SimResult run(const std::vector<KernelStream>& streams) const;
+
+  /// Latency of a single kernel executed alone (including launch overhead).
+  double kernel_latency_us(const KernelDesc& k) const;
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace ios

@@ -1,0 +1,55 @@
+#pragma once
+// KernelDesc: what the execution simulator knows about one launched GPU
+// kernel — its total work (FLOPs), its memory traffic (bytes moved through
+// DRAM), its parallelism (warps it can keep resident), and a per-kernel
+// implementation-efficiency factor standing in for how well the vendor
+// library implements that primitive.
+
+#include <string>
+#include <vector>
+
+#include "graph/op.hpp"
+
+namespace ios {
+
+struct KernelDesc {
+  std::string name;
+  double flops = 0;        ///< total floating point work
+  double bytes = 0;        ///< DRAM traffic: inputs + weights + outputs
+  double warps = 0;        ///< resident-warp demand (parallelism exposed)
+  double efficiency = 1.0; ///< fraction of device peak this kernel's
+                           ///< implementation can reach at full occupancy
+  OpId op = kInvalidOp;    ///< provenance (for traces); kInvalidOp for
+                           ///< synthetic kernels
+};
+
+/// One stream = an ordered list of kernels executed back-to-back.
+using KernelStream = std::vector<KernelDesc>;
+
+struct KernelTiming {
+  OpId op = kInvalidOp;
+  std::string name;
+  int stream = 0;
+  double start_us = 0;
+  double end_us = 0;
+};
+
+/// Piecewise-constant resident-warp count over time: (timestamp_us, warps)
+/// at the start of each constant segment.
+struct WarpTraceEntry {
+  double t_us = 0;
+  double active_warps = 0;
+};
+
+struct SimResult {
+  double makespan_us = 0;
+  std::vector<KernelTiming> timeline;
+  std::vector<WarpTraceEntry> warp_trace;
+
+  /// Time-integral of active warps (warp-microseconds) up to makespan.
+  double warp_time_integral() const;
+  /// Average active warps over the run.
+  double mean_active_warps() const;
+};
+
+}  // namespace ios

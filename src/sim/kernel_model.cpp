@@ -1,0 +1,44 @@
+#include "sim/kernel_model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ios {
+
+KernelDesc kernel_for_op(const Graph& g, OpId id,
+                         const KernelModelParams& params) {
+  const Op& op = g.op(id);
+  assert(op.schedulable());
+
+  KernelDesc k;
+  k.op = id;
+  k.name = op.name;
+  k.flops = static_cast<double>(g.flops(id));
+  k.bytes = static_cast<double>(g.input_bytes(id) + g.weight_bytes(id) +
+                                g.output_bytes(id));
+
+  // Threads ~ output elements / elems_per_thread; warps = threads / 32.
+  const double out_elems = static_cast<double>(op.output.numel());
+  k.warps = std::max(1.0, out_elems / (32.0 * params.elems_per_thread));
+
+  switch (op.kind) {
+    case OpKind::kConv2d:
+      k.efficiency = params.conv_efficiency;
+      break;
+    case OpKind::kSepConv:
+      k.efficiency = params.sepconv_efficiency;
+      break;
+    case OpKind::kMatmul:
+      k.efficiency = params.matmul_efficiency;
+      break;
+    case OpKind::kPool2d:
+      k.efficiency = params.pool_efficiency;
+      break;
+    default:
+      k.efficiency = params.memop_efficiency;
+      break;
+  }
+  return k;
+}
+
+}  // namespace ios

@@ -1,0 +1,34 @@
+#pragma once
+// Maps operator IR nodes to simulated kernels. This encodes how a cuDNN-like
+// library would launch each primitive: how much work it does, how much DRAM
+// traffic it generates, how many warps it exposes, and how efficient the
+// vendor implementation of that primitive is at full occupancy.
+
+#include "graph/graph.hpp"
+#include "sim/kernel.hpp"
+
+namespace ios {
+
+struct KernelModelParams {
+  /// Output elements computed per thread (cuDNN kernels assign several
+  /// output elements to each thread, which limits exposed parallelism for
+  /// small tensors — the root cause of the paper's under-utilization gap).
+  double elems_per_thread = 4;
+
+  /// Implementation efficiency by primitive: achievable fraction of device
+  /// peak at full occupancy. Dense convolution and GEMM are the
+  /// best-optimized cuDNN paths; depthwise-separable convolutions are
+  /// notoriously poor in cuDNN (which is why TVM-AutoTune beats cuDNN-based
+  /// stacks on RandWire/NasNet in the paper's Figure 12).
+  double conv_efficiency = 0.80;
+  double sepconv_efficiency = 0.22;
+  double matmul_efficiency = 0.88;
+  double pool_efficiency = 0.90;
+  double memop_efficiency = 1.0;
+};
+
+/// Builds the simulated kernel for one operator of the graph.
+KernelDesc kernel_for_op(const Graph& g, OpId id,
+                         const KernelModelParams& params = {});
+
+}  // namespace ios

@@ -1,0 +1,271 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ios::kernels {
+
+namespace {
+
+float weight_at(const Tensor& w, int o, int i, int kh_extent, int kw_extent,
+                int kh, int kw) {
+  // Weight tensors are stored with desc [out_c, in_c, kh, kw] mapped onto the
+  // NCHW fields of TensorDesc.
+  return w.at(o, i, kh, kw);
+  (void)kh_extent;
+  (void)kw_extent;
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& weight,
+              const Conv2dAttrs& attrs) {
+  const TensorDesc& in = x.desc();
+  assert(weight.desc().n == attrs.out_channels);
+  assert(weight.desc().c == in.c);
+  const int oh = conv_out_dim(in.h, attrs.kh, attrs.sh, attrs.ph);
+  const int ow = conv_out_dim(in.w, attrs.kw, attrs.sw, attrs.pw);
+  Tensor out(TensorDesc{in.n, attrs.out_channels, oh, ow});
+  for (int n = 0; n < in.n; ++n) {
+    for (int oc = 0; oc < attrs.out_channels; ++oc) {
+      for (int y = 0; y < oh; ++y) {
+        for (int xw = 0; xw < ow; ++xw) {
+          double acc = 0;
+          for (int ic = 0; ic < in.c; ++ic) {
+            for (int kh = 0; kh < attrs.kh; ++kh) {
+              const int iy = y * attrs.sh - attrs.ph + kh;
+              if (iy < 0 || iy >= in.h) continue;
+              for (int kw = 0; kw < attrs.kw; ++kw) {
+                const int ix = xw * attrs.sw - attrs.pw + kw;
+                if (ix < 0 || ix >= in.w) continue;
+                acc += static_cast<double>(x.at(n, ic, iy, ix)) *
+                       weight_at(weight, oc, ic, attrs.kh, attrs.kw, kh, kw);
+              }
+            }
+          }
+          float v = static_cast<float>(acc);
+          if (attrs.post_relu) v = std::max(v, 0.0f);
+          out.at(n, oc, y, xw) = v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor sepconv(std::span<const Tensor* const> xs, const Tensor& depthwise,
+               const Tensor& pointwise, const SepConvAttrs& attrs) {
+  assert(!xs.empty());
+  // Aggregate multiple inputs by summation (RandWire node aggregation).
+  Tensor summed;
+  const Tensor* aggregated = xs[0];
+  if (xs.size() > 1) {
+    summed = *xs[0];
+    for (std::size_t i = 1; i < xs.size(); ++i) summed = add(summed, *xs[i]);
+    aggregated = &summed;
+  }
+  const Tensor& x = *aggregated;
+
+  const TensorDesc& in = x.desc();
+  assert(depthwise.desc().n == in.c && depthwise.desc().c == 1);
+  assert(pointwise.desc().n == attrs.out_channels &&
+         pointwise.desc().c == in.c);
+
+  const Tensor* src = &x;
+  Tensor activated;
+  if (attrs.pre_relu) {
+    activated = relu(x);
+    src = &activated;
+  }
+
+  const int oh = conv_out_dim(in.h, attrs.k, attrs.sh, attrs.ph);
+  const int ow = conv_out_dim(in.w, attrs.k, attrs.sw, attrs.pw);
+  Tensor mid(TensorDesc{in.n, in.c, oh, ow});
+  for (int n = 0; n < in.n; ++n) {
+    for (int c = 0; c < in.c; ++c) {
+      for (int y = 0; y < oh; ++y) {
+        for (int xw = 0; xw < ow; ++xw) {
+          double acc = 0;
+          for (int kh = 0; kh < attrs.k; ++kh) {
+            const int iy = y * attrs.sh - attrs.ph + kh;
+            if (iy < 0 || iy >= in.h) continue;
+            for (int kw = 0; kw < attrs.k; ++kw) {
+              const int ix = xw * attrs.sw - attrs.pw + kw;
+              if (ix < 0 || ix >= in.w) continue;
+              acc += static_cast<double>(src->at(n, c, iy, ix)) *
+                     depthwise.at(c, 0, kh, kw);
+            }
+          }
+          mid.at(n, c, y, xw) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+
+  Tensor out(TensorDesc{in.n, attrs.out_channels, oh, ow});
+  for (int n = 0; n < in.n; ++n) {
+    for (int oc = 0; oc < attrs.out_channels; ++oc) {
+      for (int y = 0; y < oh; ++y) {
+        for (int xw = 0; xw < ow; ++xw) {
+          double acc = 0;
+          for (int c = 0; c < in.c; ++c) {
+            acc += static_cast<double>(mid.at(n, c, y, xw)) *
+                   pointwise.at(oc, c, 0, 0);
+          }
+          out.at(n, oc, y, xw) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor pool2d(const Tensor& x, const Pool2dAttrs& attrs) {
+  const TensorDesc& in = x.desc();
+  if (attrs.kind == Pool2dAttrs::Kind::kGlobalAvg) {
+    Tensor out(TensorDesc{in.n, in.c, 1, 1});
+    for (int n = 0; n < in.n; ++n) {
+      for (int c = 0; c < in.c; ++c) {
+        double acc = 0;
+        for (int h = 0; h < in.h; ++h) {
+          for (int w = 0; w < in.w; ++w) acc += x.at(n, c, h, w);
+        }
+        out.at(n, c, 0, 0) =
+            static_cast<float>(acc / (static_cast<double>(in.h) * in.w));
+      }
+    }
+    return out;
+  }
+
+  const int oh = conv_out_dim(in.h, attrs.kh, attrs.sh, attrs.ph);
+  const int ow = conv_out_dim(in.w, attrs.kw, attrs.sw, attrs.pw);
+  Tensor out(TensorDesc{in.n, in.c, oh, ow});
+  const bool is_max = attrs.kind == Pool2dAttrs::Kind::kMax;
+  for (int n = 0; n < in.n; ++n) {
+    for (int c = 0; c < in.c; ++c) {
+      for (int y = 0; y < oh; ++y) {
+        for (int xw = 0; xw < ow; ++xw) {
+          double acc = is_max ? -std::numeric_limits<double>::infinity() : 0;
+          int count = 0;
+          for (int kh = 0; kh < attrs.kh; ++kh) {
+            const int iy = y * attrs.sh - attrs.ph + kh;
+            if (iy < 0 || iy >= in.h) continue;
+            for (int kw = 0; kw < attrs.kw; ++kw) {
+              const int ix = xw * attrs.sw - attrs.pw + kw;
+              if (ix < 0 || ix >= in.w) continue;
+              const double v = x.at(n, c, iy, ix);
+              if (is_max) {
+                acc = std::max(acc, v);
+              } else {
+                acc += v;
+              }
+              ++count;
+            }
+          }
+          out.at(n, c, y, xw) = static_cast<float>(
+              is_max ? acc : (count > 0 ? acc / count : 0.0));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor matmul(const Tensor& x, const Tensor& weight,
+              const MatmulAttrs& attrs) {
+  const TensorDesc& in = x.desc();
+  const int in_features = in.c * in.h * in.w;
+  assert(weight.desc().n == attrs.out_features);
+  assert(weight.desc().c * weight.desc().h * weight.desc().w == in_features ||
+         weight.desc().c == in_features);
+  Tensor out(TensorDesc{in.n, attrs.out_features, 1, 1});
+  const float* xd = x.data();
+  const float* wd = weight.data();
+  for (int n = 0; n < in.n; ++n) {
+    for (int o = 0; o < attrs.out_features; ++o) {
+      double acc = 0;
+      for (int i = 0; i < in_features; ++i) {
+        acc += static_cast<double>(xd[n * in_features + i]) *
+               wd[o * in_features + i];
+      }
+      float v = static_cast<float>(acc);
+      if (attrs.post_relu) v = std::max(v, 0.0f);
+      out.at(n, o, 0, 0) = v;
+    }
+  }
+  return out;
+}
+
+Tensor relu(const Tensor& x) {
+  Tensor out(x.desc());
+  const float* src = x.data();
+  float* dst = out.data();
+  for (std::size_t i = 0; i < x.size(); ++i) dst[i] = std::max(src[i], 0.0f);
+  return out;
+}
+
+Tensor concat(std::span<const Tensor* const> xs) {
+  if (xs.empty()) throw std::invalid_argument("concat of nothing");
+  const TensorDesc& first = xs[0]->desc();
+  int channels = 0;
+  for (const Tensor* t : xs) channels += t->desc().c;
+  Tensor out(TensorDesc{first.n, channels, first.h, first.w});
+  for (int n = 0; n < first.n; ++n) {
+    int c_base = 0;
+    for (const Tensor* t : xs) {
+      const TensorDesc& d = t->desc();
+      for (int c = 0; c < d.c; ++c) {
+        for (int h = 0; h < d.h; ++h) {
+          for (int w = 0; w < d.w; ++w) {
+            out.at(n, c_base + c, h, w) = t->at(n, c, h, w);
+          }
+        }
+      }
+      c_base += d.c;
+    }
+  }
+  return out;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  assert(a.desc() == b.desc());
+  Tensor out(a.desc());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  for (std::size_t i = 0; i < a.size(); ++i) dst[i] = pa[i] + pb[i];
+  return out;
+}
+
+Tensor split(const Tensor& x, int begin_channel, int end_channel) {
+  const TensorDesc& in = x.desc();
+  assert(0 <= begin_channel && begin_channel < end_channel &&
+         end_channel <= in.c);
+  Tensor out(TensorDesc{in.n, end_channel - begin_channel, in.h, in.w});
+  for (int n = 0; n < in.n; ++n) {
+    for (int c = begin_channel; c < end_channel; ++c) {
+      for (int h = 0; h < in.h; ++h) {
+        for (int w = 0; w < in.w; ++w) {
+          out.at(n, c - begin_channel, h, w) = x.at(n, c, h, w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  assert(a.desc() == b.desc());
+  float m = 0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  }
+  return m;
+}
+
+}  // namespace ios::kernels

@@ -1,0 +1,36 @@
+#pragma once
+// CPU reference kernels, one per operator kind. Direct (naive) algorithms:
+// clarity and obvious correctness over speed — these are the oracle the
+// scheduler's transformations are verified against.
+
+#include <span>
+
+#include "graph/op.hpp"
+#include "tensor/tensor.hpp"
+
+namespace ios::kernels {
+
+/// Dense convolution; weight layout [out_c, in_c, kh, kw]. Applies ReLU
+/// afterwards when attrs.post_relu.
+Tensor conv2d(const Tensor& x, const Tensor& weight, const Conv2dAttrs& attrs);
+
+/// ReLU-SepConv unit: sums the (identically shaped) inputs, applies the
+/// optional pre-ReLU, depthwise k x k (weight layout [c, 1, k, k]), then
+/// pointwise 1x1 (weight layout [out_c, c, 1, 1]).
+Tensor sepconv(std::span<const Tensor* const> xs, const Tensor& depthwise,
+               const Tensor& pointwise, const SepConvAttrs& attrs);
+
+Tensor pool2d(const Tensor& x, const Pool2dAttrs& attrs);
+
+/// Fully connected over flattened input; weight layout [out_features, in].
+Tensor matmul(const Tensor& x, const Tensor& weight, const MatmulAttrs& attrs);
+
+Tensor relu(const Tensor& x);
+Tensor concat(std::span<const Tensor* const> xs);
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor split(const Tensor& x, int begin_channel, int end_channel);
+
+/// Max |a - b| over all elements. Requires identical shapes.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace ios::kernels

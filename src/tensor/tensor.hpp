@@ -1,0 +1,57 @@
+#pragma once
+// Dense NCHW fp32 tensor used by the CPU reference executor. This substrate
+// stands in for cuDNN's numerics: it lets the test suite prove that every
+// schedule transformation IOS applies (operator merge + split, concurrent
+// grouping, stage reordering) is functionally equivalent to the sequential
+// graph.
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "graph/tensor_desc.hpp"
+#include "util/rng.hpp"
+
+namespace ios {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorDesc desc)
+      : desc_(desc), data_(static_cast<std::size_t>(desc.numel()), 0.0f) {}
+
+  const TensorDesc& desc() const { return desc_; }
+  std::size_t size() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int n, int c, int h, int w) {
+    return data_[index(n, c, h, w)];
+  }
+  float at(int n, int c, int h, int w) const {
+    return data_[index(n, c, h, w)];
+  }
+
+  /// Fills with deterministic pseudo-random values in [-1, 1).
+  void fill_random(std::uint64_t seed) {
+    Rng rng(seed);
+    for (float& v : data_) v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
+  }
+
+  void fill(float v) {
+    for (float& x : data_) x = v;
+  }
+
+ private:
+  std::size_t index(int n, int c, int h, int w) const {
+    assert(n < desc_.n && c < desc_.c && h < desc_.h && w < desc_.w);
+    return ((static_cast<std::size_t>(n) * desc_.c + c) * desc_.h + h) *
+               desc_.w + w;
+  }
+
+  TensorDesc desc_;
+  std::vector<float> data_;
+};
+
+}  // namespace ios

@@ -1,0 +1,43 @@
+#pragma once
+// Hashing utilities: a strong 64-bit mixer (splitmix64 finalizer) and a
+// hash-combiner used for memoization keys in the scheduler and the stage
+// latency cache.
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace ios {
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Order-dependent combination of two 64-bit hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t v) {
+  return mix64(seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2)));
+}
+
+inline std::uint64_t hash_bytes(std::string_view s) {
+  // FNV-1a over the bytes, then mixed.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h);
+}
+
+/// Hasher for 64-bit keys in unordered containers (identity hashing of a
+/// bitmask would cluster badly; mix first).
+struct U64Hasher {
+  std::size_t operator()(std::uint64_t x) const noexcept {
+    return static_cast<std::size_t>(mix64(x));
+  }
+};
+
+}  // namespace ios

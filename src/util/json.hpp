@@ -1,0 +1,79 @@
+#pragma once
+// Minimal JSON support: a value tree, a writer, and a recursive-descent
+// parser. Used to persist graphs, schedules ("scheduling recipes"), and
+// kernel timelines. Supports the JSON subset the library emits: objects,
+// arrays, strings, doubles/integers, booleans, null. No external
+// dependencies.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ios {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  JsonValue(std::nullptr_t) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}
+  JsonValue(int v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(std::int64_t v) : JsonValue(static_cast<double>(v)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {}
+  JsonValue(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  // ---- accessors (throw std::runtime_error on kind mismatch) ----
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member access; throws if missing or not an object.
+  const JsonValue& at(const std::string& key) const;
+  /// True if this is an object containing `key`.
+  bool contains(const std::string& key) const;
+
+  // ---- builders ----
+  JsonValue& push_back(JsonValue v);            // array append
+  JsonValue& set(const std::string& key, JsonValue v);  // object insert
+
+  /// Serializes to a compact JSON string (keys sorted — deterministic).
+  std::string dump() const;
+
+  /// Parses a JSON document. Throws std::runtime_error with position info
+  /// on malformed input.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  void dump_to(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Writes `text` to `path` atomically-ish (truncate+write). Throws on error.
+void write_file(const std::string& path, const std::string& text);
+
+/// Reads a whole file. Throws std::runtime_error if unreadable.
+std::string read_file(const std::string& path);
+
+}  // namespace ios

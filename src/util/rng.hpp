@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic seeded RNG (xoshiro256**). All stochastic pieces of the
+// reproduction (RandWire graph generation, test input tensors, property-test
+// sweeps) draw from this generator so every run is bit-reproducible.
+
+#include <cstdint>
+
+#include "util/hash.hpp"
+
+namespace ios {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // Seed the four lanes through splitmix64 as recommended by the authors
+    // of xoshiro.
+    std::uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      lane = mix64(x);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int uniform_int(int n) {
+    return static_cast<int>(next_u64() % static_cast<std::uint64_t>(n));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace ios

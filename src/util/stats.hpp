@@ -1,0 +1,51 @@
+#pragma once
+// Small statistics helpers used by the benchmark harnesses when aggregating
+// repeated latency measurements (the paper reports the average of 5 runs and
+// geometric means across networks).
+
+#include <cassert>
+#include <cmath>
+#include <span>
+
+namespace ios {
+
+inline double mean(std::span<const double> xs) {
+  assert(!xs.empty());
+  double s = 0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+inline double geomean(std::span<const double> xs) {
+  assert(!xs.empty());
+  double s = 0;
+  for (double x : xs) {
+    assert(x > 0);
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+inline double stddev(std::span<const double> xs) {
+  assert(xs.size() >= 2);
+  const double m = mean(xs);
+  double s = 0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+inline double min_of(std::span<const double> xs) {
+  assert(!xs.empty());
+  double m = xs[0];
+  for (double x : xs) m = std::min(m, x);
+  return m;
+}
+
+inline double max_of(std::span<const double> xs) {
+  assert(!xs.empty());
+  double m = xs[0];
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+}  // namespace ios

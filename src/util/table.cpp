@@ -1,0 +1,50 @@
+#include "util/table.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+
+namespace ios {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "| " << row[c] << std::string(width[c] - row[c].size() + 1, ' ');
+    }
+    out << "|\n";
+  };
+  emit(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << "|" << std::string(width[c] + 2, '-');
+  }
+  out << "|\n";
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+}  // namespace ios

@@ -1,0 +1,29 @@
+#pragma once
+// Aligned ASCII table printer used by every bench binary to emit the rows of
+// the paper's tables and the series behind its figures.
+
+#include <string>
+#include <vector>
+
+namespace ios {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with a header separator, column-aligned.
+  std::string to_string() const;
+
+  /// Convenience: render and write to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ios

@@ -1,0 +1,154 @@
+// Fuzz/stress tests of the execution simulator: seeded random kernel loads
+// checked against physical invariants of the model. These guard the event
+// loop against stalls, mass loss, and capacity violations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace ios {
+namespace {
+
+std::vector<KernelStream> random_streams(Rng& rng, int max_streams = 6,
+                                         int max_kernels = 8) {
+  const int num_streams = 1 + rng.uniform_int(max_streams);
+  std::vector<KernelStream> streams(static_cast<std::size_t>(num_streams));
+  for (auto& s : streams) {
+    const int n = 1 + rng.uniform_int(max_kernels);
+    for (int i = 0; i < n; ++i) {
+      KernelDesc k;
+      k.name = "k";
+      // Mix of compute-bound, memory-bound, and degenerate kernels.
+      switch (rng.uniform_int(4)) {
+        case 0:  // compute heavy
+          k.flops = 1e7 + rng.uniform() * 5e8;
+          k.bytes = 1e4 + rng.uniform() * 1e6;
+          break;
+        case 1:  // memory heavy
+          k.flops = rng.uniform() * 1e6;
+          k.bytes = 1e5 + rng.uniform() * 5e7;
+          break;
+        case 2:  // tiny
+          k.flops = rng.uniform() * 1e4;
+          k.bytes = rng.uniform() * 1e4;
+          break;
+        default:  // zero-work bookkeeping kernel
+          k.flops = 0;
+          k.bytes = 0;
+      }
+      k.warps = 1 + rng.uniform() * 6000;
+      k.efficiency = 0.2 + rng.uniform() * 0.8;
+      s.push_back(k);
+    }
+  }
+  return streams;
+}
+
+class EngineStressTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineStressTest, InvariantsHold) {
+  Rng rng(GetParam());
+  const DeviceSpec devices[] = {tesla_v100(), tesla_k80(), rtx_2080ti()};
+  const DeviceSpec& dev = devices[GetParam() % 3];
+  Engine engine(dev);
+  const auto streams = random_streams(rng);
+  const SimResult r = engine.run(streams);
+
+  // 1. Every kernel appears exactly once in the timeline.
+  std::size_t total = 0;
+  for (const auto& s : streams) total += s.size();
+  ASSERT_EQ(r.timeline.size(), total);
+
+  // 2. Timings are sane and within the makespan.
+  for (const KernelTiming& t : r.timeline) {
+    EXPECT_GE(t.start_us, 0);
+    EXPECT_LE(t.start_us, t.end_us);
+    EXPECT_LE(t.end_us, r.makespan_us + 1e-6);
+  }
+
+  // 3. Within a stream, kernels are serialized with launch gaps.
+  std::vector<std::vector<const KernelTiming*>> by_stream(streams.size());
+  for (const KernelTiming& t : r.timeline) {
+    by_stream[static_cast<std::size_t>(t.stream)].push_back(&t);
+  }
+  for (auto& ts : by_stream) {
+    std::sort(ts.begin(), ts.end(), [](const auto* a, const auto* b) {
+      return a->start_us < b->start_us;
+    });
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      EXPECT_GE(ts[i]->start_us,
+                ts[i - 1]->end_us + dev.kernel_launch_us - 1e-6);
+    }
+  }
+
+  // 4. Resident warps never exceed device capacity.
+  for (const WarpTraceEntry& w : r.warp_trace) {
+    EXPECT_LE(w.active_warps, dev.total_warp_slots() + 1e-6);
+    EXPECT_GE(w.active_warps, 0);
+  }
+
+  // 5. The warp-time integral is consistent with the makespan.
+  EXPECT_LE(r.warp_time_integral(),
+            dev.total_warp_slots() * r.makespan_us + 1e-6);
+
+  // 6. Makespan at least covers the per-stream serial launch overheads.
+  for (const auto& s : streams) {
+    EXPECT_GE(r.makespan_us,
+              dev.kernel_launch_us * static_cast<double>(s.size()) - 1e-6);
+  }
+}
+
+TEST_P(EngineStressTest, AddingAStreamNeverReducesOthersWork) {
+  // Makespan is monotone: running strictly more work cannot finish sooner.
+  Rng rng(GetParam() + 1000);
+  Engine engine(tesla_v100());
+  auto streams = random_streams(rng, 4, 5);
+  const double before = engine.run(streams).makespan_us;
+  KernelDesc extra;
+  extra.flops = 1e8;
+  extra.bytes = 1e6;
+  extra.warps = 800;
+  streams.push_back({extra});
+  const double after = engine.run(streams).makespan_us;
+  EXPECT_GE(after, before - 1e-6);
+}
+
+TEST_P(EngineStressTest, DeterministicAcrossRuns) {
+  Rng rng(GetParam() + 2000);
+  Engine engine(rtx_2080ti());
+  const auto streams = random_streams(rng);
+  const SimResult a = engine.run(streams);
+  const SimResult b = engine.run(streams);
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  EXPECT_DOUBLE_EQ(a.makespan_us, b.makespan_us);
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.timeline[i].start_us, b.timeline[i].start_us);
+    EXPECT_DOUBLE_EQ(a.timeline[i].end_us, b.timeline[i].end_us);
+  }
+}
+
+TEST_P(EngineStressTest, SerializedUpperBound) {
+  // Concurrent execution never takes longer than running all streams
+  // back-to-back on one stream *plus* contention slack. We use 2x serial as
+  // a loose physical sanity bound (contention can exceed 1x but not this).
+  Rng rng(GetParam() + 3000);
+  Engine engine(tesla_v100());
+  const auto streams = random_streams(rng, 4, 4);
+  KernelStream serial;
+  for (const auto& s : streams) {
+    serial.insert(serial.end(), s.begin(), s.end());
+  }
+  const double concurrent = engine.run(streams).makespan_us;
+  const double sequential = engine.run({serial}).makespan_us;
+  EXPECT_LE(concurrent, 2.0 * sequential + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineStressTest,
+                         ::testing::Range<std::uint64_t>(0, 16));
+
+}  // namespace
+}  // namespace ios

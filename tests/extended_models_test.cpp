@@ -1,0 +1,160 @@
+// Tests for the extended model zoo (MobileNetV2, ShuffleNetV2, GoogLeNet),
+// the Nimble baseline, and the noisy profiling protocol.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/scheduler.hpp"
+#include "frameworks/frameworks.hpp"
+#include "models/models.hpp"
+#include "runtime/reference_executor.hpp"
+#include "schedule/baselines.hpp"
+#include "tensor/kernels.hpp"
+
+namespace ios {
+namespace {
+
+TEST(ExtendedModels, AllValidateAndSchedule) {
+  for (const Graph& g : {models::mobilenet_v2(1), models::shufflenet_v2(1),
+                         models::googlenet(1)}) {
+    EXPECT_NO_THROW(g.validate()) << g.name();
+    CostModel cost(g, ExecConfig{tesla_v100(), {}});
+    const Schedule q = IosScheduler(cost).schedule_graph();
+    EXPECT_NO_THROW(validate_schedule(g, q)) << g.name();
+  }
+}
+
+TEST(ExtendedModels, MobilenetIsMostlySequential) {
+  // Inverted residuals are a chain: width of every block <= 2 (residual
+  // shortcut only), so IOS gains little — the lightweight-design point of
+  // the paper's background section.
+  const Graph g = models::mobilenet_v2(1);
+  for (const auto& block : g.blocks()) {
+    BlockDag dag(g, block);
+    EXPECT_LE(dag.width(), 2);
+  }
+}
+
+TEST(ExtendedModels, ShufflenetUsesSplitOps) {
+  const Graph g = models::shufflenet_v2(1);
+  int splits = 0;
+  for (const Op& op : g.ops()) {
+    if (op.kind == OpKind::kSplit) ++splits;
+  }
+  EXPECT_GT(splits, 10);
+  // Split branches expose real inter-op parallelism.
+  const BlockComplexity c = largest_block_complexity(g);
+  EXPECT_GE(c.d, 2);
+}
+
+TEST(ExtendedModels, GooglenetModulesAreFourWide) {
+  const Graph g = models::googlenet(1);
+  const BlockComplexity c = largest_block_complexity(g);
+  EXPECT_EQ(c.n, 9);  // 7 convs + pool + concat
+  EXPECT_EQ(c.d, 4);  // four branches
+}
+
+TEST(ExtendedModels, GooglenetNumericEquivalenceUnderIos) {
+  // Downscale spatially by running only the first module via a small clone.
+  Graph g(1, "mini_googlenet");
+  const OpId in = g.input(8, 10, 10);
+  g.begin_block();
+  const OpId b0 = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  const OpId b1a = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  const OpId b1b = g.conv2d(
+      b1a, Conv2dAttrs{.out_channels = 6, .kh = 3, .kw = 3, .ph = 1, .pw = 1});
+  const OpId b2a = g.pool2d(
+      in, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 1, 1, 1, 1});
+  const OpId b2b = g.conv2d(b2a, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  const OpId outs[] = {b0, b1b, b2b};
+  g.concat(outs);
+
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  ReferenceExecutor exec(g, 31);
+  const auto inputs = exec.make_inputs(32);
+  const auto oracle = exec.run_sequential(inputs);
+  const auto got = exec.run_schedule(q, inputs);
+  for (const Op& op : g.ops()) {
+    if (!op.schedulable()) continue;
+    EXPECT_LT(kernels::max_abs_diff(oracle[static_cast<std::size_t>(op.id)],
+                                    got[static_cast<std::size_t>(op.id)]),
+              1e-3f);
+  }
+}
+
+TEST(Nimble, FasterThanGreedyOnStockEngine) {
+  // AOT scheduling removes launch overhead, so Nimble beats the same greedy
+  // schedule executed with normal dispatch costs.
+  const Graph g = models::inception_v3(1);
+  Executor ex(g, ExecConfig{tesla_v100(), {}});
+  const double greedy = ex.schedule_latency_us(greedy_schedule(g));
+  const auto nimble = frameworks::run_nimble(g, tesla_v100());
+  EXPECT_LT(nimble.latency_us, greedy);
+  EXPECT_EQ(nimble.name, "Nimble");
+}
+
+TEST(Nimble, LatencyObliviousScheduleLosesToIosOnSqueezenet) {
+  // The paper's related-work point: Nimble does not consider operator
+  // latencies. On SqueezeNet the greedy shape over-parallelizes; IOS on an
+  // equally-AOT engine would win. We compare policies on the same engine:
+  // Nimble's greedy stages vs IOS stages, both under AOT overheads.
+  const Graph g = models::squeezenet(1);
+  DeviceSpec aot = tesla_v100();
+  aot.kernel_launch_us *= 0.15;
+  aot.stage_sync_us *= 0.25;
+  aot.stream_sync_us *= 0.25;
+  CostModel cost(g, ExecConfig{aot, {}});
+  const Schedule ios_schedule = IosScheduler(cost).schedule_graph();
+  Executor ex(g, ExecConfig{aot, {}});
+  EXPECT_LE(ex.schedule_latency_us(ios_schedule),
+            frameworks::run_nimble(g, tesla_v100()).latency_us + 1e-9);
+}
+
+TEST(NoisyProfiling, ScheduleStillValidAndNearOptimal) {
+  const Graph g = models::fig2_graph(1);
+  const ExecConfig config{tesla_v100(), {}};
+
+  CostModel clean(g, config);
+  const Schedule best = IosScheduler(clean).schedule_graph();
+  Executor ex(g, config);
+  const double best_lat = ex.schedule_latency_us(best);
+
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    CostModel noisy(g, config, ProfilingProtocol{2, 5, 0.05, seed});
+    const Schedule q = IosScheduler(noisy).schedule_graph();
+    EXPECT_NO_THROW(validate_schedule(g, q));
+    // 5% measurement noise must not push the chosen schedule more than
+    // ~15% off the true optimum.
+    EXPECT_LT(ex.schedule_latency_us(q), best_lat * 1.15) << "seed " << seed;
+  }
+}
+
+TEST(NoisyProfiling, NoiseAveragesTowardTruth) {
+  const Graph g = models::fig5_graph(1);
+  const ExecConfig config{tesla_v100(), {}};
+  CostModel clean(g, config);
+  CostModel noisy(g, config, ProfilingProtocol{2, 100, 0.10, 7});
+  const Stage stage = sequential_schedule(g).stages[0];
+  const double t = clean.measure(stage);
+  const double n = noisy.measure(stage);
+  EXPECT_NEAR(n / t, 1.0, 0.03);  // 100 repeats average the jitter away
+}
+
+TEST(NoisyProfiling, DeterministicPerSeed) {
+  const Graph g = models::fig5_graph(1);
+  const ExecConfig config{tesla_v100(), {}};
+  CostModel a(g, config, ProfilingProtocol{2, 5, 0.2, 11});
+  CostModel b(g, config, ProfilingProtocol{2, 5, 0.2, 11});
+  const Stage stage = sequential_schedule(g).stages[0];
+  EXPECT_DOUBLE_EQ(a.measure(stage), b.measure(stage));
+}
+
+TEST(Devices, Gtx980TiMatchesFigure1Peak) {
+  const DeviceSpec d = gtx_980ti();
+  EXPECT_NEAR(d.peak_tflops, 5.77, 0.01);
+  EXPECT_EQ(device_by_name("980ti").name, "GTX 980Ti");
+}
+
+}  // namespace
+}  // namespace ios

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "frameworks/frameworks.hpp"
+#include "models/models.hpp"
+
+namespace ios {
+namespace {
+
+using frameworks::FrameworkResult;
+using frameworks::run_framework;
+
+TEST(Frameworks, AllBaselinesProducePositiveLatency) {
+  const Graph g = models::squeezenet(1);
+  for (const auto& spec : frameworks::cudnn_baselines()) {
+    const FrameworkResult r = run_framework(g, tesla_v100(), spec);
+    EXPECT_GT(r.latency_us, 0) << r.name;
+    EXPECT_EQ(r.name, spec.name);
+  }
+}
+
+TEST(Frameworks, TensorflowSlowestOfCudnnStack) {
+  const Graph g = models::inception_v3(1);
+  const double tf =
+      run_framework(g, tesla_v100(), frameworks::tensorflow_spec()).latency_us;
+  for (const auto& spec : frameworks::cudnn_baselines()) {
+    const double lat = run_framework(g, tesla_v100(), spec).latency_us;
+    EXPECT_LE(lat, tf + 1e-9) << spec.name;
+  }
+}
+
+TEST(Frameworks, XlaFusionBeatsPlainTensorflow) {
+  const Graph g = models::nasnet_a(1);  // has identity/add glue to fuse
+  const double tf =
+      run_framework(g, tesla_v100(), frameworks::tensorflow_spec()).latency_us;
+  const double xla =
+      run_framework(g, tesla_v100(), frameworks::tensorflow_xla_spec())
+          .latency_us;
+  EXPECT_LT(xla, tf);
+}
+
+TEST(Frameworks, TasoMergeBeatsTvmCudnnOnInception) {
+  // TASO's substitutions help on merge-rich Inception (paper Figure 7).
+  const Graph g = models::inception_v3(1);
+  const double taso =
+      run_framework(g, tesla_v100(), frameworks::taso_spec()).latency_us;
+  const double tvm =
+      run_framework(g, tesla_v100(), frameworks::tvm_cudnn_spec()).latency_us;
+  EXPECT_LT(taso, tvm);
+}
+
+TEST(Frameworks, MergeSubstitutionNeverHurts) {
+  for (const Graph& g : {models::inception_v3(1), models::squeezenet(1)}) {
+    frameworks::FrameworkSpec with = frameworks::tvm_cudnn_spec();
+    with.merge_substitution = true;
+    frameworks::FrameworkSpec without = frameworks::tvm_cudnn_spec();
+    const double lat_with = run_framework(g, tesla_v100(), with).latency_us;
+    const double lat_without =
+        run_framework(g, tesla_v100(), without).latency_us;
+    EXPECT_LE(lat_with, lat_without + 1e-9) << g.name();
+  }
+}
+
+TEST(Frameworks, TvmAutotuneWinsOnSepconvHeavyNetworks) {
+  // Figure 12: TVM's autotuned kernels beat cuDNN-based stacks on RandWire.
+  const Graph g = models::randwire(1);
+  const double tvm_at =
+      run_framework(g, tesla_v100(), frameworks::tvm_autotune_spec())
+          .latency_us;
+  const double trt =
+      run_framework(g, tesla_v100(), frameworks::tensorrt_spec()).latency_us;
+  EXPECT_LT(tvm_at, trt);
+}
+
+TEST(Frameworks, TvmAutotuneHasLargeOptimizationCost) {
+  const Graph g = models::inception_v3(1);
+  const FrameworkResult tvm_at =
+      run_framework(g, tesla_v100(), frameworks::tvm_autotune_spec());
+  const FrameworkResult trt =
+      run_framework(g, tesla_v100(), frameworks::tensorrt_spec());
+  EXPECT_GT(tvm_at.optimization_cost_s, 10 * trt.optimization_cost_s);
+}
+
+TEST(Frameworks, LatencyScalesWithBatch) {
+  const Graph g1 = models::squeezenet(1);
+  const Graph g16 = models::squeezenet(16);
+  for (const auto& spec : frameworks::cudnn_baselines()) {
+    const double l1 = run_framework(g1, tesla_v100(), spec).latency_us;
+    const double l16 = run_framework(g16, tesla_v100(), spec).latency_us;
+    EXPECT_GT(l16, l1) << spec.name;
+    EXPECT_LT(l16, 16 * l1) << spec.name;  // batching amortizes
+  }
+}
+
+TEST(Frameworks, SlowerDeviceSlowerLatency) {
+  const Graph g = models::inception_v3(1);
+  const auto spec = frameworks::tensorrt_spec();
+  EXPECT_GT(run_framework(g, tesla_k80(), spec).latency_us,
+            run_framework(g, tesla_v100(), spec).latency_us);
+}
+
+}  // namespace
+}  // namespace ios

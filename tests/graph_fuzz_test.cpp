@@ -1,0 +1,170 @@
+// Cross-cutting fuzz tests: random multi-block CNNs are generated from a
+// seed and pushed through the whole pipeline — serialization, automatic
+// partitioning, scheduling, execution, and export — checking that the
+// pieces compose.
+
+#include <gtest/gtest.h>
+
+#include "core/partition.hpp"
+#include "core/scheduler.hpp"
+#include "runtime/trace_export.hpp"
+#include "schedule/baselines.hpp"
+#include "schedule/serialize.hpp"
+#include "util/rng.hpp"
+
+namespace ios {
+namespace {
+
+/// Random multi-block network: a chain of 2-4 randomly shaped multi-branch
+/// modules, each a block. Differs from property_test's generator by
+/// stressing block structure and merge-friendly sibling convolutions.
+Graph random_network(std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(1 + rng.uniform_int(2), "fuzz_" + std::to_string(seed));
+  const int c0 = 8 + 8 * rng.uniform_int(2);
+  OpId x = g.input(c0, 14, 14);
+
+  const int num_modules = 2 + rng.uniform_int(3);
+  for (int m = 0; m < num_modules; ++m) {
+    g.begin_block();
+    const std::string tag = "m" + std::to_string(m);
+    const int branches = 1 + rng.uniform_int(3);
+    std::vector<OpId> outs;
+    const int out_c = 8 + 8 * rng.uniform_int(2);
+    for (int b = 0; b < branches; ++b) {
+      const std::string name = tag + "_b" + std::to_string(b);
+      switch (rng.uniform_int(3)) {
+        case 0: {
+          // Mergeable sibling: conv straight off the module input.
+          const int k = 1 + 2 * rng.uniform_int(2);
+          outs.push_back(g.conv2d(
+              x, Conv2dAttrs{.out_channels = out_c, .kh = k, .kw = k,
+                             .ph = (k - 1) / 2, .pw = (k - 1) / 2},
+              name + "_conv"));
+          break;
+        }
+        case 1: {
+          const OpId mid = g.conv2d(
+              x, Conv2dAttrs{.out_channels = out_c, .kh = 1, .kw = 1},
+              name + "_pre");
+          outs.push_back(g.sepconv(mid, SepConvAttrs{.out_channels = out_c},
+                                   name + "_sep"));
+          break;
+        }
+        default: {
+          const OpId p = g.pool2d(
+              x, Pool2dAttrs{Pool2dAttrs::Kind::kAvg, 3, 3, 1, 1, 1, 1},
+              name + "_pool");
+          outs.push_back(g.conv2d(
+              p, Conv2dAttrs{.out_channels = out_c, .kh = 1, .kw = 1},
+              name + "_proj"));
+        }
+      }
+    }
+    x = outs.size() == 1 ? outs[0] : g.concat(outs, tag + "_cat");
+  }
+  g.validate();
+  return g;
+}
+
+class GraphFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GraphFuzzTest, SerializationRoundtripPreservesEverything) {
+  const Graph g = random_network(GetParam());
+  const Graph restored =
+      graph_from_json(JsonValue::parse(graph_to_json(g).dump()));
+  ASSERT_EQ(restored.num_ops(), g.num_ops());
+  for (OpId id = 0; id < g.num_ops(); ++id) {
+    EXPECT_EQ(restored.op(id).kind, g.op(id).kind);
+    EXPECT_EQ(restored.op(id).inputs, g.op(id).inputs);
+    EXPECT_EQ(restored.op(id).output, g.op(id).output);
+    EXPECT_EQ(restored.op(id).block, g.op(id).block);
+  }
+  EXPECT_EQ(restored.total_flops(), g.total_flops());
+  EXPECT_EQ(restored.blocks(), g.blocks());
+}
+
+TEST_P(GraphFuzzTest, ScheduleOfRestoredGraphTransfers) {
+  // A schedule found on the original graph is valid on (and costs the same
+  // on) the deserialized clone — op ids are preserved.
+  const Graph g = random_network(GetParam());
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  const Graph restored =
+      graph_from_json(JsonValue::parse(graph_to_json(g).dump()));
+  EXPECT_NO_THROW(validate_schedule(restored, q));
+  Executor a(g, ExecConfig{tesla_v100(), {}});
+  Executor b(restored, ExecConfig{tesla_v100(), {}});
+  EXPECT_DOUBLE_EQ(a.schedule_latency_us(q), b.schedule_latency_us(q));
+}
+
+TEST_P(GraphFuzzTest, AutoPartitionMatchesManualBlocksInCost) {
+  // Auto-partitioning recovers block boundaries good enough that the DP
+  // result is within a small factor of the hand-annotated blocks (the cuts
+  // found are a superset/subset but never break dependencies).
+  const Graph g = random_network(GetParam());
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  IosScheduler scheduler(cost);
+
+  const Schedule manual = scheduler.schedule_graph();
+  const Schedule automatic =
+      scheduler.schedule_partition(auto_partition(g));
+  validate_schedule(g, automatic);
+
+  Executor ex(g, ExecConfig{tesla_v100(), {}});
+  const double lm = ex.schedule_latency_us(manual);
+  const double la = ex.schedule_latency_us(automatic);
+  EXPECT_LT(la, lm * 1.25);
+  // Both beat or match sequential.
+  const double seq = ex.schedule_latency_us(sequential_schedule(g));
+  EXPECT_LE(la, seq + 1e-6);
+}
+
+TEST_P(GraphFuzzTest, ExportsAreWellFormed) {
+  const Graph g = random_network(GetParam());
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  Executor ex(g, ExecConfig{tesla_v100(), {}});
+
+  // Chrome trace: parseable JSON with one X event per launched kernel
+  // (merge stages collapse N operators into one kernel plus any
+  // non-elided splits, so the count differs from num_ops in general).
+  const SimResult run = ex.run_schedule(q);
+  const JsonValue trace = JsonValue::parse(to_chrome_trace(run));
+  int x_events = 0;
+  for (const JsonValue& e : trace.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "X") ++x_events;
+  }
+  EXPECT_EQ(x_events, static_cast<int>(run.timeline.size()));
+  EXPECT_GE(x_events, static_cast<int>(q.stages.size()));
+
+  // DOT: one node per op, one cluster per stage.
+  const std::string dot = to_dot(g, &q);
+  for (const Op& op : g.ops()) {
+    EXPECT_NE(dot.find("op" + std::to_string(op.id) + " ["),
+              std::string::npos);
+  }
+  EXPECT_NE(dot.find("cluster_stage" + std::to_string(q.stages.size() - 1)),
+            std::string::npos);
+}
+
+TEST_P(GraphFuzzTest, RecipeRoundtripExecutesIdentically) {
+  const Graph g = random_network(GetParam());
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  Recipe recipe;
+  recipe.model = g.name();
+  recipe.device = "Tesla V100";
+  recipe.batch = g.batch();
+  recipe.schedule = IosScheduler(cost).schedule_graph();
+  const Recipe restored =
+      recipe_from_json(JsonValue::parse(recipe_to_json(recipe).dump()));
+  Executor ex(g, ExecConfig{tesla_v100(), {}});
+  EXPECT_DOUBLE_EQ(ex.schedule_latency_us(recipe.schedule),
+                   ex.schedule_latency_us(restored.schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphFuzzTest,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace ios

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/graph.hpp"
+#include "models/models.hpp"
+
+namespace ios {
+namespace {
+
+TEST(TensorDesc, NumelAndBytes) {
+  const TensorDesc d{2, 3, 4, 5};
+  EXPECT_EQ(d.numel(), 120);
+  EXPECT_EQ(d.bytes(), 480);
+  EXPECT_EQ(d.to_string(), "[2,3,4,5]");
+}
+
+TEST(TensorDesc, ConvOutDim) {
+  EXPECT_EQ(conv_out_dim(32, 3, 1, 1), 32);  // "same" padding
+  EXPECT_EQ(conv_out_dim(32, 3, 2, 1), 16);
+  EXPECT_EQ(conv_out_dim(299, 3, 2, 0), 149);
+  EXPECT_EQ(conv_out_dim(8, 1, 1, 0), 8);
+}
+
+TEST(Graph, RejectsBadBatch) {
+  EXPECT_THROW(Graph(0), std::invalid_argument);
+  EXPECT_THROW(Graph(-1), std::invalid_argument);
+}
+
+TEST(Graph, BuilderShapes) {
+  Graph g(2, "t");
+  const OpId in = g.input(16, 32, 32);
+  EXPECT_EQ(g.op(in).output, (TensorDesc{2, 16, 32, 32}));
+
+  const OpId c = g.conv2d(in, Conv2dAttrs{.out_channels = 8, .kh = 3, .kw = 3,
+                                          .ph = 1, .pw = 1});
+  EXPECT_EQ(g.op(c).output, (TensorDesc{2, 8, 32, 32}));
+
+  const OpId s = g.sepconv(c, SepConvAttrs{.out_channels = 24});
+  EXPECT_EQ(g.op(s).output, (TensorDesc{2, 24, 32, 32}));
+
+  const OpId p = g.pool2d(s, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 2, 2, 2, 2,
+                                         0, 0});
+  EXPECT_EQ(g.op(p).output, (TensorDesc{2, 24, 16, 16}));
+
+  const OpId gap = g.pool2d(
+      p, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0});
+  EXPECT_EQ(g.op(gap).output, (TensorDesc{2, 24, 1, 1}));
+
+  const OpId m = g.matmul(gap, MatmulAttrs{.out_features = 10});
+  EXPECT_EQ(g.op(m).output, (TensorDesc{2, 10, 1, 1}));
+}
+
+TEST(Graph, ConcatChannelsAndValidation) {
+  Graph g(1);
+  const OpId in = g.input(8, 10, 10);
+  const OpId a = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  const OpId b = g.conv2d(in, Conv2dAttrs{.out_channels = 6, .kh = 1, .kw = 1});
+  const OpId ops[] = {a, b};
+  const OpId cat = g.concat(ops);
+  EXPECT_EQ(g.op(cat).output.c, 10);
+
+  const OpId small = g.pool2d(
+      a, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 2, 2, 2, 2, 0, 0});
+  const OpId bad[] = {a, small};
+  EXPECT_THROW(g.concat(bad), std::invalid_argument);
+}
+
+TEST(Graph, AddRequiresSameShape) {
+  Graph g(1);
+  const OpId in = g.input(8, 10, 10);
+  const OpId a = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  const OpId b = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  const OpId c = g.conv2d(in, Conv2dAttrs{.out_channels = 5, .kh = 1, .kw = 1});
+  EXPECT_NO_THROW(g.add(a, b));
+  EXPECT_THROW(g.add(a, c), std::invalid_argument);
+}
+
+TEST(Graph, SplitRange) {
+  Graph g(1);
+  const OpId in = g.input(8, 4, 4);
+  EXPECT_NO_THROW(g.split(in, 0, 4));
+  EXPECT_NO_THROW(g.split(in, 4, 8));
+  EXPECT_THROW(g.split(in, 4, 4), std::invalid_argument);
+  EXPECT_THROW(g.split(in, 0, 9), std::invalid_argument);
+  EXPECT_THROW(g.split(in, -1, 4), std::invalid_argument);
+  EXPECT_EQ(g.op(g.split(in, 2, 5)).output.c, 3);
+}
+
+TEST(Graph, SepconvMultiInputShapeCheck) {
+  Graph g(1);
+  const OpId in = g.input(8, 10, 10);
+  const OpId a = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  const OpId b = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  const OpId c = g.conv2d(in, Conv2dAttrs{.out_channels = 6, .kh = 1, .kw = 1});
+  const OpId good[] = {a, b};
+  EXPECT_NO_THROW(g.sepconv(good, SepConvAttrs{.out_channels = 4}));
+  const OpId bad[] = {a, c};
+  EXPECT_THROW(g.sepconv(bad, SepConvAttrs{.out_channels = 4}),
+               std::invalid_argument);
+}
+
+TEST(Graph, FlopsAccounting) {
+  Graph g(1);
+  const OpId in = g.input(16, 8, 8);
+  const OpId c = g.conv2d(in, Conv2dAttrs{.out_channels = 32, .kh = 3, .kw = 3,
+                                          .ph = 1, .pw = 1});
+  // 2 * N*C_out*H*W * C_in*kh*kw
+  EXPECT_EQ(g.flops(c), 2ll * 32 * 8 * 8 * 16 * 3 * 3);
+  // weights: out_c * in_c * kh * kw * 4 bytes
+  EXPECT_EQ(g.weight_bytes(c), 4ll * 32 * 16 * 3 * 3);
+  EXPECT_EQ(g.input_bytes(c), 4ll * 16 * 8 * 8);
+  EXPECT_EQ(g.output_bytes(c), 4ll * 32 * 8 * 8);
+
+  const OpId m = g.matmul(c, MatmulAttrs{.out_features = 10});
+  EXPECT_EQ(g.flops(m), 2ll * 10 * 32 * 8 * 8);
+
+  const OpId r = g.relu(m);
+  EXPECT_EQ(g.flops(r), 10);
+
+  EXPECT_GT(g.total_flops(), 0);
+}
+
+TEST(Graph, SepconvFlopsIncludeAggregation) {
+  Graph g(1);
+  const OpId in = g.input(8, 4, 4);
+  const OpId a = g.identity(in);
+  const OpId b = g.identity(in);
+  const OpId single = g.sepconv(a, SepConvAttrs{.out_channels = 8});
+  const OpId both_ops[] = {a, b};
+  const OpId both = g.sepconv(both_ops, SepConvAttrs{.out_channels = 8});
+  EXPECT_EQ(g.flops(both) - g.flops(single), 8 * 4 * 4);  // one extra add
+}
+
+TEST(Graph, BlocksGroupOps) {
+  Graph g(1);
+  const OpId in = g.input(4, 8, 8);
+  g.begin_block();
+  const OpId a = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  g.begin_block();
+  const OpId b = g.conv2d(a, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  const OpId c = g.relu(b);
+  const auto blocks = g.blocks();
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0], std::vector<OpId>{a});
+  EXPECT_EQ(blocks[1], (std::vector<OpId>{b, c}));
+  EXPECT_EQ(g.schedulable_ops().size(), 3u);
+}
+
+TEST(Graph, ValidateRejectsBackwardBlockEdge) {
+  Graph g(1);
+  const OpId in = g.input(4, 8, 8);
+  g.begin_block();
+  const OpId a = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  g.begin_block();
+  g.conv2d(a, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1});
+  // Force a block inversion by hand is not possible through the builder API,
+  // so validate() passes for any graph the builder constructs.
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, SuccsMirrorPreds) {
+  Graph g = models::fig5_graph(1);
+  for (const Op& op : g.ops()) {
+    for (OpId p : g.preds(op.id)) {
+      const auto succs = g.succs(p);
+      EXPECT_NE(std::find(succs.begin(), succs.end(), op.id), succs.end());
+    }
+  }
+}
+
+TEST(Graph, ToStringMentionsOps) {
+  Graph g = models::fig5_graph(1);
+  const std::string s = g.to_string();
+  EXPECT_NE(s.find("Fig5"), std::string::npos);
+  EXPECT_NE(s.find("Conv"), std::string::npos);
+}
+
+TEST(Graph, OutOfRangeInputRejected) {
+  Graph g(1);
+  EXPECT_THROW(
+      g.conv2d(5, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 1}),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ios

@@ -1,0 +1,226 @@
+// Integration tests that pin down the paper-level claims end to end. These
+// are the regression guard for EXPERIMENTS.md: if a calibration or scheduler
+// change breaks one of the published *shapes*, a test here fails.
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "frameworks/frameworks.hpp"
+#include "models/models.hpp"
+#include "schedule/baselines.hpp"
+
+namespace ios {
+namespace {
+
+ExecConfig cfg(const DeviceSpec& d) { return ExecConfig{d, {}}; }
+
+Schedule ios_schedule(const Graph& g, const DeviceSpec& dev,
+                      IosVariant v = IosVariant::kBoth) {
+  CostModel cost(g, cfg(dev));
+  SchedulerOptions opt;
+  opt.variant = v;
+  return IosScheduler(cost, opt).schedule_graph();
+}
+
+double run(const Graph& g, const DeviceSpec& dev, const Schedule& q) {
+  return Executor(g, cfg(dev)).schedule_latency_us(q);
+}
+
+struct ModelCase {
+  const char* name;
+  Graph (*build)(int);
+};
+
+const ModelCase kPaperModels[] = {
+    {"inception", [](int b) { return models::inception_v3(b); }},
+    {"randwire", [](int b) { return models::randwire(b); }},
+    {"nasnet", [](int b) { return models::nasnet_a(b); }},
+    {"squeezenet", [](int b) { return models::squeezenet(b); }},
+};
+
+class PaperModelTest : public ::testing::TestWithParam<int> {
+ protected:
+  const ModelCase& model() const {
+    return kPaperModels[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+TEST_P(PaperModelTest, IosBeatsBaselineSchedulesOnV100) {
+  const Graph g = model().build(1);
+  const DeviceSpec dev = tesla_v100();
+  const double ios = run(g, dev, ios_schedule(g, dev));
+  EXPECT_LE(ios, run(g, dev, sequential_schedule(g)) + 1e-6);
+  EXPECT_LE(ios, run(g, dev, greedy_schedule(g)) + 1e-6);
+}
+
+TEST_P(PaperModelTest, IosBeatsBaselineSchedulesOn2080Ti) {
+  const Graph g = model().build(1);
+  const DeviceSpec dev = rtx_2080ti();
+  const double ios = run(g, dev, ios_schedule(g, dev));
+  EXPECT_LE(ios, run(g, dev, sequential_schedule(g)) + 1e-6);
+  EXPECT_LE(ios, run(g, dev, greedy_schedule(g)) + 1e-6);
+}
+
+TEST_P(PaperModelTest, IosBothAtLeastAsGoodAsVariants) {
+  const Graph g = model().build(1);
+  const DeviceSpec dev = tesla_v100();
+  const double both = run(g, dev, ios_schedule(g, dev, IosVariant::kBoth));
+  EXPECT_LE(both,
+            run(g, dev, ios_schedule(g, dev, IosVariant::kParallel)) + 1e-6);
+  EXPECT_LE(both,
+            run(g, dev, ios_schedule(g, dev, IosVariant::kMerge)) + 1e-6);
+}
+
+TEST_P(PaperModelTest, MeaningfulSpeedupOnMultiBranchNetworks) {
+  // Paper Figure 6: sequential is 0.5-0.95 of IOS-Both throughput.
+  const Graph g = model().build(1);
+  const DeviceSpec dev = tesla_v100();
+  const double speedup =
+      run(g, dev, sequential_schedule(g)) / run(g, dev, ios_schedule(g, dev));
+  if (std::string(model().name) == "squeezenet") {
+    EXPECT_GT(speedup, 1.0);
+    EXPECT_LT(speedup, 1.3);
+  } else {
+    EXPECT_GT(speedup, 1.3) << model().name;
+    EXPECT_LT(speedup, 2.6) << model().name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, PaperModelTest, ::testing::Range(0, 4));
+
+TEST(PaperClaims, GreedyDegradesSqueezenet) {
+  // Section 6.1: "it degrades the performance of SqueezeNet because of the
+  // overhead of synchronization."
+  const Graph g = models::squeezenet(1);
+  const DeviceSpec dev = tesla_v100();
+  EXPECT_GT(run(g, dev, greedy_schedule(g)),
+            run(g, dev, sequential_schedule(g)));
+}
+
+TEST(PaperClaims, IosBeatsTensorRtOnMultiBranchNetworks) {
+  // Figure 7: 1.1-1.5x over the best cuDNN baseline.
+  const DeviceSpec dev = tesla_v100();
+  for (const auto& m : {kPaperModels[0], kPaperModels[1], kPaperModels[2]}) {
+    const Graph g = m.build(1);
+    const double trt =
+        frameworks::run_framework(g, dev, frameworks::tensorrt_spec())
+            .latency_us;
+    const double ios = run(g, dev, ios_schedule(g, dev));
+    EXPECT_GT(trt / ios, 1.1) << m.name;
+  }
+}
+
+TEST(PaperClaims, TvmCrossover) {
+  // Figure 12: TVM-AutoTune wins the separable-conv network (RandWire);
+  // IOS wins the dense-conv network (Inception V3).
+  const DeviceSpec dev = tesla_v100();
+  {
+    const Graph g = models::randwire(1);
+    const double tvm =
+        frameworks::run_framework(g, dev, frameworks::tvm_autotune_spec())
+            .latency_us;
+    EXPECT_LT(tvm, run(g, dev, ios_schedule(g, dev)));
+  }
+  {
+    const Graph g = models::inception_v3(1);
+    const double tvm =
+        frameworks::run_framework(g, dev, frameworks::tvm_autotune_spec())
+            .latency_us;
+    EXPECT_GT(tvm, run(g, dev, ios_schedule(g, dev)) * 1.2);
+  }
+}
+
+TEST(PaperClaims, BatchSpecializationDiagonalWins) {
+  // Table 3 (1): the schedule optimized for the executed batch size is the
+  // best entry of its row.
+  const DeviceSpec dev = tesla_v100();
+  const Graph g1 = models::inception_v3(1);
+  const Graph g32 = models::inception_v3(32);
+  const Schedule q1 = ios_schedule(g1, dev);
+  const Schedule q32 = ios_schedule(g32, dev);
+  EXPECT_LT(run(g1, dev, q1), run(g1, dev, q32));
+  EXPECT_LT(run(g32, dev, q32), run(g32, dev, q1));
+}
+
+TEST(PaperClaims, DeviceSpecializationDiagonalWins) {
+  // Table 3 (2).
+  const Graph g = models::inception_v3(1);
+  const Schedule q_v100 = ios_schedule(g, tesla_v100());
+  const Schedule q_k80 = ios_schedule(g, tesla_k80());
+  EXPECT_LE(run(g, tesla_v100(), q_v100), run(g, tesla_v100(), q_k80));
+  EXPECT_LE(run(g, tesla_k80(), q_k80), run(g, tesla_k80(), q_v100));
+}
+
+TEST(PaperClaims, IosSustainsMoreActiveWarps) {
+  // Figure 8: more resident warps than the sequential schedule (paper:
+  // 1.58x on the Figure 2 model).
+  const Graph g = models::fig2_graph(1);
+  Executor ex(g, cfg(tesla_v100()));
+  const double seq =
+      ex.run_schedule(sequential_schedule(g)).mean_active_warps();
+  const double ios =
+      ex.run_schedule(ios_schedule(g, tesla_v100())).mean_active_warps();
+  EXPECT_GT(ios / seq, 1.3);
+}
+
+TEST(PaperClaims, ResnetGainsAtMostAFewPercent) {
+  // Section 5: 2-5% on ResNet-34/50.
+  const DeviceSpec dev = tesla_v100();
+  for (const Graph& g : {models::resnet34(1), models::resnet50(1)}) {
+    const double speedup =
+        run(g, dev, sequential_schedule(g)) / run(g, dev, ios_schedule(g, dev));
+    EXPECT_GE(speedup, 1.0);
+    EXPECT_LE(speedup, 1.06) << g.name();
+  }
+}
+
+TEST(PaperClaims, MoreStagesWhenOptimizedForLargeBatch) {
+  // Figure 10: the bs-32 schedule of the last Inception block has more
+  // stages than the bs-1 schedule.
+  const DeviceSpec dev = tesla_v100();
+  const Graph g1 = models::inception_v3(1);
+  const Graph g32 = models::inception_v3(32);
+  CostModel c1(g1, cfg(dev)), c32(g32, cfg(dev));
+  const auto block1 = g1.blocks()[11];
+  const Schedule q1 = IosScheduler(c1).schedule_block(block1);
+  const Schedule q32 = IosScheduler(c32).schedule_block(block1);
+  EXPECT_GT(q32.stages.size(), q1.stages.size());
+}
+
+TEST(PaperClaims, ThroughputGrowsAndSaturatesWithBatch) {
+  // Figure 11.
+  const DeviceSpec dev = tesla_v100();
+  double prev_throughput = 0;
+  for (int batch : {1, 16, 64}) {
+    const Graph g = models::inception_v3(batch);
+    const double lat = run(g, dev, ios_schedule(g, dev));
+    const double throughput = batch / (lat / 1e6);
+    EXPECT_GT(throughput, prev_throughput);
+    prev_throughput = throughput;
+  }
+  // Saturation: 16 -> 64 grows much less than 1 -> 16.
+  const Graph g16 = models::inception_v3(16);
+  const Graph g64 = models::inception_v3(64);
+  const double t16 = 16 / (run(g16, dev, ios_schedule(g16, dev)) / 1e6);
+  const double t64 = 64 / (run(g64, dev, ios_schedule(g64, dev)) / 1e6);
+  EXPECT_LT(t64 / t16, 1.3);
+}
+
+TEST(PaperClaims, OptimizationCostScalesWithSearchSpace) {
+  // Section 5: Inception/SqueezeNet optimize fast; RandWire/NasNet are the
+  // expensive ones.
+  const DeviceSpec dev = tesla_v100();
+  auto profiling_cost = [&](const Graph& g) {
+    CostModel cost(g, cfg(dev));
+    SchedulerStats stats;
+    IosScheduler(cost).schedule_graph(&stats);
+    return stats.profiling_cost_us;
+  };
+  EXPECT_LT(profiling_cost(models::squeezenet(1)),
+            profiling_cost(models::inception_v3(1)));
+  EXPECT_LT(profiling_cost(models::inception_v3(1)),
+            profiling_cost(models::nasnet_a(1)));
+}
+
+}  // namespace
+}  // namespace ios

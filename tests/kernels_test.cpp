@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "tensor/kernels.hpp"
+
+namespace ios {
+namespace {
+
+Tensor make(TensorDesc d, std::uint64_t seed) {
+  Tensor t(d);
+  t.fill_random(seed);
+  return t;
+}
+
+TEST(Kernels, ConvIdentity) {
+  // A 1x1 convolution with an identity weight matrix copies the input.
+  const int c = 3;
+  Tensor x = make({1, c, 4, 4}, 1);
+  Tensor w(TensorDesc{c, c, 1, 1});
+  for (int i = 0; i < c; ++i) w.at(i, i, 0, 0) = 1.0f;
+  const Tensor y = kernels::conv2d(
+      x, w, Conv2dAttrs{.out_channels = c, .kh = 1, .kw = 1,
+                        .post_relu = false});
+  EXPECT_EQ(kernels::max_abs_diff(x, y), 0.0f);
+}
+
+TEST(Kernels, ConvKnownValues) {
+  // 2x2 input, 2x2 kernel of ones, no padding: output = sum of inputs.
+  Tensor x(TensorDesc{1, 1, 2, 2});
+  x.at(0, 0, 0, 0) = 1;
+  x.at(0, 0, 0, 1) = 2;
+  x.at(0, 0, 1, 0) = 3;
+  x.at(0, 0, 1, 1) = 4;
+  Tensor w(TensorDesc{1, 1, 2, 2});
+  w.fill(1.0f);
+  const Tensor y = kernels::conv2d(
+      x, w, Conv2dAttrs{.out_channels = 1, .kh = 2, .kw = 2,
+                        .post_relu = false});
+  EXPECT_EQ(y.desc(), (TensorDesc{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 10.0f);
+}
+
+TEST(Kernels, ConvPostRelu) {
+  Tensor x(TensorDesc{1, 1, 1, 1});
+  x.at(0, 0, 0, 0) = 1.0f;
+  Tensor w(TensorDesc{1, 1, 1, 1});
+  w.at(0, 0, 0, 0) = -2.0f;
+  const Tensor neg = kernels::conv2d(
+      x, w, Conv2dAttrs{.out_channels = 1, .kh = 1, .kw = 1,
+                        .post_relu = false});
+  EXPECT_FLOAT_EQ(neg.at(0, 0, 0, 0), -2.0f);
+  const Tensor clamped = kernels::conv2d(
+      x, w, Conv2dAttrs{.out_channels = 1, .kh = 1, .kw = 1,
+                        .post_relu = true});
+  EXPECT_FLOAT_EQ(clamped.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(Kernels, ConvStridePadding) {
+  Tensor x = make({1, 2, 5, 5}, 2);
+  Tensor w = make({4, 2, 3, 3}, 3);
+  const Tensor y = kernels::conv2d(
+      x, w, Conv2dAttrs{.out_channels = 4, .kh = 3, .kw = 3, .sh = 2, .sw = 2,
+                        .ph = 1, .pw = 1, .post_relu = false});
+  EXPECT_EQ(y.desc(), (TensorDesc{1, 4, 3, 3}));
+}
+
+TEST(Kernels, ZeroPaddedKernelEqualsSmallerKernel) {
+  // Embedding a 1x1 kernel in the center of a 3x3 zero kernel and adding
+  // compensating padding must reproduce the 1x1 convolution exactly. This
+  // is the algebraic fact operator merge relies on.
+  Tensor x = make({2, 3, 6, 6}, 4);
+  Tensor w1 = make({5, 3, 1, 1}, 5);
+  Tensor w3(TensorDesc{5, 3, 3, 3});
+  for (int o = 0; o < 5; ++o) {
+    for (int i = 0; i < 3; ++i) w3.at(o, i, 1, 1) = w1.at(o, i, 0, 0);
+  }
+  const Tensor y1 = kernels::conv2d(
+      x, w1, Conv2dAttrs{.out_channels = 5, .kh = 1, .kw = 1,
+                         .post_relu = false});
+  const Tensor y3 = kernels::conv2d(
+      x, w3, Conv2dAttrs{.out_channels = 5, .kh = 3, .kw = 3, .ph = 1, .pw = 1,
+                         .post_relu = false});
+  EXPECT_LT(kernels::max_abs_diff(y1, y3), 1e-5f);
+}
+
+TEST(Kernels, ReluClampsNegatives) {
+  Tensor x(TensorDesc{1, 1, 1, 3});
+  x.at(0, 0, 0, 0) = -1;
+  x.at(0, 0, 0, 1) = 0;
+  x.at(0, 0, 0, 2) = 2;
+  const Tensor y = kernels::relu(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 0);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 1), 0);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 2), 2);
+}
+
+TEST(Kernels, MaxPool) {
+  Tensor x(TensorDesc{1, 1, 2, 2});
+  x.at(0, 0, 0, 0) = 1;
+  x.at(0, 0, 0, 1) = 5;
+  x.at(0, 0, 1, 0) = -2;
+  x.at(0, 0, 1, 1) = 3;
+  const Tensor y = kernels::pool2d(
+      x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 2, 2, 2, 2, 0, 0});
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 5);
+}
+
+TEST(Kernels, AvgPoolCountsOnlyValidCells) {
+  Tensor x(TensorDesc{1, 1, 2, 2});
+  x.fill(4.0f);
+  // 3x3 window with padding 1: corner windows cover 4 valid cells.
+  const Tensor y = kernels::pool2d(
+      x, Pool2dAttrs{Pool2dAttrs::Kind::kAvg, 3, 3, 1, 1, 1, 1});
+  EXPECT_EQ(y.desc(), (TensorDesc{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 4.0f);
+}
+
+TEST(Kernels, GlobalAvgPool) {
+  Tensor x(TensorDesc{1, 2, 2, 2});
+  for (int h = 0; h < 2; ++h) {
+    for (int w = 0; w < 2; ++w) {
+      x.at(0, 0, h, w) = 2.0f;
+      x.at(0, 1, h, w) = static_cast<float>(h * 2 + w);
+    }
+  }
+  const Tensor y = kernels::pool2d(
+      x, Pool2dAttrs{.kind = Pool2dAttrs::Kind::kGlobalAvg});
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), 1.5f);
+}
+
+TEST(Kernels, MatmulKnownValues) {
+  Tensor x(TensorDesc{1, 3, 1, 1});
+  x.at(0, 0, 0, 0) = 1;
+  x.at(0, 1, 0, 0) = 2;
+  x.at(0, 2, 0, 0) = 3;
+  Tensor w(TensorDesc{2, 3, 1, 1});
+  float* wd = w.data();
+  // Row 0: [1,1,1] -> 6 ; Row 1: [1,0,-1] -> -2.
+  wd[0] = 1; wd[1] = 1; wd[2] = 1;
+  wd[3] = 1; wd[4] = 0; wd[5] = -1;
+  const Tensor y =
+      kernels::matmul(x, w, MatmulAttrs{.out_features = 2, .post_relu = false});
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 6);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 0, 0), -2);
+}
+
+TEST(Kernels, ConcatSplitRoundtrip) {
+  Tensor a = make({2, 3, 4, 4}, 7);
+  Tensor b = make({2, 5, 4, 4}, 8);
+  const Tensor* parts[] = {&a, &b};
+  const Tensor cat = kernels::concat(parts);
+  EXPECT_EQ(cat.desc().c, 8);
+  EXPECT_EQ(kernels::max_abs_diff(kernels::split(cat, 0, 3), a), 0.0f);
+  EXPECT_EQ(kernels::max_abs_diff(kernels::split(cat, 3, 8), b), 0.0f);
+}
+
+TEST(Kernels, AddElementwise) {
+  Tensor a = make({1, 2, 3, 3}, 9);
+  Tensor b = make({1, 2, 3, 3}, 10);
+  const Tensor y = kernels::add(a, b);
+  EXPECT_FLOAT_EQ(y.at(0, 1, 2, 2), a.at(0, 1, 2, 2) + b.at(0, 1, 2, 2));
+}
+
+TEST(Kernels, SepconvMatchesManualComposition) {
+  // sepconv(pre_relu) == pointwise(depthwise(relu(x))).
+  const SepConvAttrs attrs{.out_channels = 6, .k = 3, .sh = 1, .sw = 1,
+                           .ph = 1, .pw = 1, .pre_relu = true};
+  Tensor x = make({1, 4, 5, 5}, 11);
+  Tensor dw = make({4, 1, 3, 3}, 12);
+  Tensor pw = make({6, 4, 1, 1}, 13);
+  const Tensor* xs[] = {&x};
+  const Tensor got = kernels::sepconv(xs, dw, pw, attrs);
+
+  // Manual: relu, then per-channel 3x3, then 1x1 dense.
+  const Tensor r = kernels::relu(x);
+  Tensor mid(TensorDesc{1, 4, 5, 5});
+  for (int c = 0; c < 4; ++c) {
+    for (int y = 0; y < 5; ++y) {
+      for (int w = 0; w < 5; ++w) {
+        double acc = 0;
+        for (int kh = 0; kh < 3; ++kh) {
+          for (int kw = 0; kw < 3; ++kw) {
+            const int iy = y - 1 + kh, ix = w - 1 + kw;
+            if (iy < 0 || iy >= 5 || ix < 0 || ix >= 5) continue;
+            acc += static_cast<double>(r.at(0, c, iy, ix)) * dw.at(c, 0, kh, kw);
+          }
+        }
+        mid.at(0, c, y, w) = static_cast<float>(acc);
+      }
+    }
+  }
+  const Tensor want = kernels::conv2d(
+      mid, pw, Conv2dAttrs{.out_channels = 6, .kh = 1, .kw = 1,
+                           .post_relu = false});
+  EXPECT_LT(kernels::max_abs_diff(got, want), 1e-5f);
+}
+
+TEST(Kernels, SepconvMultiInputSums) {
+  const SepConvAttrs attrs{.out_channels = 4, .k = 3, .sh = 1, .sw = 1,
+                           .ph = 1, .pw = 1, .pre_relu = false};
+  Tensor a = make({1, 4, 5, 5}, 14);
+  Tensor b = make({1, 4, 5, 5}, 15);
+  Tensor dw = make({4, 1, 3, 3}, 16);
+  Tensor pw = make({4, 4, 1, 1}, 17);
+  const Tensor* both[] = {&a, &b};
+  const Tensor got = kernels::sepconv(both, dw, pw, attrs);
+  const Tensor sum = kernels::add(a, b);
+  const Tensor* single[] = {&sum};
+  const Tensor want = kernels::sepconv(single, dw, pw, attrs);
+  EXPECT_LT(kernels::max_abs_diff(got, want), 1e-6f);
+}
+
+TEST(Kernels, MaxAbsDiff) {
+  Tensor a(TensorDesc{1, 1, 1, 2});
+  Tensor b(TensorDesc{1, 1, 1, 2});
+  a.at(0, 0, 0, 0) = 1.0f;
+  b.at(0, 0, 0, 0) = 1.5f;
+  a.at(0, 0, 0, 1) = -2.0f;
+  b.at(0, 0, 0, 1) = -2.25f;
+  EXPECT_FLOAT_EQ(kernels::max_abs_diff(a, b), 0.5f);
+}
+
+TEST(Tensor, FillRandomDeterministic) {
+  Tensor a(TensorDesc{1, 2, 3, 4});
+  Tensor b(TensorDesc{1, 2, 3, 4});
+  a.fill_random(99);
+  b.fill_random(99);
+  EXPECT_EQ(kernels::max_abs_diff(a, b), 0.0f);
+  b.fill_random(100);
+  EXPECT_GT(kernels::max_abs_diff(a, b), 0.0f);
+}
+
+}  // namespace
+}  // namespace ios

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "schedule/merge.hpp"
+
+namespace ios {
+namespace {
+
+struct MergeFixture : ::testing::Test {
+  Graph g{1, "merge"};
+  OpId in = g.input(16, 10, 10);
+
+  OpId conv(int out_c, int kh, int kw, int stride = 1, bool relu = true) {
+    return g.conv2d(in, Conv2dAttrs{.out_channels = out_c, .kh = kh, .kw = kw,
+                                    .sh = stride, .sw = stride,
+                                    .ph = (kh - 1) / 2, .pw = (kw - 1) / 2,
+                                    .post_relu = relu});
+  }
+};
+
+TEST_F(MergeFixture, MergesSameShapeConvs) {
+  const OpId a = conv(8, 3, 3);
+  const OpId b = conv(24, 3, 3);
+  const OpId ops[] = {a, b};
+  const auto info = analyze_merge(g, ops);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->merged_attrs.out_channels, 32);
+  EXPECT_EQ(info->merged_attrs.kh, 3);
+  EXPECT_EQ(info->shared_input, in);
+  EXPECT_EQ(info->channel_offset, (std::vector<int>{0, 8}));
+}
+
+TEST_F(MergeFixture, MergesMixedKernelSizesWithPadding) {
+  // 1x1 and 3x3 with "same" padding: 1x1 pads to 3x3 centered.
+  const OpId a = conv(8, 1, 1);
+  const OpId b = conv(8, 3, 3);
+  const OpId ops[] = {a, b};
+  const auto info = analyze_merge(g, ops);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->merged_attrs.kh, 3);
+  EXPECT_EQ(info->merged_attrs.ph, 1);
+  EXPECT_EQ(info->spatial_offset[0], (std::pair<int, int>{1, 1}));
+  EXPECT_EQ(info->spatial_offset[1], (std::pair<int, int>{0, 0}));
+}
+
+TEST_F(MergeFixture, MergesAsymmetricKernels) {
+  // The paper's Figure 10: 3x1 and 1x3 merge into 3x3.
+  const OpId f = g.conv2d(in, Conv2dAttrs{.out_channels = 8, .kh = 3, .kw = 1,
+                                          .ph = 1, .pw = 0});
+  const OpId gg = g.conv2d(in, Conv2dAttrs{.out_channels = 8, .kh = 1, .kw = 3,
+                                           .ph = 0, .pw = 1});
+  const OpId ops[] = {f, gg};
+  const auto info = analyze_merge(g, ops);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->merged_attrs.kh, 3);
+  EXPECT_EQ(info->merged_attrs.kw, 3);
+  EXPECT_EQ(info->merged_attrs.ph, 1);
+  EXPECT_EQ(info->merged_attrs.pw, 1);
+}
+
+TEST_F(MergeFixture, RejectsDifferentStride) {
+  const OpId a = conv(8, 3, 3, 1);
+  const OpId b = conv(8, 3, 3, 2);
+  const OpId ops[] = {a, b};
+  EXPECT_FALSE(analyze_merge(g, ops).has_value());
+}
+
+TEST_F(MergeFixture, RejectsDifferentInput) {
+  const OpId a = conv(8, 3, 3);
+  const OpId mid = conv(16, 1, 1);
+  const OpId b = g.conv2d(mid, Conv2dAttrs{.out_channels = 8, .kh = 3, .kw = 3,
+                                           .ph = 1, .pw = 1});
+  const OpId ops[] = {a, b};
+  EXPECT_FALSE(analyze_merge(g, ops).has_value());
+}
+
+TEST_F(MergeFixture, RejectsMixedParity) {
+  const OpId a = conv(8, 2, 2);  // even kernel
+  const OpId b = conv(8, 3, 3);
+  const OpId ops[] = {a, b};
+  EXPECT_FALSE(analyze_merge(g, ops).has_value());
+}
+
+TEST_F(MergeFixture, RejectsNonConv) {
+  const OpId a = conv(8, 3, 3);
+  const OpId p = g.pool2d(in, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 1, 1,
+                                          1, 1});
+  const OpId ops[] = {a, p};
+  EXPECT_FALSE(analyze_merge(g, ops).has_value());
+}
+
+TEST_F(MergeFixture, RejectsSepConv) {
+  const OpId a = g.sepconv(in, SepConvAttrs{.out_channels = 8});
+  const OpId b = g.sepconv(in, SepConvAttrs{.out_channels = 8});
+  const OpId ops[] = {a, b};
+  EXPECT_FALSE(analyze_merge(g, ops).has_value());
+}
+
+TEST_F(MergeFixture, RejectsDifferentActivation) {
+  const OpId a = conv(8, 3, 3, 1, true);
+  const OpId b = conv(8, 3, 3, 1, false);
+  const OpId ops[] = {a, b};
+  EXPECT_FALSE(analyze_merge(g, ops).has_value());
+}
+
+TEST_F(MergeFixture, RejectsMismatchedPadding) {
+  // Same 3x3 kernels but different padding -> different output extents.
+  const OpId a = conv(8, 3, 3);  // pad 1
+  const OpId b = g.conv2d(in, Conv2dAttrs{.out_channels = 8, .kh = 3, .kw = 3,
+                                          .ph = 0, .pw = 0});
+  const OpId ops[] = {a, b};
+  EXPECT_FALSE(analyze_merge(g, ops).has_value());
+}
+
+TEST_F(MergeFixture, RejectsEmpty) {
+  EXPECT_FALSE(analyze_merge(g, {}).has_value());
+}
+
+TEST_F(MergeFixture, ThreeWayMergeOrdersById) {
+  const OpId a = conv(8, 1, 1);
+  const OpId b = conv(4, 3, 3);
+  const OpId c = conv(2, 5, 5);
+  // Present in scrambled order; stacking must be by op id.
+  const OpId ops[] = {c, a, b};
+  const auto info = analyze_merge(g, ops);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->ops, (std::vector<OpId>{a, b, c}));
+  EXPECT_EQ(info->channel_offset, (std::vector<int>{0, 8, 12}));
+  EXPECT_EQ(info->merged_attrs.kh, 5);
+  EXPECT_EQ(info->merged_attrs.out_channels, 14);
+}
+
+TEST_F(MergeFixture, SingleOpIsItsOwnMerge) {
+  const OpId a = conv(8, 3, 3);
+  const OpId ops[] = {a};
+  const auto info = analyze_merge(g, ops);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->merged_attrs.out_channels, 8);
+}
+
+}  // namespace
+}  // namespace ios

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/analysis.hpp"
+#include "models/models.hpp"
+
+namespace ios {
+namespace {
+
+TEST(Models, AllValidate) {
+  for (const Graph& g :
+       {models::inception_v3(1), models::randwire(1), models::nasnet_a(1),
+        models::squeezenet(1), models::resnet34(1), models::resnet50(1),
+        models::vgg16(1), models::fig2_graph(1), models::fig3_graph(1),
+        models::fig5_graph(1), models::fig13_chains(1, 3, 2)}) {
+    EXPECT_NO_THROW(g.validate()) << g.name();
+    EXPECT_GT(g.total_flops(), 0) << g.name();
+  }
+}
+
+TEST(Models, InceptionSummaryMatchesPaperScale) {
+  const Graph g = models::inception_v3(1);
+  const NetworkSummary s = summarize_network(g);
+  // Paper Table 2: 11 blocks / 119 operators counting only the inception
+  // blocks; we additionally model the stem and classifier as blocks.
+  EXPECT_EQ(s.num_blocks, 13);
+  EXPECT_NEAR(s.num_ops, 119, 5);
+  EXPECT_EQ(s.main_op_type, "Conv-Relu");
+}
+
+TEST(Models, InceptionEBlockMatchesPaperTable1) {
+  // Paper Table 1 lists the Inception-E block: n = 11, d = 6.
+  const Graph g = models::inception_v3(1);
+  const auto blocks = g.blocks();
+  // Block 11 is the first Inception-E block (stem=0, A=1..3, RedA=4,
+  // B=5..8, RedB=9, E=10..11, classifier=12).
+  const BlockComplexity c = analyze_block(g, blocks[10], 10);
+  EXPECT_EQ(c.n, 11);
+  EXPECT_EQ(c.d, 6);
+  EXPECT_GT(c.transitions, 0);
+  EXPECT_GT(c.num_schedules, 1e3);
+}
+
+TEST(Models, RandwireMatchesPaperTable1) {
+  const Graph g = models::randwire(1);
+  const BlockComplexity c = largest_block_complexity(g);
+  EXPECT_EQ(c.n, 33);  // 32 Relu-SepConv nodes + output concat
+  EXPECT_NEAR(c.d, 8, 1);
+  EXPECT_GT(c.num_schedules, 1e20);  // paper: 9.2e22
+  const NetworkSummary s = summarize_network(g);
+  EXPECT_EQ(s.main_op_type, "Relu-SepConv");
+  EXPECT_NEAR(s.num_ops, 120, 20);
+}
+
+TEST(Models, NasnetMatchesPaperTable1) {
+  const Graph g = models::nasnet_a(1);
+  const BlockComplexity c = largest_block_complexity(g);
+  EXPECT_EQ(c.n, 18);
+  EXPECT_EQ(c.d, 8);
+  const NetworkSummary s = summarize_network(g);
+  EXPECT_EQ(s.main_op_type, "Relu-SepConv");
+}
+
+TEST(Models, SqueezenetSummary) {
+  const Graph g = models::squeezenet(1);
+  const NetworkSummary s = summarize_network(g);
+  EXPECT_EQ(s.num_blocks, 10);
+  EXPECT_NEAR(s.num_ops, 50, 10);
+  const BlockComplexity c = largest_block_complexity(g);
+  EXPECT_EQ(c.n, 6);
+}
+
+TEST(Models, BatchPropagatesToEveryTensor) {
+  for (int batch : {1, 16}) {
+    const Graph g = models::squeezenet(batch);
+    for (const Op& op : g.ops()) {
+      EXPECT_EQ(op.output.n, batch) << op.name;
+    }
+  }
+}
+
+TEST(Models, SameTopologyAcrossBatchSizes) {
+  // Schedules are transferable across batch sizes because op ids and edges
+  // are identical (only tensor shapes change) — Table 3 depends on this.
+  const Graph a = models::inception_v3(1);
+  const Graph b = models::inception_v3(32);
+  ASSERT_EQ(a.num_ops(), b.num_ops());
+  for (OpId id = 0; id < a.num_ops(); ++id) {
+    EXPECT_EQ(a.op(id).kind, b.op(id).kind);
+    EXPECT_EQ(a.op(id).inputs, b.op(id).inputs);
+    EXPECT_EQ(a.op(id).block, b.op(id).block);
+  }
+}
+
+TEST(Models, RandwireDeterministicPerSeed) {
+  const Graph a = models::randwire(1, 5);
+  const Graph b = models::randwire(1, 5);
+  ASSERT_EQ(a.num_ops(), b.num_ops());
+  for (OpId id = 0; id < a.num_ops(); ++id) {
+    EXPECT_EQ(a.op(id).inputs, b.op(id).inputs);
+  }
+  // Different seed -> different wiring (with overwhelming probability).
+  const Graph c = models::randwire(1, 6);
+  bool differs = a.num_ops() != c.num_ops();
+  for (OpId id = 0; !differs && id < a.num_ops(); ++id) {
+    differs = a.op(id).inputs != c.op(id).inputs;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Models, ResnetMostlySequential) {
+  // ResNet blocks expose almost no inter-operator parallelism: width of the
+  // largest block is at most 2 (main path vs downsample shortcut).
+  for (const Graph& g : {models::resnet34(1), models::resnet50(1)}) {
+    for (const auto& block : g.blocks()) {
+      BlockDag dag(g, block);
+      EXPECT_LE(dag.width(), 2) << g.name();
+    }
+  }
+}
+
+TEST(Models, Vgg16IsAChain) {
+  const Graph g = models::vgg16(1);
+  const BlockComplexity c = largest_block_complexity(g);
+  EXPECT_EQ(c.d, 1);
+  EXPECT_DOUBLE_EQ(c.num_schedules,
+                   std::pow(2.0, c.n - 1));  // compositions of a chain
+}
+
+TEST(Models, Fig2GraphShape) {
+  const Graph g = models::fig2_graph(1);
+  // conv_b (768 channels) depends on conv_a; c, d independent; concat 1920.
+  const NetworkSummary s = summarize_network(g);
+  EXPECT_EQ(s.num_ops, 5);
+  for (const Op& op : g.ops()) {
+    if (op.kind == OpKind::kConcat) {
+      EXPECT_EQ(op.output.c, 1920);
+    }
+  }
+}
+
+TEST(Models, Fig13ChainsStructure) {
+  const Graph g = models::fig13_chains(1, 4, 3);
+  const auto blocks = g.blocks();
+  ASSERT_GE(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].size(), 12u);  // c * d operators in the chain block
+  BlockDag dag(g, blocks[0]);
+  EXPECT_EQ(dag.width(), 3);
+}
+
+TEST(Models, InceptionFlopsScale) {
+  // Inception V3 at 299x299 is ~5.7 GMACs = ~11.4 GFLOPs with the paper's
+  // multiply-accumulate = 2 FLOPs convention; allow some slack because we
+  // skip batch-norm and auxiliary heads.
+  const Graph g = models::inception_v3(1);
+  EXPECT_GT(g.total_flops(), 9e9);
+  EXPECT_LT(g.total_flops(), 14e9);
+}
+
+}  // namespace
+}  // namespace ios

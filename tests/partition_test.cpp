@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/partition.hpp"
+#include "core/scheduler.hpp"
+#include "models/models.hpp"
+#include "schedule/baselines.hpp"
+
+namespace ios {
+namespace {
+
+/// Every schedulable op appears exactly once; blocks respect dependencies
+/// (no edge from a later block into an earlier one).
+void expect_valid_partition(const Graph& g,
+                            const std::vector<std::vector<OpId>>& blocks) {
+  std::unordered_map<OpId, int> block_of;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (OpId id : blocks[b]) {
+      EXPECT_TRUE(block_of.emplace(id, static_cast<int>(b)).second)
+          << "duplicated op " << id;
+    }
+  }
+  EXPECT_EQ(block_of.size(), g.schedulable_ops().size());
+  for (const Op& op : g.ops()) {
+    if (!op.schedulable()) continue;
+    for (OpId pred : g.preds(op.id)) {
+      if (!g.op(pred).schedulable()) continue;
+      EXPECT_LE(block_of.at(pred), block_of.at(op.id))
+          << g.op(pred).name << " -> " << op.name;
+    }
+  }
+}
+
+TEST(AutoPartition, ChainSplitsAtEveryOp) {
+  const Graph g = models::vgg16(1);  // pure chain
+  const auto blocks = auto_partition(g, {.max_block_ops = 6,
+                                         .min_block_ops = 4});
+  expect_valid_partition(g, blocks);
+  for (const auto& b : blocks) {
+    EXPECT_LE(b.size(), 6u);
+  }
+  EXPECT_GT(blocks.size(), 2u);
+}
+
+TEST(AutoPartition, KeepsBranchesTogether) {
+  // fig2: a->b with c, d parallel, closed by a concat. No interior cut
+  // exists, so the whole thing is one block.
+  const Graph g = models::fig2_graph(1);
+  const auto blocks = auto_partition(g);
+  expect_valid_partition(g, blocks);
+  EXPECT_EQ(blocks.size(), 1u);
+}
+
+TEST(AutoPartition, CutsBetweenSequentialModules) {
+  // Two fire-like modules in sequence: the concat between them is a cut.
+  Graph g(1, "two_fires");
+  OpId x = g.input(16, 16, 16);
+  for (int f = 0; f < 2; ++f) {
+    const std::string tag = "f" + std::to_string(f);
+    const OpId s = g.conv2d(
+        x, Conv2dAttrs{.out_channels = 8, .kh = 1, .kw = 1}, tag + "_s");
+    const OpId e1 = g.conv2d(
+        s, Conv2dAttrs{.out_channels = 8, .kh = 1, .kw = 1}, tag + "_e1");
+    const OpId e3 = g.conv2d(
+        s, Conv2dAttrs{.out_channels = 8, .kh = 3, .kw = 3, .ph = 1, .pw = 1},
+        tag + "_e3");
+    const OpId outs[] = {e1, e3};
+    x = g.concat(outs, tag + "_cat");
+  }
+  const auto blocks = auto_partition(g, {.max_block_ops = 4,
+                                         .min_block_ops = 1});
+  expect_valid_partition(g, blocks);
+  EXPECT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].size(), 4u);
+}
+
+TEST(AutoPartition, OversizedUnsplittableSegmentIsChunked) {
+  const Graph g = models::randwire(1);  // 33-op unsplittable stages
+  const auto blocks = auto_partition(g, {.max_block_ops = 16,
+                                         .min_block_ops = 4});
+  expect_valid_partition(g, blocks);
+  for (const auto& b : blocks) {
+    EXPECT_LE(b.size(), 16u);
+  }
+}
+
+TEST(AutoPartition, RespectsHardSet64Limit) {
+  const Graph g = models::nasnet_a(1);
+  const auto blocks = auto_partition(g, {.max_block_ops = 64,
+                                         .min_block_ops = 64});
+  expect_valid_partition(g, blocks);
+  for (const auto& b : blocks) {
+    EXPECT_LE(b.size(), 64u);
+  }
+}
+
+TEST(AutoPartition, RejectsBadOptions) {
+  const Graph g = models::fig5_graph(1);
+  EXPECT_THROW(auto_partition(g, {.max_block_ops = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(auto_partition(g, {.max_block_ops = 65}),
+               std::invalid_argument);
+}
+
+TEST(AutoPartition, SchedulableByIos) {
+  // End-to-end: auto-partition a graph whose builder marked no blocks, then
+  // schedule the partition; the result is valid and no worse than
+  // sequential.
+  Graph g(1, "unblocked");
+  const OpId in = g.input(32, 14, 14);
+  OpId x = in;
+  for (int i = 0; i < 3; ++i) {
+    const std::string tag = "m" + std::to_string(i);
+    const OpId a = g.conv2d(
+        x, Conv2dAttrs{.out_channels = 32, .kh = 1, .kw = 1}, tag + "_a");
+    const OpId b = g.conv2d(
+        x, Conv2dAttrs{.out_channels = 32, .kh = 3, .kw = 3, .ph = 1, .pw = 1},
+        tag + "_b");
+    const OpId outs[] = {a, b};
+    x = g.concat(outs, tag + "_cat");
+    x = g.conv2d(x, Conv2dAttrs{.out_channels = 32, .kh = 1, .kw = 1},
+                 tag + "_proj");
+  }
+  const auto blocks = auto_partition(g);
+  expect_valid_partition(g, blocks);
+
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  IosScheduler scheduler(cost);
+  const Schedule q = scheduler.schedule_partition(blocks);
+  validate_schedule(g, q);
+  double ios = 0, seq = 0;
+  for (const Stage& s : q.stages) ios += cost.measure(s);
+  for (const Stage& s : sequential_schedule(g).stages) seq += cost.measure(s);
+  EXPECT_LE(ios, seq + 1e-9);
+}
+
+TEST(AutoPartition, MatchesManualBlocksOnSqueezenet) {
+  // The recovered cuts should land at module boundaries — block count close
+  // to the hand-annotated one.
+  const Graph g = models::squeezenet(1);
+  const auto blocks = auto_partition(g, {.max_block_ops = 8,
+                                         .min_block_ops = 2});
+  expect_valid_partition(g, blocks);
+  EXPECT_GE(blocks.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ios

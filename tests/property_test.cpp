@@ -1,0 +1,184 @@
+// Property-based tests: random layered computation graphs are generated from
+// a seed, and structural / optimality / functional invariants of the whole
+// pipeline are checked on each.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/scheduler.hpp"
+#include "models/models.hpp"
+#include "runtime/reference_executor.hpp"
+#include "schedule/baselines.hpp"
+#include "tensor/kernels.hpp"
+#include "util/rng.hpp"
+
+namespace ios {
+namespace {
+
+/// Random multi-branch CNN block: an input, 2-4 layers of 1-4 ops each
+/// (conv / sepconv / pool / identity) wired randomly to earlier ops of the
+/// same spatial extent, closed by a concat of the sinks.
+Graph random_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(1 + rng.uniform_int(3), "random_" + std::to_string(seed));
+  const int channels = 4 + 4 * rng.uniform_int(3);
+  const OpId in = g.input(channels, 12, 12);
+  g.begin_block();
+
+  std::vector<OpId> pool{in};
+  const int layers = 2 + rng.uniform_int(3);
+  for (int l = 0; l < layers; ++l) {
+    const int width = 1 + rng.uniform_int(4);
+    std::vector<OpId> next;
+    for (int i = 0; i < width; ++i) {
+      const OpId src = pool[static_cast<std::size_t>(
+          rng.uniform_int(static_cast<int>(pool.size())))];
+      switch (rng.uniform_int(4)) {
+        case 0: {
+          const int kh = 1 + 2 * rng.uniform_int(2);
+          const int kw = 1 + 2 * rng.uniform_int(2);
+          next.push_back(g.conv2d(
+              src, Conv2dAttrs{.out_channels = 4 + 4 * rng.uniform_int(3),
+                               .kh = kh, .kw = kw,
+                               .ph = (kh - 1) / 2, .pw = (kw - 1) / 2}));
+          break;
+        }
+        case 1:
+          next.push_back(
+              g.sepconv(src, SepConvAttrs{.out_channels =
+                                              4 + 4 * rng.uniform_int(3)}));
+          break;
+        case 2:
+          next.push_back(g.pool2d(
+              src, Pool2dAttrs{Pool2dAttrs::Kind::kAvg, 3, 3, 1, 1, 1, 1}));
+          break;
+        default:
+          next.push_back(g.identity(src));
+      }
+    }
+    for (OpId id : next) pool.push_back(id);
+  }
+
+  // Concat all sinks (ops with no consumers) of equal extent.
+  std::vector<OpId> sinks;
+  for (OpId id : pool) {
+    if (id != in && g.succs(id).empty()) sinks.push_back(id);
+  }
+  if (sinks.size() > 1) {
+    g.concat(sinks);
+  }
+  g.validate();
+  return g;
+}
+
+class PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertyTest, IosScheduleIsValid) {
+  const Graph g = random_graph(GetParam());
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  EXPECT_NO_THROW(validate_schedule(g, q));
+}
+
+TEST_P(PropertyTest, IosNeverWorseThanBaselines) {
+  const Graph g = random_graph(GetParam());
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  double ios = 0, seq = 0, greedy = 0;
+  for (const Stage& s : q.stages) ios += cost.measure(s);
+  for (const Stage& s : sequential_schedule(g).stages) seq += cost.measure(s);
+  for (const Stage& s : greedy_schedule(g).stages) greedy += cost.measure(s);
+  EXPECT_LE(ios, seq + 1e-9);
+  EXPECT_LE(ios, greedy + 1e-9);
+}
+
+TEST_P(PropertyTest, IosScheduleComputesSameValues) {
+  const Graph g = random_graph(GetParam());
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  ReferenceExecutor exec(g, GetParam());
+  const auto inputs = exec.make_inputs(GetParam() + 1);
+  const auto oracle = exec.run_sequential(inputs);
+  const auto scheduled = exec.run_schedule(q, inputs);
+  for (const Op& op : g.ops()) {
+    if (!op.schedulable()) continue;
+    EXPECT_LT(kernels::max_abs_diff(oracle[static_cast<std::size_t>(op.id)],
+                                    scheduled[static_cast<std::size_t>(op.id)]),
+              1e-3f)
+        << op.name;
+  }
+}
+
+TEST_P(PropertyTest, EndingsHaveNoOutgoingEdges) {
+  const Graph g = random_graph(GetParam());
+  for (const auto& block : g.blocks()) {
+    BlockDag dag(g, block);
+    dag.for_each_ending(dag.all(), 64, [&](Set64 e) {
+      for (int u : e) {
+        ASSERT_TRUE((dag.succ_mask(u) & dag.all()).is_subset_of(e));
+      }
+    });
+  }
+}
+
+TEST_P(PropertyTest, GroupsPartitionStage) {
+  const Graph g = random_graph(GetParam());
+  const Schedule q = greedy_schedule(g);
+  for (const Stage& stage : q.stages) {
+    // Groups are disjoint and cover the stage.
+    std::unordered_set<OpId> seen;
+    for (const Group& grp : stage.groups) {
+      for (OpId id : grp.ops) {
+        EXPECT_TRUE(seen.insert(id).second);
+      }
+    }
+    // No edges between different groups.
+    for (std::size_t i = 0; i < stage.groups.size(); ++i) {
+      for (OpId id : stage.groups[i].ops) {
+        for (OpId pred : g.preds(id)) {
+          for (std::size_t j = 0; j < stage.groups.size(); ++j) {
+            if (j == i) continue;
+            const auto& ops = stage.groups[j].ops;
+            EXPECT_EQ(std::find(ops.begin(), ops.end(), pred), ops.end());
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST_P(PropertyTest, DpCostEqualsExecutedCost) {
+  // The latency the DP predicts for its own schedule equals the measured
+  // latency of executing that schedule (stage-additivity of the engine).
+  const Graph g = random_graph(GetParam());
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  Executor ex(g, ExecConfig{tesla_v100(), {}});
+  double dp = 0;
+  for (const Stage& s : q.stages) dp += cost.measure(s);
+  EXPECT_NEAR(dp, ex.schedule_latency_us(q), 1e-6);
+}
+
+TEST_P(PropertyTest, WidthBoundsStates) {
+  // d <= n, and the DP transition count respects the paper's upper bound.
+  const Graph g = random_graph(GetParam());
+  for (const auto& block : g.blocks()) {
+    BlockDag dag(g, block);
+    const int n = dag.size();
+    const int d = dag.width();
+    ASSERT_GE(d, 1);
+    ASSERT_LE(d, n);
+    if (n <= 14) {  // keep the exact count cheap
+      const auto counts = dag.count_transitions();
+      EXPECT_LE(static_cast<double>(counts.transitions),
+                BlockDag::transition_upper_bound(n, d) + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range<std::uint64_t>(0, 24));
+
+}  // namespace
+}  // namespace ios

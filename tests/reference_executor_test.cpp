@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "models/models.hpp"
+#include "runtime/reference_executor.hpp"
+#include "schedule/baselines.hpp"
+#include "tensor/kernels.hpp"
+
+namespace ios {
+namespace {
+
+constexpr float kTol = 1e-3f;
+
+/// Compares the outputs of every op under two executions.
+void expect_equivalent(const Graph& g, const std::vector<Tensor>& a,
+                       const std::vector<Tensor>& b) {
+  for (const Op& op : g.ops()) {
+    if (!op.schedulable()) continue;
+    const auto& ta = a[static_cast<std::size_t>(op.id)];
+    const auto& tb = b[static_cast<std::size_t>(op.id)];
+    ASSERT_EQ(ta.desc(), tb.desc()) << op.name;
+    EXPECT_LT(kernels::max_abs_diff(ta, tb), kTol) << op.name;
+  }
+}
+
+TEST(ReferenceExecutor, SequentialScheduleMatchesOracle) {
+  const Graph g = models::fig3_graph(1);
+  ReferenceExecutor exec(g, 1);
+  const auto inputs = exec.make_inputs(2);
+  expect_equivalent(g, exec.run_sequential(inputs),
+                    exec.run_schedule(sequential_schedule(g), inputs));
+}
+
+TEST(ReferenceExecutor, GreedyScheduleMatchesOracle) {
+  const Graph g = models::fig2_graph(1);
+  ReferenceExecutor exec(g, 3);
+  const auto inputs = exec.make_inputs(4);
+  expect_equivalent(g, exec.run_sequential(inputs),
+                    exec.run_schedule(greedy_schedule(g), inputs));
+}
+
+TEST(ReferenceExecutor, MergedStageMatchesOracle) {
+  // Conv a (1x1) and b (3x3) share an input: merge stage must reproduce
+  // both outputs exactly (up to fp round-off from the different reduction
+  // order of the stacked kernel).
+  Graph g(2, "m");
+  const OpId in = g.input(6, 9, 9);
+  g.begin_block();
+  const OpId a = g.conv2d(in, Conv2dAttrs{.out_channels = 5, .kh = 1, .kw = 1},
+                          "a");
+  const OpId b = g.conv2d(in, Conv2dAttrs{.out_channels = 7, .kh = 3, .kw = 3,
+                                          .ph = 1, .pw = 1},
+                          "b");
+  const OpId ins[] = {a, b};
+  g.concat(ins, "cat");
+
+  Schedule q;
+  q.stages.push_back(Stage{StageStrategy::kMerge, {Group{{a, b}}}});
+  q.stages.push_back(
+      Stage{StageStrategy::kConcurrent, {Group{{g.num_ops() - 1}}}});
+
+  ReferenceExecutor exec(g, 5);
+  const auto inputs = exec.make_inputs(6);
+  expect_equivalent(g, exec.run_sequential(inputs),
+                    exec.run_schedule(q, inputs));
+}
+
+TEST(ReferenceExecutor, MergedAsymmetricKernelsMatchOracle) {
+  // Figure 10's f & g: 3x1 and 1x3 merged into a 3x3 kernel.
+  Graph g(1, "fg");
+  const OpId in = g.input(4, 8, 8);
+  g.begin_block();
+  const OpId f = g.conv2d(in, Conv2dAttrs{.out_channels = 3, .kh = 3, .kw = 1,
+                                          .ph = 1, .pw = 0},
+                          "f");
+  const OpId h = g.conv2d(in, Conv2dAttrs{.out_channels = 4, .kh = 1, .kw = 3,
+                                          .ph = 0, .pw = 1},
+                          "g");
+  const OpId ins[] = {f, h};
+  g.concat(ins, "cat");
+
+  Schedule q;
+  q.stages.push_back(Stage{StageStrategy::kMerge, {Group{{f, h}}}});
+  q.stages.push_back(
+      Stage{StageStrategy::kConcurrent, {Group{{g.num_ops() - 1}}}});
+
+  ReferenceExecutor exec(g, 7);
+  const auto inputs = exec.make_inputs(8);
+  expect_equivalent(g, exec.run_sequential(inputs),
+                    exec.run_schedule(q, inputs));
+}
+
+TEST(ReferenceExecutor, IosScheduleOfFireModuleMatchesOracle) {
+  // A real IOS-found schedule over a SqueezeNet-like fire module (may
+  // contain merge stages) computes the same values as sequential execution.
+  Graph g(1, "fire");
+  const OpId in = g.input(16, 12, 12);
+  g.begin_block();
+  const OpId s = g.conv2d(in, Conv2dAttrs{.out_channels = 8, .kh = 1, .kw = 1},
+                          "squeeze");
+  const OpId e1 = g.conv2d(s, Conv2dAttrs{.out_channels = 16, .kh = 1, .kw = 1},
+                           "e1");
+  const OpId e3 = g.conv2d(s, Conv2dAttrs{.out_channels = 16, .kh = 3, .kw = 3,
+                                          .ph = 1, .pw = 1},
+                           "e3");
+  const OpId ins[] = {e1, e3};
+  g.concat(ins, "cat");
+
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  validate_schedule(g, q);
+
+  ReferenceExecutor exec(g, 11);
+  const auto inputs = exec.make_inputs(12);
+  expect_equivalent(g, exec.run_sequential(inputs),
+                    exec.run_schedule(q, inputs));
+}
+
+TEST(ReferenceExecutor, MultiInputSepconvGraph) {
+  Graph g(1, "rw");
+  const OpId in = g.input(8, 10, 10);
+  g.begin_block();
+  const OpId a = g.sepconv(in, SepConvAttrs{.out_channels = 8}, "a");
+  const OpId b = g.sepconv(in, SepConvAttrs{.out_channels = 8}, "b");
+  const OpId both[] = {a, b};
+  g.sepconv(both, SepConvAttrs{.out_channels = 8}, "c");
+
+  ReferenceExecutor exec(g, 13);
+  const auto inputs = exec.make_inputs(14);
+  expect_equivalent(g, exec.run_sequential(inputs),
+                    exec.run_schedule(greedy_schedule(g), inputs));
+}
+
+TEST(ReferenceExecutor, PoolAddIdentitySplitPath) {
+  Graph g(1, "misc");
+  const OpId in = g.input(8, 6, 6);
+  g.begin_block();
+  const OpId p = g.pool2d(in, Pool2dAttrs{Pool2dAttrs::Kind::kAvg, 3, 3, 1, 1,
+                                          1, 1});
+  const OpId i = g.identity(in);
+  const OpId s = g.add(p, i);
+  const OpId sp = g.split(s, 2, 6);
+  const OpId r = g.relu(sp);
+  const OpId gap = g.pool2d(
+      r, Pool2dAttrs{Pool2dAttrs::Kind::kGlobalAvg, 0, 0, 1, 1, 0, 0});
+  g.matmul(gap, MatmulAttrs{.out_features = 3});
+
+  ReferenceExecutor exec(g, 15);
+  const auto inputs = exec.make_inputs(16);
+  expect_equivalent(g, exec.run_sequential(inputs),
+                    exec.run_schedule(sequential_schedule(g), inputs));
+}
+
+TEST(ReferenceExecutor, RejectsWrongInputCountOrShape) {
+  const Graph g = models::fig5_graph(1);
+  ReferenceExecutor exec(g, 17);
+  EXPECT_THROW(exec.run_sequential({}), std::invalid_argument);
+  std::vector<Tensor> bad;
+  bad.emplace_back(TensorDesc{1, 1, 1, 1});
+  EXPECT_THROW(exec.run_sequential(bad), std::invalid_argument);
+}
+
+TEST(ReferenceExecutor, DeterministicWeights) {
+  const Graph g = models::fig5_graph(1);
+  ReferenceExecutor e1(g, 21), e2(g, 21), e3(g, 22);
+  const auto in = e1.make_inputs(23);
+  const auto a = e1.run_sequential(in);
+  const auto b = e2.run_sequential(in);
+  const auto c = e3.run_sequential(in);
+  const OpId last = g.num_ops() - 1;
+  EXPECT_EQ(kernels::max_abs_diff(a[static_cast<std::size_t>(last)],
+                                  b[static_cast<std::size_t>(last)]),
+            0.0f);
+  EXPECT_GT(kernels::max_abs_diff(a[static_cast<std::size_t>(last)],
+                                  c[static_cast<std::size_t>(last)]),
+            0.0f);
+}
+
+}  // namespace
+}  // namespace ios

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "models/models.hpp"
+#include "schedule/baselines.hpp"
+#include "schedule/schedule.hpp"
+
+namespace ios {
+namespace {
+
+// in -> a -> b ; in -> c ; {b, c} -> concat
+struct DiamondGraph {
+  Graph g{1, "diamond"};
+  OpId a, b, c, cat;
+  DiamondGraph() {
+    const OpId in = g.input(8, 8, 8);
+    g.begin_block();
+    a = g.conv2d(in, Conv2dAttrs{.out_channels = 8, .kh = 1, .kw = 1}, "a");
+    b = g.conv2d(a, Conv2dAttrs{.out_channels = 8, .kh = 1, .kw = 1}, "b");
+    c = g.conv2d(in, Conv2dAttrs{.out_channels = 8, .kh = 1, .kw = 1}, "c");
+    const OpId ins[] = {b, c};
+    cat = g.concat(ins, "cat");
+  }
+};
+
+TEST(PartitionGroups, ConnectedOpsShareGroup) {
+  DiamondGraph d;
+  const OpId ops[] = {d.a, d.b, d.c};
+  const auto groups = partition_groups(d.g, ops);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].ops, (std::vector<OpId>{d.a, d.b}));
+  EXPECT_EQ(groups[1].ops, std::vector<OpId>{d.c});
+}
+
+TEST(PartitionGroups, SingletonsWhenIndependent) {
+  DiamondGraph d;
+  const OpId ops[] = {d.b, d.c};
+  const auto groups = partition_groups(d.g, ops);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST(PartitionGroups, TopologicalOrderWithinGroup) {
+  DiamondGraph d;
+  const OpId ops[] = {d.b, d.a};  // deliberately reversed
+  const auto groups = partition_groups(d.g, ops);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].ops, (std::vector<OpId>{d.a, d.b}));
+}
+
+TEST(Stage, OpsAndCounts) {
+  Stage s;
+  s.groups.push_back(Group{{1, 2}});
+  s.groups.push_back(Group{{5}});
+  EXPECT_EQ(s.num_ops(), 3);
+  EXPECT_EQ(s.ops(), (std::vector<OpId>{1, 2, 5}));
+}
+
+TEST(ValidateSchedule, AcceptsSequentialAndGreedy) {
+  for (int batch : {1, 4}) {
+    const Graph g = models::squeezenet(batch);
+    EXPECT_NO_THROW(validate_schedule(g, sequential_schedule(g)));
+    EXPECT_NO_THROW(validate_schedule(g, greedy_schedule(g)));
+  }
+}
+
+TEST(ValidateSchedule, RejectsMissingOp) {
+  DiamondGraph d;
+  Schedule q;
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.a}}}});
+  EXPECT_THROW(validate_schedule(d.g, q), std::runtime_error);
+}
+
+TEST(ValidateSchedule, RejectsDuplicateOp) {
+  DiamondGraph d;
+  Schedule q = sequential_schedule(d.g);
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.a}}}});
+  EXPECT_THROW(validate_schedule(d.g, q), std::runtime_error);
+}
+
+TEST(ValidateSchedule, RejectsDependencyAcrossLaterStage) {
+  DiamondGraph d;
+  Schedule q;
+  // b before a.
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.b}}}});
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.a}}}});
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.c}}}});
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.cat}}}});
+  EXPECT_THROW(validate_schedule(d.g, q), std::runtime_error);
+}
+
+TEST(ValidateSchedule, RejectsSameStageCrossGroupDependency) {
+  DiamondGraph d;
+  Schedule q;
+  q.stages.push_back(
+      Stage{StageStrategy::kConcurrent, {Group{{d.a}}, Group{{d.b}}}});
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.c}}}});
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.cat}}}});
+  EXPECT_THROW(validate_schedule(d.g, q), std::runtime_error);
+}
+
+TEST(ValidateSchedule, RejectsGroupOrderViolation) {
+  DiamondGraph d;
+  Schedule q;
+  q.stages.push_back(
+      Stage{StageStrategy::kConcurrent, {Group{{d.b, d.a}}}});  // b before a
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.c}}}});
+  q.stages.push_back(Stage{StageStrategy::kConcurrent, {Group{{d.cat}}}});
+  EXPECT_THROW(validate_schedule(d.g, q), std::runtime_error);
+}
+
+TEST(ValidateSchedule, RejectsEmptyStageOrGroup) {
+  DiamondGraph d;
+  Schedule q;
+  q.stages.push_back(Stage{});
+  EXPECT_THROW(validate_schedule(d.g, q), std::runtime_error);
+  q.stages[0].groups.push_back(Group{});
+  EXPECT_THROW(validate_schedule(d.g, q), std::runtime_error);
+}
+
+TEST(ValidateSchedule, RejectsSchedulingInputs) {
+  DiamondGraph d;
+  Schedule q = sequential_schedule(d.g);
+  q.stages.insert(q.stages.begin(),
+                  Stage{StageStrategy::kConcurrent, {Group{{0}}}});  // input
+  EXPECT_THROW(validate_schedule(d.g, q), std::runtime_error);
+}
+
+TEST(SequentialSchedule, OneOpPerStage) {
+  const Graph g = models::fig5_graph(1);
+  const Schedule q = sequential_schedule(g);
+  EXPECT_EQ(static_cast<int>(q.stages.size()), 3);
+  for (const Stage& s : q.stages) {
+    EXPECT_EQ(s.num_ops(), 1);
+    EXPECT_EQ(s.groups.size(), 1u);
+  }
+}
+
+TEST(GreedySchedule, TakesAllReadyOps) {
+  const Graph g = models::fig5_graph(1);  // a -> b, c independent
+  const Schedule q = greedy_schedule(g);
+  ASSERT_EQ(q.stages.size(), 2u);
+  EXPECT_EQ(q.stages[0].num_ops(), 2);  // {a, c}
+  EXPECT_EQ(q.stages[1].num_ops(), 1);  // {b}
+  validate_schedule(g, q);
+}
+
+TEST(GreedySchedule, RespectsBlocks) {
+  const Graph g = models::inception_v3(1);
+  const Schedule q = greedy_schedule(g);
+  validate_schedule(g, q);
+  // Stage count is at least the longest dependency chain per block summed.
+  EXPECT_GT(q.stages.size(), g.blocks().size());
+}
+
+TEST(Schedule, ToStringListsStrategies) {
+  DiamondGraph d;
+  const Schedule q = greedy_schedule(d.g);
+  const std::string s = q.to_string(d.g);
+  EXPECT_NE(s.find("concurrent"), std::string::npos);
+  EXPECT_NE(s.find("stage 1"), std::string::npos);
+}
+
+TEST(Schedule, NumOpsSumsStages) {
+  const Graph g = models::squeezenet(1);
+  EXPECT_EQ(sequential_schedule(g).num_ops(),
+            static_cast<int>(g.schedulable_ops().size()));
+  EXPECT_EQ(greedy_schedule(g).num_ops(),
+            static_cast<int>(g.schedulable_ops().size()));
+}
+
+}  // namespace
+}  // namespace ios

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/scheduler.hpp"
+#include "models/models.hpp"
+#include "schedule/baselines.hpp"
+
+namespace ios {
+namespace {
+
+ExecConfig v100_config() { return ExecConfig{tesla_v100(), {}}; }
+
+/// Brute force: minimal schedule cost over *all* feasible schedules, using
+/// the same GENERATE_STAGE choice as the scheduler (IOS-Both).
+double brute_force_cost(const BlockDag& dag, CostModel& cost, Set64 s) {
+  if (s.empty()) return 0;
+  double best = std::numeric_limits<double>::infinity();
+  dag.for_each_ending(s, 64, [&](Set64 ending) {
+    const auto ops = dag.to_ops(ending);
+    const StageChoice choice = cost.generate_stage(ops);
+    best = std::min(best,
+                    brute_force_cost(dag, cost, s - ending) + choice.latency_us);
+  });
+  return best;
+}
+
+double schedule_cost(CostModel& cost, const Schedule& q) {
+  double total = 0;
+  for (const Stage& s : q.stages) total += cost.measure(s);
+  return total;
+}
+
+TEST(IosScheduler, MatchesBruteForceOnSmallGraphs) {
+  for (const Graph& g : {models::fig5_graph(1), models::fig2_graph(1),
+                         models::fig3_graph(1)}) {
+    CostModel cost(g, v100_config());
+    IosScheduler scheduler(cost, SchedulerOptions{.pruning =
+                                                      PruningStrategy::none()});
+    const Schedule q = scheduler.schedule_graph();
+    validate_schedule(g, q);
+
+    double dp_cost = 0;
+    double bf_cost = 0;
+    for (const auto& block : g.blocks()) {
+      BlockDag dag(g, block);
+      bf_cost += brute_force_cost(dag, cost, dag.all());
+    }
+    dp_cost = schedule_cost(cost, q);
+    EXPECT_NEAR(dp_cost, bf_cost, 1e-9 + bf_cost * 1e-12) << g.name();
+  }
+}
+
+TEST(IosScheduler, NeverWorseThanBaselines) {
+  for (const Graph& g :
+       {models::fig2_graph(1), models::squeezenet(1), models::fig5_graph(4)}) {
+    CostModel cost(g, v100_config());
+    IosScheduler scheduler(cost);
+    const Schedule q = scheduler.schedule_graph();
+    const double ios = schedule_cost(cost, q);
+    EXPECT_LE(ios, schedule_cost(cost, sequential_schedule(g)) + 1e-9);
+    EXPECT_LE(ios, schedule_cost(cost, greedy_schedule(g)) + 1e-9);
+  }
+}
+
+TEST(IosScheduler, CoversAllOpsExactlyOnce) {
+  const Graph g = models::inception_v3(1);
+  CostModel cost(g, v100_config());
+  IosScheduler scheduler(cost);
+  const Schedule q = scheduler.schedule_graph();
+  EXPECT_NO_THROW(validate_schedule(g, q));
+  EXPECT_EQ(q.num_ops(), static_cast<int>(g.schedulable_ops().size()));
+}
+
+TEST(IosScheduler, StatsPopulated) {
+  const Graph g = models::fig2_graph(1);
+  CostModel cost(g, v100_config());
+  IosScheduler scheduler(cost);
+  SchedulerStats stats;
+  scheduler.schedule_graph(&stats);
+  EXPECT_GT(stats.states, 0);
+  EXPECT_GT(stats.transitions, stats.states - 1);
+  EXPECT_GT(stats.measurements, 0);
+  EXPECT_GT(stats.profiling_cost_us, 0);
+  EXPECT_GE(stats.search_wall_ms, 0);
+}
+
+TEST(IosScheduler, MemoizationDoesNotChangeResult) {
+  const Graph g = models::fig2_graph(1);
+  CostModel cost1(g, v100_config());
+  CostModel cost2(g, v100_config());
+  const Schedule with = IosScheduler(cost1, {.memoize = true}).schedule_graph();
+  const Schedule without =
+      IosScheduler(cost2, {.memoize = false}).schedule_graph();
+  CostModel cost3(g, v100_config());
+  EXPECT_DOUBLE_EQ(schedule_cost(cost3, with), schedule_cost(cost3, without));
+}
+
+TEST(IosScheduler, MemoizationReducesTransitions) {
+  const Graph g = models::fig2_graph(1);
+  CostModel cost(g, v100_config());
+  SchedulerStats memo_stats, nomemo_stats;
+  IosScheduler(cost, {.memoize = true}).schedule_graph(&memo_stats);
+  IosScheduler(cost, {.memoize = false}).schedule_graph(&nomemo_stats);
+  EXPECT_LT(memo_stats.transitions, nomemo_stats.transitions);
+}
+
+TEST(IosScheduler, PruningRestrictsStageShape) {
+  const Graph g = models::fig2_graph(1);
+  CostModel cost(g, v100_config());
+  const Schedule q =
+      IosScheduler(cost, {.pruning = PruningStrategy{1, 1}}).schedule_graph();
+  // r=1, s=1: every stage is a single operator.
+  for (const Stage& s : q.stages) {
+    EXPECT_EQ(s.num_ops(), 1);
+  }
+  validate_schedule(g, q);
+}
+
+TEST(IosScheduler, TighterPruningNeverImprovesCost) {
+  const Graph g = models::inception_v3(1);
+  CostModel cost(g, v100_config());
+  double prev = std::numeric_limits<double>::infinity();
+  for (const int r : {1, 2, 3}) {
+    const Schedule q =
+        IosScheduler(cost, {.pruning = PruningStrategy{r, 8}}).schedule_graph();
+    const double c = schedule_cost(cost, q);
+    EXPECT_LE(c, prev + 1e-9) << "r=" << r;
+    prev = c;
+  }
+}
+
+TEST(IosScheduler, PruningReducesSearchWork) {
+  const Graph g = models::inception_v3(1);
+  CostModel c1(g, v100_config()), c2(g, v100_config());
+  SchedulerStats tight, loose;
+  IosScheduler(c1, {.pruning = PruningStrategy{1, 3}}).schedule_graph(&tight);
+  IosScheduler(c2, {.pruning = PruningStrategy{3, 8}}).schedule_graph(&loose);
+  EXPECT_LT(tight.transitions, loose.transitions);
+  EXPECT_LE(tight.measurements, loose.measurements);
+}
+
+TEST(IosScheduler, ParallelVariantEmitsNoMergeStages) {
+  const Graph g = models::squeezenet(1);
+  CostModel cost(g, v100_config());
+  const Schedule q =
+      IosScheduler(cost, {.variant = IosVariant::kParallel}).schedule_graph();
+  for (const Stage& s : q.stages) {
+    EXPECT_EQ(s.strategy, StageStrategy::kConcurrent);
+  }
+}
+
+TEST(IosScheduler, MergeVariantUsesMergeStages) {
+  // SqueezeNet fire modules have mergeable expand convolutions.
+  const Graph g = models::squeezenet(1);
+  CostModel cost(g, v100_config());
+  const Schedule q =
+      IosScheduler(cost, {.variant = IosVariant::kMerge}).schedule_graph();
+  int merge_stages = 0;
+  for (const Stage& s : q.stages) {
+    if (s.strategy == StageStrategy::kMerge) ++merge_stages;
+    // Merge variant never runs multiple streams.
+    EXPECT_EQ(s.groups.size(), 1u);
+  }
+  EXPECT_GT(merge_stages, 0);
+  validate_schedule(g, q);
+}
+
+TEST(IosScheduler, MergeVariantDegeneratesToSequentialWithoutMerges) {
+  // RandWire has only Relu-SepConv units: nothing is mergeable, so
+  // IOS-Merge matches the sequential schedule's cost (Section 6.1).
+  const Graph g = models::randwire(1);
+  CostModel cost(g, v100_config());
+  const Schedule q =
+      IosScheduler(cost, {.pruning = PruningStrategy{3, 8},
+                          .variant = IosVariant::kMerge})
+          .schedule_graph();
+  CostModel fresh(g, v100_config());
+  EXPECT_NEAR(schedule_cost(fresh, q),
+              schedule_cost(fresh, sequential_schedule(g)), 1e-6);
+}
+
+TEST(IosScheduler, BothVariantAtLeastAsGoodAsEither) {
+  const Graph g = models::squeezenet(1);
+  CostModel cost(g, v100_config());
+  const double both = schedule_cost(
+      cost, IosScheduler(cost, {.variant = IosVariant::kBoth}).schedule_graph());
+  const double par = schedule_cost(
+      cost,
+      IosScheduler(cost, {.variant = IosVariant::kParallel}).schedule_graph());
+  const double merge = schedule_cost(
+      cost,
+      IosScheduler(cost, {.variant = IosVariant::kMerge}).schedule_graph());
+  EXPECT_LE(both, par + 1e-9);
+  EXPECT_LE(both, merge + 1e-9);
+}
+
+TEST(IosScheduler, Fig5FindsTwoStageSchedule) {
+  // Figure 5: a -> b with independent c. The found schedule (concurrent
+  // strategy only applies; everything here is concurrent) is [{a}, {b, c}]
+  // or [{a, c}, {b}] depending on measured latencies; either has 2 stages.
+  const Graph g = models::fig5_graph(1);
+  CostModel cost(g, v100_config());
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  EXPECT_EQ(q.stages.size(), 2u);
+  validate_schedule(g, q);
+}
+
+TEST(IosScheduler, RejectsBadPruningParameters) {
+  const Graph g = models::fig5_graph(1);
+  CostModel cost(g, v100_config());
+  EXPECT_THROW(IosScheduler(cost, {.pruning = PruningStrategy{0, 1}}),
+               std::invalid_argument);
+}
+
+TEST(IosScheduler, VariantNames) {
+  EXPECT_STREQ(ios_variant_name(IosVariant::kBoth), "IOS-Both");
+  EXPECT_STREQ(ios_variant_name(IosVariant::kParallel), "IOS-Parallel");
+  EXPECT_STREQ(ios_variant_name(IosVariant::kMerge), "IOS-Merge");
+}
+
+}  // namespace
+}  // namespace ios

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "models/models.hpp"
+#include "schedule/baselines.hpp"
+#include "schedule/serialize.hpp"
+
+namespace ios {
+namespace {
+
+void expect_graphs_equal(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.num_ops(), b.num_ops());
+  EXPECT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.batch(), b.batch());
+  for (OpId id = 0; id < a.num_ops(); ++id) {
+    const Op& x = a.op(id);
+    const Op& y = b.op(id);
+    EXPECT_EQ(x.kind, y.kind) << id;
+    EXPECT_EQ(x.name, y.name) << id;
+    EXPECT_EQ(x.inputs, y.inputs) << id;
+    EXPECT_EQ(x.block, y.block) << id;
+    EXPECT_EQ(x.output, y.output) << id;
+  }
+  EXPECT_EQ(a.total_flops(), b.total_flops());
+}
+
+TEST(Serialize, GraphRoundtripAllModels) {
+  for (const Graph& g :
+       {models::inception_v3(2), models::squeezenet(1), models::randwire(1),
+        models::nasnet_a(1), models::resnet50(4), models::mobilenet_v2(1),
+        models::shufflenet_v2(1), models::googlenet(1),
+        models::fig3_graph(1)}) {
+    const Graph restored = graph_from_json(
+        JsonValue::parse(graph_to_json(g).dump()));
+    expect_graphs_equal(g, restored);
+  }
+}
+
+TEST(Serialize, ScheduleRoundtrip) {
+  const Graph g = models::fig2_graph(1);
+  for (const Schedule& q : {sequential_schedule(g), greedy_schedule(g)}) {
+    const Schedule restored =
+        schedule_from_json(JsonValue::parse(schedule_to_json(q).dump()));
+    ASSERT_EQ(restored.stages.size(), q.stages.size());
+    for (std::size_t i = 0; i < q.stages.size(); ++i) {
+      EXPECT_EQ(restored.stages[i].strategy, q.stages[i].strategy);
+      ASSERT_EQ(restored.stages[i].groups.size(), q.stages[i].groups.size());
+      for (std::size_t j = 0; j < q.stages[i].groups.size(); ++j) {
+        EXPECT_EQ(restored.stages[i].groups[j].ops,
+                  q.stages[i].groups[j].ops);
+      }
+    }
+    EXPECT_NO_THROW(validate_schedule(g, restored));
+  }
+}
+
+TEST(Serialize, MergeStageRoundtrip) {
+  const Graph g = models::squeezenet(1);
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q =
+      IosScheduler(cost, {.variant = IosVariant::kMerge}).schedule_graph();
+  const Schedule restored =
+      schedule_from_json(JsonValue::parse(schedule_to_json(q).dump()));
+  validate_schedule(g, restored);
+  bool has_merge = false;
+  for (const Stage& s : restored.stages) {
+    has_merge |= s.strategy == StageStrategy::kMerge;
+  }
+  EXPECT_TRUE(has_merge);
+}
+
+TEST(Serialize, RestoredScheduleSameLatency) {
+  const Graph g = models::squeezenet(1);
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  const Schedule restored =
+      schedule_from_json(JsonValue::parse(schedule_to_json(q).dump()));
+  Executor ex(g, ExecConfig{tesla_v100(), {}});
+  EXPECT_DOUBLE_EQ(ex.schedule_latency_us(q),
+                   ex.schedule_latency_us(restored));
+}
+
+TEST(Serialize, RecipeRoundtripViaFile) {
+  const Graph g = models::fig2_graph(1);
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  Recipe recipe;
+  recipe.model = "fig2";
+  recipe.device = "Tesla V100";
+  recipe.batch = 1;
+  recipe.variant = IosVariant::kParallel;
+  recipe.pruning = PruningStrategy{2, 4};
+  recipe.schedule =
+      IosScheduler(cost, {.pruning = PruningStrategy{2, 4},
+                          .variant = IosVariant::kParallel})
+          .schedule_graph();
+
+  const std::string path = ::testing::TempDir() + "/ios_recipe_test.json";
+  save_recipe(recipe, path);
+  const Recipe loaded = load_recipe(path);
+  EXPECT_EQ(loaded.model, recipe.model);
+  EXPECT_EQ(loaded.device, recipe.device);
+  EXPECT_EQ(loaded.batch, recipe.batch);
+  EXPECT_EQ(loaded.variant, recipe.variant);
+  EXPECT_EQ(loaded.pruning.r, 2);
+  EXPECT_EQ(loaded.pruning.s, 4);
+  EXPECT_EQ(loaded.schedule.num_ops(), recipe.schedule.num_ops());
+  EXPECT_NO_THROW(validate_schedule(g, loaded.schedule));
+}
+
+TEST(Serialize, RejectsMalformedDocuments) {
+  EXPECT_THROW(graph_from_json(JsonValue::parse("{}")), std::runtime_error);
+  EXPECT_THROW(
+      schedule_from_json(JsonValue::parse("{\"stages\":[{\"strategy\":"
+                                          "\"bogus\",\"groups\":[]}]}")),
+      std::runtime_error);
+  EXPECT_THROW(recipe_from_json(JsonValue::parse("{\"model\":\"x\"}")),
+               std::runtime_error);
+}
+
+TEST(Serialize, GraphJsonIsStable) {
+  // Serialization must be deterministic (sorted keys, fixed op order).
+  const Graph g = models::squeezenet(1);
+  EXPECT_EQ(graph_to_json(g).dump(), graph_to_json(g).dump());
+}
+
+}  // namespace
+}  // namespace ios

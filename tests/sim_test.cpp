@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+#include "sim/engine.hpp"
+#include "sim/kernel_model.hpp"
+#include "graph/graph.hpp"
+
+namespace ios {
+namespace {
+
+KernelDesc kernel(double flops, double bytes, double warps,
+                  double efficiency = 1.0) {
+  KernelDesc k;
+  k.name = "k";
+  k.flops = flops;
+  k.bytes = bytes;
+  k.warps = warps;
+  k.efficiency = efficiency;
+  return k;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  Engine engine_{tesla_v100()};
+};
+
+TEST_F(EngineTest, EmptyStreamsFinishInstantly) {
+  const SimResult r = engine_.run({});
+  EXPECT_EQ(r.makespan_us, 0);
+  EXPECT_TRUE(r.timeline.empty());
+}
+
+TEST_F(EngineTest, SingleKernelIncludesLaunchOverhead) {
+  const double lat = engine_.kernel_latency_us(kernel(1e6, 1e4, 100));
+  EXPECT_GT(lat, engine_.device().kernel_launch_us);
+}
+
+TEST_F(EngineTest, LatencyMonotonicInWork) {
+  const double small = engine_.kernel_latency_us(kernel(1e8, 1e5, 1000));
+  const double large = engine_.kernel_latency_us(kernel(4e8, 1e5, 1000));
+  EXPECT_GT(large, small);
+  EXPECT_LT(large, 4 * small);  // launch overhead amortizes
+}
+
+TEST_F(EngineTest, MoreWarpsRaiseUtilization) {
+  // Same work exposed with more parallelism must not be slower.
+  const double narrow = engine_.kernel_latency_us(kernel(1e9, 1e5, 200));
+  const double wide = engine_.kernel_latency_us(kernel(1e9, 1e5, 4000));
+  EXPECT_LT(wide, narrow);
+}
+
+TEST_F(EngineTest, MemoryBoundKernelLimitedByBandwidth) {
+  // Zero-FLOP kernel moving 90 MB at ~900 GB/s takes >= 100 us.
+  const double lat = engine_.kernel_latency_us(kernel(0, 90e6, 6000));
+  EXPECT_GT(lat, 100.0);
+}
+
+TEST_F(EngineTest, ConcurrencyHelpsSmallKernels) {
+  // Two small kernels: sequential executes them back-to-back; two streams
+  // overlap them and raise device utilization.
+  const KernelDesc k = kernel(2e8, 1e5, 400, 0.8);
+  const double seq = engine_.run({{k, k}}).makespan_us;
+  const double par = engine_.run({{k}, {k}}).makespan_us;
+  EXPECT_LT(par, seq * 0.85);
+}
+
+TEST_F(EngineTest, SaturatedKernelsGainLittleFromConcurrency) {
+  // Two kernels that each saturate the device: overlapping them cannot beat
+  // back-to-back execution by much (and contention may make it worse).
+  const double slots = tesla_v100().total_warp_slots();
+  const KernelDesc k = kernel(4e9, 4e8, slots, 0.8);
+  const double seq = engine_.run({{k, k}}).makespan_us;
+  const double par = engine_.run({{k}, {k}}).makespan_us;
+  EXPECT_GT(par, seq * 0.9);
+}
+
+TEST_F(EngineTest, ContentionHurtsMemoryBoundConcurrency) {
+  // Memory-bound kernels at full occupancy interfere (Section 7.2): running
+  // them concurrently is slower than sequentially.
+  const double slots = tesla_v100().total_warp_slots();
+  const KernelDesc k = kernel(0, 2e8, slots);
+  const double seq = engine_.run({{k, k}}).makespan_us;
+  const double par = engine_.run({{k}, {k}}).makespan_us;
+  EXPECT_GT(par, seq);
+}
+
+TEST_F(EngineTest, Deterministic) {
+  const KernelDesc a = kernel(1e8, 1e6, 500);
+  const KernelDesc b = kernel(3e8, 2e6, 900, 0.7);
+  const SimResult r1 = engine_.run({{a, b}, {b}});
+  const SimResult r2 = engine_.run({{a, b}, {b}});
+  EXPECT_EQ(r1.makespan_us, r2.makespan_us);
+  ASSERT_EQ(r1.timeline.size(), r2.timeline.size());
+}
+
+TEST_F(EngineTest, TimelineCoversAllKernels) {
+  const KernelDesc a = kernel(1e8, 1e6, 500);
+  const SimResult r = engine_.run({{a, a}, {a}});
+  EXPECT_EQ(r.timeline.size(), 3u);
+  for (const KernelTiming& t : r.timeline) {
+    EXPECT_GE(t.start_us, 0);
+    EXPECT_GT(t.end_us, t.start_us);
+    EXPECT_LE(t.end_us, r.makespan_us + 1e-6);
+  }
+}
+
+TEST_F(EngineTest, WarpTraceIntegralPositive) {
+  const KernelDesc a = kernel(1e9, 1e6, 2000);
+  const SimResult r = engine_.run({{a}, {a}});
+  EXPECT_GT(r.warp_time_integral(), 0);
+  EXPECT_GT(r.mean_active_warps(), 0);
+  EXPECT_LE(r.mean_active_warps(),
+            static_cast<double>(tesla_v100().total_warp_slots()));
+}
+
+TEST_F(EngineTest, ConcurrentRunHasMoreActiveWarps) {
+  const KernelDesc a = kernel(5e8, 1e6, 800, 0.8);
+  const SimResult seq = engine_.run({{a, a, a}});
+  const SimResult par = engine_.run({{a}, {a}, {a}});
+  EXPECT_GT(par.mean_active_warps(), seq.mean_active_warps());
+}
+
+TEST_F(EngineTest, ZeroWorkKernelCompletes) {
+  const SimResult r = engine_.run({{kernel(0, 0, 1)}});
+  EXPECT_EQ(r.timeline.size(), 1u);
+  EXPECT_NEAR(r.makespan_us, engine_.device().kernel_launch_us, 1e-6);
+}
+
+TEST(DeviceSpec, Presets) {
+  for (const DeviceSpec& d :
+       {tesla_v100(), tesla_k80(), rtx_2080ti(), gtx_1080()}) {
+    EXPECT_GT(d.num_sms, 0) << d.name;
+    EXPECT_GT(d.peak_tflops, 0) << d.name;
+    EXPECT_GT(d.dram_gbps, 0) << d.name;
+    EXPECT_GT(d.total_warp_slots(), 0) << d.name;
+  }
+  EXPECT_GT(tesla_v100().peak_tflops, tesla_k80().peak_tflops);
+}
+
+TEST(DeviceSpec, LookupByName) {
+  EXPECT_EQ(device_by_name("v100").name, "Tesla V100");
+  EXPECT_EQ(device_by_name("k80").name, "Tesla K80");
+  EXPECT_EQ(device_by_name("2080ti").name, "RTX 2080Ti");
+  EXPECT_THROW(device_by_name("tpu"), std::invalid_argument);
+}
+
+TEST(DeviceSpec, FasterDeviceRunsKernelFaster) {
+  const KernelDesc k = kernel(5e9, 1e7, 4000, 0.8);
+  const double v100 = Engine(tesla_v100()).kernel_latency_us(k);
+  const double k80 = Engine(tesla_k80()).kernel_latency_us(k);
+  EXPECT_LT(v100, k80);
+}
+
+TEST(KernelModel, ConvKernelFields) {
+  Graph g(1);
+  const OpId in = g.input(16, 8, 8);
+  const OpId c = g.conv2d(in, Conv2dAttrs{.out_channels = 32, .kh = 3, .kw = 3,
+                                          .ph = 1, .pw = 1});
+  const KernelDesc k = kernel_for_op(g, c);
+  EXPECT_EQ(k.op, c);
+  EXPECT_DOUBLE_EQ(k.flops, static_cast<double>(g.flops(c)));
+  EXPECT_DOUBLE_EQ(
+      k.bytes, static_cast<double>(g.input_bytes(c) + g.weight_bytes(c) +
+                                   g.output_bytes(c)));
+  EXPECT_GT(k.warps, 0);
+  EXPECT_DOUBLE_EQ(k.efficiency, KernelModelParams{}.conv_efficiency);
+}
+
+TEST(KernelModel, BatchScalesWarps) {
+  Graph g1(1), g8(8);
+  const OpId i1 = g1.input(16, 8, 8);
+  const OpId c1 = g1.conv2d(i1, Conv2dAttrs{.out_channels = 32, .kh = 1, .kw = 1});
+  const OpId i8 = g8.input(16, 8, 8);
+  const OpId c8 = g8.conv2d(i8, Conv2dAttrs{.out_channels = 32, .kh = 1, .kw = 1});
+  EXPECT_DOUBLE_EQ(kernel_for_op(g8, c8).warps,
+                   8 * kernel_for_op(g1, c1).warps);
+}
+
+TEST(KernelModel, EfficiencyByKind) {
+  Graph g(1);
+  const OpId in = g.input(16, 8, 8);
+  const OpId s = g.sepconv(in, SepConvAttrs{.out_channels = 16});
+  const OpId p = g.pool2d(s, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 2, 2, 2, 2, 0, 0});
+  const KernelModelParams params;
+  EXPECT_DOUBLE_EQ(kernel_for_op(g, s).efficiency, params.sepconv_efficiency);
+  EXPECT_DOUBLE_EQ(kernel_for_op(g, p).efficiency, params.pool_efficiency);
+}
+
+}  // namespace
+}  // namespace ios

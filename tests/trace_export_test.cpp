@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "models/models.hpp"
+#include "runtime/trace_export.hpp"
+#include "schedule/baselines.hpp"
+#include "util/json.hpp"
+
+namespace ios {
+namespace {
+
+TEST(ChromeTrace, ValidJsonWithAllKernels) {
+  const Graph g = models::fig2_graph(1);
+  Executor ex(g, ExecConfig{tesla_v100(), {}});
+  const SimResult r = ex.run_schedule(greedy_schedule(g));
+  const JsonValue doc = JsonValue::parse(to_chrome_trace(r));
+  const auto& events = doc.at("traceEvents").as_array();
+  int complete_events = 0;
+  for (const JsonValue& e : events) {
+    if (e.at("ph").as_string() == "X") {
+      ++complete_events;
+      EXPECT_GE(e.at("dur").as_number(), 0);
+      EXPECT_GE(e.at("ts").as_number(), 0);
+    }
+  }
+  EXPECT_EQ(complete_events, static_cast<int>(r.timeline.size()));
+}
+
+TEST(ChromeTrace, IncludesWarpCounterTrack) {
+  const Graph g = models::fig5_graph(1);
+  Executor ex(g, ExecConfig{tesla_v100(), {}});
+  const SimResult r = ex.run_schedule(sequential_schedule(g));
+  const JsonValue doc = JsonValue::parse(to_chrome_trace(r));
+  bool has_counter = false;
+  for (const JsonValue& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "C") {
+      has_counter = true;
+      EXPECT_GE(e.at("args").at("warps").as_number(), 0);
+    }
+  }
+  EXPECT_TRUE(has_counter);
+}
+
+TEST(ChromeTrace, StreamsBecomeThreads) {
+  const Graph g = models::fig2_graph(1);
+  Executor ex(g, ExecConfig{tesla_v100(), {}});
+  const SimResult r = ex.run_schedule(greedy_schedule(g));
+  const JsonValue doc = JsonValue::parse(to_chrome_trace(r));
+  std::set<std::int64_t> tids;
+  for (const JsonValue& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "X") tids.insert(e.at("tid").as_int());
+  }
+  EXPECT_GE(tids.size(), 2u);  // greedy runs concurrent groups
+}
+
+TEST(Dot, PlainGraphListsAllOpsAndEdges) {
+  const Graph g = models::fig5_graph(1);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  for (const Op& op : g.ops()) {
+    EXPECT_NE(dot.find(op.name), std::string::npos) << op.name;
+  }
+  // Edge count: every op input becomes an arrow.
+  std::size_t arrows = 0;
+  for (std::size_t pos = 0; (pos = dot.find("->", pos)) != std::string::npos;
+       ++pos) {
+    ++arrows;
+  }
+  std::size_t expected = 0;
+  for (const Op& op : g.ops()) expected += op.inputs.size();
+  EXPECT_EQ(arrows, expected);
+}
+
+TEST(Dot, ScheduleClustersByStage) {
+  const Graph g = models::fig2_graph(1);
+  CostModel cost(g, ExecConfig{tesla_v100(), {}});
+  const Schedule q = IosScheduler(cost).schedule_graph();
+  const std::string dot = to_dot(g, &q);
+  for (std::size_t i = 0; i < q.stages.size(); ++i) {
+    EXPECT_NE(dot.find("cluster_stage" + std::to_string(i)),
+              std::string::npos);
+  }
+  EXPECT_NE(dot.find("fillcolor=lightblue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ios

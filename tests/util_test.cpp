@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/bitset64.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace ios {
+namespace {
+
+TEST(Set64, EmptyAndFull) {
+  Set64 e;
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.size(), 0);
+  EXPECT_EQ(Set64::full(0).size(), 0);
+  EXPECT_EQ(Set64::full(5).size(), 5);
+  EXPECT_EQ(Set64::full(64).size(), 64);
+}
+
+TEST(Set64, InsertEraseContains) {
+  Set64 s;
+  s.insert(3);
+  s.insert(10);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(10));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.erase(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(Set64, SetAlgebra) {
+  const Set64 a = Set64::single(1) | Set64::single(2);
+  const Set64 b = Set64::single(2) | Set64::single(3);
+  EXPECT_EQ((a & b).to_vector(), std::vector<int>{2});
+  EXPECT_EQ((a | b).size(), 3);
+  EXPECT_EQ((a - b).to_vector(), std::vector<int>{1});
+  EXPECT_TRUE((a & b).is_subset_of(a));
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE((a - b).intersects(b));
+}
+
+TEST(Set64, IterationAscending) {
+  Set64 s;
+  s.insert(63);
+  s.insert(0);
+  s.insert(17);
+  EXPECT_EQ(s.to_vector(), (std::vector<int>{0, 17, 63}));
+  EXPECT_EQ(s.first(), 0);
+}
+
+TEST(Hash, MixIsInjectiveOnSmallRange) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(seen.insert(mix64(i)).second);
+  }
+}
+
+TEST(Hash, CombineOrderDependent) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(Rng, DeterministicAndUniform) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+
+  Rng r(7);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = r.uniform_int(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+  }
+}
+
+TEST(Stats, MeanGeomeanStd) {
+  const double xs[] = {1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3);
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+  EXPECT_NEAR(stddev(xs), 1.5275, 1e-3);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long_name", "2.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("| long_name"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(Table, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace ios

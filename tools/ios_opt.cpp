@@ -1,0 +1,203 @@
+// ios_opt: command-line driver for the IOS scheduler.
+//
+// Optimize a zoo model for a device/batch and report latencies:
+//   ios_opt optimize --model inception_v3 --device v100 --batch 1
+// Persist the found schedule as a reusable recipe, plus visualizations:
+//   ios_opt optimize --model squeezenet --save recipe.json
+//       --dot schedule.dot --trace timeline.json
+// Re-evaluate a saved recipe (e.g. on another device or batch size):
+//   ios_opt evaluate --recipe recipe.json --device k80
+// Show model facts (Table 1/2 style):
+//   ios_opt inspect --model nasnet
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "core/scheduler.hpp"
+#include "frameworks/frameworks.hpp"
+#include "models/models.hpp"
+#include "runtime/trace_export.hpp"
+#include "schedule/baselines.hpp"
+#include "schedule/serialize.hpp"
+
+namespace {
+
+using namespace ios;
+
+Graph build_model(const std::string& name, int batch) {
+  static const std::map<std::string, Graph (*)(int)> registry = {
+      {"inception_v3", [](int b) { return models::inception_v3(b); }},
+      {"randwire", [](int b) { return models::randwire(b); }},
+      {"nasnet", [](int b) { return models::nasnet_a(b); }},
+      {"squeezenet", [](int b) { return models::squeezenet(b); }},
+      {"resnet34", [](int b) { return models::resnet34(b); }},
+      {"resnet50", [](int b) { return models::resnet50(b); }},
+      {"vgg16", [](int b) { return models::vgg16(b); }},
+      {"mobilenet_v2", [](int b) { return models::mobilenet_v2(b); }},
+      {"shufflenet_v2", [](int b) { return models::shufflenet_v2(b); }},
+      {"googlenet", [](int b) { return models::googlenet(b); }},
+  };
+  const auto it = registry.find(name);
+  if (it == registry.end()) {
+    std::string known;
+    for (const auto& [k, v] : registry) known += " " + k;
+    throw std::runtime_error("unknown model '" + name + "'; known:" + known);
+  }
+  return it->second(batch);
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) throw std::runtime_error("missing command");
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag.rfind("--", 0) != 0 || i + 1 >= argc) {
+      throw std::runtime_error("expected --key value pairs, got '" + flag +
+                               "'");
+    }
+    args.options[flag.substr(2)] = argv[++i];
+  }
+  return args;
+}
+
+IosVariant variant_from(const std::string& s) {
+  if (s == "both") return IosVariant::kBoth;
+  if (s == "parallel") return IosVariant::kParallel;
+  if (s == "merge") return IosVariant::kMerge;
+  throw std::runtime_error("variant must be both|parallel|merge");
+}
+
+int cmd_optimize(const Args& args) {
+  const std::string model = args.get("model", "inception_v3");
+  const int batch = std::stoi(args.get("batch", "1"));
+  const DeviceSpec device = device_by_name(args.get("device", "v100"));
+  const IosVariant variant = variant_from(args.get("variant", "both"));
+  PruningStrategy pruning;
+  pruning.r = std::stoi(args.get("r", "3"));
+  pruning.s = std::stoi(args.get("s", "8"));
+
+  const Graph g = build_model(model, batch);
+  std::printf("optimizing %s (batch %d) for %s with %s, pruning r=%d s=%d\n",
+              g.name().c_str(), batch, device.name.c_str(),
+              ios_variant_name(variant), pruning.r, pruning.s);
+
+  const ExecConfig config{device, KernelModelParams{}};
+  CostModel cost(g, config);
+  SchedulerOptions options;
+  options.pruning = pruning;
+  options.variant = variant;
+  SchedulerStats stats;
+  const Schedule schedule =
+      IosScheduler(cost, options).schedule_graph(&stats);
+  validate_schedule(g, schedule);
+
+  Executor executor(g, config);
+  const double seq = executor.schedule_latency_us(sequential_schedule(g));
+  const double greedy = executor.schedule_latency_us(greedy_schedule(g));
+  const double ios = executor.schedule_latency_us(schedule);
+  std::printf("\nsequential %.3f ms | greedy %.3f ms | IOS %.3f ms "
+              "(%.2fx over sequential)\n",
+              seq / 1000, greedy / 1000, ios / 1000, seq / ios);
+  std::printf("search: %lld states, %lld transitions, %lld profiles, "
+              "%.2f s simulated profiling, %.0f ms wall\n",
+              static_cast<long long>(stats.states),
+              static_cast<long long>(stats.transitions),
+              static_cast<long long>(stats.measurements),
+              stats.profiling_cost_us / 1e6, stats.search_wall_ms);
+
+  if (args.get("print", "0") == "1") {
+    std::printf("\n%s", schedule.to_string(g).c_str());
+  }
+  if (const auto path = args.get("save")) {
+    Recipe recipe{model, device.name, batch, variant, pruning, schedule};
+    save_recipe(recipe, *path);
+    std::printf("recipe saved to %s\n", path->c_str());
+  }
+  if (const auto path = args.get("dot")) {
+    write_file(*path, to_dot(g, &schedule));
+    std::printf("graphviz dot written to %s\n", path->c_str());
+  }
+  if (const auto path = args.get("trace")) {
+    write_file(*path, to_chrome_trace(executor.run_schedule(schedule)));
+    std::printf("chrome trace written to %s\n", path->c_str());
+  }
+  return 0;
+}
+
+int cmd_evaluate(const Args& args) {
+  const auto path = args.get("recipe");
+  if (!path) throw std::runtime_error("evaluate requires --recipe");
+  const Recipe recipe = load_recipe(*path);
+  const int batch = std::stoi(
+      args.get("batch", std::to_string(recipe.batch)));
+  const DeviceSpec device =
+      device_by_name(args.get("device", recipe.device));
+
+  const Graph g = build_model(recipe.model, batch);
+  validate_schedule(g, recipe.schedule);
+  Executor executor(g, ExecConfig{device, KernelModelParams{}});
+  const double ios = executor.schedule_latency_us(recipe.schedule);
+  const double seq = executor.schedule_latency_us(sequential_schedule(g));
+  std::printf("recipe %s (optimized for %s, batch %d)\n", path->c_str(),
+              recipe.device.c_str(), recipe.batch);
+  std::printf("executing on %s at batch %d: IOS %.3f ms, sequential %.3f ms "
+              "(%.2fx)\n",
+              device.name.c_str(), batch, ios / 1000, seq / 1000, seq / ios);
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const Graph g = build_model(args.get("model", "inception_v3"),
+                              std::stoi(args.get("batch", "1")));
+  const NetworkSummary s = summarize_network(g);
+  std::printf("%s: %d blocks, %d operators, main type %s, %.2f GFLOPs\n",
+              s.name.c_str(), s.num_blocks, s.num_ops, s.main_op_type.c_str(),
+              static_cast<double>(g.total_flops()) / 1e9);
+  const BlockComplexity c = largest_block_complexity(g);
+  std::printf("largest block: n=%d, width d=%d, bound %.2e, #(S,S')=%lld, "
+              "#schedules %.2e\n",
+              c.n, c.d, c.upper_bound,
+              static_cast<long long>(c.transitions), c.num_schedules);
+  if (args.get("print", "0") == "1") {
+    std::printf("\n%s", g.to_string().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "optimize") return cmd_optimize(args);
+    if (args.command == "evaluate") return cmd_evaluate(args);
+    if (args.command == "inspect") return cmd_inspect(args);
+    throw std::runtime_error("unknown command '" + args.command +
+                             "' (optimize|evaluate|inspect)");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr,
+                 "usage: ios_opt optimize|evaluate|inspect [--key value]...\n");
+    return 2;
+  }
+}
