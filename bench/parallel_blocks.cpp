@@ -1,0 +1,54 @@
+// Wall-clock scaling of schedule_partition with the per-block thread pool:
+// every block of the partition runs its dynamic program on its own worker,
+// so multi-block networks (Inception V3: 11 blocks, NASNet: 13) should
+// approach linear speedup until the largest block dominates (Amdahl). The
+// schedule found is identical for every thread count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace ios;
+
+void schedule_with_threads(benchmark::State& state, const Graph& g,
+                           int threads) {
+  for (auto _ : state) {
+    // Fresh CostModel per iteration: a warm measurement cache would make
+    // every iteration after the first nearly free and hide the DP cost.
+    CostModel cost(g, bench::config_for(tesla_v100()));
+    IosScheduler scheduler(cost, SchedulerOptions{.num_threads = threads});
+    benchmark::DoNotOptimize(scheduler.schedule_graph());
+  }
+}
+
+void BM_ScheduleInceptionV3Threads(benchmark::State& state) {
+  const Graph g = models::inception_v3(1);
+  schedule_with_threads(state, g, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_ScheduleInceptionV3Threads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+void BM_ScheduleNasnetThreads(benchmark::State& state) {
+  const Graph g = models::nasnet_a(1);
+  schedule_with_threads(state, g, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_ScheduleNasnetThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,9 +1,13 @@
 #include "core/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <future>
 #include <limits>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace ios {
 
@@ -23,16 +27,22 @@ IosScheduler::IosScheduler(CostModel& cost, SchedulerOptions options)
   }
 }
 
+Stage IosScheduler::concurrent_stage(const BlockDag& dag,
+                                     const std::vector<Set64>& comps) {
+  Stage stage;
+  stage.strategy = StageStrategy::kConcurrent;
+  for (Set64 comp : comps) {
+    stage.groups.push_back(Group{dag.to_ops(comp)});
+  }
+  return stage;
+}
+
 Stage IosScheduler::build_stage(const BlockDag& dag, Set64 ending,
                                 StageBuild build) const {
   Stage stage;
   switch (build) {
     case StageBuild::kConcurrentGroups:
-      stage.strategy = StageStrategy::kConcurrent;
-      for (Set64 comp : dag.components(ending)) {
-        stage.groups.push_back(Group{dag.to_ops(comp)});
-      }
-      break;
+      return concurrent_stage(dag, dag.components(ending));
     case StageBuild::kMergeSingle:
       stage.strategy = StageStrategy::kMerge;
       stage.groups.push_back(Group{dag.to_ops(ending)});
@@ -48,15 +58,20 @@ Stage IosScheduler::build_stage(const BlockDag& dag, Set64 ending,
 const IosScheduler::EndingEval& IosScheduler::evaluate_ending(
     BlockContext& ctx, Set64 ending, SchedulerStats* stats) {
   auto it = ctx.ending_cache.find(ending.bits());
-  if (it != ctx.ending_cache.end()) return it->second;
+  if (it != ctx.ending_cache.end()) {
+    if (stats) ++stats->cache_hits;
+    return it->second;
+  }
 
   EndingEval eval;
   // Pruning strategy P(r, s): group sizes were already bounded by the
-  // enumeration; the group-count bound s is checked here.
+  // enumeration; the group-count bound s is checked here. The components
+  // double as the concurrent stage's groups below.
   const std::vector<Set64> comps = ctx.dag.components(ending);
   if (!options_.pruning.unrestricted() &&
       static_cast<int>(comps.size()) > options_.pruning.s) {
     eval.pruned = true;
+    if (stats) ++stats->pruned_endings;
     return ctx.ending_cache.emplace(ending.bits(), eval).first->second;
   }
 
@@ -65,8 +80,7 @@ const IosScheduler::EndingEval& IosScheduler::evaluate_ending(
 
   double l_concurrent = kInf;
   if (options_.variant != IosVariant::kMerge) {
-    l_concurrent =
-        cost_.measure(build_stage(ctx.dag, ending, StageBuild::kConcurrentGroups));
+    l_concurrent = cost_.measure(concurrent_stage(ctx.dag, comps));
   }
 
   double l_merge = kInf;
@@ -90,7 +104,6 @@ const IosScheduler::EndingEval& IosScheduler::evaluate_ending(
     eval.build = StageBuild::kMergeSingle;
     eval.latency_us = l_merge;
   }
-  (void)stats;
   return ctx.ending_cache.emplace(ending.bits(), eval).first->second;
 }
 
@@ -139,15 +152,18 @@ Schedule IosScheduler::schedule_block(std::span<const OpId> block_ops,
   solve(ctx, dag.all(), stats);
 
   // Schedule construction (Algorithm 1 L6-11): walk choice[] from the full
-  // set back to the empty set, prepending stages.
+  // set back to the empty set; the walk yields stages last-to-first, so
+  // append and reverse once instead of inserting at the front (O(n) vs the
+  // quadratic element shifting of repeated begin() inserts).
   Schedule q;
   Set64 s = dag.all();
   while (!s.empty()) {
     const Entry& e = ctx.memo.at(s.bits());
     const Set64 ending{e.choice};
-    q.stages.insert(q.stages.begin(), build_stage(dag, ending, e.build));
+    q.stages.push_back(build_stage(dag, ending, e.build));
     s -= ending;
   }
+  std::reverse(q.stages.begin(), q.stages.end());
 
   if (stats) {
     stats->measurements += cost_.num_measurements() - measurements_before;
@@ -162,10 +178,67 @@ Schedule IosScheduler::schedule_block(std::span<const OpId> block_ops,
 
 Schedule IosScheduler::schedule_partition(
     const std::vector<std::vector<OpId>>& blocks, SchedulerStats* stats) {
+  const int want = options_.num_threads > 0 ? options_.num_threads
+                                            : ThreadPool::hardware_threads();
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(want), blocks.size()));
+
   Schedule q;
-  for (const std::vector<OpId>& block : blocks) {
-    Schedule bq = schedule_block(block, stats);
-    for (Stage& stage : bq.stages) q.stages.push_back(std::move(stage));
+  if (workers <= 1) {
+    for (const std::vector<OpId>& block : blocks) {
+      Schedule bq = schedule_block(block, stats);
+      for (Stage& stage : bq.stages) q.stages.push_back(std::move(stage));
+    }
+    return q;
+  }
+
+  // Each block DP is independent (own BlockContext); only the CostModel is
+  // shared, and its measurement path is thread-safe. Per-block stats are
+  // accumulated locally and merged at join so worker threads never contend
+  // on the caller's counters.
+  std::vector<Schedule> per_block(blocks.size());
+  std::vector<SchedulerStats> per_stats(blocks.size());
+  // schedule_block attributes measurements by diffing the shared CostModel
+  // counters, which interleave across concurrent blocks; take one global
+  // delta over the whole pool run instead. Likewise, per-block wall times
+  // overlap (and include waits on the CostModel mutex), so search_wall_ms
+  // is the elapsed time of the pool run, not the sum of the workers'.
+  const std::int64_t measurements_before = cost_.num_measurements();
+  const double profiling_before = cost_.profiling_cost_us();
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    ThreadPool pool(workers);
+    std::vector<std::future<void>> pending;
+    pending.reserve(blocks.size());
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      pending.push_back(pool.submit([this, &blocks, &per_block, &per_stats,
+                                     stats, i] {
+        per_block[i] =
+            schedule_block(blocks[i], stats ? &per_stats[i] : nullptr);
+      }));
+    }
+    for (std::future<void>& f : pending) f.get();
+  }
+
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (Stage& stage : per_block[i].stages) {
+      q.stages.push_back(std::move(stage));
+    }
+    if (stats) {
+      per_stats[i].measurements = 0;
+      per_stats[i].profiling_cost_us = 0;
+      per_stats[i].search_wall_ms = 0;
+      *stats += per_stats[i];
+    }
+  }
+  if (stats) {
+    stats->measurements += cost_.num_measurements() - measurements_before;
+    stats->profiling_cost_us += cost_.profiling_cost_us() - profiling_before;
+    stats->search_wall_ms +=
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
   }
   return q;
 }

@@ -44,14 +44,35 @@ struct SchedulerOptions {
   /// Ablation knob: disable the cost[S] memoization (the DP then re-solves
   /// shared sub-schedules exponentially often).
   bool memoize = true;
+  /// Worker threads for schedule_partition / schedule_graph: independent
+  /// blocks run their DPs concurrently (Section 4.2 — blocks are optimized
+  /// separately, so their searches never share state beyond the thread-safe
+  /// CostModel). 1 = sequential (seed behavior); <= 0 = one per hardware
+  /// thread. The resulting schedule is identical regardless of the count.
+  int num_threads = 1;
 };
 
 struct SchedulerStats {
   std::int64_t states = 0;       ///< distinct S values solved
   std::int64_t transitions = 0;  ///< (S, S') pairs explored
   std::int64_t measurements = 0; ///< distinct stage profiles requested
+  std::int64_t cache_hits = 0;   ///< ending evaluations served from cache
+  std::int64_t pruned_endings = 0;  ///< distinct endings cut by P(r, s)
   double profiling_cost_us = 0;  ///< simulated device time spent profiling
   double search_wall_ms = 0;     ///< host time spent in the DP itself
+
+  /// Accumulates another block's stats (used to merge the per-thread stats
+  /// of a parallel schedule_partition at join).
+  SchedulerStats& operator+=(const SchedulerStats& o) {
+    states += o.states;
+    transitions += o.transitions;
+    measurements += o.measurements;
+    cache_hits += o.cache_hits;
+    pruned_endings += o.pruned_endings;
+    profiling_cost_us += o.profiling_cost_us;
+    search_wall_ms += o.search_wall_ms;
+    return *this;
+  }
 };
 
 class IosScheduler {
@@ -109,6 +130,11 @@ class IosScheduler {
   double solve(BlockContext& ctx, Set64 s, SchedulerStats* stats);
 
   Stage build_stage(const BlockDag& dag, Set64 ending, StageBuild build) const;
+
+  /// The concurrent stage for an ending whose weakly connected components
+  /// are already known (avoids recomputing them in the DP hot path).
+  static Stage concurrent_stage(const BlockDag& dag,
+                                const std::vector<Set64>& comps);
 
   CostModel& cost_;
   SchedulerOptions options_;

@@ -25,9 +25,16 @@ std::uint64_t CostModel::stage_key(const Stage& stage) const {
 
 double CostModel::measure(const Stage& stage) {
   const std::uint64_t key = stage_key(stage);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
 
+  // Simulate outside the lock so concurrent DPs overlap their profiling.
+  // Two threads may race to measure the same stage; the simulation is
+  // deterministic, so both compute the same value and only the first
+  // insert below bumps the counters (keeping them order-independent).
   const double true_latency = executor_.stage_latency_us(stage);
   double latency = true_latency;
   if (protocol_.noise_frac > 0) {
@@ -41,10 +48,15 @@ double CostModel::measure(const Stage& stage) {
     }
     latency = sum / protocol_.repeats;
   }
-  ++num_measurements_;
-  profiling_cost_us_ += true_latency * (protocol_.warmup + protocol_.repeats);
-  cache_.emplace(key, latency);
-  return latency;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = cache_.emplace(key, latency);
+  if (inserted) {
+    ++num_measurements_;
+    profiling_cost_us_ +=
+        true_latency * (protocol_.warmup + protocol_.repeats);
+  }
+  return it->second;
 }
 
 StageChoice CostModel::generate_stage(std::span<const OpId> ops) {
@@ -70,6 +82,7 @@ StageChoice CostModel::generate_stage(std::span<const OpId> ops) {
 }
 
 void CostModel::reset_counters() {
+  std::lock_guard<std::mutex> lock(mu_);
   num_measurements_ = 0;
   profiling_cost_us_ = 0;
 }

@@ -7,6 +7,7 @@
 // consumed, which is what the paper reports as optimization cost.
 
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 
@@ -45,15 +46,26 @@ class CostModel {
   /// returns the cheaper strategy and its latency.
   StageChoice generate_stage(std::span<const OpId> ops);
 
-  /// Measured latency of a fully-specified stage (cached).
+  /// Measured latency of a fully-specified stage (cached). Thread-safe:
+  /// concurrent block DPs share one CostModel, so the cache and the
+  /// profiling counters are guarded by a mutex while the simulation itself
+  /// (a const Executor call) runs unlocked. Results and counters are
+  /// deterministic regardless of thread count — the set of distinct stages
+  /// measured does not depend on the order threads request them.
   double measure(const Stage& stage);
 
   /// Number of distinct stage configurations profiled so far.
-  std::int64_t num_measurements() const { return num_measurements_; }
+  std::int64_t num_measurements() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return num_measurements_;
+  }
 
   /// Total simulated device time spent profiling, in microseconds. This is
   /// the dominant part of IOS's optimization cost (Figure 9 / Figure 12).
-  double profiling_cost_us() const { return profiling_cost_us_; }
+  double profiling_cost_us() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return profiling_cost_us_;
+  }
 
   void reset_counters();
 
@@ -62,6 +74,7 @@ class CostModel {
 
   Executor executor_;
   ProfilingProtocol protocol_;
+  mutable std::mutex mu_;
   std::unordered_map<std::uint64_t, double> cache_;
   std::int64_t num_measurements_ = 0;
   double profiling_cost_us_ = 0;

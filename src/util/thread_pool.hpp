@@ -1,0 +1,93 @@
+#pragma once
+// Fixed-size thread pool used to schedule independent per-block dynamic
+// programs concurrently (each block of the partition has its own BlockDag
+// and BlockContext, so block DPs only share the CostModel, whose
+// measurement path is thread-safe). Jobs are submitted as callables and
+// their results/exceptions come back through std::future.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ios {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads) {
+    const int n = num_threads < 1 ? 1 : num_threads;
+    workers_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  /// Joins the workers after draining the queue: jobs already submitted
+  /// still run to completion before the destructor returns.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `f` and returns a future for its result. Exceptions thrown by
+  /// the job are captured and rethrown from future::get().
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& f) {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      jobs_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// A sensible worker count for CPU-bound work on this machine.
+  static int hardware_threads() {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+        if (jobs_.empty()) return;  // stopping_ and nothing left to run
+        job = std::move(jobs_.front());
+        jobs_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ios

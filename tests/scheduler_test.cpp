@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <thread>
 
 #include "core/scheduler.hpp"
 #include "models/models.hpp"
@@ -217,6 +218,94 @@ TEST(IosScheduler, VariantNames) {
   EXPECT_STREQ(ios_variant_name(IosVariant::kBoth), "IOS-Both");
   EXPECT_STREQ(ios_variant_name(IosVariant::kParallel), "IOS-Parallel");
   EXPECT_STREQ(ios_variant_name(IosVariant::kMerge), "IOS-Merge");
+}
+
+TEST(IosScheduler, StatsCountEndingCacheHits) {
+  // Multi-branch blocks revisit the same ending from many DP states, so the
+  // per-ending evaluation cache must report hits.
+  const Graph g = models::fig2_graph(1);
+  CostModel cost(g, v100_config());
+  SchedulerStats stats;
+  IosScheduler(cost, {.pruning = PruningStrategy::none()})
+      .schedule_graph(&stats);
+  EXPECT_GT(stats.cache_hits, 0);
+  // A hit spares one ending evaluation, so hits + distinct evaluations
+  // account for every transition plus the pruned lookups.
+  EXPECT_LT(stats.cache_hits, stats.transitions + stats.pruned_endings);
+}
+
+TEST(IosScheduler, StatsCountPrunedEndings) {
+  // s = 1 forbids endings with more than one weakly connected component.
+  // r = 2 lets the enumeration emit two-op endings, so fig2's independent
+  // [c] / [d] branches form a 2-component ending that P(2, 1) must prune.
+  const Graph g = models::fig2_graph(1);
+  CostModel tight_cost(g, v100_config());
+  SchedulerStats tight;
+  IosScheduler(tight_cost, {.pruning = PruningStrategy{2, 1}})
+      .schedule_graph(&tight);
+  EXPECT_GT(tight.pruned_endings, 0);
+
+  // Unrestricted pruning never cuts anything.
+  CostModel loose_cost(g, v100_config());
+  SchedulerStats loose;
+  IosScheduler(loose_cost, {.pruning = PruningStrategy::none()})
+      .schedule_graph(&loose);
+  EXPECT_EQ(loose.pruned_endings, 0);
+}
+
+TEST(IosScheduler, ParallelPartitionMatchesSequentialSchedule) {
+  // Blocks are optimized independently, so scheduling them on a thread pool
+  // must produce exactly the sequential result (same cost, same stage
+  // sequence) — the DP and the simulator are deterministic.
+  const Graph g = models::inception_v3(1);
+  CostModel seq_cost(g, v100_config());
+  SchedulerStats seq_stats;
+  const Schedule seq = IosScheduler(seq_cost, {.num_threads = 1})
+                           .schedule_partition(g.blocks(), &seq_stats);
+
+  CostModel par_cost(g, v100_config());
+  SchedulerStats par_stats;
+  const Schedule par = IosScheduler(par_cost, {.num_threads = 4})
+                           .schedule_partition(g.blocks(), &par_stats);
+
+  validate_schedule(g, par);
+  ASSERT_EQ(par.stages.size(), seq.stages.size());
+  CostModel fresh(g, v100_config());
+  EXPECT_DOUBLE_EQ(schedule_cost(fresh, par), schedule_cost(fresh, seq));
+
+  // Search work and profiling accounting are order-independent too.
+  EXPECT_EQ(par_stats.states, seq_stats.states);
+  EXPECT_EQ(par_stats.transitions, seq_stats.transitions);
+  EXPECT_EQ(par_stats.measurements, seq_stats.measurements);
+  // Same set of stages profiled, but the accumulation order of the float
+  // sum depends on thread interleaving.
+  EXPECT_NEAR(par_stats.profiling_cost_us, seq_stats.profiling_cost_us,
+              1e-9 * seq_stats.profiling_cost_us);
+}
+
+TEST(IosScheduler, AutoThreadCountSchedulesWholeGraph) {
+  // num_threads <= 0 means one worker per hardware thread.
+  const Graph g = models::squeezenet(1);
+  CostModel cost(g, v100_config());
+  const Schedule q =
+      IosScheduler(cost, {.num_threads = 0}).schedule_graph();
+  validate_schedule(g, q);
+  EXPECT_EQ(q.num_ops(), static_cast<int>(g.schedulable_ops().size()));
+}
+
+TEST(IosScheduler, ConcurrentSchedulersShareOneCostModel) {
+  // Two scheduler instances racing on one CostModel exercise the
+  // thread-safe measurement path directly.
+  const Graph g = models::squeezenet(1);
+  CostModel cost(g, v100_config());
+  IosScheduler a(cost), b(cost);
+  Schedule qa, qb;
+  std::thread ta([&] { qa = a.schedule_graph(); });
+  std::thread tb([&] { qb = b.schedule_graph(); });
+  ta.join();
+  tb.join();
+  CostModel fresh(g, v100_config());
+  EXPECT_DOUBLE_EQ(schedule_cost(fresh, qa), schedule_cost(fresh, qb));
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace ios {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsJobResultsThroughFutures) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  int expected = 0;
+  for (int i = 0; i < 16; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit(
+      []() -> int { throw std::runtime_error("job failed"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, RunsJobsConcurrently) {
+  // Both jobs block on the same latch, so they only finish if two workers
+  // are actually running at the same time.
+  ThreadPool pool(2);
+  std::latch both_running(2);
+  auto a = pool.submit([&both_running] { both_running.arrive_and_wait(); });
+  auto b = pool.submit([&both_running] { both_running.arrive_and_wait(); });
+  a.get();
+  b.get();
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedJobs) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] { ++ran; });
+    }
+  }  // destructor joins after the single worker drains the queue
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+}  // namespace
+}  // namespace ios

@@ -95,17 +95,21 @@ int cmd_optimize(const Args& args) {
   PruningStrategy pruning;
   pruning.r = std::stoi(args.get("r", "3"));
   pruning.s = std::stoi(args.get("s", "8"));
+  const int threads = std::stoi(args.get("threads", "1"));
 
   const Graph g = build_model(model, batch);
-  std::printf("optimizing %s (batch %d) for %s with %s, pruning r=%d s=%d\n",
+  std::printf("optimizing %s (batch %d) for %s with %s, pruning r=%d s=%d, "
+              "%s block threads\n",
               g.name().c_str(), batch, device.name.c_str(),
-              ios_variant_name(variant), pruning.r, pruning.s);
+              ios_variant_name(variant), pruning.r, pruning.s,
+              threads > 0 ? std::to_string(threads).c_str() : "auto");
 
   const ExecConfig config{device, KernelModelParams{}};
   CostModel cost(g, config);
   SchedulerOptions options;
   options.pruning = pruning;
   options.variant = variant;
+  options.num_threads = threads;
   SchedulerStats stats;
   const Schedule schedule =
       IosScheduler(cost, options).schedule_graph(&stats);
