@@ -1,0 +1,81 @@
+// Facade benchmark: times ios::Optimizer cold (full profile + DP search)
+// versus warm (recipe-cache hit) on zoo models and writes the results as
+// machine-readable JSON for the perf trajectory. Unlike the other bench
+// binaries this is a plain main() with no google-benchmark dependency, so CI
+// can always run it.
+//
+//   $ ./bench_optimizer [out.json]        # default: BENCH_optimizer.json
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "api/optimizer.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+double wall_ms(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ios;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_optimizer.json";
+  const std::vector<std::string> models = {"squeezenet", "inception_v3",
+                                           "nasnet"};
+
+  Optimizer optimizer;
+  JsonValue results = JsonValue::array();
+  for (const std::string& model : models) {
+    const OptimizationRequest request =
+        OptimizationRequest::for_model(model, "v100", 1);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const OptimizationResult cold = optimizer.optimize(request);
+    const auto t1 = std::chrono::steady_clock::now();
+    const OptimizationResult warm = optimizer.optimize(request);
+    const auto t2 = std::chrono::steady_clock::now();
+
+    const double cold_ms = wall_ms(t0, t1);
+    const double warm_ms = wall_ms(t1, t2);
+    std::printf("%-14s cold %8.1f ms (%lld profiles) | cached %6.2f ms "
+                "(hit=%d) | IOS %.3f ms, %.2fx over sequential\n",
+                model.c_str(), cold_ms,
+                static_cast<long long>(cold.new_measurements), warm_ms,
+                warm.cache_hit ? 1 : 0, cold.latency_us / 1000.0,
+                cold.baseline("sequential")->speedup);
+
+    JsonValue entry = JsonValue::object();
+    entry.set("model", model);
+    entry.set("device", "v100");
+    entry.set("batch", 1);
+    entry.set("cold_wall_ms", cold_ms);
+    entry.set("cached_wall_ms", warm_ms);
+    entry.set("cache_hit", warm.cache_hit);
+    entry.set("measurements", cold.new_measurements);
+    entry.set("cached_measurements", warm.new_measurements);
+    entry.set("search_states", cold.stats.states);
+    entry.set("search_wall_ms", cold.stats.search_wall_ms);
+    entry.set("profiling_cost_us", cold.stats.profiling_cost_us);
+    entry.set("ios_latency_us", cold.latency_us);
+    entry.set("sequential_latency_us",
+              cold.baseline("sequential")->latency_us);
+    entry.set("greedy_latency_us", cold.baseline("greedy")->latency_us);
+    entry.set("speedup_over_sequential",
+              cold.baseline("sequential")->speedup);
+    results.push_back(std::move(entry));
+  }
+
+  JsonValue root = JsonValue::object();
+  root.set("bench", "optimizer");
+  root.set("unit", "ms");
+  root.set("results", std::move(results));
+  write_file(out_path, root.dump());
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,57 +1,52 @@
-// End-to-end walkthrough on a real network: optimize Inception V3 with IOS,
-// print the per-block schedules it found, and compare against the sequential
-// / greedy schedules and the simulated framework baselines.
+// End-to-end walkthrough on a real network through the ios::Optimizer
+// facade: optimize Inception V3 by zoo name, compare against the sequential
+// / greedy schedules and the simulated framework baselines, and reuse the
+// result as a persisted recipe on a different device.
 //
 //   $ ./optimize_inception
 
 #include <cstdio>
 
-#include "core/scheduler.hpp"
-#include "frameworks/frameworks.hpp"
-#include "models/models.hpp"
-#include "schedule/baselines.hpp"
+#include "api/optimizer.hpp"
 
 int main() {
   using namespace ios;
 
-  const Graph g = models::inception_v3(/*batch=*/1);
-  const DeviceSpec device = tesla_v100();
-  const ExecConfig config{device, KernelModelParams{}};
+  OptimizationRequest request =
+      OptimizationRequest::for_model("inception_v3", "v100", /*batch=*/1);
+  request.baselines = all_baselines();
 
-  std::printf("optimizing %s (%d ops, %zu blocks) for %s, batch 1...\n",
-              g.name().c_str(), static_cast<int>(g.schedulable_ops().size()),
-              g.blocks().size(), device.name.c_str());
+  std::printf("optimizing %s for %s, batch %d...\n", request.model.c_str(),
+              request.device.c_str(), request.batch);
 
-  CostModel cost(g, config);
-  SchedulerStats stats;
-  const Schedule schedule = IosScheduler(cost).schedule_graph(&stats);
-  validate_schedule(g, schedule);
+  Optimizer optimizer;
+  const OptimizationResult result = optimizer.optimize(request);
 
   std::printf("done: %zu stages, %lld stage profiles, %.1f s simulated "
               "profiling, %.0f ms search time\n\n",
-              schedule.stages.size(),
-              static_cast<long long>(stats.measurements),
-              stats.profiling_cost_us / 1e6, stats.search_wall_ms);
+              result.schedule.stages.size(),
+              static_cast<long long>(result.stats.measurements),
+              result.stats.profiling_cost_us / 1e6,
+              result.stats.search_wall_ms);
 
-  // Show the schedule found for the last (widest) inception block.
-  const auto blocks = g.blocks();
-  std::printf("schedule of the last inception block:\n");
-  CostModel block_cost(g, config);
-  const Schedule block_schedule =
-      IosScheduler(block_cost).schedule_block(blocks[11]);
-  std::printf("%s\n", block_schedule.to_string(g).c_str());
-
-  Executor executor(g, config);
-  std::printf("latency comparison (batch 1, %s):\n", device.name.c_str());
-  std::printf("  %-16s %8.2f ms\n", "sequential",
-              executor.schedule_latency_us(sequential_schedule(g)) / 1000.0);
-  std::printf("  %-16s %8.2f ms\n", "greedy",
-              executor.schedule_latency_us(greedy_schedule(g)) / 1000.0);
-  for (const auto& spec : frameworks::cudnn_baselines()) {
-    std::printf("  %-16s %8.2f ms\n", spec.name.c_str(),
-                frameworks::run_framework(g, device, spec).latency_us / 1000.0);
+  std::printf("latency comparison (batch %d, Tesla V100):\n", request.batch);
+  for (const BaselineResult& b : result.baselines) {
+    std::printf("  %-16s %8.2f ms  (IOS %5.2fx)\n", b.name.c_str(),
+                b.latency_us / 1000.0, b.speedup);
   }
-  std::printf("  %-16s %8.2f ms\n", "IOS",
-              executor.schedule_latency_us(schedule) / 1000.0);
+  std::printf("  %-16s %8.2f ms\n", "IOS", result.latency_us / 1000.0);
+
+  // A second identical request is served from the recipe cache — the serving
+  // scenario: optimize once per deployment configuration, then reuse.
+  const OptimizationResult again = optimizer.optimize(request);
+  std::printf("\nrepeat request: cache %s, %lld new stage profiles\n",
+              again.cache_hit ? "hit" : "miss",
+              static_cast<long long>(again.new_measurements));
+
+  // The recipe generalizes: evaluate the found schedule on the low-end K80.
+  const EvaluationResult k80 = optimizer.evaluate(result.recipe, "k80");
+  std::printf("recipe on %s: IOS %.2f ms vs sequential %.2f ms (%.2fx)\n",
+              k80.device.c_str(), k80.latency_us / 1000.0,
+              k80.sequential_latency_us / 1000.0, k80.speedup);
   return 0;
 }

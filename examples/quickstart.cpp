@@ -1,13 +1,13 @@
-// Quickstart: build a small multi-branch CNN block, let IOS find a schedule
-// for it, and compare against sequential execution on a simulated V100.
+// Quickstart: build a small multi-branch CNN block, hand it to the
+// ios::Optimizer facade, and compare the found schedule against sequential
+// execution on a simulated V100. The facade runs the whole pipeline —
+// profiling cost model, DP search, baseline comparison — in one call.
 //
 //   $ ./quickstart
 
 #include <cstdio>
 
-#include "core/scheduler.hpp"
-#include "schedule/baselines.hpp"
-#include "sim/device.hpp"
+#include "api/optimizer.hpp"
 
 int main() {
   using namespace ios;
@@ -32,28 +32,30 @@ int main() {
   g.concat(branches, "concat");
   g.validate();
 
-  // 2. Pick a device model and build the profiling cost model.
-  const DeviceSpec device = tesla_v100();
-  CostModel cost(g, ExecConfig{device, KernelModelParams{}});
+  // 2. One facade call: profile, search (Algorithm 1), compare baselines.
+  Optimizer optimizer;
+  const OptimizationResult result =
+      optimizer.optimize(OptimizationRequest::for_graph(g, "v100"));
 
-  // 3. Run the IOS dynamic program (Algorithm 1 of the paper).
-  SchedulerStats stats;
-  IosScheduler scheduler(cost);
-  const Schedule schedule = scheduler.schedule_graph(&stats);
-
-  // 4. Inspect the result.
-  std::printf("%s", schedule.to_string(g).c_str());
+  // 3. Inspect the result.
+  std::printf("%s", result.schedule.to_string(g).c_str());
   std::printf("search explored %lld states / %lld transitions, "
               "%lld stage profiles\n\n",
-              static_cast<long long>(stats.states),
-              static_cast<long long>(stats.transitions),
-              static_cast<long long>(stats.measurements));
+              static_cast<long long>(result.stats.states),
+              static_cast<long long>(result.stats.transitions),
+              static_cast<long long>(result.stats.measurements));
 
-  Executor executor(g, ExecConfig{device, KernelModelParams{}});
-  const double seq = executor.schedule_latency_us(sequential_schedule(g));
-  const double ios = executor.schedule_latency_us(schedule);
+  const BaselineResult* seq = result.baseline("sequential");
   std::printf("sequential: %.1f us\nIOS:        %.1f us  (%.2fx speedup on "
-              "%s)\n",
-              seq, ios, seq / ios, device.name.c_str());
+              "Tesla V100)\n",
+              seq->latency_us, result.latency_us, seq->speedup);
+
+  // 4. An identical request is served from the in-process recipe cache:
+  // no new profiling, no new DP search.
+  const OptimizationResult again =
+      optimizer.optimize(OptimizationRequest::for_graph(g, "v100"));
+  std::printf("repeat request: cache %s, %lld new profiles\n",
+              again.cache_hit ? "hit" : "miss",
+              static_cast<long long>(again.new_measurements));
   return 0;
 }

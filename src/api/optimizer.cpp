@@ -1,0 +1,242 @@
+#include "api/optimizer.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "frameworks/frameworks.hpp"
+#include "models/models.hpp"
+#include "schedule/baselines.hpp"
+#include "util/hash.hpp"
+#include "util/names.hpp"
+
+namespace ios {
+
+namespace {
+
+constexpr Baseline kAllBaselines[] = {
+    Baseline::kSequential, Baseline::kGreedy,      Baseline::kTensorFlow,
+    Baseline::kTensorFlowXla, Baseline::kTaso,     Baseline::kTvmCudnn,
+    Baseline::kTensorRT,   Baseline::kTvmAutoTune, Baseline::kNimble,
+};
+
+double run_baseline(Baseline b, const Graph& g, const DeviceSpec& device,
+                    const Executor& executor) {
+  switch (b) {
+    case Baseline::kSequential:
+      return executor.schedule_latency_us(sequential_schedule(g));
+    case Baseline::kGreedy:
+      return executor.schedule_latency_us(greedy_schedule(g));
+    case Baseline::kTensorFlow:
+      return frameworks::run_framework(g, device, frameworks::tensorflow_spec())
+          .latency_us;
+    case Baseline::kTensorFlowXla:
+      return frameworks::run_framework(g, device,
+                                       frameworks::tensorflow_xla_spec())
+          .latency_us;
+    case Baseline::kTaso:
+      return frameworks::run_framework(g, device, frameworks::taso_spec())
+          .latency_us;
+    case Baseline::kTvmCudnn:
+      return frameworks::run_framework(g, device, frameworks::tvm_cudnn_spec())
+          .latency_us;
+    case Baseline::kTensorRT:
+      return frameworks::run_framework(g, device, frameworks::tensorrt_spec())
+          .latency_us;
+    case Baseline::kTvmAutoTune:
+      return frameworks::run_framework(g, device,
+                                       frameworks::tvm_autotune_spec())
+          .latency_us;
+    case Baseline::kNimble:
+      return frameworks::run_nimble(g, device).latency_us;
+  }
+  throw std::logic_error("unhandled baseline");
+}
+
+}  // namespace
+
+const char* baseline_name(Baseline b) {
+  switch (b) {
+    case Baseline::kSequential: return "sequential";
+    case Baseline::kGreedy: return "greedy";
+    // Framework baselines keep the display names of frameworks.cpp so tables
+    // printed from OptimizationResult line up with the Figure 7 benches.
+    case Baseline::kTensorFlow: return "TensorFlow";
+    case Baseline::kTensorFlowXla: return "TensorFlow-XLA";
+    case Baseline::kTaso: return "TASO";
+    case Baseline::kTvmCudnn: return "TVM-cuDNN";
+    case Baseline::kTensorRT: return "TensorRT";
+    case Baseline::kTvmAutoTune: return "TVM-AutoTune";
+    case Baseline::kNimble: return "Nimble";
+  }
+  return "?";
+}
+
+Baseline baseline_by_name(const std::string& name) {
+  for (Baseline b : kAllBaselines) {
+    if (name == baseline_name(b)) return b;
+  }
+  std::vector<std::string> known;
+  for (Baseline b : kAllBaselines) known.push_back(baseline_name(b));
+  throw std::invalid_argument(unknown_name_message("baseline", name, known));
+}
+
+std::vector<Baseline> all_baselines() {
+  return {std::begin(kAllBaselines), std::end(kAllBaselines)};
+}
+
+OptimizationRequest OptimizationRequest::for_model(std::string name,
+                                                   std::string device,
+                                                   int batch) {
+  OptimizationRequest r;
+  r.model = std::move(name);
+  r.device = std::move(device);
+  r.batch = batch;
+  return r;
+}
+
+OptimizationRequest OptimizationRequest::for_graph(Graph g,
+                                                   std::string device) {
+  OptimizationRequest r;
+  r.graph = std::move(g);
+  r.device = std::move(device);
+  return r;
+}
+
+const BaselineResult* OptimizationResult::baseline(
+    const std::string& name) const {
+  for (const BaselineResult& b : baselines) {
+    if (b.name == name) return &b;
+  }
+  return nullptr;
+}
+
+std::string request_cache_key(const Graph& g, const std::string& device,
+                              const SchedulerOptions& options,
+                              const ProfilingProtocol& protocol) {
+  std::string key = graph_to_json(g).dump();
+  key += '\n';
+  key += device;
+  key += "\nvariant=";
+  key += ios_variant_name(options.variant);
+  key += ";r=" + std::to_string(options.pruning.r);
+  key += ";s=" + std::to_string(options.pruning.s);
+  key += ";memoize=" + std::to_string(options.memoize ? 1 : 0);
+  key += ";warmup=" + std::to_string(protocol.warmup);
+  key += ";repeats=" + std::to_string(protocol.repeats);
+  key += ";noise=" +
+         std::to_string(std::bit_cast<std::uint64_t>(protocol.noise_frac));
+  key += ";seed=" + std::to_string(protocol.noise_seed);
+  return key;
+}
+
+Graph graph_with_batch(const Graph& g, int batch) {
+  if (batch == g.batch()) return g;
+  JsonValue doc = graph_to_json(g);
+  doc.set("batch", batch);
+  return graph_from_json(doc);
+}
+
+OptimizationResult Optimizer::optimize(const OptimizationRequest& request) {
+  const DeviceSpec device = device_by_name(request.device);
+  // Bind the graph by reference: a for_graph request must not deep-copy the
+  // graph on the cache-hit serving path.
+  std::optional<Graph> built;
+  const Graph& g =
+      request.graph
+          ? *request.graph
+          : built.emplace(models::build_model(request.model, request.batch));
+  const ExecConfig config{device, KernelModelParams{}};
+
+  OptimizationResult result;
+  const std::string key =
+      request_cache_key(g, device.name, request.options, request.protocol);
+  result.fingerprint = hash_bytes(key);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      result.schedule = it->second.schedule;
+      result.stats = it->second.stats;
+      result.latency_us = it->second.latency_us;
+      result.cache_hit = true;
+    }
+  }
+
+  if (!result.cache_hit) {
+    CostModel cost(g, config, request.protocol);
+    result.schedule =
+        IosScheduler(cost, request.options).schedule_graph(&result.stats);
+    validate_schedule(g, result.schedule);
+    result.new_measurements = cost.num_measurements();
+    result.latency_us =
+        Executor(g, config).schedule_latency_us(result.schedule);
+    std::lock_guard<std::mutex> lock(mu_);
+    total_measurements_ += result.new_measurements;
+    cache_.emplace(key, CacheEntry{result.schedule, result.stats,
+                                   result.latency_us});
+  }
+
+  const Executor executor(g, config);
+  for (Baseline b : request.baselines) {
+    const double latency = run_baseline(b, g, device, executor);
+    result.baselines.push_back(
+        {baseline_name(b), latency, latency / result.latency_us});
+  }
+
+  result.recipe.model = request.graph ? g.name() : request.model;
+  result.recipe.device = device.name;
+  result.recipe.batch = g.batch();
+  result.recipe.variant = request.options.variant;
+  result.recipe.pruning = request.options.pruning;
+  result.recipe.schedule = result.schedule;
+  if (request.graph) result.recipe.graph = g;
+  return result;
+}
+
+EvaluationResult Optimizer::evaluate(const Recipe& recipe,
+                                     const std::string& device,
+                                     int batch) const {
+  const DeviceSpec spec =
+      device_by_name(device.empty() ? recipe.device : device);
+  const int eval_batch = batch > 0 ? batch : recipe.batch;
+  const Graph g = recipe.graph
+                      ? graph_with_batch(*recipe.graph, eval_batch)
+                      : models::build_model(recipe.model, eval_batch);
+  validate_schedule(g, recipe.schedule);
+
+  const Executor executor(g, ExecConfig{spec, KernelModelParams{}});
+  EvaluationResult ev;
+  ev.device = spec.name;
+  ev.batch = eval_batch;
+  ev.latency_us = executor.schedule_latency_us(recipe.schedule);
+  ev.sequential_latency_us =
+      executor.schedule_latency_us(sequential_schedule(g));
+  ev.speedup = ev.sequential_latency_us / ev.latency_us;
+  return ev;
+}
+
+void Optimizer::save(const OptimizationResult& result,
+                     const std::string& path) {
+  save_recipe(result.recipe, path);
+}
+
+Recipe Optimizer::load(const std::string& path) { return load_recipe(path); }
+
+std::size_t Optimizer::cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+void Optimizer::clear_cache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+std::int64_t Optimizer::total_measurements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_measurements_;
+}
+
+}  // namespace ios

@@ -1,0 +1,168 @@
+#pragma once
+// ios::Optimizer — the single-call facade over the paper's whole pipeline:
+// build graph → profile with the CostModel → DP search (Algorithm 1) →
+// execute and compare against baselines. Callers describe *what* to optimize
+// in an OptimizationRequest (a zoo model by name, or an in-memory Graph) and
+// get everything the pipeline produces back in one OptimizationResult.
+//
+// The facade keeps an in-process, thread-safe *recipe cache* keyed by
+// (graph fingerprint, device, scheduler options, profiling protocol): a
+// repeated request — the serving scenario, where the same deployment
+// configuration is optimized over and over — skips the DP search and all
+// cost-model profiling entirely. Results can also be persisted as recipe
+// JSON (save/load) and re-evaluated later, possibly on a different device or
+// batch size.
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "runtime/cost_model.hpp"
+#include "schedule/serialize.hpp"
+#include "sim/device.hpp"
+
+namespace ios {
+
+/// Reference points a request may compare the IOS schedule against: the
+/// paper's Section 6.1 schedules plus the simulated framework baselines of
+/// Figure 7 and the Nimble extension.
+enum class Baseline {
+  kSequential,
+  kGreedy,
+  kTensorFlow,
+  kTensorFlowXla,
+  kTaso,
+  kTvmCudnn,
+  kTensorRT,
+  kTvmAutoTune,
+  kNimble,
+};
+
+const char* baseline_name(Baseline b);
+
+/// Inverse of baseline_name. Throws std::invalid_argument enumerating all
+/// baseline names when `name` is unknown.
+Baseline baseline_by_name(const std::string& name);
+
+/// Every baseline, in the order of the enum (sequential, greedy, then the
+/// Figure 7 frameworks, then Nimble).
+std::vector<Baseline> all_baselines();
+
+struct OptimizationRequest {
+  /// Model zoo name (a models::registry() key). Ignored when `graph` is set.
+  std::string model = "inception_v3";
+  /// Optimize this in-memory graph instead of a zoo model. The graph carries
+  /// its own batch size, so `batch` below is ignored.
+  std::optional<Graph> graph;
+  /// Device short or full name (device_names()).
+  std::string device = "v100";
+  /// Batch size for zoo models.
+  int batch = 1;
+  SchedulerOptions options{};
+  ProfilingProtocol protocol{};
+  std::vector<Baseline> baselines{Baseline::kSequential, Baseline::kGreedy};
+
+  static OptimizationRequest for_model(std::string name,
+                                       std::string device = "v100",
+                                       int batch = 1);
+  static OptimizationRequest for_graph(Graph g, std::string device = "v100");
+};
+
+struct BaselineResult {
+  std::string name;
+  double latency_us = 0;
+  double speedup = 0;  ///< baseline latency / IOS latency
+};
+
+struct OptimizationResult {
+  Schedule schedule;
+  /// IOS schedule latency on the requested device, microseconds.
+  double latency_us = 0;
+  /// One entry per requested baseline, request order.
+  std::vector<BaselineResult> baselines;
+  /// DP search statistics. On a cache hit these are the stats of the search
+  /// that originally filled the cache entry.
+  SchedulerStats stats;
+  /// Persistable recipe; pass to Optimizer::save / Optimizer::evaluate. For
+  /// for_graph requests this embeds a copy of the graph — on every call,
+  /// cache hit or not, so a result is always save()-able.
+  Recipe recipe;
+  /// True when the schedule came from the recipe cache.
+  bool cache_hit = false;
+  /// Cost-model profiles run by *this* call — 0 on a cache hit.
+  std::int64_t new_measurements = 0;
+  /// The cache key the request mapped to.
+  std::uint64_t fingerprint = 0;
+
+  /// The entry for a named baseline, or nullptr if it was not requested.
+  const BaselineResult* baseline(const std::string& name) const;
+};
+
+struct EvaluationResult {
+  std::string device;  ///< full device name the recipe was evaluated on
+  int batch = 1;
+  double latency_us = 0;             ///< recipe schedule latency
+  double sequential_latency_us = 0;  ///< sequential baseline on same device
+  double speedup = 0;                ///< sequential / recipe
+};
+
+class Optimizer {
+ public:
+  /// Runs the full pipeline for the request, or serves the schedule from the
+  /// recipe cache when an equivalent request was optimized before. Baseline
+  /// latencies are (re)computed per call — they only need the executor, never
+  /// the profiling cost model. Thread-safe; concurrent identical misses may
+  /// both search, but insert identical entries.
+  OptimizationResult optimize(const OptimizationRequest& request);
+
+  /// Executes a recipe's schedule and the sequential baseline. Empty device /
+  /// non-positive batch mean "as recorded in the recipe". Zoo recipes are
+  /// rebuilt through models::build_model; recipes with an embedded graph are
+  /// re-materialized at the requested batch size.
+  EvaluationResult evaluate(const Recipe& recipe,
+                            const std::string& device = "",
+                            int batch = 0) const;
+
+  static void save(const OptimizationResult& result, const std::string& path);
+  static Recipe load(const std::string& path);
+
+  std::size_t cache_size() const;
+  void clear_cache();
+
+  /// Cost-model profiles run by all optimize() calls on this Optimizer.
+  std::int64_t total_measurements() const;
+
+ private:
+  struct CacheEntry {
+    Schedule schedule;
+    SchedulerStats stats;
+    double latency_us = 0;
+  };
+
+  mutable std::mutex mu_;
+  /// Keyed by the full key material (graph JSON + device + options), not its
+  /// hash — a fingerprint collision must not serve another request's
+  /// schedule.
+  std::unordered_map<std::string, CacheEntry> cache_;
+  std::int64_t total_measurements_ = 0;
+};
+
+/// The recipe-cache key material: the serialized graph (which covers batch,
+/// topology, and every attribute), the canonical device name, and the
+/// options that can change the found schedule. SchedulerOptions::num_threads
+/// is deliberately excluded — the schedule is identical for every thread
+/// count. OptimizationResult::fingerprint is the hash of this string.
+std::string request_cache_key(const Graph& g, const std::string& device,
+                              const SchedulerOptions& options,
+                              const ProfilingProtocol& protocol);
+
+/// Re-materializes `g` at a different batch size (round-trips through the
+/// graph JSON with the batch replaced; op ids are preserved, so existing
+/// schedules stay valid).
+Graph graph_with_batch(const Graph& g, int batch);
+
+}  // namespace ios

@@ -4,7 +4,10 @@
 // graphs from Figures 2, 3, 5, and 13. All builders take the batch size;
 // stochastic builders (RandWire) additionally take a seed.
 
+#include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "graph/graph.hpp"
 
@@ -68,5 +71,25 @@ Graph fig5_graph(int batch);
 /// The complexity-tightness example of Figure 13 / Appendix A: d
 /// independent chains of c operators each, in one block.
 Graph fig13_chains(int batch, int chain_length, int num_chains);
+
+// ---- model registry --------------------------------------------------------
+// The central name → builder table shared by the CLI, the ios::Optimizer
+// facade, examples, benches, and tests. Stochastic builders are registered
+// with their default seed; extra-parameter builders (fig13_chains) are not
+// registered.
+
+using ModelBuilder = Graph (*)(int batch);
+
+/// All registered builders, keyed by name, sorted (std::map order).
+const std::map<std::string, ModelBuilder>& registry();
+
+/// The registered names, sorted.
+std::vector<std::string> model_names();
+
+bool has_model(const std::string& name);
+
+/// Builds a registered model at the given batch size. Throws
+/// std::invalid_argument enumerating model_names() when `name` is unknown.
+Graph build_model(const std::string& name, int batch);
 
 }  // namespace ios::models

@@ -1,0 +1,51 @@
+#include "models/models.hpp"
+
+#include <stdexcept>
+
+#include "util/names.hpp"
+
+namespace ios::models {
+
+const std::map<std::string, ModelBuilder>& registry() {
+  static const std::map<std::string, ModelBuilder> table = {
+      {"inception_v3", [](int b) { return inception_v3(b); }},
+      {"randwire", [](int b) { return randwire(b); }},
+      {"nasnet", [](int b) { return nasnet_a(b); }},
+      {"squeezenet", [](int b) { return squeezenet(b); }},
+      {"resnet34", [](int b) { return resnet34(b); }},
+      {"resnet50", [](int b) { return resnet50(b); }},
+      {"vgg16", [](int b) { return vgg16(b); }},
+      {"mobilenet_v2", [](int b) { return mobilenet_v2(b); }},
+      {"shufflenet_v2", [](int b) { return shufflenet_v2(b); }},
+      {"googlenet", [](int b) { return googlenet(b); }},
+      // Didactic graphs, so `ios_opt inspect`/`optimize` can reproduce the
+      // paper's figure examples by name.
+      {"fig2", [](int b) { return fig2_graph(b); }},
+      {"fig3", [](int b) { return fig3_graph(b); }},
+      {"fig5", [](int b) { return fig5_graph(b); }},
+  };
+  return table;
+}
+
+std::vector<std::string> model_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, builder] : registry()) names.push_back(name);
+  return names;
+}
+
+bool has_model(const std::string& name) {
+  return registry().count(name) != 0;
+}
+
+Graph build_model(const std::string& name, int batch) {
+  const auto& table = registry();
+  const auto it = table.find(name);
+  if (it == table.end()) {
+    throw std::invalid_argument(unknown_name_message("model", name,
+                                                     model_names()));
+  }
+  return it->second(batch);
+}
+
+}  // namespace ios::models

@@ -246,6 +246,7 @@ JsonValue recipe_to_json(const Recipe& r) {
   pruning.set("s", r.pruning.s);
   root.set("pruning", std::move(pruning));
   root.set("schedule", schedule_to_json(r.schedule));
+  if (r.graph) root.set("graph", graph_to_json(*r.graph));
   return root;
 }
 
@@ -267,6 +268,7 @@ Recipe recipe_from_json(const JsonValue& v) {
   r.pruning.r = static_cast<int>(v.at("pruning").at("r").as_int());
   r.pruning.s = static_cast<int>(v.at("pruning").at("s").as_int());
   r.schedule = schedule_from_json(v.at("schedule"));
+  if (v.contains("graph")) r.graph = graph_from_json(v.at("graph"));
   return r;
 }
 

@@ -5,6 +5,7 @@
 // load the recipe at inference time — the workflow of the paper's released
 // implementation.
 
+#include <optional>
 #include <string>
 
 #include "core/scheduler.hpp"
@@ -34,6 +35,10 @@ struct Recipe {
   IosVariant variant = IosVariant::kBoth;
   PruningStrategy pruning;
   Schedule schedule;
+  /// For schedules of graphs that are not in the model zoo: the graph itself,
+  /// embedded in the recipe so evaluate-after-load needs no builder. Zoo
+  /// recipes leave this empty and rebuild through models::build_model.
+  std::optional<Graph> graph;
 };
 
 JsonValue recipe_to_json(const Recipe& r);

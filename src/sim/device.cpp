@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/names.hpp"
+
 namespace ios {
 
 DeviceSpec tesla_v100() {
@@ -75,13 +77,36 @@ DeviceSpec gtx_980ti() {
   return d;
 }
 
+namespace {
+
+// Single source for every name device_by_name() accepts; short names sorted.
+struct NamedDevice {
+  const char* short_name;
+  const char* full_name;
+  DeviceSpec (*build)();
+};
+constexpr NamedDevice kDevices[] = {
+    {"1080", "GTX 1080", gtx_1080},
+    {"2080ti", "RTX 2080Ti", rtx_2080ti},
+    {"980ti", "GTX 980Ti", gtx_980ti},
+    {"k80", "Tesla K80", tesla_k80},
+    {"v100", "Tesla V100", tesla_v100},
+};
+
+}  // namespace
+
+std::vector<std::string> device_names() {
+  std::vector<std::string> names;
+  for (const NamedDevice& d : kDevices) names.push_back(d.short_name);
+  return names;
+}
+
 DeviceSpec device_by_name(const std::string& name) {
-  if (name == "v100" || name == "Tesla V100") return tesla_v100();
-  if (name == "k80" || name == "Tesla K80") return tesla_k80();
-  if (name == "2080ti" || name == "RTX 2080Ti") return rtx_2080ti();
-  if (name == "1080" || name == "GTX 1080") return gtx_1080();
-  if (name == "980ti" || name == "GTX 980Ti") return gtx_980ti();
-  throw std::invalid_argument("unknown device: " + name);
+  for (const NamedDevice& d : kDevices) {
+    if (name == d.short_name || name == d.full_name) return d.build();
+  }
+  throw std::invalid_argument(unknown_name_message("device", name,
+                                                   device_names()));
 }
 
 }  // namespace ios

@@ -6,6 +6,7 @@
 // bandwidth, and host-side launch/synchronization overheads.
 
 #include <string>
+#include <vector>
 
 namespace ios {
 
@@ -51,6 +52,12 @@ DeviceSpec gtx_1080();
 /// NVIDIA GTX 980Ti (Maxwell): the 2013-era representative of Figure 1.
 DeviceSpec gtx_980ti();
 
+/// Short names accepted by device_by_name(), sorted. (The full marketing
+/// names, e.g. "Tesla V100", are accepted too.)
+std::vector<std::string> device_names();
+
+/// Looks up a device spec by short or full name. Throws std::invalid_argument
+/// enumerating device_names() when the name is unknown.
 DeviceSpec device_by_name(const std::string& name);
 
 }  // namespace ios

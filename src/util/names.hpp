@@ -1,0 +1,32 @@
+#pragma once
+// Shared formatting for registry-style lookup failures. Every name-keyed
+// lookup in the library (devices, zoo models, baselines) reports the full
+// set of known names, so a typo on the command line or in an
+// OptimizationRequest is a one-round-trip fix.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ios {
+
+/// "unknown device 'foo'; known devices: 1080, 2080ti, k80, ..." — names are
+/// listed in the order given (registries pass them sorted).
+inline std::string unknown_name_message(std::string_view kind,
+                                        std::string_view name,
+                                        const std::vector<std::string>& known) {
+  std::string msg = "unknown ";
+  msg += kind;
+  msg += " '";
+  msg += name;
+  msg += "'; known ";
+  msg += kind;
+  msg += "s:";
+  for (const std::string& k : known) {
+    msg += ' ';
+    msg += k;
+  }
+  return msg;
+}
+
+}  // namespace ios

@@ -1,0 +1,254 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "api/optimizer.hpp"
+#include "frameworks/frameworks.hpp"
+#include "models/models.hpp"
+#include "schedule/serialize.hpp"
+
+namespace ios {
+namespace {
+
+// A small two-branch block (cheap to search, still non-trivial: four ways to
+// stage it) used where the model identity does not matter.
+Graph small_graph(int batch = 1) {
+  Graph g(batch, "api_test_block");
+  const OpId in = g.input(64, 28, 28, "input");
+  g.begin_block();
+  const OpId a = g.conv2d(in, Conv2dAttrs{.out_channels = 32, .kh = 1,
+                                          .kw = 1}, "a");
+  const OpId b = g.conv2d(in, Conv2dAttrs{.out_channels = 48, .kh = 3,
+                                          .kw = 3, .ph = 1, .pw = 1}, "b");
+  const OpId branches[] = {a, b};
+  g.concat(branches, "concat");
+  g.validate();
+  return g;
+}
+
+std::string dump(const Schedule& q) { return schedule_to_json(q).dump(); }
+
+TEST(Optimizer, CacheHitSkipsAllProfiling) {
+  Optimizer opt;
+  const OptimizationRequest request =
+      OptimizationRequest::for_graph(small_graph());
+
+  const OptimizationResult first = opt.optimize(request);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.new_measurements, 0);
+  EXPECT_EQ(first.new_measurements, first.stats.measurements);
+  EXPECT_EQ(opt.cache_size(), 1u);
+
+  const OptimizationResult second = opt.optimize(request);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.new_measurements, 0);  // zero new CostModel measurements
+  EXPECT_EQ(opt.total_measurements(), first.new_measurements);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+  EXPECT_EQ(dump(second.schedule), dump(first.schedule));
+  EXPECT_DOUBLE_EQ(second.latency_us, first.latency_us);
+  EXPECT_EQ(opt.cache_size(), 1u);
+
+  opt.clear_cache();
+  EXPECT_EQ(opt.cache_size(), 0u);
+  EXPECT_FALSE(opt.optimize(request).cache_hit);
+}
+
+TEST(Optimizer, DistinctConfigurationsMissTheCache) {
+  Optimizer opt;
+  OptimizationRequest request = OptimizationRequest::for_graph(small_graph());
+  const OptimizationResult base = opt.optimize(request);
+
+  request.device = "k80";
+  EXPECT_FALSE(opt.optimize(request).cache_hit);
+
+  request.device = "v100";
+  request.options.pruning = {1, 1};
+  EXPECT_FALSE(opt.optimize(request).cache_hit);
+
+  request.options.pruning = {};
+  request.options.variant = IosVariant::kMerge;
+  EXPECT_FALSE(opt.optimize(request).cache_hit);
+  EXPECT_EQ(opt.cache_size(), 4u);
+
+  // num_threads does not change the found schedule and is not in the key.
+  request.options.variant = IosVariant::kBoth;
+  request.options.num_threads = 4;
+  const OptimizationResult threaded = opt.optimize(request);
+  EXPECT_TRUE(threaded.cache_hit);
+  EXPECT_EQ(threaded.fingerprint, base.fingerprint);
+}
+
+TEST(Optimizer, GraphAndNameRequestsAreEquivalent) {
+  Optimizer opt;
+  const OptimizationResult by_name =
+      opt.optimize(OptimizationRequest::for_model("squeezenet", "v100", 1));
+  EXPECT_FALSE(by_name.cache_hit);
+  EXPECT_EQ(by_name.recipe.model, "squeezenet");
+  EXPECT_FALSE(by_name.recipe.graph.has_value());
+
+  // The same network handed over as an in-memory graph fingerprints to the
+  // same cache key, so it is even served from the cache.
+  const OptimizationResult by_graph = opt.optimize(
+      OptimizationRequest::for_graph(models::squeezenet(1), "v100"));
+  EXPECT_TRUE(by_graph.cache_hit);
+  EXPECT_EQ(by_graph.fingerprint, by_name.fingerprint);
+  EXPECT_EQ(dump(by_graph.schedule), dump(by_name.schedule));
+  EXPECT_DOUBLE_EQ(by_graph.latency_us, by_name.latency_us);
+  EXPECT_TRUE(by_graph.recipe.graph.has_value());
+}
+
+TEST(Optimizer, BaselineSetIsPerRequestEvenOnCacheHit) {
+  Optimizer opt;
+  OptimizationRequest request = OptimizationRequest::for_graph(small_graph());
+  const OptimizationResult first = opt.optimize(request);
+  ASSERT_EQ(first.baselines.size(), 2u);
+  EXPECT_NE(first.baseline("sequential"), nullptr);
+  EXPECT_GT(first.baseline("sequential")->latency_us, 0);
+  EXPECT_EQ(first.baseline("TensorRT"), nullptr);
+
+  request.baselines = all_baselines();
+  const OptimizationResult second = opt.optimize(request);
+  EXPECT_TRUE(second.cache_hit);
+  ASSERT_EQ(second.baselines.size(), all_baselines().size());
+  ASSERT_NE(second.baseline("TensorRT"), nullptr);
+  EXPECT_GT(second.baseline("TensorRT")->latency_us, 0);
+  EXPECT_DOUBLE_EQ(
+      second.baseline("sequential")->latency_us,
+      first.baseline("sequential")->latency_us);
+}
+
+TEST(Optimizer, RecipeSaveLoadEvaluateRoundTrip) {
+  Optimizer opt;
+  const OptimizationResult result =
+      opt.optimize(OptimizationRequest::for_model("squeezenet", "v100", 1));
+
+  const std::string path = ::testing::TempDir() + "/optimizer_recipe.json";
+  Optimizer::save(result, path);
+  const Recipe loaded = Optimizer::load(path);
+  EXPECT_EQ(loaded.model, "squeezenet");
+  EXPECT_EQ(loaded.device, "Tesla V100");
+  EXPECT_EQ(loaded.batch, 1);
+  EXPECT_EQ(dump(loaded.schedule), dump(result.schedule));
+
+  const EvaluationResult ev = opt.evaluate(loaded);
+  EXPECT_EQ(ev.device, "Tesla V100");
+  EXPECT_EQ(ev.batch, 1);
+  EXPECT_DOUBLE_EQ(ev.latency_us, result.latency_us);
+  EXPECT_DOUBLE_EQ(ev.sequential_latency_us,
+                   result.baseline("sequential")->latency_us);
+
+  // The same recipe evaluated on another device and batch size.
+  const EvaluationResult k80 = opt.evaluate(loaded, "k80", 4);
+  EXPECT_EQ(k80.device, "Tesla K80");
+  EXPECT_EQ(k80.batch, 4);
+  EXPECT_GT(k80.latency_us, ev.latency_us);
+}
+
+TEST(Optimizer, GraphRecipeEmbedsGraphAndRoundTrips) {
+  Optimizer opt;
+  const OptimizationResult result =
+      opt.optimize(OptimizationRequest::for_graph(small_graph()));
+  ASSERT_TRUE(result.recipe.graph.has_value());
+
+  const std::string path =
+      ::testing::TempDir() + "/optimizer_graph_recipe.json";
+  Optimizer::save(result, path);
+  const Recipe loaded = Optimizer::load(path);
+  ASSERT_TRUE(loaded.graph.has_value());
+  EXPECT_EQ(loaded.model, "api_test_block");
+  EXPECT_EQ(loaded.graph->name(), "api_test_block");
+
+  const EvaluationResult ev = opt.evaluate(loaded);
+  EXPECT_DOUBLE_EQ(ev.latency_us, result.latency_us);
+
+  // Batch override on an embedded graph re-materializes it at the new batch.
+  const EvaluationResult batched = opt.evaluate(loaded, "", 8);
+  EXPECT_EQ(batched.batch, 8);
+  EXPECT_GT(batched.latency_us, ev.latency_us);
+}
+
+TEST(Optimizer, GraphWithBatchPreservesStructure) {
+  const Graph g = small_graph(1);
+  const Graph g8 = graph_with_batch(g, 8);
+  EXPECT_EQ(g8.batch(), 8);
+  EXPECT_EQ(g8.num_ops(), g.num_ops());
+  EXPECT_EQ(g8.name(), g.name());
+  // Same graph at the same batch is returned unchanged (same fingerprint).
+  EXPECT_EQ(graph_to_json(graph_with_batch(g, 1)).dump(),
+            graph_to_json(g).dump());
+}
+
+TEST(Optimizer, UnknownNamesEnumerateAllKnownNames) {
+  try {
+    models::build_model("no_such_model", 1);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_model"), std::string::npos);
+    EXPECT_NE(msg.find("inception_v3"), std::string::npos);
+    EXPECT_NE(msg.find("squeezenet"), std::string::npos);
+  }
+
+  try {
+    device_by_name("no_such_device");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("no_such_device"), std::string::npos);
+    EXPECT_NE(msg.find("v100"), std::string::npos);
+    EXPECT_NE(msg.find("k80"), std::string::npos);
+  }
+
+  try {
+    baseline_by_name("no_such_baseline");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("greedy"), std::string::npos);
+    EXPECT_NE(msg.find("TensorRT"), std::string::npos);
+  }
+
+  Optimizer opt;
+  EXPECT_THROW(opt.optimize(OptimizationRequest::for_model("nope")),
+               std::invalid_argument);
+  EXPECT_THROW(opt.optimize(OptimizationRequest::for_model(
+                   "squeezenet", "nope")),
+               std::invalid_argument);
+}
+
+// baseline_name() promises the display names of frameworks.cpp so tables
+// printed from OptimizationResult line up with the Figure 7 benches; pin the
+// two sources together.
+TEST(Optimizer, BaselineNamesMatchFrameworkSpecs) {
+  EXPECT_EQ(baseline_name(Baseline::kTensorFlow),
+            frameworks::tensorflow_spec().name);
+  EXPECT_EQ(baseline_name(Baseline::kTensorFlowXla),
+            frameworks::tensorflow_xla_spec().name);
+  EXPECT_EQ(baseline_name(Baseline::kTaso), frameworks::taso_spec().name);
+  EXPECT_EQ(baseline_name(Baseline::kTvmCudnn),
+            frameworks::tvm_cudnn_spec().name);
+  EXPECT_EQ(baseline_name(Baseline::kTensorRT),
+            frameworks::tensorrt_spec().name);
+  EXPECT_EQ(baseline_name(Baseline::kTvmAutoTune),
+            frameworks::tvm_autotune_spec().name);
+  for (Baseline b : all_baselines()) {
+    EXPECT_EQ(baseline_by_name(baseline_name(b)), b);
+  }
+}
+
+TEST(Optimizer, RegistryEnumerationMatchesLookup) {
+  const std::vector<std::string> names = models::model_names();
+  EXPECT_EQ(names.size(), models::registry().size());
+  EXPECT_TRUE(models::has_model("nasnet"));
+  EXPECT_FALSE(models::has_model("nasnet_b"));
+  for (const std::string& name : names) {
+    EXPECT_TRUE(models::has_model(name));
+  }
+  // Every registered builder produces a valid graph at batch 1 with the
+  // requested batch applied.
+  const Graph g = models::build_model("fig3", 2);
+  EXPECT_EQ(g.batch(), 2);
+}
+
+}  // namespace
+}  // namespace ios

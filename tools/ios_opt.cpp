@@ -1,4 +1,5 @@
-// ios_opt: command-line driver for the IOS scheduler.
+// ios_opt: command-line driver for the IOS scheduler, built on the
+// ios::Optimizer facade.
 //
 // Optimize a zoo model for a device/batch and report latencies:
 //   ios_opt optimize --model inception_v3 --device v100 --batch 1
@@ -9,45 +10,39 @@
 //   ios_opt evaluate --recipe recipe.json --device k80
 // Show model facts (Table 1/2 style):
 //   ios_opt inspect --model nasnet
+// Enumerate registered models, devices, and baselines:
+//   ios_opt list
 
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "api/optimizer.hpp"
 #include "core/analysis.hpp"
-#include "core/scheduler.hpp"
-#include "frameworks/frameworks.hpp"
 #include "models/models.hpp"
 #include "runtime/trace_export.hpp"
-#include "schedule/baselines.hpp"
-#include "schedule/serialize.hpp"
 
 namespace {
 
 using namespace ios;
 
-Graph build_model(const std::string& name, int batch) {
-  static const std::map<std::string, Graph (*)(int)> registry = {
-      {"inception_v3", [](int b) { return models::inception_v3(b); }},
-      {"randwire", [](int b) { return models::randwire(b); }},
-      {"nasnet", [](int b) { return models::nasnet_a(b); }},
-      {"squeezenet", [](int b) { return models::squeezenet(b); }},
-      {"resnet34", [](int b) { return models::resnet34(b); }},
-      {"resnet50", [](int b) { return models::resnet50(b); }},
-      {"vgg16", [](int b) { return models::vgg16(b); }},
-      {"mobilenet_v2", [](int b) { return models::mobilenet_v2(b); }},
-      {"shufflenet_v2", [](int b) { return models::shufflenet_v2(b); }},
-      {"googlenet", [](int b) { return models::googlenet(b); }},
-  };
-  const auto it = registry.find(name);
-  if (it == registry.end()) {
-    std::string known;
-    for (const auto& [k, v] : registry) known += " " + k;
-    throw std::runtime_error("unknown model '" + name + "'; known:" + known);
-  }
-  return it->second(batch);
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: ios_opt <command> [--key value]...\n"
+               "\n"
+               "commands:\n"
+               "  optimize   run the IOS search and compare against baselines\n"
+               "             --model NAME | --batch N | --device NAME |\n"
+               "             --variant both|parallel|merge | --r N | --s N |\n"
+               "             --threads N | --baselines a,b,... | --print 1 |\n"
+               "             --save FILE | --dot FILE | --trace FILE\n"
+               "  evaluate   execute a saved recipe\n"
+               "             --recipe FILE [--device NAME] [--batch N]\n"
+               "  inspect    print model facts (Table 1/2 style)\n"
+               "             --model NAME [--batch N] [--print 1]\n"
+               "  list       enumerate known models, devices, and baselines\n"
+               "  help       show this message\n");
 }
 
 struct Args {
@@ -75,7 +70,11 @@ Args parse_args(int argc, char** argv) {
       throw std::runtime_error("expected --key value pairs, got '" + flag +
                                "'");
     }
-    args.options[flag.substr(2)] = argv[++i];
+    const std::string key = flag.substr(2);
+    if (args.options.count(key)) {
+      throw std::runtime_error("duplicate flag '--" + key + "'");
+    }
+    args.options[key] = argv[++i];
   }
   return args;
 }
@@ -87,63 +86,85 @@ IosVariant variant_from(const std::string& s) {
   throw std::runtime_error("variant must be both|parallel|merge");
 }
 
-int cmd_optimize(const Args& args) {
-  const std::string model = args.get("model", "inception_v3");
-  const int batch = std::stoi(args.get("batch", "1"));
-  const DeviceSpec device = device_by_name(args.get("device", "v100"));
-  const IosVariant variant = variant_from(args.get("variant", "both"));
-  PruningStrategy pruning;
-  pruning.r = std::stoi(args.get("r", "3"));
-  pruning.s = std::stoi(args.get("s", "8"));
-  const int threads = std::stoi(args.get("threads", "1"));
+std::vector<Baseline> baselines_from(const std::string& csv) {
+  std::vector<Baseline> baselines;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t end = csv.find(',', begin);
+    const std::string name =
+        csv.substr(begin, end == std::string::npos ? end : end - begin);
+    if (!name.empty()) baselines.push_back(baseline_by_name(name));
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return baselines;
+}
 
-  const Graph g = build_model(model, batch);
+int cmd_optimize(const Args& args) {
+  OptimizationRequest request;
+  request.model = args.get("model", "inception_v3");
+  request.batch = std::stoi(args.get("batch", "1"));
+  request.device = args.get("device", "v100");
+  request.options.variant = variant_from(args.get("variant", "both"));
+  request.options.pruning.r = std::stoi(args.get("r", "3"));
+  request.options.pruning.s = std::stoi(args.get("s", "8"));
+  request.options.num_threads = std::stoi(args.get("threads", "1"));
+  if (const auto csv = args.get("baselines")) {
+    request.baselines = baselines_from(*csv);
+  }
+
   std::printf("optimizing %s (batch %d) for %s with %s, pruning r=%d s=%d, "
               "%s block threads\n",
-              g.name().c_str(), batch, device.name.c_str(),
-              ios_variant_name(variant), pruning.r, pruning.s,
-              threads > 0 ? std::to_string(threads).c_str() : "auto");
+              request.model.c_str(), request.batch, request.device.c_str(),
+              ios_variant_name(request.options.variant),
+              request.options.pruning.r, request.options.pruning.s,
+              request.options.num_threads > 0
+                  ? std::to_string(request.options.num_threads).c_str()
+                  : "auto");
 
-  const ExecConfig config{device, KernelModelParams{}};
-  CostModel cost(g, config);
-  SchedulerOptions options;
-  options.pruning = pruning;
-  options.variant = variant;
-  options.num_threads = threads;
-  SchedulerStats stats;
-  const Schedule schedule =
-      IosScheduler(cost, options).schedule_graph(&stats);
-  validate_schedule(g, schedule);
+  Optimizer optimizer;
+  const OptimizationResult result = optimizer.optimize(request);
 
-  Executor executor(g, config);
-  const double seq = executor.schedule_latency_us(sequential_schedule(g));
-  const double greedy = executor.schedule_latency_us(greedy_schedule(g));
-  const double ios = executor.schedule_latency_us(schedule);
-  std::printf("\nsequential %.3f ms | greedy %.3f ms | IOS %.3f ms "
-              "(%.2fx over sequential)\n",
-              seq / 1000, greedy / 1000, ios / 1000, seq / ios);
-  std::printf("search: %lld states, %lld transitions, %lld profiles, "
-              "%.2f s simulated profiling, %.0f ms wall\n",
-              static_cast<long long>(stats.states),
-              static_cast<long long>(stats.transitions),
-              static_cast<long long>(stats.measurements),
-              stats.profiling_cost_us / 1e6, stats.search_wall_ms);
-
-  if (args.get("print", "0") == "1") {
-    std::printf("\n%s", schedule.to_string(g).c_str());
+  std::printf("\n");
+  for (const BaselineResult& b : result.baselines) {
+    std::printf("  %-16s %8.3f ms\n", b.name.c_str(), b.latency_us / 1000);
   }
+  std::printf("  %-16s %8.3f ms", "IOS", result.latency_us / 1000);
+  if (const BaselineResult* seq = result.baseline("sequential")) {
+    std::printf("  (%.2fx over sequential)", seq->speedup);
+  }
+  std::printf("\nsearch: %lld states, %lld transitions, %lld profiles, "
+              "%.2f s simulated profiling, %.0f ms wall\n",
+              static_cast<long long>(result.stats.states),
+              static_cast<long long>(result.stats.transitions),
+              static_cast<long long>(result.stats.measurements),
+              result.stats.profiling_cost_us / 1e6,
+              result.stats.search_wall_ms);
+
   if (const auto path = args.get("save")) {
-    Recipe recipe{model, device.name, batch, variant, pruning, schedule};
-    save_recipe(recipe, *path);
+    Optimizer::save(result, *path);
     std::printf("recipe saved to %s\n", path->c_str());
   }
-  if (const auto path = args.get("dot")) {
-    write_file(*path, to_dot(g, &schedule));
-    std::printf("graphviz dot written to %s\n", path->c_str());
-  }
-  if (const auto path = args.get("trace")) {
-    write_file(*path, to_chrome_trace(executor.run_schedule(schedule)));
-    std::printf("chrome trace written to %s\n", path->c_str());
+
+  // The remaining outputs need the graph itself; rebuild it (cheap, no
+  // profiling) only when one of them was requested.
+  const bool print = args.get("print", "0") == "1";
+  const auto dot_path = args.get("dot");
+  const auto trace_path = args.get("trace");
+  if (print || dot_path || trace_path) {
+    const Graph g = models::build_model(request.model, request.batch);
+    if (print) std::printf("\n%s", result.schedule.to_string(g).c_str());
+    if (dot_path) {
+      write_file(*dot_path, to_dot(g, &result.schedule));
+      std::printf("graphviz dot written to %s\n", dot_path->c_str());
+    }
+    if (trace_path) {
+      const Executor executor(
+          g, ExecConfig{device_by_name(request.device), KernelModelParams{}});
+      write_file(*trace_path,
+                 to_chrome_trace(executor.run_schedule(result.schedule)));
+      std::printf("chrome trace written to %s\n", trace_path->c_str());
+    }
   }
   return 0;
 }
@@ -151,28 +172,22 @@ int cmd_optimize(const Args& args) {
 int cmd_evaluate(const Args& args) {
   const auto path = args.get("recipe");
   if (!path) throw std::runtime_error("evaluate requires --recipe");
-  const Recipe recipe = load_recipe(*path);
-  const int batch = std::stoi(
-      args.get("batch", std::to_string(recipe.batch)));
-  const DeviceSpec device =
-      device_by_name(args.get("device", recipe.device));
+  const Recipe recipe = Optimizer::load(*path);
 
-  const Graph g = build_model(recipe.model, batch);
-  validate_schedule(g, recipe.schedule);
-  Executor executor(g, ExecConfig{device, KernelModelParams{}});
-  const double ios = executor.schedule_latency_us(recipe.schedule);
-  const double seq = executor.schedule_latency_us(sequential_schedule(g));
+  const EvaluationResult ev = Optimizer().evaluate(
+      recipe, args.get("device", ""), std::stoi(args.get("batch", "0")));
   std::printf("recipe %s (optimized for %s, batch %d)\n", path->c_str(),
               recipe.device.c_str(), recipe.batch);
   std::printf("executing on %s at batch %d: IOS %.3f ms, sequential %.3f ms "
               "(%.2fx)\n",
-              device.name.c_str(), batch, ios / 1000, seq / 1000, seq / ios);
+              ev.device.c_str(), ev.batch, ev.latency_us / 1000,
+              ev.sequential_latency_us / 1000, ev.speedup);
   return 0;
 }
 
 int cmd_inspect(const Args& args) {
-  const Graph g = build_model(args.get("model", "inception_v3"),
-                              std::stoi(args.get("batch", "1")));
+  const Graph g = models::build_model(args.get("model", "inception_v3"),
+                                      std::stoi(args.get("batch", "1")));
   const NetworkSummary s = summarize_network(g);
   std::printf("%s: %d blocks, %d operators, main type %s, %.2f GFLOPs\n",
               s.name.c_str(), s.num_blocks, s.num_ops, s.main_op_type.c_str(),
@@ -188,6 +203,23 @@ int cmd_inspect(const Args& args) {
   return 0;
 }
 
+int cmd_list() {
+  std::printf("models:");
+  for (const std::string& name : models::model_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\ndevices:");
+  for (const std::string& name : device_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nbaselines:");
+  for (Baseline b : all_baselines()) {
+    std::printf(" %s", baseline_name(b));
+  }
+  std::printf("\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,12 +228,19 @@ int main(int argc, char** argv) {
     if (args.command == "optimize") return cmd_optimize(args);
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "inspect") return cmd_inspect(args);
-    throw std::runtime_error("unknown command '" + args.command +
-                             "' (optimize|evaluate|inspect)");
+    if (args.command == "list") return cmd_list();
+    if (args.command == "help" || args.command == "--help" ||
+        args.command == "-h") {
+      print_usage(stdout);
+      return 0;
+    }
+    std::fprintf(stderr, "error: unknown command '%s'\n\n",
+                 args.command.c_str());
+    print_usage(stderr);
+    return 2;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    std::fprintf(stderr,
-                 "usage: ios_opt optimize|evaluate|inspect [--key value]...\n");
+    std::fprintf(stderr, "error: %s\n\n", e.what());
+    print_usage(stderr);
     return 2;
   }
 }
