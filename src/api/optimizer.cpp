@@ -111,13 +111,9 @@ const BaselineResult* OptimizationResult::baseline(
   return nullptr;
 }
 
-std::string request_cache_key(const Graph& g, const std::string& device,
-                              const SchedulerOptions& options,
-                              const ProfilingProtocol& protocol) {
-  std::string key = graph_to_json(g).dump();
-  key += '\n';
-  key += device;
-  key += "\nvariant=";
+std::string scheduler_config_key(const SchedulerOptions& options,
+                                 const ProfilingProtocol& protocol) {
+  std::string key = "variant=";
   key += ios_variant_name(options.variant);
   key += ";r=" + std::to_string(options.pruning.r);
   key += ";s=" + std::to_string(options.pruning.s);
@@ -127,6 +123,17 @@ std::string request_cache_key(const Graph& g, const std::string& device,
   key += ";noise=" +
          std::to_string(std::bit_cast<std::uint64_t>(protocol.noise_frac));
   key += ";seed=" + std::to_string(protocol.noise_seed);
+  return key;
+}
+
+std::string request_cache_key(const Graph& g, const std::string& device,
+                              const SchedulerOptions& options,
+                              const ProfilingProtocol& protocol) {
+  std::string key = graph_to_json(g).dump();
+  key += '\n';
+  key += device;
+  key += '\n';
+  key += scheduler_config_key(options, protocol);
   return key;
 }
 
@@ -155,12 +162,14 @@ OptimizationResult Optimizer::optimize(const OptimizationRequest& request) {
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      result.schedule = it->second.schedule;
-      result.stats = it->second.stats;
-      result.latency_us = it->second.latency_us;
+    if (const CacheEntry* entry = cache_.get(key)) {
+      result.schedule = entry->schedule;
+      result.stats = entry->stats;
+      result.latency_us = entry->latency_us;
       result.cache_hit = true;
+      ++cache_hits_;
+    } else {
+      ++cache_misses_;
     }
   }
 
@@ -174,8 +183,8 @@ OptimizationResult Optimizer::optimize(const OptimizationRequest& request) {
         Executor(g, config).schedule_latency_us(result.schedule);
     std::lock_guard<std::mutex> lock(mu_);
     total_measurements_ += result.new_measurements;
-    cache_.emplace(key, CacheEntry{result.schedule, result.stats,
-                                   result.latency_us});
+    cache_.put(key, CacheEntry{result.schedule, result.stats,
+                               result.latency_us});
   }
 
   const Executor executor(g, config);
@@ -227,6 +236,16 @@ Recipe Optimizer::load(const std::string& path) { return load_recipe(path); }
 std::size_t Optimizer::cache_size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+std::size_t Optimizer::cache_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.capacity();
+}
+
+OptimizerCacheStats Optimizer::cache_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {cache_hits_, cache_misses_, cache_.evictions(), cache_.size()};
 }
 
 void Optimizer::clear_cache() {

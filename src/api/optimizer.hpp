@@ -9,39 +9,45 @@
 // (graph fingerprint, device, scheduler options, profiling protocol): a
 // repeated request — the serving scenario, where the same deployment
 // configuration is optimized over and over — skips the DP search and all
-// cost-model profiling entirely. Results can also be persisted as recipe
-// JSON (save/load) and re-evaluated later, possibly on a different device or
-// batch size.
+// cost-model profiling entirely. The cache is bounded: entries are evicted
+// strictly least-recently-used once the configurable capacity is reached
+// (see Optimizer::Optimizer), so a long-running server churning through
+// many configurations keeps a fixed memory footprint. Results can also be
+// persisted as recipe JSON (save/load) and re-evaluated later, possibly on
+// a different device or batch size.
 
 #include <cstdint>
 #include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
+
+#include "util/lru_cache.hpp"
 
 #include "core/scheduler.hpp"
 #include "runtime/cost_model.hpp"
 #include "schedule/serialize.hpp"
 #include "sim/device.hpp"
 
+/// The IOS reproduction: graph, scheduler, simulator, and serving layers.
 namespace ios {
 
 /// Reference points a request may compare the IOS schedule against: the
 /// paper's Section 6.1 schedules plus the simulated framework baselines of
 /// Figure 7 and the Nimble extension.
 enum class Baseline {
-  kSequential,
-  kGreedy,
-  kTensorFlow,
-  kTensorFlowXla,
-  kTaso,
-  kTvmCudnn,
-  kTensorRT,
-  kTvmAutoTune,
-  kNimble,
+  kSequential,     ///< one operator per stage, paper Section 6.1
+  kGreedy,         ///< greedy maximal concurrent stages, Section 6.1
+  kTensorFlow,     ///< simulated TensorFlow framework baseline (Figure 7)
+  kTensorFlowXla,  ///< simulated TensorFlow-XLA baseline (Figure 7)
+  kTaso,           ///< simulated TASO baseline (Figure 7)
+  kTvmCudnn,       ///< simulated TVM-cuDNN baseline (Figure 7)
+  kTensorRT,       ///< simulated TensorRT baseline (Figure 7)
+  kTvmAutoTune,    ///< simulated auto-tuned TVM baseline (Figure 7)
+  kNimble,         ///< simulated Nimble extension baseline
 };
 
+/// Display name of a baseline (matches the Figure 7 framework specs).
 const char* baseline_name(Baseline b);
 
 /// Inverse of baseline_name. Throws std::invalid_argument enumerating all
@@ -52,6 +58,8 @@ Baseline baseline_by_name(const std::string& name);
 /// Figure 7 frameworks, then Nimble).
 std::vector<Baseline> all_baselines();
 
+/// What to optimize: a model (by zoo name or in-memory graph), the device
+/// and batch size to specialize for, and the search/profiling settings.
 struct OptimizationRequest {
   /// Model zoo name (a models::registry() key). Ignored when `graph` is set.
   std::string model = "inception_v3";
@@ -62,23 +70,31 @@ struct OptimizationRequest {
   std::string device = "v100";
   /// Batch size for zoo models.
   int batch = 1;
+  /// DP-search settings (variant, pruning, memoization, threads).
   SchedulerOptions options{};
+  /// Cost-model profiling protocol (warmup/repeats/noise).
   ProfilingProtocol protocol{};
+  /// Baselines to execute and compare against, in result order.
   std::vector<Baseline> baselines{Baseline::kSequential, Baseline::kGreedy};
 
+  /// Shorthand for a zoo-model request.
   static OptimizationRequest for_model(std::string name,
                                        std::string device = "v100",
                                        int batch = 1);
+  /// Shorthand for an in-memory graph request.
   static OptimizationRequest for_graph(Graph g, std::string device = "v100");
 };
 
+/// Latency of one requested baseline next to the IOS schedule.
 struct BaselineResult {
-  std::string name;
-  double latency_us = 0;
-  double speedup = 0;  ///< baseline latency / IOS latency
+  std::string name;      ///< display name (baseline_name())
+  double latency_us = 0; ///< baseline latency on the requested device
+  double speedup = 0;    ///< baseline latency / IOS latency
 };
 
+/// Everything one Optimizer::optimize call produced.
 struct OptimizationResult {
+  /// The schedule the DP search chose (or the cached one).
   Schedule schedule;
   /// IOS schedule latency on the requested device, microseconds.
   double latency_us = 0;
@@ -102,16 +118,40 @@ struct OptimizationResult {
   const BaselineResult* baseline(const std::string& name) const;
 };
 
+/// Outcome of replaying a saved recipe (Optimizer::evaluate).
 struct EvaluationResult {
   std::string device;  ///< full device name the recipe was evaluated on
-  int batch = 1;
+  int batch = 1;       ///< batch size the evaluation ran at
   double latency_us = 0;             ///< recipe schedule latency
   double sequential_latency_us = 0;  ///< sequential baseline on same device
   double speedup = 0;                ///< sequential / recipe
 };
 
+/// Recipe-cache counters (see Optimizer::cache_stats).
+struct OptimizerCacheStats {
+  std::int64_t hits = 0;       ///< optimize() calls served from the cache
+  std::int64_t misses = 0;     ///< optimize() calls that ran the DP search
+  std::int64_t evictions = 0;  ///< entries dropped by LRU eviction
+  std::size_t size = 0;        ///< resident entries
+};
+
+/// The single-call facade over the paper's whole pipeline: build graph →
+/// profile → DP search → execute, with a bounded LRU recipe cache in front.
+/// Thread-safe; one instance can serve concurrent optimize() calls.
 class Optimizer {
  public:
+  /// Default recipe-cache capacity (entries), plenty for every
+  /// (model, device, batch) combination of the paper's experiments.
+  static constexpr std::size_t kDefaultCacheCapacity = 256;
+
+  /// Creates an optimizer whose recipe cache holds at most `cache_capacity`
+  /// entries (clamped to >= 1). Eviction policy: strict least-recently-used
+  /// — every optimize() lookup (hit or insert) marks its entry as
+  /// most-recently-used, and the insert that exceeds the capacity evicts
+  /// the entry whose last use is oldest.
+  explicit Optimizer(std::size_t cache_capacity = kDefaultCacheCapacity)
+      : cache_(cache_capacity) {}
+
   /// Runs the full pipeline for the request, or serves the schedule from the
   /// recipe cache when an equivalent request was optimized before. Baseline
   /// latencies are (re)computed per call — they only need the executor, never
@@ -127,10 +167,22 @@ class Optimizer {
                             const std::string& device = "",
                             int batch = 0) const;
 
+  /// Persists the result's recipe as JSON at `path`.
   static void save(const OptimizationResult& result, const std::string& path);
+  /// Loads a recipe persisted with save().
   static Recipe load(const std::string& path);
 
+  /// Resident recipe-cache entries.
   std::size_t cache_size() const;
+
+  /// Max recipe-cache entries before LRU eviction kicks in.
+  std::size_t cache_capacity() const;
+
+  /// Hit/miss/eviction counters of the recipe cache (counters survive
+  /// clear_cache()).
+  OptimizerCacheStats cache_stats() const;
+
+  /// Drops every cached recipe (capacity and counters are kept).
   void clear_cache();
 
   /// Cost-model profiles run by all optimize() calls on this Optimizer.
@@ -144,10 +196,12 @@ class Optimizer {
   };
 
   mutable std::mutex mu_;
-  /// Keyed by the full key material (graph JSON + device + options), not its
-  /// hash — a fingerprint collision must not serve another request's
-  /// schedule.
-  std::unordered_map<std::string, CacheEntry> cache_;
+  /// Bounded LRU, keyed by the full key material (graph JSON + device +
+  /// options), not its hash — a fingerprint collision must not serve
+  /// another request's schedule.
+  LruCache<CacheEntry> cache_;
+  std::int64_t cache_hits_ = 0;
+  std::int64_t cache_misses_ = 0;
   std::int64_t total_measurements_ = 0;
 };
 
@@ -159,6 +213,14 @@ class Optimizer {
 std::string request_cache_key(const Graph& g, const std::string& device,
                               const SchedulerOptions& options,
                               const ProfilingProtocol& protocol);
+
+/// The options/protocol suffix of every recipe-cache key: each
+/// SchedulerOptions and ProfilingProtocol field that can change the found
+/// schedule (num_threads excluded, see request_cache_key). Shared by
+/// request_cache_key and the serving layer's serving_cache_key, so the two
+/// key schemes can never drift apart on these fields.
+std::string scheduler_config_key(const SchedulerOptions& options,
+                                 const ProfilingProtocol& protocol);
 
 /// Re-materializes `g` at a different batch size (round-trips through the
 /// graph JSON with the batch replaced; op ids are preserved, so existing

@@ -1,0 +1,322 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "sim/device.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ios::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Tolerance when comparing simulated times (they are sums of doubles).
+constexpr double kTimeEps = 1e-9;
+
+ServerOptions normalize(ServerOptions options) {
+  if (options.batching.batch_sizes.empty()) {
+    throw std::invalid_argument("Server: batching.batch_sizes is empty");
+  }
+  for (int b : options.batching.batch_sizes) {
+    if (b < 1) {
+      throw std::invalid_argument("Server: batch sizes must be >= 1");
+    }
+  }
+  std::sort(options.batching.batch_sizes.begin(),
+            options.batching.batch_sizes.end());
+  options.batching.batch_sizes.erase(
+      std::unique(options.batching.batch_sizes.begin(),
+                  options.batching.batch_sizes.end()),
+      options.batching.batch_sizes.end());
+  if (options.batching.max_queue_delay_us < 0) {
+    throw std::invalid_argument("Server: max_queue_delay_us must be >= 0");
+  }
+  options.num_workers = std::max(1, options.num_workers);
+  // Canonicalize (and validate) the device name once, up front.
+  options.device = device_by_name(options.device).name;
+  return options;
+}
+
+}  // namespace
+
+std::string serving_cache_key(const std::string& model,
+                              const std::string& device, int batch,
+                              const SchedulerOptions& options,
+                              const ProfilingProtocol& protocol) {
+  std::string key = model;
+  key += '\n';
+  key += device;
+  key += "\nbatch=" + std::to_string(batch);
+  key += '\n';
+  key += scheduler_config_key(options, protocol);
+  return key;
+}
+
+Server::Server(ServerOptions options)
+    : Server(std::move(options), nullptr) {}
+
+Server::Server(ServerOptions options, std::shared_ptr<ShardedRecipeCache> cache)
+    : options_(normalize(std::move(options))),
+      device_key_part_('\n' + options_.device + "\nbatch="),
+      config_key_part_(
+          '\n' + scheduler_config_key(options_.scheduler, options_.protocol)),
+      cache_(cache ? std::move(cache)
+                   : std::make_shared<ShardedRecipeCache>(options_.cache)) {}
+
+std::string Server::cache_key(const std::string& model, int batch) const {
+  // Equivalent to serving_cache_key(model, device, batch, ...) with the
+  // constant parts preassembled (pinned by ServingCacheKey tests).
+  return model + device_key_part_ + std::to_string(batch) + config_key_part_;
+}
+
+CachedRecipe Server::optimize_config(const std::string& model, int batch) {
+  OptimizationRequest request =
+      OptimizationRequest::for_model(model, options_.device, batch);
+  request.options = options_.scheduler;
+  request.protocol = options_.protocol;
+  request.baselines.clear();  // serving needs the schedule, not comparisons
+  const OptimizationResult result = optimizer_.optimize(request);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++total_optimizations_;
+    total_measurements_ += result.new_measurements;
+  }
+  return CachedRecipe{result.schedule, result.latency_us, result.stats,
+                      result.new_measurements};
+}
+
+CachedRecipe Server::resolve(const std::string& model, int batch,
+                             bool* computed) {
+  return cache_->get_or_compute(
+      cache_key(model, batch), [&] { return optimize_config(model, batch); },
+      computed);
+}
+
+double Server::resolve_latency(const std::string& model, int batch,
+                               bool* computed) {
+  return cache_->latency_or_compute(
+      cache_key(model, batch), [&] { return optimize_config(model, batch); },
+      computed);
+}
+
+void Server::prewarm(const std::vector<std::string>& models, int threads) {
+  const int n = threads <= 0 ? ThreadPool::hardware_threads() : threads;
+  ThreadPool pool(n);
+  std::vector<std::future<void>> pending;
+  for (const std::string& model : models) {
+    for (int batch : options_.batching.batch_sizes) {
+      pending.push_back(
+          pool.submit([this, model, batch] { resolve(model, batch); }));
+    }
+  }
+  for (auto& f : pending) f.get();
+}
+
+ServingResult Server::run(const Trace& trace) {
+  ServingResult result;
+  result.records.resize(trace.requests.size());
+  if (trace.requests.empty()) return result;
+
+  for (std::size_t i = 1; i < trace.requests.size(); ++i) {
+    if (trace.requests[i].arrival_us < trace.requests[i - 1].arrival_us) {
+      throw std::invalid_argument(
+          "Server::run: trace arrivals must be non-decreasing");
+    }
+  }
+
+  // ---- simulation state -----------------------------------------------
+  struct ModelQueue {
+    int id = 0;               // index into `names` (flush-event payload)
+    std::deque<int> pending;  // request indices, arrival order
+    double flush_at = kInf;   // deadline of the currently armed flush event
+  };
+  // std::map: deterministic iteration order (not that the DES relies on it).
+  std::map<std::string, ModelQueue> queues;
+
+  // Min-heap of (time, sequence, kind, payload). kind 0 = arrival (payload =
+  // request index), kind 1 = flush deadline (payload = index into `names`).
+  using Event = std::tuple<double, long, int, int>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  long seq = 0;
+  std::vector<std::string> names;  // flush payload -> model name
+
+  std::vector<double> worker_free(
+      static_cast<std::size_t>(options_.num_workers), 0.0);
+  std::vector<double> worker_busy(
+      static_cast<std::size_t>(options_.num_workers), 0.0);
+
+  const std::vector<int>& sizes = options_.batching.batch_sizes;
+  const int max_batch = sizes.back();
+  const double delay = options_.batching.max_queue_delay_us;
+
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    events.emplace(trace.requests[i].arrival_us, seq++, 0,
+                   static_cast<int>(i));
+  }
+
+  const auto arrival_of = [&](int index) {
+    return trace.requests[static_cast<std::size_t>(index)].arrival_us;
+  };
+
+  // Closes a batch of the first `size` queued requests of `model` at
+  // simulated time `now` and dispatches it to the worker that frees first.
+  const auto form_batch = [&](const std::string& model, ModelQueue& q,
+                              int size, double now) {
+    BatchRecord batch;
+    batch.id = static_cast<int>(result.batches.size());
+    batch.model = model;
+    batch.size = size;
+    batch.formed_us = now;
+
+    bool computed = false;
+    batch.service_us = resolve_latency(model, size, &computed);
+    ++(computed ? result.stats.cache_misses : result.stats.cache_hits);
+
+    int worker = 0;
+    for (int w = 1; w < options_.num_workers; ++w) {
+      if (worker_free[static_cast<std::size_t>(w)] <
+          worker_free[static_cast<std::size_t>(worker)]) {
+        worker = w;
+      }
+    }
+    const auto wi = static_cast<std::size_t>(worker);
+    batch.worker = worker;
+    batch.start_us = std::max(now, worker_free[wi]);
+    batch.completion_us = batch.start_us + batch.service_us;
+    worker_free[wi] = batch.completion_us;
+    worker_busy[wi] += batch.service_us;
+
+    for (int k = 0; k < size; ++k) {
+      const int index = q.pending.front();
+      q.pending.pop_front();
+      RequestRecord& r = result.records[static_cast<std::size_t>(index)];
+      r.index = index;
+      r.model = model;
+      r.arrival_us = arrival_of(index);
+      r.dispatch_us = batch.start_us;
+      r.completion_us = batch.completion_us;
+      r.latency_us = batch.completion_us - r.arrival_us;
+      r.batch_size = size;
+      r.batch_id = batch.id;
+      r.worker = worker;
+    }
+    result.batches.push_back(std::move(batch));
+  };
+
+  // The largest allowed batch size that fits `len` queued requests; a queue
+  // shorter than the smallest allowed size is flushed whole.
+  const auto deadline_batch_size = [&](std::size_t len) {
+    int best = 0;
+    for (int s : sizes) {
+      if (static_cast<std::size_t>(s) <= len) best = s;
+    }
+    return best > 0 ? best : static_cast<int>(len);
+  };
+
+  // (Re)arms the flush event for the queue's current oldest request.
+  const auto arm_flush = [&](ModelQueue& q) {
+    if (q.pending.empty()) {
+      q.flush_at = kInf;
+      return;
+    }
+    const double t = arrival_of(q.pending.front()) + delay;
+    if (q.flush_at != t) {
+      q.flush_at = t;
+      events.emplace(t, seq++, 1, q.id);
+    }
+  };
+
+  // ---- event loop ------------------------------------------------------
+  while (!events.empty()) {
+    const auto [now, s, kind, payload] = events.top();
+    events.pop();
+    (void)s;
+    if (kind == 0) {  // arrival
+      const std::string& model =
+          trace.requests[static_cast<std::size_t>(payload)].model;
+      const auto [it, inserted] = queues.try_emplace(model);
+      ModelQueue& q = it->second;
+      if (inserted) {
+        q.id = static_cast<int>(names.size());
+        names.push_back(model);
+      }
+      q.pending.push_back(payload);
+      while (static_cast<int>(q.pending.size()) >= max_batch) {
+        form_batch(model, q, max_batch, now);
+      }
+      arm_flush(q);
+    } else {  // flush deadline
+      const std::string& model = names[static_cast<std::size_t>(payload)];
+      ModelQueue& q = queues[model];
+      if (q.flush_at != now) continue;  // stale event: the queue moved on
+      q.flush_at = kInf;
+      while (!q.pending.empty() &&
+             now >= arrival_of(q.pending.front()) + delay - kTimeEps) {
+        form_batch(model, q, deadline_batch_size(q.pending.size()), now);
+      }
+      arm_flush(q);
+    }
+  }
+
+  // ---- aggregates ------------------------------------------------------
+  ServingStats& stats = result.stats;
+  stats.requests = static_cast<std::int64_t>(result.records.size());
+  stats.batches = static_cast<std::int64_t>(result.batches.size());
+  std::vector<double> latencies, waits;
+  latencies.reserve(result.records.size());
+  waits.reserve(result.records.size());
+  for (const RequestRecord& r : result.records) {
+    latencies.push_back(r.latency_us);
+    waits.push_back(r.dispatch_us - r.arrival_us);
+  }
+  for (const BatchRecord& b : result.batches) {
+    stats.makespan_us = std::max(stats.makespan_us, b.completion_us);
+  }
+  if (stats.makespan_us > 0) {
+    stats.throughput_rps =
+        static_cast<double>(stats.requests) / (stats.makespan_us / 1e6);
+    double busy = 0;
+    for (double b : worker_busy) busy += b;
+    stats.worker_utilization =
+        busy / (static_cast<double>(options_.num_workers) * stats.makespan_us);
+  }
+  stats.mean_latency_us = mean(latencies);
+  stats.mean_queue_wait_us = mean(waits);
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_latency_us = percentile_sorted(latencies, 50);
+  stats.p95_latency_us = percentile_sorted(latencies, 95);
+  stats.p99_latency_us = percentile_sorted(latencies, 99);
+  stats.max_latency_us = latencies.back();
+  stats.mean_batch_size = static_cast<double>(stats.requests) /
+                          static_cast<double>(stats.batches);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    total_requests_ += stats.requests;
+    total_batches_ += stats.batches;
+  }
+  return result;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.requests = total_requests_;
+    s.batches = total_batches_;
+    s.optimizations = total_optimizations_;
+    s.measurements = total_measurements_;
+  }
+  s.cache = cache_->stats();
+  return s;
+}
+
+}  // namespace ios::serve

@@ -1,0 +1,37 @@
+#include "serve/trace.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace ios::serve {
+
+Trace generate_trace(const TraceSpec& spec) {
+  if (spec.models.empty()) {
+    throw std::invalid_argument("generate_trace: spec.models is empty");
+  }
+  if (spec.num_requests <= 0) {
+    throw std::invalid_argument("generate_trace: num_requests must be > 0");
+  }
+  if (spec.mean_interarrival_us <= 0) {
+    throw std::invalid_argument(
+        "generate_trace: mean_interarrival_us must be > 0");
+  }
+
+  Rng rng(spec.seed);
+  Trace trace;
+  trace.requests.reserve(static_cast<std::size_t>(spec.num_requests));
+  double now = 0;
+  for (int i = 0; i < spec.num_requests; ++i) {
+    // Exponential inter-arrival gap; 1 - uniform() is in (0, 1], so the log
+    // is finite.
+    now += -std::log(1.0 - rng.uniform()) * spec.mean_interarrival_us;
+    const int pick = rng.uniform_int(static_cast<int>(spec.models.size()));
+    trace.requests.push_back(
+        {now, spec.models[static_cast<std::size_t>(pick)]});
+  }
+  return trace;
+}
+
+}  // namespace ios::serve

@@ -1,0 +1,56 @@
+#pragma once
+// Request traces for the serving layer. A trace is the workload ios::Server
+// replays on its deterministic simulated clock: one entry per inference
+// request, carrying the request's arrival time and the model it asks for.
+// Synthetic traces are generated from a TraceSpec with the repo's seeded
+// xoshiro RNG — the same spec always yields byte-identical traces, which is
+// what makes served latencies reproducible end to end.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ios::serve {
+
+/// One inference request: a single sample of `model`, arriving at
+/// `arrival_us` on the simulated clock. The dynamic batcher coalesces
+/// requests of the same model into larger batches.
+struct TraceRequest {
+  /// Simulated arrival time, microseconds from trace start (non-decreasing
+  /// within a trace).
+  double arrival_us = 0;
+  /// Zoo model name (a models::registry() key).
+  std::string model;
+};
+
+/// A serving workload: requests sorted by arrival time.
+struct Trace {
+  /// The requests, in arrival order.
+  std::vector<TraceRequest> requests;
+
+  /// Arrival time of the last request, in microseconds (0 when empty).
+  double duration_us() const {
+    return requests.empty() ? 0 : requests.back().arrival_us;
+  }
+};
+
+/// Parameters for synthetic trace generation.
+struct TraceSpec {
+  /// Candidate models; each request picks one uniformly at random. Must be
+  /// non-empty.
+  std::vector<std::string> models = {"squeezenet"};
+  /// Number of requests to generate.
+  int num_requests = 100;
+  /// Mean of the exponential inter-arrival gap (Poisson arrivals), in
+  /// simulated microseconds. The offered load is 1e6 / mean requests/s.
+  double mean_interarrival_us = 500;
+  /// RNG seed: same spec + seed => identical trace.
+  std::uint64_t seed = 1;
+};
+
+/// Generates a Poisson-arrival trace from the spec, deterministically in
+/// the seed. Throws std::invalid_argument on an empty model list or
+/// non-positive request count / inter-arrival mean.
+Trace generate_trace(const TraceSpec& spec);
+
+}  // namespace ios::serve

@@ -1,8 +1,10 @@
 #pragma once
-// Shared formatting for registry-style lookup failures. Every name-keyed
-// lookup in the library (devices, zoo models, baselines) reports the full
-// set of known names, so a typo on the command line or in an
-// OptimizationRequest is a one-round-trip fix.
+// Shared handling of name lists. unknown_name_message: formatting for
+// registry-style lookup failures — every name-keyed lookup in the library
+// (devices, zoo models, baselines) reports the full set of known names, so
+// a typo on the command line or in an OptimizationRequest is a
+// one-round-trip fix. split_csv: the inverse direction, parsing the
+// comma-separated name lists the CLI and benches accept.
 
 #include <string>
 #include <string_view>
@@ -27,6 +29,21 @@ inline std::string unknown_name_message(std::string_view kind,
     msg += k;
   }
   return msg;
+}
+
+/// Splits "a,b,c" into {"a", "b", "c"}; empty segments are dropped.
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= csv.size()) {
+    const std::size_t end = csv.find(',', begin);
+    const std::string part =
+        csv.substr(begin, end == std::string::npos ? end : end - begin);
+    if (!part.empty()) parts.push_back(part);
+    if (end == std::string::npos) break;
+    begin = end + 1;
+  }
+  return parts;
 }
 
 }  // namespace ios

@@ -3,9 +3,11 @@
 // repeated latency measurements (the paper reports the average of 5 runs and
 // geometric means across networks).
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <span>
+#include <vector>
 
 namespace ios {
 
@@ -46,6 +48,30 @@ inline double max_of(std::span<const double> xs) {
   double m = xs[0];
   for (double x : xs) m = std::max(m, x);
   return m;
+}
+
+/// The p-th percentile (p in [0, 100]) of an ascending-sorted sample, with
+/// linear interpolation between order statistics — the serving layer reports
+/// p50/p95/p99 tail latencies. Callers extracting several percentiles sort
+/// once and call this repeatedly.
+inline double percentile_sorted(std::span<const double> sorted, double p) {
+  assert(!sorted.empty());
+  assert(p >= 0 && p <= 100);
+  assert(std::is_sorted(sorted.begin(), sorted.end()));
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// percentile_sorted for unsorted data: copies and sorts, O(n log n); `xs`
+/// itself is not modified.
+inline double percentile(std::span<const double> xs, double p) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, p);
 }
 
 }  // namespace ios

@@ -53,6 +53,63 @@ TEST(Optimizer, CacheHitSkipsAllProfiling) {
   EXPECT_FALSE(opt.optimize(request).cache_hit);
 }
 
+TEST(Optimizer, CacheIsBoundedWithLruEviction) {
+  Optimizer opt(/*cache_capacity=*/2);
+  EXPECT_EQ(opt.cache_capacity(), 2u);
+
+  OptimizationRequest a = OptimizationRequest::for_graph(small_graph());
+  OptimizationRequest b = a;
+  b.options.pruning = {1, 1};
+  OptimizationRequest c = a;
+  c.options.variant = IosVariant::kMerge;
+
+  opt.optimize(a);
+  opt.optimize(b);
+  EXPECT_EQ(opt.cache_size(), 2u);
+
+  // Touch `a` so `b` becomes least-recently-used, then overflow with `c`.
+  EXPECT_TRUE(opt.optimize(a).cache_hit);
+  opt.optimize(c);
+  EXPECT_EQ(opt.cache_size(), 2u);
+  EXPECT_EQ(opt.cache_stats().evictions, 1);
+
+  // `a` and `c` survived; `b` was evicted and must be searched again.
+  EXPECT_TRUE(opt.optimize(a).cache_hit);
+  EXPECT_TRUE(opt.optimize(c).cache_hit);
+  const OptimizationResult again = opt.optimize(b);
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_GT(again.new_measurements, 0);
+
+  const OptimizerCacheStats stats = opt.cache_stats();
+  EXPECT_EQ(stats.hits, 3);
+  EXPECT_EQ(stats.misses, 4);  // a, b, c cold + b re-searched
+  EXPECT_EQ(stats.evictions, 2);
+  EXPECT_EQ(stats.size, 2u);
+}
+
+TEST(Optimizer, CacheCapacityClampedToOne) {
+  Optimizer opt(/*cache_capacity=*/0);
+  EXPECT_EQ(opt.cache_capacity(), 1u);
+  const OptimizationRequest request =
+      OptimizationRequest::for_graph(small_graph());
+  opt.optimize(request);
+  EXPECT_TRUE(opt.optimize(request).cache_hit);
+  EXPECT_EQ(opt.cache_size(), 1u);
+}
+
+TEST(Optimizer, ClearCacheKeepsCounters) {
+  Optimizer opt;
+  const OptimizationRequest request =
+      OptimizationRequest::for_graph(small_graph());
+  opt.optimize(request);
+  opt.optimize(request);
+  opt.clear_cache();
+  const OptimizerCacheStats stats = opt.cache_stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.size, 0u);
+}
+
 TEST(Optimizer, DistinctConfigurationsMissTheCache) {
   Optimizer opt;
   OptimizationRequest request = OptimizationRequest::for_graph(small_graph());

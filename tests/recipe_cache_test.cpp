@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "serve/recipe_cache.hpp"
+#include "util/lru_cache.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ios {
+namespace {
+
+using serve::CachedRecipe;
+using serve::RecipeCacheOptions;
+using serve::RecipeCacheStats;
+using serve::ShardedRecipeCache;
+
+CachedRecipe recipe_with_latency(double latency_us) {
+  CachedRecipe r;
+  r.latency_us = latency_us;
+  return r;
+}
+
+// ---- LruCache ------------------------------------------------------------
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch "a" so "b" becomes the LRU entry, then overflow.
+  ASSERT_NE(cache.get("a"), nullptr);
+  cache.put("c", 3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  ASSERT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(*cache.get("a"), 1);
+  ASSERT_NE(cache.get("c"), nullptr);
+
+  // Recency order after the gets above: c was inserted, then a and c
+  // were touched — most recent last touched.
+  const std::vector<std::string> order = cache.keys_by_recency();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "c");
+  EXPECT_EQ(order[1], "a");
+}
+
+TEST(LruCache, PutOverwritesAndPromotes) {
+  LruCache<int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  cache.put("a", 10);  // overwrite promotes "a"; "b" is now LRU
+  cache.put("c", 3);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  ASSERT_NE(cache.get("a"), nullptr);
+  EXPECT_EQ(*cache.get("a"), 10);
+}
+
+TEST(LruCache, CapacityClampedToOne) {
+  LruCache<int> cache(0);
+  EXPECT_EQ(cache.capacity(), 1u);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  ASSERT_NE(cache.get("b"), nullptr);
+}
+
+TEST(LruCache, ClearDropsEntriesKeepsEvictionCount) {
+  LruCache<int> cache(1);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  EXPECT_EQ(cache.evictions(), 1);
+  cache.clear();
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.get("b"), nullptr);
+}
+
+// ---- ShardedRecipeCache --------------------------------------------------
+
+TEST(ShardedRecipeCache, ComputesEachKeyOnceAndCountsHits) {
+  ShardedRecipeCache cache(RecipeCacheOptions{4, 8});
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return recipe_with_latency(42);
+  };
+
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("k", compute).latency_us, 42);
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("k", compute).latency_us, 42);
+  EXPECT_EQ(computes, 1);
+  EXPECT_TRUE(cache.contains("k"));
+  EXPECT_FALSE(cache.contains("other"));
+
+  const RecipeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  // contains() counts as lookups too: one hit for "k", one miss for "other"
+  // never materializes an entry, so only get_or_compute misses are counted.
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.size, 1u);
+}
+
+TEST(ShardedRecipeCache, PerShardLruEviction) {
+  // Single shard of capacity 1: the second key must evict the first.
+  ShardedRecipeCache cache(RecipeCacheOptions{1, 1});
+  int computes = 0;
+  const auto compute = [&] { return recipe_with_latency(++computes); };
+
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("a", compute).latency_us, 1);
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("b", compute).latency_us, 2);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_EQ(cache.size(), 1u);
+  // "a" was evicted: recomputed with a fresh value.
+  EXPECT_DOUBLE_EQ(cache.get_or_compute("a", compute).latency_us, 3);
+}
+
+TEST(ShardedRecipeCache, KeysDistributeAcrossShards) {
+  ShardedRecipeCache cache(RecipeCacheOptions{8, 4});
+  std::vector<bool> used(cache.num_shards(), false);
+  for (int i = 0; i < 64; ++i) {
+    used[cache.shard_of("key-" + std::to_string(i))] = true;
+  }
+  int shards_hit = 0;
+  for (bool u : used) shards_hit += u ? 1 : 0;
+  // 64 mixed 64-bit hashes over 8 shards: every shard should see keys.
+  EXPECT_EQ(shards_hit, 8);
+}
+
+// Two misses whose keys live in different shards must be computable
+// concurrently: thread A's compute() blocks until thread B's compute() has
+// run. Under a single global lock this cross-dependency would deadlock (the
+// test then fails by timeout instead of hanging).
+TEST(ShardedRecipeCache, MissesOnDifferentShardsRunConcurrently) {
+  ShardedRecipeCache cache(RecipeCacheOptions{8, 4});
+
+  // Find two keys that hash to different shards.
+  const std::string key_a = "key-a";
+  std::string key_b;
+  for (int i = 0;; ++i) {
+    key_b = "key-b" + std::to_string(i);
+    if (cache.shard_of(key_b) != cache.shard_of(key_a)) break;
+  }
+
+  std::promise<void> b_computed;
+  std::shared_future<void> b_done = b_computed.get_future().share();
+
+  ThreadPool pool(2);
+  std::future<bool> a = pool.submit([&] {
+    bool b_ran = false;
+    cache.get_or_compute(key_a, [&] {
+      b_ran = b_done.wait_for(std::chrono::seconds(10)) ==
+              std::future_status::ready;
+      return recipe_with_latency(1);
+    });
+    return b_ran;
+  });
+  std::future<void> b = pool.submit([&] {
+    cache.get_or_compute(key_b, [&] {
+      b_computed.set_value();
+      return recipe_with_latency(2);
+    });
+  });
+
+  EXPECT_TRUE(a.get()) << "shard locks are not independent";
+  b.get();
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(ShardedRecipeCache, ConcurrentLookupsComputeEachKeyExactlyOnce) {
+  ShardedRecipeCache cache(RecipeCacheOptions{8, 64});
+  constexpr int kKeys = 40;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5;
+  std::atomic<int> computes{0};
+
+  ThreadPool pool(kThreads);
+  std::vector<std::future<void>> jobs;
+  for (int t = 0; t < kThreads; ++t) {
+    jobs.push_back(pool.submit([&, t] {
+      // Each thread walks the keys from a different offset, so inserts and
+      // lookups of every shard interleave across threads.
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kKeys; ++i) {
+          const int k = (i + t * 7) % kKeys;
+          const std::string key = "key-" + std::to_string(k);
+          const CachedRecipe r = cache.get_or_compute(key, [&] {
+            computes.fetch_add(1);
+            return recipe_with_latency(k);
+          });
+          EXPECT_DOUBLE_EQ(r.latency_us, k);
+        }
+      }
+    }));
+  }
+  for (auto& j : jobs) j.get();
+
+  EXPECT_EQ(computes.load(), kKeys);  // shard lock held across compute()
+  const RecipeCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, kKeys);
+  EXPECT_EQ(stats.hits, kThreads * kRounds * kKeys - kKeys);
+  EXPECT_EQ(stats.size, static_cast<std::size_t>(kKeys));
+  EXPECT_EQ(stats.evictions, 0);
+}
+
+}  // namespace
+}  // namespace ios

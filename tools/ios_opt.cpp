@@ -8,6 +8,8 @@
 //       --dot schedule.dot --trace timeline.json
 // Re-evaluate a saved recipe (e.g. on another device or batch size):
 //   ios_opt evaluate --recipe recipe.json --device k80
+// Serve a synthetic multi-model request trace through the dynamic batcher:
+//   ios_opt serve --models squeezenet,inception_v3 --workers 4 --rate 2000
 // Show model facts (Table 1/2 style):
 //   ios_opt inspect --model nasnet
 // Enumerate registered models, devices, and baselines:
@@ -22,6 +24,8 @@
 #include "core/analysis.hpp"
 #include "models/models.hpp"
 #include "runtime/trace_export.hpp"
+#include "serve/server.hpp"
+#include "util/names.hpp"
 
 namespace {
 
@@ -39,6 +43,12 @@ void print_usage(std::FILE* out) {
                "             --save FILE | --dot FILE | --trace FILE\n"
                "  evaluate   execute a saved recipe\n"
                "             --recipe FILE [--device NAME] [--batch N]\n"
+               "  serve      replay a synthetic request trace through the\n"
+               "             dynamic batcher + sharded recipe cache\n"
+               "             --models a,b,... | --device NAME | --workers N |\n"
+               "             --requests N | --rate REQ_PER_S | --seed N |\n"
+               "             --batch-sizes a,b,... | --max-delay-us T |\n"
+               "             --shards N | --capacity N | --prewarm 0|1\n"
                "  inspect    print model facts (Table 1/2 style)\n"
                "             --model NAME [--batch N] [--print 1]\n"
                "  list       enumerate known models, devices, and baselines\n"
@@ -88,14 +98,8 @@ IosVariant variant_from(const std::string& s) {
 
 std::vector<Baseline> baselines_from(const std::string& csv) {
   std::vector<Baseline> baselines;
-  std::size_t begin = 0;
-  while (begin <= csv.size()) {
-    const std::size_t end = csv.find(',', begin);
-    const std::string name =
-        csv.substr(begin, end == std::string::npos ? end : end - begin);
-    if (!name.empty()) baselines.push_back(baseline_by_name(name));
-    if (end == std::string::npos) break;
-    begin = end + 1;
+  for (const std::string& name : split_csv(csv)) {
+    baselines.push_back(baseline_by_name(name));
   }
   return baselines;
 }
@@ -185,6 +189,85 @@ int cmd_evaluate(const Args& args) {
   return 0;
 }
 
+// A --key value that must be a positive integer (rejects "--shards -1"
+// before it wraps through a size_t cast).
+int positive_int(const Args& args, const std::string& key,
+                 const std::string& fallback) {
+  const int v = std::stoi(args.get(key, fallback));
+  if (v < 1) throw std::runtime_error("--" + key + " must be >= 1");
+  return v;
+}
+
+int cmd_serve(const Args& args) {
+  serve::TraceSpec spec;
+  spec.models = split_csv(args.get("models", "squeezenet,inception_v3"));
+  spec.num_requests = positive_int(args, "requests", "200");
+  const double rate = std::stod(args.get("rate", "2000"));
+  if (rate <= 0) throw std::runtime_error("--rate must be > 0");
+  spec.mean_interarrival_us = 1e6 / rate;
+  spec.seed = std::stoull(args.get("seed", "1"));
+
+  serve::ServerOptions options;
+  options.device = args.get("device", "v100");
+  options.num_workers = positive_int(args, "workers", "2");
+  if (const auto csv = args.get("batch-sizes")) {
+    options.batching.batch_sizes.clear();
+    for (const std::string& s : split_csv(*csv)) {
+      options.batching.batch_sizes.push_back(std::stoi(s));
+    }
+  }
+  options.batching.max_queue_delay_us =
+      std::stod(args.get("max-delay-us", "2000"));
+  options.cache.num_shards =
+      static_cast<std::size_t>(positive_int(args, "shards", "8"));
+  options.cache.shard_capacity =
+      static_cast<std::size_t>(positive_int(args, "capacity", "64"));
+
+  std::printf("serving %d requests (%.0f req/s offered, seed %llu) of [",
+              spec.num_requests, rate,
+              static_cast<unsigned long long>(spec.seed));
+  for (std::size_t i = 0; i < spec.models.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", spec.models[i].c_str());
+  }
+  std::printf("] on %s: %d workers, batch sizes {", options.device.c_str(),
+              options.num_workers);
+
+  serve::Server server(options);
+  const std::vector<int>& sizes = server.options().batching.batch_sizes;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%s%d", i ? "," : "", sizes[i]);
+  }
+  std::printf("}, flush after %.0f us\n", options.batching.max_queue_delay_us);
+
+  if (args.get("prewarm", "1") == "1") {
+    server.prewarm(spec.models, /*threads=*/0);
+    std::printf("prewarmed %zu recipes\n", server.cache().size());
+  }
+
+  const serve::ServingResult result = server.run(serve::generate_trace(spec));
+  const serve::ServingStats& s = result.stats;
+  std::printf("\n  throughput   %10.1f req/s  (%lld requests, %lld batches, "
+              "mean batch %.2f)\n",
+              s.throughput_rps, static_cast<long long>(s.requests),
+              static_cast<long long>(s.batches), s.mean_batch_size);
+  std::printf("  latency      mean %.1f us | p50 %.1f | p95 %.1f | p99 %.1f "
+              "| max %.1f\n",
+              s.mean_latency_us, s.p50_latency_us, s.p95_latency_us,
+              s.p99_latency_us, s.max_latency_us);
+  std::printf("  queueing     mean wait %.1f us, worker utilization %.1f%%\n",
+              s.mean_queue_wait_us, 100 * s.worker_utilization);
+  const serve::ServerStats totals = server.stats();
+  std::printf("  recipe cache %lld hits / %lld misses, %lld evictions, "
+              "%zu resident (%lld optimizer runs, %lld profiles)\n",
+              static_cast<long long>(totals.cache.hits),
+              static_cast<long long>(totals.cache.misses),
+              static_cast<long long>(totals.cache.evictions),
+              totals.cache.size,
+              static_cast<long long>(totals.optimizations),
+              static_cast<long long>(totals.measurements));
+  return 0;
+}
+
 int cmd_inspect(const Args& args) {
   const Graph g = models::build_model(args.get("model", "inception_v3"),
                                       std::stoi(args.get("batch", "1")));
@@ -227,6 +310,7 @@ int main(int argc, char** argv) {
     const Args args = parse_args(argc, argv);
     if (args.command == "optimize") return cmd_optimize(args);
     if (args.command == "evaluate") return cmd_evaluate(args);
+    if (args.command == "serve") return cmd_serve(args);
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "list") return cmd_list();
     if (args.command == "help" || args.command == "--help" ||
