@@ -1,0 +1,160 @@
+// Search-engine benchmark: times the DP search core — the serial recursive
+// reference engine versus the wave-parallel bottom-up engine at 1/2/4
+// threads — on the models whose largest block dominates the search (the
+// per-block parallelism of schedule_partition cannot help those; only the
+// wave engine's intra-block fan-out can). Every engine run uses a fresh
+// CostModel so measured stage latencies are re-simulated, not served from a
+// previous run's cache, and the resulting schedules are checked to be
+// bit-identical across engines and thread counts.
+//
+// Like bench_optimizer this is a plain main() (no google-benchmark) that
+// writes machine-readable JSON for the perf trajectory:
+//
+//   $ ./bench_search [out.json] [repeats]     # default: BENCH_search.json, 2
+//
+// Exit status is the CI gate: nonzero when any engine/thread count changes
+// the schedule, or when — on a multi-core host — the 4-thread wave search
+// is slower than the serial engine. On a single-core host the wall-time
+// gate is recorded as skipped (there is nothing to fan out to).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scheduler.hpp"
+#include "models/models.hpp"
+#include "runtime/executor.hpp"
+#include "sim/device.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace ios;
+
+struct RunResult {
+  double wall_ms = 0;          // best-of-repeats host time of the search
+  double latency_us = 0;       // executor latency of the found schedule
+  std::size_t stages = 0;
+  SchedulerStats stats;
+};
+
+RunResult run_search(const Graph& g, const ExecConfig& config,
+                     SearchEngine engine, int threads, int repeats) {
+  RunResult out;
+  out.wall_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repeats; ++rep) {
+    CostModel cost(g, config);  // fresh: no cached stage latencies
+    SchedulerOptions options;
+    options.engine = engine;
+    options.num_threads = threads;
+    SchedulerStats stats;
+    const auto t0 = std::chrono::steady_clock::now();
+    const Schedule q = IosScheduler(cost, options).schedule_graph(&stats);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (ms < out.wall_ms) out.wall_ms = ms;
+    out.latency_us = Executor(g, config).schedule_latency_us(q);
+    out.stages = q.stages.size();
+    out.stats = stats;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_search.json";
+  const int repeats = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const bool multi_core = hw >= 2;
+  const std::vector<std::string> models = {"randwire", "nasnet",
+                                           "inception_v3"};
+  const std::vector<int> wave_threads = {1, 2, 4};
+
+  std::printf("search engines on %u hardware threads (best of %d runs, "
+              "wall-time gate %s)\n\n",
+              hw, repeats, multi_core ? "enforced" : "skipped: single core");
+
+  bool ok = true;
+  JsonValue results = JsonValue::array();
+  for (const std::string& model : models) {
+    const Graph g = models::build_model(model, 1);
+    const ExecConfig config{device_by_name("v100"), KernelModelParams{}};
+
+    const RunResult serial =
+        run_search(g, config, SearchEngine::kSerial, 1, repeats);
+    std::printf("%-14s serial %9.1f ms  (%lld states, %lld transitions, "
+                "%lld profiles)\n",
+                model.c_str(), serial.wall_ms,
+                static_cast<long long>(serial.stats.states),
+                static_cast<long long>(serial.stats.transitions),
+                static_cast<long long>(serial.stats.measurements));
+
+    JsonValue entry = JsonValue::object();
+    entry.set("model", model);
+    entry.set("device", "v100");
+    entry.set("serial_wall_ms", serial.wall_ms);
+    entry.set("states", serial.stats.states);
+    entry.set("transitions", serial.stats.transitions);
+    entry.set("measurements", serial.stats.measurements);
+    entry.set("latency_us", serial.latency_us);
+
+    JsonValue waves = JsonValue::object();
+    double wave1_ms = 0, wave4_ms = 0;
+    for (const int threads : wave_threads) {
+      const RunResult wave =
+          run_search(g, config, SearchEngine::kWave, threads, repeats);
+      const bool identical = wave.latency_us == serial.latency_us &&
+                             wave.stages == serial.stages &&
+                             wave.stats.states == serial.stats.states &&
+                             wave.stats.transitions == serial.stats.transitions;
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: %s wave@%d diverged from serial "
+                     "(latency %.6f vs %.6f us, %zu vs %zu stages)\n",
+                     model.c_str(), threads, wave.latency_us,
+                     serial.latency_us, wave.stages, serial.stages);
+        ok = false;
+      }
+      std::printf("               wave@%d %9.1f ms  (%.2fx vs serial)%s\n",
+                  threads, wave.wall_ms, serial.wall_ms / wave.wall_ms,
+                  identical ? "" : "  [MISMATCH]");
+      waves.set(std::to_string(threads), wave.wall_ms);
+      if (threads == 1) wave1_ms = wave.wall_ms;
+      if (threads == 4) wave4_ms = wave.wall_ms;
+    }
+    entry.set("wave_wall_ms", std::move(waves));
+    entry.set("speedup_wave4_vs_wave1", wave1_ms / wave4_ms);
+    entry.set("speedup_wave4_vs_serial", serial.wall_ms / wave4_ms);
+
+    if (multi_core && wave4_ms > serial.wall_ms) {
+      std::fprintf(stderr,
+                   "FAIL: %s wave@4 (%.1f ms) slower than serial (%.1f ms) "
+                   "on a multi-core host\n",
+                   model.c_str(), wave4_ms, serial.wall_ms);
+      ok = false;
+    }
+    results.push_back(std::move(entry));
+  }
+
+  JsonValue root = JsonValue::object();
+  root.set("bench", "search");
+  root.set("unit", "ms");
+  root.set("hardware_threads", static_cast<std::int64_t>(hw));
+  root.set("wall_time_gate",
+           multi_core ? "enforced" : "skipped-single-core");
+  root.set("results", std::move(results));
+  write_file(out_path, root.dump());
+  std::printf("\nwrote %s\n", out_path.c_str());
+  if (!ok) {
+    std::fprintf(stderr, "search bench FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,11 +1,14 @@
 #include "api/optimizer.hpp"
 
 #include <bit>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
 #include "frameworks/frameworks.hpp"
 #include "models/models.hpp"
+#include "runtime/profile_db.hpp"
 #include "schedule/baselines.hpp"
 #include "util/hash.hpp"
 #include "util/names.hpp"
@@ -13,6 +16,61 @@
 namespace ios {
 
 namespace {
+
+/// Process-wide registry of open profiling databases, one per path. Each
+/// file is parsed once (on first touch), merges accumulate in memory, and
+/// merges that add entries are written through to disk — so concurrent
+/// optimize() calls (e.g. a server prewarm fan-out) sharing one path never
+/// clobber each other's contexts and never re-parse a growing file per
+/// call. Every open database carries its own mutex, so calls on different
+/// paths never serialize on each other. Deleting the file resets the path
+/// on next open (operators delete a database to start it over); external
+/// *edits* to a file this process already opened are not re-read — within
+/// one process the registry is authoritative, and writers in other
+/// processes are last-write-wins, as with any unlocked shared file.
+struct OpenProfileDb {
+  std::mutex mu;
+  ProfileDb db;
+  /// True once the database is known to be on disk (loaded from an existing
+  /// file, or written by us). Guards the deleted-file reset below: a path
+  /// whose first write has not happened yet must NOT be reset — concurrent
+  /// first-time misses open the path before the first save creates the
+  /// file, and resetting then would split them across registry entries.
+  std::atomic<bool> on_disk{false};
+};
+
+struct ProfileDbRegistry {
+  std::mutex mu;  // guards by_path; per-db access uses OpenProfileDb::mu
+  std::map<std::string, std::shared_ptr<OpenProfileDb>> by_path;
+
+  std::shared_ptr<OpenProfileDb> open(const std::string& path) {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = by_path.find(path);
+    if (it != by_path.end()) {
+      std::shared_ptr<OpenProfileDb>& handle = it->second;
+      if (handle->on_disk.load() && !ProfileDb::exists(path)) {
+        // The file was deleted: reset the contents IN PLACE (lock order:
+        // registry.mu then handle->mu, never the reverse). Keeping the same
+        // handle means optimize() calls still holding it merge into the
+        // reset database rather than forking a second writer for the path.
+        std::lock_guard<std::mutex> db_lock(handle->mu);
+        handle->db = ProfileDb{};
+        handle->on_disk.store(false);
+      }
+      return handle;
+    }
+    auto opened = std::make_shared<OpenProfileDb>();
+    opened->on_disk.store(ProfileDb::exists(path));
+    opened->db = ProfileDb::load(path);
+    by_path.emplace(path, opened);
+    return opened;
+  }
+};
+
+ProfileDbRegistry& profile_db_registry() {
+  static ProfileDbRegistry registry;
+  return registry;
+}
 
 constexpr Baseline kAllBaselines[] = {
     Baseline::kSequential, Baseline::kGreedy,      Baseline::kTensorFlow,
@@ -145,6 +203,9 @@ Graph graph_with_batch(const Graph& g, int batch) {
 }
 
 OptimizationResult Optimizer::optimize(const OptimizationRequest& request) {
+  // Before the cache lookup: an invalid option combination must throw even
+  // when an equivalent request (the key excludes the engine) is cached.
+  request.options.validate();
   const DeviceSpec device = device_by_name(request.device);
   // Bind the graph by reference: a for_graph request must not deep-copy the
   // graph on the cache-hit serving path.
@@ -175,10 +236,29 @@ OptimizationResult Optimizer::optimize(const OptimizationRequest& request) {
 
   if (!result.cache_hit) {
     CostModel cost(g, config, request.protocol);
+    std::shared_ptr<OpenProfileDb> profile_db;
+    if (!request.profile_db.empty()) {
+      profile_db = profile_db_registry().open(request.profile_db);
+      std::lock_guard<std::mutex> db_lock(profile_db->mu);
+      result.profile_entries_loaded = cost.load_profile(profile_db->db);
+    }
     result.schedule =
         IosScheduler(cost, request.options).schedule_graph(&result.stats);
     validate_schedule(g, result.schedule);
     result.new_measurements = cost.num_measurements();
+    if (profile_db) {
+      std::lock_guard<std::mutex> db_lock(profile_db->mu);
+      const std::size_t before = profile_db->db.num_entries();
+      result.profile_entries_saved = cost.save_profile(profile_db->db);
+      // Merged values for already-known fingerprints are identical (the
+      // simulator is deterministic), so only a growing database is worth a
+      // full rewrite — warm runs then do zero file writes.
+      if (profile_db->db.num_entries() != before ||
+          !profile_db->on_disk.load()) {
+        profile_db->db.save(request.profile_db);
+        profile_db->on_disk.store(true);
+      }
+    }
     result.latency_us =
         Executor(g, config).schedule_latency_us(result.schedule);
     std::lock_guard<std::mutex> lock(mu_);

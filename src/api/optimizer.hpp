@@ -70,12 +70,24 @@ struct OptimizationRequest {
   std::string device = "v100";
   /// Batch size for zoo models.
   int batch = 1;
-  /// DP-search settings (variant, pruning, memoization, threads).
+  /// DP-search settings (variant, pruning, memoization, engine, threads).
   SchedulerOptions options{};
   /// Cost-model profiling protocol (warmup/repeats/noise).
   ProfilingProtocol protocol{};
   /// Baselines to execute and compare against, in result order.
   std::vector<Baseline> baselines{Baseline::kSequential, Baseline::kGreedy};
+  /// Path of a persistable profiling database (runtime/profile_db.hpp).
+  /// When non-empty, a cache miss loads the database's stage latencies for
+  /// this request's profile context before searching (a missing file is an
+  /// empty database) and merges the cost model's measurements back
+  /// afterwards — so repeat runs across processes do zero redundant
+  /// simulations. Each path is parsed once per process and then kept in a
+  /// process-wide registry (merges accumulate in memory, every merge is
+  /// written through to the file), so concurrent optimize() calls sharing a
+  /// path never clobber each other. Loaded entries equal what profiling
+  /// would have measured, so the found schedule is unchanged; the path is
+  /// therefore not part of the recipe cache key.
+  std::string profile_db;
 
   /// Shorthand for a zoo-model request.
   static OptimizationRequest for_model(std::string name,
@@ -109,8 +121,14 @@ struct OptimizationResult {
   Recipe recipe;
   /// True when the schedule came from the recipe cache.
   bool cache_hit = false;
-  /// Cost-model profiles run by *this* call — 0 on a cache hit.
+  /// Cost-model profiles run by *this* call — 0 on a cache hit, and 0 on a
+  /// profile-db-warmed miss whose stages were all measured in an earlier
+  /// run.
   std::int64_t new_measurements = 0;
+  /// Stage latencies imported from / merged into request.profile_db by this
+  /// call (both 0 when no profile_db was set or the recipe cache hit).
+  std::int64_t profile_entries_loaded = 0;
+  std::int64_t profile_entries_saved = 0;
   /// The cache key the request mapped to.
   std::uint64_t fingerprint = 0;
 
@@ -208,15 +226,17 @@ class Optimizer {
 /// The recipe-cache key material: the serialized graph (which covers batch,
 /// topology, and every attribute), the canonical device name, and the
 /// options that can change the found schedule. SchedulerOptions::num_threads
-/// is deliberately excluded — the schedule is identical for every thread
-/// count. OptimizationResult::fingerprint is the hash of this string.
+/// and ::engine are deliberately excluded — the schedule is identical for
+/// every thread count and search engine. OptimizationResult::fingerprint is
+/// the hash of this string.
 std::string request_cache_key(const Graph& g, const std::string& device,
                               const SchedulerOptions& options,
                               const ProfilingProtocol& protocol);
 
 /// The options/protocol suffix of every recipe-cache key: each
 /// SchedulerOptions and ProfilingProtocol field that can change the found
-/// schedule (num_threads excluded, see request_cache_key). Shared by
+/// schedule (num_threads and engine excluded, see request_cache_key).
+/// Shared by
 /// request_cache_key and the serving layer's serving_cache_key, so the two
 /// key schemes can never drift apart on these fields.
 std::string scheduler_config_key(const SchedulerOptions& options,

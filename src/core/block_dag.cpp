@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
 
+#include "util/flat_map.hpp"
 #include "util/hash.hpp"
 
 namespace ios {
@@ -158,7 +158,7 @@ int BlockDag::width() const {
 
 BlockDag::TransitionCount BlockDag::count_transitions() const {
   TransitionCount out;
-  std::unordered_set<std::uint64_t, U64Hasher> seen;
+  FlatSet64 seen;
   std::vector<Set64> stack{all()};
   seen.insert(all().bits());
   // The empty state is a state too (cost[emptyset] = 0), matching the
@@ -171,21 +171,20 @@ BlockDag::TransitionCount BlockDag::count_transitions() const {
     for_each_ending(s, 64, [&](Set64 ending) {
       ++out.transitions;
       const Set64 next = s - ending;
-      if (seen.insert(next.bits()).second) stack.push_back(next);
+      if (seen.insert(next.bits())) stack.push_back(next);
     });
   }
   return out;
 }
 
 double BlockDag::count_schedules() const {
-  std::unordered_map<std::uint64_t, double, U64Hasher> memo;
+  FlatMap64<double> memo;
   std::function<double(Set64)> count = [&](Set64 s) -> double {
     if (s.empty()) return 1.0;
-    auto it = memo.find(s.bits());
-    if (it != memo.end()) return it->second;
+    if (const double* hit = memo.find(s.bits())) return *hit;
     double total = 0;
     for_each_ending(s, 64, [&](Set64 ending) { total += count(s - ending); });
-    memo.emplace(s.bits(), total);
+    memo.try_emplace(s.bits(), total);
     return total;
   };
   return count(all());

@@ -1,10 +1,12 @@
 #include "core/scheduler.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <chrono>
 #include <cmath>
-#include <future>
 #include <limits>
+#include <mutex>
 #include <stdexcept>
 
 #include "util/thread_pool.hpp"
@@ -20,11 +22,41 @@ const char* ios_variant_name(IosVariant v) {
   return "?";
 }
 
-IosScheduler::IosScheduler(CostModel& cost, SchedulerOptions options)
-    : cost_(cost), options_(options) {
-  if (options_.pruning.r < 1 || options_.pruning.s < 1) {
+const char* search_engine_name(SearchEngine e) {
+  switch (e) {
+    case SearchEngine::kAuto: return "auto";
+    case SearchEngine::kSerial: return "serial";
+    case SearchEngine::kWave: return "wave";
+  }
+  return "?";
+}
+
+void SchedulerOptions::validate() const {
+  if (pruning.r < 1 || pruning.s < 1) {
     throw std::invalid_argument("pruning parameters must be >= 1");
   }
+  if (engine == SearchEngine::kWave && !memoize) {
+    throw std::invalid_argument(
+        "the wave engine memoizes by construction; use engine=kSerial for "
+        "the memoize=false ablation");
+  }
+}
+
+IosScheduler::IosScheduler(CostModel& cost, SchedulerOptions options)
+    : cost_(cost), options_(options) {
+  options_.validate();
+}
+
+SearchEngine IosScheduler::resolved_engine() const {
+  if (options_.engine != SearchEngine::kAuto) return options_.engine;
+  if (!options_.memoize) return SearchEngine::kSerial;
+  // A single-worker wave search pays the level machinery (and its
+  // O(transitions) transition records) for zero parallelism; the recursive
+  // engine is the better single-threaded solver. The schedule is identical
+  // either way.
+  const int workers = options_.num_threads > 0 ? options_.num_threads
+                                               : ThreadPool::hardware_threads();
+  return workers > 1 ? SearchEngine::kWave : SearchEngine::kSerial;
 }
 
 Stage IosScheduler::concurrent_stage(const BlockDag& dag,
@@ -55,39 +87,32 @@ Stage IosScheduler::build_stage(const BlockDag& dag, Set64 ending,
   return stage;
 }
 
-const IosScheduler::EndingEval& IosScheduler::evaluate_ending(
-    BlockContext& ctx, Set64 ending, SchedulerStats* stats) {
-  auto it = ctx.ending_cache.find(ending.bits());
-  if (it != ctx.ending_cache.end()) {
-    if (stats) ++stats->cache_hits;
-    return it->second;
-  }
-
+IosScheduler::EndingEval IosScheduler::compute_ending(const BlockDag& dag,
+                                                      Set64 ending) const {
   EndingEval eval;
   // Pruning strategy P(r, s): group sizes were already bounded by the
   // enumeration; the group-count bound s is checked here. The components
   // double as the concurrent stage's groups below.
-  const std::vector<Set64> comps = ctx.dag.components(ending);
+  const std::vector<Set64> comps = dag.components(ending);
   if (!options_.pruning.unrestricted() &&
       static_cast<int>(comps.size()) > options_.pruning.s) {
     eval.pruned = true;
-    if (stats) ++stats->pruned_endings;
-    return ctx.ending_cache.emplace(ending.bits(), eval).first->second;
+    return eval;
   }
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  const std::vector<OpId> ops = ctx.dag.to_ops(ending);
+  const std::vector<OpId> ops = dag.to_ops(ending);
 
   double l_concurrent = kInf;
   if (options_.variant != IosVariant::kMerge) {
-    l_concurrent = cost_.measure(concurrent_stage(ctx.dag, comps));
+    l_concurrent = cost_.measure(concurrent_stage(dag, comps));
   }
 
   double l_merge = kInf;
   if (options_.variant != IosVariant::kParallel && ops.size() >= 2 &&
       analyze_merge(cost_.graph(), ops)) {
     l_merge =
-        cost_.measure(build_stage(ctx.dag, ending, StageBuild::kMergeSingle));
+        cost_.measure(build_stage(dag, ending, StageBuild::kMergeSingle));
   }
 
   if (options_.variant == IosVariant::kMerge && !std::isfinite(l_merge)) {
@@ -96,7 +121,7 @@ const IosScheduler::EndingEval& IosScheduler::evaluate_ending(
     // networks with nothing to merge, as reported in Section 6.1).
     eval.build = StageBuild::kSequentialSingle;
     eval.latency_us =
-        cost_.measure(build_stage(ctx.dag, ending, StageBuild::kSequentialSingle));
+        cost_.measure(build_stage(dag, ending, StageBuild::kSequentialSingle));
   } else if (l_concurrent <= l_merge) {
     eval.build = StageBuild::kConcurrentGroups;
     eval.latency_us = l_concurrent;
@@ -104,14 +129,36 @@ const IosScheduler::EndingEval& IosScheduler::evaluate_ending(
     eval.build = StageBuild::kMergeSingle;
     eval.latency_us = l_merge;
   }
-  return ctx.ending_cache.emplace(ending.bits(), eval).first->second;
+  return eval;
+}
+
+IosScheduler::EndingEval IosScheduler::evaluate_ending(BlockContext& ctx,
+                                                       Set64 ending,
+                                                       SchedulerStats* stats) {
+  if (const EndingEval* hit = ctx.ending_cache.find(ending.bits())) {
+    // Attribute the repeat visit by its verdict: a cached *pruned* ending is
+    // another pruned (S, S') pair, not a productive cache hit — fig9's
+    // pruning statistics count every cut transition.
+    if (stats) {
+      if (hit->pruned) {
+        ++stats->pruned_endings;
+      } else {
+        ++stats->cache_hits;
+      }
+    }
+    return *hit;
+  }
+
+  const EndingEval eval = compute_ending(ctx.dag, ending);
+  if (stats && eval.pruned) ++stats->pruned_endings;
+  ctx.ending_cache.try_emplace(ending.bits(), eval);
+  return eval;
 }
 
 double IosScheduler::solve(BlockContext& ctx, Set64 s, SchedulerStats* stats) {
   if (s.empty()) return 0;  // cost[emptyset] = 0
   if (options_.memoize) {
-    auto it = ctx.memo.find(s.bits());
-    if (it != ctx.memo.end()) return it->second.cost;
+    if (const Entry* hit = ctx.memo.find(s.bits())) return hit->cost;
   }
   if (stats) ++stats->states;
 
@@ -123,7 +170,9 @@ double IosScheduler::solve(BlockContext& ctx, Set64 s, SchedulerStats* stats) {
   const int max_group_ops =
       options_.pruning.unrestricted() ? 64 : options_.pruning.r;
   ctx.dag.for_each_ending(s, max_ops, max_group_ops, [&](Set64 ending) {
-    const EndingEval& eval = evaluate_ending(ctx, ending, stats);
+    // By value: the recursion below inserts into the flat ending cache,
+    // which invalidates pointers into it.
+    const EndingEval eval = evaluate_ending(ctx, ending, stats);
     if (eval.pruned) return;
     if (stats) ++stats->transitions;
     const double total = solve(ctx, s - ending, stats) + eval.latency_us;
@@ -137,8 +186,197 @@ double IosScheduler::solve(BlockContext& ctx, Set64 s, SchedulerStats* stats) {
   if (!std::isfinite(best.cost)) {
     throw std::logic_error("no feasible ending found for a non-empty state");
   }
-  ctx.memo[s.bits()] = best;
+  ctx.memo.insert_or_assign(s.bits(), best);
   return best.cost;
+}
+
+// ---------------------------------------------------------------------------
+// Wave engine
+// ---------------------------------------------------------------------------
+
+/// Lock-striped ending cache shared by the worker threads of one block's
+/// wave search. get_or_eval holds a stripe lock only around the table
+/// lookup/insert, never across the measurement, so stripes stay available
+/// while stages simulate; two threads racing on the same uncached ending
+/// both evaluate it (deterministically) and the first insert wins.
+struct IosScheduler::EndingStripes {
+  static constexpr std::size_t kStripes = 32;  // power of two
+
+  struct Stripe {
+    std::mutex mu;
+    FlatMap64<EndingEval> map;
+  };
+  std::array<Stripe, kStripes> stripes;
+  /// False when the whole search runs on the calling thread — the stripes
+  /// are then only ever touched sequentially and the (per-lookup) lock cost
+  /// would be pure overhead on the serial fast path.
+  bool locked = true;
+
+  explicit EndingStripes(bool locked_) : locked(locked_) {}
+
+  Stripe& stripe_for(std::uint64_t key) {
+    return stripes[shard_index(key, kStripes)];
+  }
+
+  EndingEval get_or_eval(const IosScheduler& sched, const BlockDag& dag,
+                         Set64 ending) {
+    Stripe& stripe = stripe_for(ending.bits());
+    if (locked) {
+      {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        if (const EndingEval* hit = stripe.map.find(ending.bits())) {
+          return *hit;
+        }
+      }
+      const EndingEval eval = sched.compute_ending(dag, ending);
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      return *stripe.map.try_emplace(ending.bits(), eval).first;
+    }
+    if (const EndingEval* hit = stripe.map.find(ending.bits())) return *hit;
+    return *stripe.map
+                .try_emplace(ending.bits(), sched.compute_ending(dag, ending))
+                .first;
+  }
+
+  /// Distinct non-pruned endings evaluated (single-threaded use only).
+  std::int64_t distinct_unpruned() const {
+    std::int64_t n = 0;
+    for (const Stripe& stripe : stripes) {
+      stripe.map.for_each([&](std::uint64_t, const EndingEval& eval) {
+        if (!eval.pruned) ++n;
+      });
+    }
+    return n;
+  }
+};
+
+void IosScheduler::solve_wave(BlockContext& ctx, SchedulerStats* stats) {
+  const BlockDag& dag = ctx.dag;
+  const int n = dag.size();
+  const int max_ops = options_.pruning.unrestricted()
+                          ? 64
+                          : options_.pruning.r * options_.pruning.s;
+  const int max_group_ops =
+      options_.pruning.unrestricted() ? 64 : options_.pruning.r;
+  const int threads = options_.num_threads;
+  const int workers =
+      threads <= 0 ? ThreadPool::hardware_threads() : threads;
+
+  EndingStripes endings(/*locked=*/workers > 1);
+  // Reachable DP states bucketed by popcount, each with its surviving
+  // (non-pruned) transitions in enumeration order. A state's endings only
+  // lead to strictly smaller states, so popcount levels are a topological
+  // order of the DP dependency graph in both directions. Recording each
+  // transition's evaluation during discovery lets the cost pass replay it
+  // without re-running the (expensive) ending enumeration or re-probing the
+  // (large) ending cache.
+  struct Transition {
+    std::uint64_t ending = 0;
+    double latency_us = 0;
+    StageBuild build = StageBuild::kConcurrentGroups;
+  };
+  struct WaveLevel {
+    std::vector<std::uint64_t> states;
+    std::vector<std::vector<Transition>> transitions;  // per state
+  };
+  std::vector<WaveLevel> levels(static_cast<std::size_t>(n) + 1);
+  levels[static_cast<std::size_t>(n)].states.push_back(dag.all().bits());
+  FlatSet64 seen;
+  seen.insert(dag.all().bits());
+
+  std::int64_t states = 0;
+  std::int64_t enumerated = 0;     // (S, S') pairs visited, pruned included
+  std::int64_t pruned_calls = 0;   // of which pruned
+
+  // ---- Discovery pass (popcount descending) ----------------------------
+  // Finds every state the pruned transition relation reaches from the full
+  // set, and evaluates every visited ending — all measurements happen here,
+  // fanned out across the wave's states. Successor dedup is merged serially
+  // between waves, so the level contents (and all statistics) are
+  // deterministic regardless of thread count.
+  for (int p = n; p >= 1; --p) {
+    WaveLevel& wave = levels[static_cast<std::size_t>(p)];
+    if (wave.states.empty()) continue;
+    states += static_cast<std::int64_t>(wave.states.size());
+    wave.transitions.resize(wave.states.size());
+    std::vector<std::int64_t> pruned_per_state(wave.states.size(), 0);
+    parallel_for(wave.states.size(), threads, [&](std::size_t i) {
+      const Set64 s{wave.states[i]};
+      std::vector<Transition>& out = wave.transitions[i];
+      dag.for_each_ending(s, max_ops, max_group_ops, [&](Set64 ending) {
+        const EndingEval eval = endings.get_or_eval(*this, dag, ending);
+        if (eval.pruned) {
+          ++pruned_per_state[i];
+          return;
+        }
+        out.push_back({ending.bits(), eval.latency_us, eval.build});
+      });
+    });
+    for (std::size_t i = 0; i < wave.states.size(); ++i) {
+      enumerated += pruned_per_state[i] +
+                    static_cast<std::int64_t>(wave.transitions[i].size());
+      pruned_calls += pruned_per_state[i];
+      for (const Transition& t : wave.transitions[i]) {
+        const std::uint64_t sub = wave.states[i] & ~t.ending;
+        if (sub != 0 && seen.insert(sub)) {
+          levels[static_cast<std::size_t>(std::popcount(sub))]
+              .states.push_back(sub);
+        }
+      }
+    }
+  }
+
+  // ---- Cost pass (popcount ascending) ----------------------------------
+  // Every transition is recorded with its evaluation now, so this pass is
+  // measurement-free and cache-probe-free: each state replays its recorded
+  // transitions, reads sub-state costs from strictly lower levels (frozen
+  // during the wave), and takes the argmin in enumeration order — the same
+  // tie-breaking as the recursive engine, hence bit-identical choices.
+  ctx.memo.reserve(static_cast<std::size_t>(states));
+  for (int p = 1; p <= n; ++p) {
+    WaveLevel& wave = levels[static_cast<std::size_t>(p)];
+    if (wave.states.empty()) continue;
+    std::vector<Entry> entries(wave.states.size());
+    parallel_for(wave.states.size(), threads, [&](std::size_t i) {
+      const std::uint64_t s = wave.states[i];
+      Entry best;
+      best.cost = std::numeric_limits<double>::infinity();
+      for (const Transition& t : wave.transitions[i]) {
+        const std::uint64_t sub = s & ~t.ending;
+        double total = t.latency_us;
+        if (sub != 0) total += ctx.memo.find(sub)->cost;
+        if (total < best.cost) {
+          best.cost = total;
+          best.choice = t.ending;
+          best.build = t.build;
+        }
+      }
+      if (!std::isfinite(best.cost)) {
+        throw std::logic_error(
+            "no feasible ending found for a non-empty state");
+      }
+      entries[i] = best;
+    });
+    for (std::size_t i = 0; i < wave.states.size(); ++i) {
+      ctx.memo.try_emplace(wave.states[i], entries[i]);
+    }
+    // The recorded transitions are dead once the level's costs are in the
+    // memo.
+    std::vector<std::vector<Transition>>().swap(wave.transitions);
+  }
+
+  if (stats) {
+    // Identical to the serial engine's counting by construction: the same
+    // multiset of (S, S') pairs is visited exactly once per solved state,
+    // and repeat ending lookups split into cache_hits / pruned_endings by
+    // verdict — computed analytically here because the racing stripe
+    // lookups must not influence the (deterministic) statistics.
+    const std::int64_t transitions = enumerated - pruned_calls;
+    stats->states += states;
+    stats->transitions += transitions;
+    stats->pruned_endings += pruned_calls;
+    stats->cache_hits += transitions - endings.distinct_unpruned();
+  }
 }
 
 Schedule IosScheduler::schedule_block(std::span<const OpId> block_ops,
@@ -149,7 +387,11 @@ Schedule IosScheduler::schedule_block(std::span<const OpId> block_ops,
 
   BlockDag dag(cost_.graph(), block_ops);
   BlockContext ctx{dag, {}, {}};
-  solve(ctx, dag.all(), stats);
+  if (resolved_engine() == SearchEngine::kWave) {
+    solve_wave(ctx, stats);
+  } else {
+    solve(ctx, dag.all(), stats);
+  }
 
   // Schedule construction (Algorithm 1 L6-11): walk choice[] from the full
   // set back to the empty set; the walk yields stages last-to-first, so
@@ -158,7 +400,7 @@ Schedule IosScheduler::schedule_block(std::span<const OpId> block_ops,
   Schedule q;
   Set64 s = dag.all();
   while (!s.empty()) {
-    const Entry& e = ctx.memo.at(s.bits());
+    const Entry& e = *ctx.memo.find(s.bits());
     const Set64 ending{e.choice};
     q.stages.push_back(build_stage(dag, ending, e.build));
     s -= ending;
@@ -180,12 +422,11 @@ Schedule IosScheduler::schedule_partition(
     const std::vector<std::vector<OpId>>& blocks, SchedulerStats* stats) {
   const int want = options_.num_threads > 0 ? options_.num_threads
                                             : ThreadPool::hardware_threads();
-  const int workers =
-      static_cast<int>(std::min<std::size_t>(
-          static_cast<std::size_t>(want), blocks.size()));
 
   Schedule q;
-  if (workers <= 1) {
+  if (want <= 1 || blocks.size() <= 1) {
+    // One block at a time; schedule_block still fans out within the block
+    // when the wave engine has threads to use.
     for (const std::vector<OpId>& block : blocks) {
       Schedule bq = schedule_block(block, stats);
       for (Stage& stage : bq.stages) q.stages.push_back(std::move(stage));
@@ -201,25 +442,15 @@ Schedule IosScheduler::schedule_partition(
   std::vector<SchedulerStats> per_stats(blocks.size());
   // schedule_block attributes measurements by diffing the shared CostModel
   // counters, which interleave across concurrent blocks; take one global
-  // delta over the whole pool run instead. Likewise, per-block wall times
-  // overlap (and include waits on the CostModel mutex), so search_wall_ms
-  // is the elapsed time of the pool run, not the sum of the workers'.
+  // delta over the whole run instead. Likewise, per-block wall times
+  // overlap, so search_wall_ms is the elapsed time of the parallel region,
+  // not the sum of the workers'.
   const std::int64_t measurements_before = cost_.num_measurements();
   const double profiling_before = cost_.profiling_cost_us();
   const auto t0 = std::chrono::steady_clock::now();
-  {
-    ThreadPool pool(workers);
-    std::vector<std::future<void>> pending;
-    pending.reserve(blocks.size());
-    for (std::size_t i = 0; i < blocks.size(); ++i) {
-      pending.push_back(pool.submit([this, &blocks, &per_block, &per_stats,
-                                     stats, i] {
-        per_block[i] =
-            schedule_block(blocks[i], stats ? &per_stats[i] : nullptr);
-      }));
-    }
-    for (std::future<void>& f : pending) f.get();
-  }
+  parallel_for(blocks.size(), want, [&](std::size_t i) {
+    per_block[i] = schedule_block(blocks[i], stats ? &per_stats[i] : nullptr);
+  });
 
   for (std::size_t i = 0; i < blocks.size(); ++i) {
     for (Stage& stage : per_block[i].stages) {

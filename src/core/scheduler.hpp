@@ -8,13 +8,20 @@
 // strategy ("concurrent execution" vs "operator merge") is chosen by
 // GENERATE_STAGE. choice[S] records the argmin so the optimal schedule can
 // be reconstructed back-to-front.
-
-#include <unordered_map>
+//
+// Two search engines produce bit-identical results:
+//  * kSerial — the reference recursive top-down solver, one thread.
+//  * kWave   — an iterative bottom-up solver that groups the reachable
+//    states by popcount ("waves") and evaluates each wave's states in
+//    parallel on the shared thread pool, so even a single large block
+//    (NASNet cell, RandWire) uses every core. See IosScheduler::solve_wave.
+// Memo and ending caches are flat open-addressing tables (util/flat_map.hpp)
+// keyed by Set64::bits().
 
 #include "core/block_dag.hpp"
 #include "runtime/cost_model.hpp"
 #include "schedule/schedule.hpp"
-#include "util/hash.hpp"
+#include "util/flat_map.hpp"
 
 namespace ios {
 
@@ -38,26 +45,61 @@ enum class IosVariant {
 
 const char* ios_variant_name(IosVariant v);
 
+/// Which DP solver runs the per-block search. Both engines explore exactly
+/// the same states and produce bit-identical schedules, latencies, and
+/// statistics; they differ only in wall-clock and memory behavior (the
+/// wave engine records every surviving transition between its two passes —
+/// O(transitions) peak memory, which search time bounds long before it
+/// becomes the binding constraint).
+enum class SearchEngine {
+  kAuto,    ///< kWave when memoization is on and more than one worker is
+            ///< available, kSerial otherwise
+  kSerial,  ///< reference recursive top-down solver (always one thread)
+  kWave,    ///< iterative bottom-up solver, wave-parallel on the thread pool
+};
+
+const char* search_engine_name(SearchEngine e);
+
 struct SchedulerOptions {
   PruningStrategy pruning{};
   IosVariant variant = IosVariant::kBoth;
   /// Ablation knob: disable the cost[S] memoization (the DP then re-solves
-  /// shared sub-schedules exponentially often).
+  /// shared sub-schedules exponentially often). Only the serial engine
+  /// supports this — requesting kWave with memoize=false throws.
   bool memoize = true;
-  /// Worker threads for schedule_partition / schedule_graph: independent
-  /// blocks run their DPs concurrently (Section 4.2 — blocks are optimized
-  /// separately, so their searches never share state beyond the thread-safe
-  /// CostModel). 1 = sequential (seed behavior); <= 0 = one per hardware
-  /// thread. The resulting schedule is identical regardless of the count.
+  /// DP solver selection; kAuto resolves to the wave engine when
+  /// memoization is on and the effective worker count (num_threads, or the
+  /// hardware threads when <= 0) exceeds one. The found schedule is
+  /// identical either way.
+  SearchEngine engine = SearchEngine::kAuto;
+  /// Worker-thread target for the whole search: independent blocks run
+  /// their DPs concurrently (Section 4.2), and within a block the wave
+  /// engine evaluates each popcount level's states concurrently. All
+  /// workers come from the shared process-wide pool (shared_thread_pool());
+  /// 1 = fully sequential; <= 0 = one per hardware thread. The resulting
+  /// schedule is identical regardless of the count.
   int num_threads = 1;
+
+  /// Throws std::invalid_argument on inconsistent settings (pruning bounds
+  /// < 1, wave engine with memoization disabled). Called by the
+  /// IosScheduler constructor and by every caching front end *before* its
+  /// cache lookup, so an invalid combination is rejected identically
+  /// whether or not an equivalent request is already cached.
+  void validate() const;
 };
 
 struct SchedulerStats {
   std::int64_t states = 0;       ///< distinct S values solved
-  std::int64_t transitions = 0;  ///< (S, S') pairs explored
+  std::int64_t transitions = 0;  ///< (S, S') pairs explored (pruned excluded)
   std::int64_t measurements = 0; ///< distinct stage profiles requested
-  std::int64_t cache_hits = 0;   ///< ending evaluations served from cache
-  std::int64_t pruned_endings = 0;  ///< distinct endings cut by P(r, s)
+  /// Ending evaluations served from the per-block cache for endings that
+  /// survived pruning. Repeat visits to *pruned* endings are counted in
+  /// pruned_endings instead, so the two counters partition the repeat
+  /// lookups by their verdict.
+  std::int64_t cache_hits = 0;
+  /// Ending visits cut by P(r, s) — every (S, S') pair whose ending is
+  /// pruned, including repeat visits answered from the cache.
+  std::int64_t pruned_endings = 0;
   double profiling_cost_us = 0;  ///< simulated device time spent profiling
   double search_wall_ms = 0;     ///< host time spent in the DP itself
 
@@ -92,6 +134,9 @@ class IosScheduler {
   Schedule schedule_partition(const std::vector<std::vector<OpId>>& blocks,
                               SchedulerStats* stats = nullptr);
 
+  /// The engine an option set resolves to (kAuto applied).
+  SearchEngine resolved_engine() const;
+
  private:
   /// How the stage for a chosen ending is constructed.
   enum class StageBuild {
@@ -117,17 +162,31 @@ class IosScheduler {
 
   struct BlockContext {
     const BlockDag& dag;
-    std::unordered_map<std::uint64_t, Entry, U64Hasher> memo;
-    std::unordered_map<std::uint64_t, EndingEval, U64Hasher> ending_cache;
+    FlatMap64<Entry> memo;
+    FlatMap64<EndingEval> ending_cache;  // serial engine only
   };
 
-  /// GENERATE_STAGE (Algorithm 1 L23-33) specialized by the variant,
-  /// memoized per ending together with the P(r, s) check.
-  const EndingEval& evaluate_ending(BlockContext& ctx, Set64 ending,
-                                    SchedulerStats* stats);
+  /// The wave engine's shared ending cache: stripes of independently locked
+  /// flat tables (defined in scheduler.cpp).
+  struct EndingStripes;
 
-  /// SCHEDULER (Algorithm 1 L13-22).
+  /// GENERATE_STAGE (Algorithm 1 L23-33) specialized by the variant, plus
+  /// the P(r, s) pruning verdict. Pure with respect to the DP state.
+  EndingEval compute_ending(const BlockDag& dag, Set64 ending) const;
+
+  /// compute_ending memoized in ctx.ending_cache with hit/pruned counting
+  /// (serial engine path).
+  EndingEval evaluate_ending(BlockContext& ctx, Set64 ending,
+                             SchedulerStats* stats);
+
+  /// SCHEDULER (Algorithm 1 L13-22): the reference recursive solver.
   double solve(BlockContext& ctx, Set64 s, SchedulerStats* stats);
+
+  /// The wave engine: discovers the reachable states level-by-level
+  /// (popcount descending, evaluating every ending in parallel on the way)
+  /// and then fills ctx.memo level-by-level popcount ascending. Produces
+  /// bit-identical memo entries and statistics to solve(ctx, dag.all()).
+  void solve_wave(BlockContext& ctx, SchedulerStats* stats);
 
   Stage build_stage(const BlockDag& dag, Set64 ending, StageBuild build) const;
 

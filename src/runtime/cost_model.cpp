@@ -1,34 +1,72 @@
 #include "runtime/cost_model.hpp"
 
+#include <bit>
 #include <limits>
 
+#include "runtime/profile_db.hpp"
+#include "schedule/serialize.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace ios {
 
-CostModel::CostModel(const Graph& g, ExecConfig cfg,
-                     ProfilingProtocol protocol)
-    : executor_(g, std::move(cfg)), protocol_(protocol) {}
+namespace {
 
-std::uint64_t CostModel::stage_key(const Stage& stage) const {
-  std::uint64_t h = stage.strategy == StageStrategy::kMerge ? 0x9e37u : 0x51edu;
-  for (const Group& grp : stage.groups) {
-    h = hash_combine(h, 0x60ull);
-    for (OpId id : grp.ops) {
-      h = hash_combine(h, static_cast<std::uint64_t>(id));
-    }
-    h = hash_combine(h, 0xabcdefull);
-  }
+std::uint64_t hash_double(std::uint64_t seed, double v) {
+  return hash_combine(seed, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint64_t device_fingerprint(const DeviceSpec& d) {
+  std::uint64_t h = hash_bytes(d.name);
+  h = hash_combine(h, static_cast<std::uint64_t>(d.num_sms));
+  h = hash_combine(h, static_cast<std::uint64_t>(d.warp_slots_per_sm));
+  h = hash_double(h, d.peak_tflops);
+  h = hash_double(h, d.dram_gbps);
+  h = hash_double(h, d.kernel_launch_us);
+  h = hash_double(h, d.stage_sync_us);
+  h = hash_double(h, d.stream_sync_us);
+  h = hash_double(h, d.compute_sat_frac);
+  h = hash_double(h, d.memory_sat_frac);
+  h = hash_double(h, d.mem_contention_coef);
   return h;
 }
 
+std::uint64_t kernel_params_fingerprint(const KernelModelParams& p) {
+  std::uint64_t h = 0x6b70u;  // "kp"
+  h = hash_double(h, p.elems_per_thread);
+  h = hash_double(h, p.conv_efficiency);
+  h = hash_double(h, p.sepconv_efficiency);
+  h = hash_double(h, p.matmul_efficiency);
+  h = hash_double(h, p.pool_efficiency);
+  h = hash_double(h, p.memop_efficiency);
+  return h;
+}
+
+std::uint64_t protocol_fingerprint(const ProfilingProtocol& p) {
+  std::uint64_t h = 0x7072u;  // "pr"
+  h = hash_combine(h, static_cast<std::uint64_t>(p.warmup));
+  h = hash_combine(h, static_cast<std::uint64_t>(p.repeats));
+  h = hash_double(h, p.noise_frac);
+  h = hash_combine(h, p.noise_seed);
+  return h;
+}
+
+}  // namespace
+
+CostModel::CostModel(const Graph& g, ExecConfig cfg,
+                     ProfilingProtocol protocol, int cache_shards)
+    : executor_(g, std::move(cfg)), protocol_(protocol) {
+  const int n = cache_shards < 1 ? 1 : cache_shards;
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
 double CostModel::measure(const Stage& stage) {
-  const std::uint64_t key = stage_key(stage);
+  const std::uint64_t key = stage_fingerprint(stage);
+  Shard& shard = shard_for(key);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (const double* hit = shard.cache.find(key)) return *hit;
   }
 
   // Simulate outside the lock so concurrent DPs overlap their profiling.
@@ -49,14 +87,21 @@ double CostModel::measure(const Stage& stage) {
     latency = sum / protocol_.repeats;
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = cache_.emplace(key, latency);
-  if (inserted) {
-    ++num_measurements_;
-    profiling_cost_us_ +=
-        true_latency * (protocol_.warmup + protocol_.repeats);
+  bool inserted = false;
+  double stored = latency;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [slot, fresh] = shard.cache.try_emplace(key, latency);
+    inserted = fresh;
+    stored = *slot;
   }
-  return it->second;
+  if (inserted) {
+    num_measurements_.fetch_add(1, std::memory_order_relaxed);
+    profiling_cost_us_.fetch_add(
+        true_latency * (protocol_.warmup + protocol_.repeats),
+        std::memory_order_relaxed);
+  }
+  return stored;
 }
 
 StageChoice CostModel::generate_stage(std::span<const OpId> ops) {
@@ -82,9 +127,41 @@ StageChoice CostModel::generate_stage(std::span<const OpId> ops) {
 }
 
 void CostModel::reset_counters() {
-  std::lock_guard<std::mutex> lock(mu_);
-  num_measurements_ = 0;
-  profiling_cost_us_ = 0;
+  num_measurements_.store(0, std::memory_order_relaxed);
+  profiling_cost_us_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t CostModel::profile_context() const {
+  std::uint64_t h = hash_bytes(graph_to_json(graph()).dump());
+  h = hash_combine(h, device_fingerprint(executor_.device()));
+  h = hash_combine(h, kernel_params_fingerprint(executor_.kernel_params()));
+  h = hash_combine(h, protocol_fingerprint(protocol_));
+  return h;
+}
+
+int CostModel::save_profile(ProfileDb& db) const {
+  ProfileDb::Entries& entries = db.context_for_update(profile_context());
+  int written = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->cache.for_each([&](std::uint64_t key, const double& latency) {
+      entries[key] = latency;
+      ++written;
+    });
+  }
+  return written;
+}
+
+int CostModel::load_profile(const ProfileDb& db) {
+  const ProfileDb::Entries* entries = db.context(profile_context());
+  if (!entries) return 0;
+  int loaded = 0;
+  for (const auto& [key, latency] : *entries) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.cache.try_emplace(key, latency).second) ++loaded;
+  }
+  return loaded;
 }
 
 }  // namespace ios

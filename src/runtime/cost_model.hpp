@@ -2,18 +2,37 @@
 // CostModel: the profiler that Algorithm 1 consults. IOS is a profile-based
 // scheduler — GENERATE_STAGE "directly measures the latencies of both
 // parallelization strategies on the hardware". Here the hardware is the
-// execution simulator; measurements are cached by stage signature, and the
-// model keeps account of how much (simulated) device time the profiling
-// consumed, which is what the paper reports as optimization cost.
+// execution simulator; measurements are cached by the canonical stage
+// fingerprint, and the model keeps account of how much (simulated) device
+// time the profiling consumed, which is what the paper reports as
+// optimization cost.
+//
+// Concurrency: the cache is lock-striped — N independently locked shards,
+// stage fingerprints distributed by hash — so the wave-parallel DP's worker
+// threads (and concurrent block searches) do not convoy on a single mutex.
+// The profiling counters are atomics, making the read accessors lock-free.
+// Measurements stay deterministic regardless of thread count: the set of
+// distinct stages measured does not depend on the order threads request
+// them, and each stage's simulated latency is a pure function of the stage.
+//
+// Persistence: save_profile/load_profile move the cache contents to/from a
+// ProfileDb keyed by stage fingerprint under this model's profile_context()
+// (graph + device + kernel params + protocol), so a warm-started process
+// re-runs zero simulations for stages any previous run already measured.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
-#include <unordered_map>
+#include <vector>
 
 #include "runtime/executor.hpp"
+#include "util/flat_map.hpp"
 
 namespace ios {
+
+class ProfileDb;  // runtime/profile_db.hpp — persistence only, not hot-path
 
 struct StageChoice {
   double latency_us = 0;
@@ -33,7 +52,13 @@ struct ProfilingProtocol {
 
 class CostModel {
  public:
-  CostModel(const Graph& g, ExecConfig cfg, ProfilingProtocol protocol = {});
+  /// Default number of independently locked cache shards. Plenty to keep
+  /// collision odds low for the wave DP's worker counts (the ablation bench
+  /// compares against a single-shard model to show the convoying effect).
+  static constexpr int kDefaultCacheShards = 16;
+
+  CostModel(const Graph& g, ExecConfig cfg, ProfilingProtocol protocol = {},
+            int cache_shards = kDefaultCacheShards);
   CostModel(const Graph& g, ExecConfig cfg, int warmup, int repeats)
       : CostModel(g, std::move(cfg),
                   ProfilingProtocol{warmup, repeats, 0.0, 1}) {}
@@ -46,38 +71,66 @@ class CostModel {
   /// returns the cheaper strategy and its latency.
   StageChoice generate_stage(std::span<const OpId> ops);
 
-  /// Measured latency of a fully-specified stage (cached). Thread-safe:
-  /// concurrent block DPs share one CostModel, so the cache and the
-  /// profiling counters are guarded by a mutex while the simulation itself
-  /// (a const Executor call) runs unlocked. Results and counters are
-  /// deterministic regardless of thread count — the set of distinct stages
-  /// measured does not depend on the order threads request them.
+  /// Measured latency of a fully-specified stage, cached by
+  /// stage_fingerprint. Thread-safe: the fingerprint picks one of
+  /// num_cache_shards() independently locked shards, and the simulation
+  /// itself (a const Executor call) runs unlocked. Two threads racing on the
+  /// same uncached stage may both simulate it; the simulation is
+  /// deterministic, so both compute the same value and only the winning
+  /// insert bumps the counters (keeping them order-independent).
   double measure(const Stage& stage);
 
-  /// Number of distinct stage configurations profiled so far.
+  /// Number of distinct stage configurations profiled so far (lock-free).
+  /// Stages installed by load_profile are not counted — they cost nothing.
   std::int64_t num_measurements() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return num_measurements_;
+    return num_measurements_.load(std::memory_order_relaxed);
   }
 
   /// Total simulated device time spent profiling, in microseconds. This is
   /// the dominant part of IOS's optimization cost (Figure 9 / Figure 12).
   double profiling_cost_us() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return profiling_cost_us_;
+    return profiling_cost_us_.load(std::memory_order_relaxed);
   }
 
   void reset_counters();
 
+  /// Independently locked cache shards (ablation knob; see the constructor).
+  int num_cache_shards() const { return static_cast<int>(shards_.size()); }
+
+  /// Fingerprint of everything a cached latency depends on besides the stage
+  /// itself: the serialized graph, the device spec, the kernel-model
+  /// parameters, and the profiling protocol. ProfileDb entries are bucketed
+  /// by this value, so loading a database never applies another
+  /// model/device's latencies.
+  std::uint64_t profile_context() const;
+
+  /// Exports every cached stage latency into `db` under profile_context().
+  /// Returns the number of entries written (cache size).
+  int save_profile(ProfileDb& db) const;
+
+  /// Installs `db`'s entries for this model's profile_context() into the
+  /// cache and returns how many were installed. Entries of other contexts
+  /// are ignored; already-cached fingerprints keep their in-memory value.
+  /// Loaded entries do not move the profiling counters — subsequent
+  /// measure() calls on them are pure cache hits.
+  int load_profile(const ProfileDb& db);
+
  private:
-  std::uint64_t stage_key(const Stage& stage) const;
+  struct Shard {
+    mutable std::mutex mu;
+    FlatMap64<double> cache;
+  };
+
+  Shard& shard_for(std::uint64_t key) const {
+    return *shards_[shard_index(key, shards_.size())];
+  }
 
   Executor executor_;
   ProfilingProtocol protocol_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, double> cache_;
-  std::int64_t num_measurements_ = 0;
-  double profiling_cost_us_ = 0;
+  /// unique_ptr because Shard owns a mutex and must not move.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::int64_t> num_measurements_{0};
+  std::atomic<double> profiling_cost_us_{0};
 };
 
 }  // namespace ios

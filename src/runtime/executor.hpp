@@ -26,6 +26,7 @@ class Executor {
 
   const Graph& graph() const { return graph_; }
   const DeviceSpec& device() const { return engine_.device(); }
+  const KernelModelParams& kernel_params() const { return kparams_; }
 
   /// Latency of one stage in microseconds, including the closing
   /// synchronization when the stage ran more than one stream.

@@ -1,0 +1,112 @@
+#include "runtime/profile_db.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <sys/stat.h>
+
+namespace ios {
+
+namespace {
+
+constexpr const char* kFormat = "ios-profile-db";
+constexpr int kVersion = 1;
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parse_hex16(const std::string& s) {
+  if (s.empty()) throw std::runtime_error("profile-db: empty hex key");
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 16);
+  if (errno != 0 || end != s.c_str() + s.size()) {
+    throw std::runtime_error("profile-db: bad hex key '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+ProfileDb ProfileDb::from_json(const JsonValue& doc) {
+  if (!doc.is_object() || !doc.contains("format") ||
+      doc.at("format").as_string() != kFormat) {
+    throw std::runtime_error("profile-db: not an ios-profile-db document");
+  }
+  if (doc.at("version").as_int() != kVersion) {
+    throw std::runtime_error("profile-db: unsupported version " +
+                             std::to_string(doc.at("version").as_int()));
+  }
+  ProfileDb db;
+  if (doc.contains("contexts")) {
+    for (const auto& [ctx_key, bucket] : doc.at("contexts").as_object()) {
+      Entries& entries = db.contexts_[parse_hex16(ctx_key)];
+      for (const auto& [stage_key, latency] : bucket.as_object()) {
+        entries[parse_hex16(stage_key)] = latency.as_number();
+      }
+    }
+  }
+  return db;
+}
+
+ProfileDb ProfileDb::load(const std::string& path) {
+  if (!exists(path)) return ProfileDb{};
+  return from_json(JsonValue::parse(read_file(path)));
+}
+
+bool ProfileDb::exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+JsonValue ProfileDb::to_json() const {
+  JsonValue contexts = JsonValue::object();
+  for (const auto& [ctx, entries] : contexts_) {
+    // Sort stage keys so the dump is byte-stable run to run.
+    std::map<std::uint64_t, double> sorted(entries.begin(), entries.end());
+    JsonValue bucket = JsonValue::object();
+    for (const auto& [key, latency] : sorted) {
+      bucket.set(hex16(key), latency);
+    }
+    contexts.set(hex16(ctx), std::move(bucket));
+  }
+  JsonValue doc = JsonValue::object();
+  doc.set("format", kFormat);
+  doc.set("version", kVersion);
+  doc.set("contexts", std::move(contexts));
+  return doc;
+}
+
+void ProfileDb::save(const std::string& path) const {
+  // Write-then-rename: a reader (or a crash) mid-save must never observe a
+  // truncated document — a corrupt warm-start cache would fail every later
+  // run instead of degrading to a cold one.
+  const std::string tmp = path + ".tmp";
+  write_file(tmp, to_json().dump());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("profile-db: cannot rename " + tmp + " to " +
+                             path);
+  }
+}
+
+const ProfileDb::Entries* ProfileDb::context(std::uint64_t ctx) const {
+  const auto it = contexts_.find(ctx);
+  return it == contexts_.end() ? nullptr : &it->second;
+}
+
+ProfileDb::Entries& ProfileDb::context_for_update(std::uint64_t ctx) {
+  return contexts_[ctx];
+}
+
+std::size_t ProfileDb::num_entries() const {
+  std::size_t n = 0;
+  for (const auto& [ctx, entries] : contexts_) n += entries.size();
+  return n;
+}
+
+}  // namespace ios

@@ -1,0 +1,72 @@
+#pragma once
+// ProfileDb: the persistable profiling database. IOS's optimization cost is
+// dominated by stage-latency profiling; within one process the CostModel's
+// cache already deduplicates measurements, but every new Optimizer (a fresh
+// CLI invocation, a cold-started server) used to re-profile stages it had
+// measured in a previous life. A ProfileDb is the cache's durable form: a
+// JSON document of measured stage latencies keyed by the canonical stage
+// fingerprint (stage_fingerprint) and grouped by *profile context* — the
+// fingerprint of everything a latency depends on besides the stage itself
+// (graph, device spec, kernel-model parameters, profiling protocol). A
+// CostModel only imports entries of its own context, so one database file
+// can safely accumulate profiles for many models and devices.
+//
+// On-disk format (version 1):
+//   { "format": "ios-profile-db", "version": 1,
+//     "contexts": { "<ctx hex16>": { "<stage hex16>": latency_us, ... } } }
+// Keys are 16-digit hex strings because JSON numbers (doubles) cannot carry
+// 64-bit keys exactly; latencies round-trip exactly through the writer's
+// %.17g formatting.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace ios {
+
+class ProfileDb {
+ public:
+  /// Measured latency by canonical stage fingerprint, one bucket per context.
+  using Entries = std::unordered_map<std::uint64_t, double, U64Hasher>;
+
+  ProfileDb() = default;
+
+  /// Parses a profile-db JSON document (throws std::runtime_error on an
+  /// unknown format or version).
+  static ProfileDb from_json(const JsonValue& doc);
+
+  /// Loads `path`, returning an empty database if the file does not exist
+  /// (the first run of a warm-start loop starts from nothing).
+  static ProfileDb load(const std::string& path);
+
+  /// True if a file exists at `path` (how callers distinguish "empty
+  /// database" from "database was deleted").
+  static bool exists(const std::string& path);
+
+  JsonValue to_json() const;
+
+  /// Serializes to `path` (write_file). Deterministic: contexts and entries
+  /// are emitted in sorted key order.
+  void save(const std::string& path) const;
+
+  /// The entry bucket of `ctx`, or nullptr if this database has none.
+  const Entries* context(std::uint64_t ctx) const;
+
+  /// The (created-on-demand) mutable bucket of `ctx` — how a CostModel
+  /// exports its cache into the database.
+  Entries& context_for_update(std::uint64_t ctx);
+
+  std::size_t num_contexts() const { return contexts_.size(); }
+  std::size_t num_entries() const;
+  bool empty() const { return contexts_.empty(); }
+
+ private:
+  /// Ordered by context so to_json() is deterministic.
+  std::map<std::uint64_t, Entries> contexts_;
+};
+
+}  // namespace ios

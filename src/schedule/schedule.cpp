@@ -6,10 +6,20 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/hash.hpp"
+
 namespace ios {
 
 const char* stage_strategy_name(StageStrategy s) {
   return s == StageStrategy::kConcurrent ? "concurrent" : "merge";
+}
+
+std::uint64_t stage_fingerprint(const Stage& stage) {
+  // Tags match the historical CostModel::stage_key seeds, so fingerprints
+  // (and the noise streams derived from them) are stable across versions.
+  const std::uint64_t tag =
+      stage.strategy == StageStrategy::kMerge ? 0x9e37u : 0x51edu;
+  return fingerprint_groups(tag, stage.groups);
 }
 
 std::vector<OpId> Stage::ops() const {

@@ -5,6 +5,7 @@
 // weakly-connected groups executed concurrently on separate streams
 // ("concurrent execution").
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -43,6 +44,14 @@ struct Schedule {
 
   std::string to_string(const Graph& g) const;
 };
+
+/// Canonical 64-bit identity of a stage: strategy plus the ordered operator
+/// ids of each group (util::fingerprint_groups). Two stages with the same
+/// fingerprint execute identically on a given graph/device, so this is the
+/// key of the cost model's latency cache and of the persistable profiling
+/// database — persisted profiles stay valid across processes because the
+/// fingerprint only depends on the stage structure.
+std::uint64_t stage_fingerprint(const Stage& stage);
 
 /// Partitions `ops` into weakly-connected components of the induced
 /// subgraph, each topologically ordered; components ordered by smallest

@@ -41,6 +41,9 @@ ServerOptions normalize(ServerOptions options) {
     throw std::invalid_argument("Server: max_queue_delay_us must be >= 0");
   }
   options.num_workers = std::max(1, options.num_workers);
+  // Reject inconsistent scheduler settings at construction, not on the
+  // first cache miss.
+  options.scheduler.validate();
   // Canonicalize (and validate) the device name once, up front.
   options.device = device_by_name(options.device).name;
   return options;
@@ -83,6 +86,7 @@ CachedRecipe Server::optimize_config(const std::string& model, int batch) {
       OptimizationRequest::for_model(model, options_.device, batch);
   request.options = options_.scheduler;
   request.protocol = options_.protocol;
+  request.profile_db = options_.profile_db;
   request.baselines.clear();  // serving needs the schedule, not comparisons
   const OptimizationResult result = optimizer_.optimize(request);
   {
@@ -109,16 +113,17 @@ double Server::resolve_latency(const std::string& model, int batch,
 }
 
 void Server::prewarm(const std::vector<std::string>& models, int threads) {
-  const int n = threads <= 0 ? ThreadPool::hardware_threads() : threads;
-  ThreadPool pool(n);
-  std::vector<std::future<void>> pending;
+  std::vector<std::pair<const std::string*, int>> configs;
   for (const std::string& model : models) {
     for (int batch : options_.batching.batch_sizes) {
-      pending.push_back(
-          pool.submit([this, model, batch] { resolve(model, batch); }));
+      configs.emplace_back(&model, batch);
     }
   }
-  for (auto& f : pending) f.get();
+  // Misses fan out over the shared process-wide pool (no per-call pool
+  // spawn); the inner wave searches draw from the same pool, nesting-safe.
+  parallel_for(configs.size(), threads, [&](std::size_t i) {
+    resolve(*configs[i].first, configs[i].second);
+  });
 }
 
 ServingResult Server::run(const Trace& trace) {

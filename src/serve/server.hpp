@@ -65,6 +65,11 @@ struct ServerOptions {
   /// Sizing of the sharded recipe cache (ignored when the Server is built
   /// around an external cache).
   RecipeCacheOptions cache{};
+  /// Persistable profiling-database path forwarded to every Optimizer run a
+  /// sharded-cache miss triggers (see OptimizationRequest::profile_db). A
+  /// warm-started server whose previous life profiled the same
+  /// (model, device, batch) configurations re-runs zero simulations.
+  std::string profile_db;
 };
 
 /// Per-request outcome of a served trace.

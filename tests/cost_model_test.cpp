@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "models/models.hpp"
 #include "runtime/cost_model.hpp"
 #include "schedule/baselines.hpp"
@@ -80,6 +83,61 @@ TEST(CostModel, GenerateStagePicksCheaperStrategy) {
   const StageChoice choice = cost.generate_stage(ops);
   EXPECT_EQ(choice.strategy, StageStrategy::kMerge);
   EXPECT_GT(choice.latency_us, 0);
+}
+
+TEST(CostModel, SingleShardBehavesLikeDefault) {
+  // Shard count is a pure contention knob: values and counters must not
+  // depend on it.
+  const Graph g = models::squeezenet(1);
+  CostModel one(g, v100_config(), ProfilingProtocol{}, /*cache_shards=*/1);
+  CostModel many(g, v100_config(), ProfilingProtocol{}, /*cache_shards=*/64);
+  EXPECT_EQ(one.num_cache_shards(), 1);
+  EXPECT_EQ(many.num_cache_shards(), 64);
+  const Schedule q = sequential_schedule(g);
+  for (const Stage& s : q.stages) {
+    EXPECT_DOUBLE_EQ(one.measure(s), many.measure(s));
+  }
+  EXPECT_EQ(one.num_measurements(), many.num_measurements());
+  EXPECT_DOUBLE_EQ(one.profiling_cost_us(), many.profiling_cost_us());
+}
+
+TEST(CostModel, ConcurrentMeasurementsCountDistinctStagesOnce) {
+  // Many threads hammering the same stages: the striped cache must keep the
+  // distinct-measurement counter exact.
+  const Graph g = models::squeezenet(1);
+  CostModel cost(g, v100_config());
+  const Schedule q = sequential_schedule(g);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < 3; ++rep) {
+        for (const Stage& s : q.stages) cost.measure(s);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  CostModel fresh(g, v100_config());
+  for (const Stage& s : q.stages) fresh.measure(s);
+  EXPECT_EQ(cost.num_measurements(), fresh.num_measurements());
+  EXPECT_NEAR(cost.profiling_cost_us(), fresh.profiling_cost_us(),
+              1e-9 * fresh.profiling_cost_us());
+}
+
+TEST(CostModel, StageFingerprintIsTheCacheKey) {
+  // The canonical fingerprint distinguishes strategy and group structure —
+  // the properties the cache and the profile database rely on.
+  Graph g(1);
+  const OpId in = g.input(8, 8, 8);
+  g.begin_block();
+  const OpId a = g.conv2d(in, Conv2dAttrs{.out_channels = 8, .kh = 1, .kw = 1});
+  const OpId b = g.conv2d(in, Conv2dAttrs{.out_channels = 8, .kh = 1, .kw = 1});
+  const Stage two_groups{StageStrategy::kConcurrent,
+                         {Group{{a}}, Group{{b}}}};
+  const Stage one_group{StageStrategy::kConcurrent, {Group{{a, b}}}};
+  const Stage merged{StageStrategy::kMerge, {Group{{a, b}}}};
+  EXPECT_NE(stage_fingerprint(two_groups), stage_fingerprint(one_group));
+  EXPECT_NE(stage_fingerprint(one_group), stage_fingerprint(merged));
+  EXPECT_EQ(stage_fingerprint(merged), stage_fingerprint(merged));
 }
 
 TEST(CostModel, GenerateStageFallsBackToConcurrent) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <stdexcept>
 
 #include "api/optimizer.hpp"
@@ -291,6 +292,93 @@ TEST(Optimizer, BaselineNamesMatchFrameworkSpecs) {
   for (Baseline b : all_baselines()) {
     EXPECT_EQ(baseline_by_name(baseline_name(b)), b);
   }
+}
+
+TEST(Optimizer, ProfileDbWarmsAcrossOptimizerInstances) {
+  const std::string path =
+      ::testing::TempDir() + "/optimizer_profile_db.json";
+  std::remove(path.c_str());
+
+  OptimizationRequest request = OptimizationRequest::for_graph(small_graph());
+  request.profile_db = path;
+
+  // Cold: a fresh database is created and fully populated.
+  Optimizer cold;
+  const OptimizationResult first = cold.optimize(request);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.new_measurements, 0);
+  EXPECT_EQ(first.profile_entries_loaded, 0);
+  EXPECT_EQ(first.profile_entries_saved, first.new_measurements);
+
+  // Warm, in a *new* Optimizer (empty recipe cache): the search re-runs but
+  // every stage latency comes from the database — zero new simulations.
+  Optimizer warm;
+  const OptimizationResult second = warm.optimize(request);
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(second.profile_entries_loaded, first.profile_entries_saved);
+  EXPECT_EQ(second.new_measurements, 0);
+  EXPECT_EQ(dump(second.schedule), dump(first.schedule));
+  EXPECT_DOUBLE_EQ(second.latency_us, first.latency_us);
+
+  // A different device under the same path coexists (separate context) and
+  // does not clobber the first context's entries.
+  OptimizationRequest k80 = request;
+  k80.device = "k80";
+  const OptimizationResult third = Optimizer().optimize(k80);
+  EXPECT_EQ(third.profile_entries_loaded, 0);
+  EXPECT_GT(third.new_measurements, 0);
+  const OptimizationResult fourth = Optimizer().optimize(request);
+  EXPECT_EQ(fourth.new_measurements, 0);
+  std::remove(path.c_str());
+}
+
+TEST(Optimizer, ProfileDbDoesNotAffectCacheKey) {
+  // The database only changes where latencies come from, never the found
+  // schedule, so requests with and without it share one recipe-cache entry.
+  Optimizer opt;
+  OptimizationRequest without = OptimizationRequest::for_graph(small_graph());
+  OptimizationRequest with = without;
+  with.profile_db = ::testing::TempDir() + "/optimizer_profile_key.json";
+  std::remove(with.profile_db.c_str());
+  const OptimizationResult a = opt.optimize(without);
+  const OptimizationResult b = opt.optimize(with);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_TRUE(b.cache_hit);
+  // The cache hit short-circuits before any profiling, so no file appears.
+  EXPECT_EQ(b.profile_entries_loaded, 0);
+  EXPECT_EQ(b.profile_entries_saved, 0);
+}
+
+TEST(Optimizer, SearchEngineExcludedFromCacheKey) {
+  // Both engines find bit-identical schedules, so the engine (like the
+  // thread count) is not key material: a serial-engine result serves a
+  // wave-engine request.
+  Optimizer opt;
+  OptimizationRequest serial = OptimizationRequest::for_graph(small_graph());
+  serial.options.engine = SearchEngine::kSerial;
+  OptimizationRequest wave = serial;
+  wave.options.engine = SearchEngine::kWave;
+  wave.options.num_threads = 4;
+  const OptimizationResult a = opt.optimize(serial);
+  const OptimizationResult b = opt.optimize(wave);
+  EXPECT_TRUE(b.cache_hit);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(dump(b.schedule), dump(a.schedule));
+}
+
+TEST(Optimizer, InvalidOptionsRejectedEvenOnCachedRequests) {
+  // The engine is excluded from the cache key, so a kWave+memoize=false
+  // request maps to the same entry as a valid kSerial+memoize=false one; it
+  // must still throw (options are validated before the cache lookup).
+  Optimizer opt;
+  OptimizationRequest valid = OptimizationRequest::for_graph(small_graph());
+  valid.options.memoize = false;
+  valid.options.engine = SearchEngine::kSerial;
+  opt.optimize(valid);
+
+  OptimizationRequest invalid = valid;
+  invalid.options.engine = SearchEngine::kWave;
+  EXPECT_THROW(opt.optimize(invalid), std::invalid_argument);
 }
 
 TEST(Optimizer, RegistryEnumerationMatchesLookup) {

@@ -1,0 +1,273 @@
+// Search-engine equivalence and profiling-database tests. The wave-parallel
+// bottom-up engine must be indistinguishable from the serial recursive
+// reference except in wall time: identical schedules (stage by stage),
+// identical executor latencies, and identical SchedulerStats counters, for
+// every IOS variant, pruning setting, and thread count. The profiling
+// database must round-trip the cost model's cache so a warm search runs
+// zero new simulations and still finds the identical schedule.
+
+#include <gtest/gtest.h>
+
+#include "core/scheduler.hpp"
+#include "models/models.hpp"
+#include "runtime/profile_db.hpp"
+#include "schedule/baselines.hpp"
+
+namespace ios {
+namespace {
+
+ExecConfig v100_config() { return ExecConfig{tesla_v100(), {}}; }
+
+void expect_same_schedule(const Schedule& a, const Schedule& b) {
+  ASSERT_EQ(a.stages.size(), b.stages.size());
+  for (std::size_t i = 0; i < a.stages.size(); ++i) {
+    EXPECT_EQ(a.stages[i].strategy, b.stages[i].strategy) << "stage " << i;
+    ASSERT_EQ(a.stages[i].groups.size(), b.stages[i].groups.size())
+        << "stage " << i;
+    for (std::size_t j = 0; j < a.stages[i].groups.size(); ++j) {
+      EXPECT_EQ(a.stages[i].groups[j].ops, b.stages[i].groups[j].ops)
+          << "stage " << i << " group " << j;
+    }
+  }
+}
+
+struct SearchRun {
+  Schedule schedule;
+  SchedulerStats stats;
+  double latency_us = 0;
+};
+
+SearchRun run(const Graph& g, SchedulerOptions options) {
+  SearchRun out;
+  CostModel cost(g, v100_config());
+  out.schedule = IosScheduler(cost, options).schedule_graph(&out.stats);
+  out.latency_us =
+      Executor(g, v100_config()).schedule_latency_us(out.schedule);
+  return out;
+}
+
+void expect_equivalent_engines(const Graph& g, IosVariant variant,
+                               PruningStrategy pruning) {
+  SchedulerOptions serial;
+  serial.engine = SearchEngine::kSerial;
+  serial.variant = variant;
+  serial.pruning = pruning;
+  const SearchRun ref = run(g, serial);
+
+  for (const int threads : {1, 2, 4}) {
+    SchedulerOptions wave = serial;
+    wave.engine = SearchEngine::kWave;
+    wave.num_threads = threads;
+    const SearchRun got = run(g, wave);
+
+    SCOPED_TRACE(std::string(g.name()) + " " + ios_variant_name(variant) +
+                 " r=" + std::to_string(pruning.r) +
+                 " s=" + std::to_string(pruning.s) +
+                 " threads=" + std::to_string(threads));
+    expect_same_schedule(got.schedule, ref.schedule);
+    EXPECT_DOUBLE_EQ(got.latency_us, ref.latency_us);
+    EXPECT_EQ(got.stats.states, ref.stats.states);
+    EXPECT_EQ(got.stats.transitions, ref.stats.transitions);
+    EXPECT_EQ(got.stats.measurements, ref.stats.measurements);
+    EXPECT_EQ(got.stats.cache_hits, ref.stats.cache_hits);
+    EXPECT_EQ(got.stats.pruned_endings, ref.stats.pruned_endings);
+    // The same distinct stages are profiled; only the floating-point
+    // accumulation order differs across threads.
+    EXPECT_NEAR(got.stats.profiling_cost_us, ref.stats.profiling_cost_us,
+                1e-9 * ref.stats.profiling_cost_us + 1e-9);
+  }
+}
+
+TEST(SearchEngine, WaveMatchesSerialAcrossVariants) {
+  const Graph g = models::fig2_graph(1);
+  for (const IosVariant variant :
+       {IosVariant::kBoth, IosVariant::kParallel, IosVariant::kMerge}) {
+    expect_equivalent_engines(g, variant, PruningStrategy{});
+    expect_equivalent_engines(g, variant, PruningStrategy::none());
+  }
+}
+
+TEST(SearchEngine, WaveMatchesSerialWithTightPruning) {
+  // P(2, 1) actually prunes on fig2 (two independent branches form a
+  // two-component ending), exercising the pruned-visit accounting in both
+  // engines.
+  expect_equivalent_engines(models::fig2_graph(1), IosVariant::kBoth,
+                            PruningStrategy{2, 1});
+}
+
+TEST(SearchEngine, WaveMatchesSerialOnRealModels) {
+  expect_equivalent_engines(models::squeezenet(1), IosVariant::kBoth,
+                            PruningStrategy{});
+  expect_equivalent_engines(models::inception_v3(1), IosVariant::kBoth,
+                            PruningStrategy{});
+}
+
+TEST(SearchEngine, AutoResolvesByMemoizationAndWorkers) {
+  const Graph g = models::fig5_graph(1);
+  CostModel cost(g, v100_config());
+  // Multi-worker + memoized: the wave engine.
+  EXPECT_EQ(IosScheduler(cost, {.memoize = true, .num_threads = 4})
+                .resolved_engine(),
+            SearchEngine::kWave);
+  // One worker: the recursive engine is the better single-threaded solver.
+  EXPECT_EQ(IosScheduler(cost, {.memoize = true, .num_threads = 1})
+                .resolved_engine(),
+            SearchEngine::kSerial);
+  // The memoize=false ablation only exists recursively.
+  EXPECT_EQ(IosScheduler(cost, {.memoize = false, .num_threads = 4})
+                .resolved_engine(),
+            SearchEngine::kSerial);
+  // Explicit choices always win.
+  EXPECT_EQ(IosScheduler(cost, {.engine = SearchEngine::kSerial,
+                                .num_threads = 4})
+                .resolved_engine(),
+            SearchEngine::kSerial);
+  EXPECT_EQ(IosScheduler(cost, {.engine = SearchEngine::kWave})
+                .resolved_engine(),
+            SearchEngine::kWave);
+}
+
+TEST(SearchEngine, WaveRejectsMemoizationAblation) {
+  const Graph g = models::fig5_graph(1);
+  CostModel cost(g, v100_config());
+  EXPECT_THROW(
+      IosScheduler(cost, {.memoize = false, .engine = SearchEngine::kWave}),
+      std::invalid_argument);
+}
+
+TEST(SearchEngine, EngineNames) {
+  EXPECT_STREQ(search_engine_name(SearchEngine::kAuto), "auto");
+  EXPECT_STREQ(search_engine_name(SearchEngine::kSerial), "serial");
+  EXPECT_STREQ(search_engine_name(SearchEngine::kWave), "wave");
+}
+
+TEST(SearchEngine, CachedPrunedVisitsCountAsPruned) {
+  // The fig9 accounting bugfix: repeat visits to a pruned ending are pruned
+  // transitions, not cache hits. Under P(2, 1) on fig2 the pruned
+  // two-component ending is visited from more than one DP state, so the
+  // pruned counter must exceed the distinct-endings count a
+  // first-visit-only accounting would report.
+  const Graph g = models::fig2_graph(1);
+  CostModel cost(g, v100_config());
+  SchedulerStats stats;
+  IosScheduler(cost, {.pruning = PruningStrategy{2, 1},
+                      .engine = SearchEngine::kSerial})
+      .schedule_graph(&stats);
+  EXPECT_GT(stats.pruned_endings, 1);
+  // cache_hits only counts non-pruned repeats now, so every transition plus
+  // pruned visit is accounted exactly once per (S, S') pair.
+  EXPECT_GE(stats.transitions, stats.cache_hits);
+}
+
+// ---------------------------------------------------------------------------
+// Profiling database
+// ---------------------------------------------------------------------------
+
+TEST(ProfileDb, RoundTripsThroughJson) {
+  ProfileDb db;
+  db.context_for_update(0x1234)[42] = 1.5;
+  db.context_for_update(0x1234)[7] = 2.25;
+  db.context_for_update(0x9999)[42] = 99.0;
+  const ProfileDb loaded = ProfileDb::from_json(
+      JsonValue::parse(db.to_json().dump()));
+  EXPECT_EQ(loaded.num_contexts(), 2u);
+  EXPECT_EQ(loaded.num_entries(), 3u);
+  ASSERT_NE(loaded.context(0x1234), nullptr);
+  EXPECT_DOUBLE_EQ(loaded.context(0x1234)->at(42), 1.5);
+  EXPECT_DOUBLE_EQ(loaded.context(0x9999)->at(42), 99.0);
+  EXPECT_EQ(loaded.context(0xdead), nullptr);
+}
+
+TEST(ProfileDb, RejectsForeignDocuments) {
+  EXPECT_THROW(ProfileDb::from_json(JsonValue::parse("{\"a\":1}")),
+               std::runtime_error);
+  EXPECT_THROW(
+      ProfileDb::from_json(JsonValue::parse(
+          "{\"format\":\"ios-profile-db\",\"version\":99,\"contexts\":{}}")),
+      std::runtime_error);
+}
+
+TEST(ProfileDb, MissingFileLoadsEmpty) {
+  const ProfileDb db =
+      ProfileDb::load(::testing::TempDir() + "/does_not_exist_profile.json");
+  EXPECT_TRUE(db.empty());
+}
+
+TEST(ProfileDb, WarmSearchRunsZeroNewMeasurements) {
+  const Graph g = models::squeezenet(1);
+
+  CostModel cold(g, v100_config());
+  SchedulerStats cold_stats;
+  const Schedule cold_schedule =
+      IosScheduler(cold, {}).schedule_graph(&cold_stats);
+  ASSERT_GT(cold.num_measurements(), 0);
+
+  ProfileDb db;
+  const int saved = cold.save_profile(db);
+  EXPECT_EQ(saved, cold.num_measurements());
+
+  // Round-trip through JSON text like the on-disk flow does.
+  const ProfileDb reloaded =
+      ProfileDb::from_json(JsonValue::parse(db.to_json().dump()));
+
+  CostModel warm(g, v100_config());
+  EXPECT_EQ(warm.load_profile(reloaded), saved);
+  SchedulerStats warm_stats;
+  const Schedule warm_schedule =
+      IosScheduler(warm, {}).schedule_graph(&warm_stats);
+
+  EXPECT_EQ(warm.num_measurements(), 0);           // zero new simulations
+  EXPECT_DOUBLE_EQ(warm.profiling_cost_us(), 0);   // zero profiling cost
+  EXPECT_EQ(warm_stats.measurements, 0);
+  expect_same_schedule(warm_schedule, cold_schedule);
+  // Same search shape either way.
+  EXPECT_EQ(warm_stats.states, cold_stats.states);
+  EXPECT_EQ(warm_stats.transitions, cold_stats.transitions);
+}
+
+TEST(ProfileDb, ContextMismatchLoadsNothing) {
+  const Graph squeeze = models::squeezenet(1);
+  CostModel cold(squeeze, v100_config());
+  IosScheduler(cold, {}).schedule_graph();
+  ProfileDb db;
+  cold.save_profile(db);
+
+  // Different graph: nothing applies. (The graph must outlive the model —
+  // CostModel's executor holds it by reference.)
+  const Graph fig2 = models::fig2_graph(1);
+  CostModel other_model(fig2, v100_config());
+  EXPECT_EQ(other_model.load_profile(db), 0);
+
+  // Same graph, different device: nothing applies either.
+  CostModel other_device(squeeze, ExecConfig{tesla_k80(), {}});
+  EXPECT_EQ(other_device.load_profile(db), 0);
+
+  // Same graph, different profiling protocol: separate context too.
+  CostModel other_protocol(squeeze, v100_config(),
+                           ProfilingProtocol{2, 5, 0.05, 7});
+  EXPECT_EQ(other_protocol.load_profile(db), 0);
+}
+
+TEST(ProfileDb, NoisyLatenciesRoundTripExactly) {
+  // Noise-averaged latencies are arbitrary doubles; the %.17g JSON writer
+  // must bring them back bit-exact or warm searches could tie-break
+  // differently than cold ones.
+  const Graph g = models::fig2_graph(1);
+  const ProfilingProtocol noisy{2, 5, 0.1, 42};
+  CostModel cold(g, v100_config(), noisy);
+  const Schedule cold_schedule = IosScheduler(cold, {}).schedule_graph();
+
+  ProfileDb db;
+  cold.save_profile(db);
+  const ProfileDb reloaded =
+      ProfileDb::from_json(JsonValue::parse(db.to_json().dump()));
+
+  CostModel warm(g, v100_config(), noisy);
+  EXPECT_GT(warm.load_profile(reloaded), 0);
+  const Schedule warm_schedule = IosScheduler(warm, {}).schedule_graph();
+  EXPECT_EQ(warm.num_measurements(), 0);
+  expect_same_schedule(warm_schedule, cold_schedule);
+}
+
+}  // namespace
+}  // namespace ios

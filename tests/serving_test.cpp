@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -352,6 +353,34 @@ TEST(Server, NormalizesOptions) {
 
 // The Server assembles its lookup keys from precomputed parts; they must
 // stay byte-identical to the public serving_cache_key scheme.
+TEST(Server, ProfileDbWarmStartsColdServers) {
+  const std::string path = ::testing::TempDir() + "/server_profile_db.json";
+  std::remove(path.c_str());
+
+  ServerOptions options;
+  options.batching.batch_sizes = {1, 2};
+  options.profile_db = path;
+
+  // First life: populates the database while optimizing its recipes, with
+  // the misses (and their profile-db merges) racing on four threads.
+  Server first(options);
+  first.prewarm({"fig3", "fig5"}, /*threads=*/4);
+  EXPECT_GT(first.stats().measurements, 0);
+
+  // Second life (fresh server, fresh Optimizer, empty recipe cache): every
+  // stage latency is served from the database — zero redundant simulations.
+  Server second(options);
+  second.prewarm({"fig3", "fig5"}, /*threads=*/4);
+  EXPECT_GT(second.stats().optimizations, 0);  // searches re-ran...
+  EXPECT_EQ(second.stats().measurements, 0);   // ...but simulated nothing
+
+  // Served latencies are identical either way.
+  const Trace trace = burst_trace("fig3", 4);
+  EXPECT_EQ(first.run(trace).stats.mean_latency_us,
+            second.run(trace).stats.mean_latency_us);
+  std::remove(path.c_str());
+}
+
 TEST(ServingCacheKey, ServerLookupsMatchThePublicKeyScheme) {
   ServerOptions options = small_options();
   Server server(options);

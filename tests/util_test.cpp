@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/bitset64.hpp"
+#include "util/flat_map.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ios {
 namespace {
@@ -113,6 +116,130 @@ TEST(Table, AlignsColumns) {
 TEST(Table, FormatsDoubles) {
   EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::fmt(2.0, 0), "2");
+}
+
+TEST(FlatMap64, InsertFindAndOverwrite) {
+  FlatMap64<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(42), nullptr);
+  EXPECT_TRUE(m.try_emplace(42, 1).second);
+  EXPECT_FALSE(m.try_emplace(42, 2).second);  // kept the first value
+  ASSERT_NE(m.find(42), nullptr);
+  EXPECT_EQ(*m.find(42), 1);
+  m.insert_or_assign(42, 7);
+  EXPECT_EQ(*m.find(42), 7);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap64, SupportsTheZeroKey) {
+  // Key 0 is the empty-slot sentinel internally; it must still behave like
+  // any other key externally (stage fingerprints could in principle be 0).
+  FlatMap64<int> m;
+  EXPECT_EQ(m.find(0), nullptr);
+  EXPECT_TRUE(m.try_emplace(0, 9).second);
+  EXPECT_FALSE(m.try_emplace(0, 10).second);
+  EXPECT_EQ(*m.find(0), 9);
+  EXPECT_EQ(m.size(), 1u);
+  int seen = 0;
+  m.for_each([&](std::uint64_t key, const int& v) {
+    EXPECT_EQ(key, 0u);
+    seen = v;
+  });
+  EXPECT_EQ(seen, 9);
+  m.clear();
+  EXPECT_EQ(m.find(0), nullptr);
+}
+
+TEST(FlatMap64, GrowsAndMatchesReferenceMap) {
+  // Adversarial keys: dense small integers AND bit-shifted masks, both of
+  // which would cluster badly without the mixing probe.
+  FlatMap64<std::uint64_t> m;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(7);
+  for (int i = 1; i <= 5000; ++i) {
+    const std::uint64_t key =
+        (i % 3 == 0) ? static_cast<std::uint64_t>(i)
+                     : rng.next_u64() | 1;  // mixed dense + random, never 0
+    m.try_emplace(key, key * 2);
+    ref.try_emplace(key, key * 2);
+  }
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [key, value] : ref) {
+    ASSERT_NE(m.find(key), nullptr) << key;
+    EXPECT_EQ(*m.find(key), value);
+  }
+  std::size_t visited = 0;
+  m.for_each([&](std::uint64_t key, const std::uint64_t& v) {
+    ++visited;
+    EXPECT_EQ(ref.at(key), v);
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+TEST(FlatMap64, ReserveAvoidsIncrementalGrowth) {
+  FlatMap64<int> m;
+  m.reserve(1000);
+  for (std::uint64_t k = 1; k <= 1000; ++k) m.try_emplace(k, 1);
+  EXPECT_EQ(m.size(), 1000u);
+  EXPECT_EQ(*m.find(500), 1);
+}
+
+TEST(FlatSet64, InsertOnce) {
+  FlatSet64 s;
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.size(), 1u);
+  s.clear();
+  EXPECT_FALSE(s.contains(3));
+}
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> hits(500);
+  parallel_for(hits.size(), 4, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SerialWhenOneThread) {
+  // num_threads = 1 must never touch the pool: indices run in order on the
+  // calling thread.
+  std::vector<std::size_t> order;
+  parallel_for(10, 1, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, NestsWithoutDeadlock) {
+  // Outer x inner fan-out both drawing from the shared pool; the caller
+  // thread always participates, so this completes even on a single core.
+  std::atomic<int> total{0};
+  parallel_for(8, 4, [&](std::size_t) {
+    parallel_for(8, 4, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ParallelFor, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(16, 4,
+                   [&](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(FingerprintGroups, SeparatorsMatter) {
+  struct G {
+    std::vector<int> ops;
+  };
+  const std::vector<G> ab_c = {{{1, 2}}, {{3}}};
+  const std::vector<G> a_bc = {{{1}}, {{2, 3}}};
+  const std::vector<G> abc = {{{1, 2, 3}}};
+  EXPECT_NE(fingerprint_groups(1, ab_c), fingerprint_groups(1, a_bc));
+  EXPECT_NE(fingerprint_groups(1, ab_c), fingerprint_groups(1, abc));
+  EXPECT_NE(fingerprint_groups(1, abc), fingerprint_groups(2, abc));
+  EXPECT_EQ(fingerprint_groups(1, ab_c), fingerprint_groups(1, ab_c));
 }
 
 }  // namespace

@@ -39,8 +39,10 @@ void print_usage(std::FILE* out) {
                "  optimize   run the IOS search and compare against baselines\n"
                "             --model NAME | --batch N | --device NAME |\n"
                "             --variant both|parallel|merge | --r N | --s N |\n"
-               "             --threads N | --baselines a,b,... | --print 1 |\n"
-               "             --save FILE | --dot FILE | --trace FILE\n"
+               "             --engine auto|serial|wave | --threads N |\n"
+               "             --profile-db FILE | --baselines a,b,... |\n"
+               "             --print 1 | --save FILE | --dot FILE |\n"
+               "             --trace FILE\n"
                "  evaluate   execute a saved recipe\n"
                "             --recipe FILE [--device NAME] [--batch N]\n"
                "  serve      replay a synthetic request trace through the\n"
@@ -48,7 +50,8 @@ void print_usage(std::FILE* out) {
                "             --models a,b,... | --device NAME | --workers N |\n"
                "             --requests N | --rate REQ_PER_S | --seed N |\n"
                "             --batch-sizes a,b,... | --max-delay-us T |\n"
-               "             --shards N | --capacity N | --prewarm 0|1\n"
+               "             --shards N | --capacity N | --prewarm 0|1 |\n"
+               "             --profile-db FILE\n"
                "  inspect    print model facts (Table 1/2 style)\n"
                "             --model NAME [--batch N] [--print 1]\n"
                "  list       enumerate known models, devices, and baselines\n"
@@ -96,6 +99,13 @@ IosVariant variant_from(const std::string& s) {
   throw std::runtime_error("variant must be both|parallel|merge");
 }
 
+SearchEngine engine_from(const std::string& s) {
+  if (s == "auto") return SearchEngine::kAuto;
+  if (s == "serial") return SearchEngine::kSerial;
+  if (s == "wave") return SearchEngine::kWave;
+  throw std::runtime_error("engine must be auto|serial|wave");
+}
+
 std::vector<Baseline> baselines_from(const std::string& csv) {
   std::vector<Baseline> baselines;
   for (const std::string& name : split_csv(csv)) {
@@ -112,16 +122,19 @@ int cmd_optimize(const Args& args) {
   request.options.variant = variant_from(args.get("variant", "both"));
   request.options.pruning.r = std::stoi(args.get("r", "3"));
   request.options.pruning.s = std::stoi(args.get("s", "8"));
+  request.options.engine = engine_from(args.get("engine", "auto"));
   request.options.num_threads = std::stoi(args.get("threads", "1"));
+  request.profile_db = args.get("profile-db", "");
   if (const auto csv = args.get("baselines")) {
     request.baselines = baselines_from(*csv);
   }
 
   std::printf("optimizing %s (batch %d) for %s with %s, pruning r=%d s=%d, "
-              "%s block threads\n",
+              "%s engine, %s search threads\n",
               request.model.c_str(), request.batch, request.device.c_str(),
               ios_variant_name(request.options.variant),
               request.options.pruning.r, request.options.pruning.s,
+              search_engine_name(request.options.engine),
               request.options.num_threads > 0
                   ? std::to_string(request.options.num_threads).c_str()
                   : "auto");
@@ -144,6 +157,14 @@ int cmd_optimize(const Args& args) {
               static_cast<long long>(result.stats.measurements),
               result.stats.profiling_cost_us / 1e6,
               result.stats.search_wall_ms);
+  if (!request.profile_db.empty()) {
+    std::printf("profile db %s: %lld stage latencies loaded, %lld saved, "
+                "%lld new simulations this run\n",
+                request.profile_db.c_str(),
+                static_cast<long long>(result.profile_entries_loaded),
+                static_cast<long long>(result.profile_entries_saved),
+                static_cast<long long>(result.new_measurements));
+  }
 
   if (const auto path = args.get("save")) {
     Optimizer::save(result, *path);
@@ -222,6 +243,7 @@ int cmd_serve(const Args& args) {
       static_cast<std::size_t>(positive_int(args, "shards", "8"));
   options.cache.shard_capacity =
       static_cast<std::size_t>(positive_int(args, "capacity", "64"));
+  options.profile_db = args.get("profile-db", "");
 
   std::printf("serving %d requests (%.0f req/s offered, seed %llu) of [",
               spec.num_requests, rate,
