@@ -1,0 +1,174 @@
+// Placement benchmark: the heterogeneous-pool payoff, end to end. A mixed
+// trace (bandwidth-leaning squeezenet next to compute-leaning mobilenet_v2,
+// 3:2) is served on a heterogeneous {P100, 1080Ti} pool and on every
+// same-size homogeneous pool built from the pool's own classes ({P100 x2},
+// {1080Ti x2}). Device-aware routing must make the mixed pool strictly beat
+// both homogeneous ones on served throughput — neither device dominates the
+// other (the P100 wins memory-bound networks on HBM2 bandwidth, the 1080Ti
+// wins compute-bound ones on FP32 peak), so a pool that has both and routes
+// by device wins the mixed workload. The ios::Placer's predicted makespans
+// are emitted next to the served numbers; the plan must predict the same
+// winner the serving simulation crowns.
+//
+// Like bench_serving this is a plain main() with no google-benchmark
+// dependency, so CI can always run it; everything is on the simulated
+// clock and deterministic for the fixed trace seed.
+//
+//   $ ./bench_placement [out.json] [num_requests]
+//     out.json      default BENCH_placement.json
+//     num_requests  default 1500 (CI smoke runs fewer)
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "place/placer.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ios;
+  using namespace ios::serve;
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_placement.json";
+  const int num_requests = argc > 2 ? std::atoi(argv[2]) : 1500;
+
+  // 3:2 squeezenet : mobilenet_v2 — roughly balances the two classes' work.
+  const std::vector<std::string> trace_models = {
+      "squeezenet", "squeezenet", "squeezenet", "mobilenet_v2",
+      "mobilenet_v2"};
+  TraceSpec spec;
+  spec.models = trace_models;
+  spec.num_requests = num_requests;
+  spec.mean_interarrival_us = 40;  // 25k req/s offered: saturating
+  spec.seed = 7;
+  const Trace trace = generate_trace(spec);
+
+  const BatchingPolicy batching{{1, 2, 4, 8}, 3000};
+  const std::vector<std::string> pool_specs = {"p100,1080ti", "p100x2",
+                                               "1080tix2"};
+
+  // ---- Placer predictions (batch-8 steady state, weights = trace mix) ----
+  PlacementRequest plan_request;
+  plan_request.workload = {WorkloadItem{"squeezenet", 8, 3.0},
+                           WorkloadItem{"mobilenet_v2", 8, 2.0}};
+  Placer placer;
+  JsonValue predictions = JsonValue::array();
+  std::vector<double> predicted_makespans;
+  for (const std::string& pool : pool_specs) {
+    plan_request.pool = pool_from_spec(pool);
+    const PlacementResult planned = placer.place(plan_request);
+    predicted_makespans.push_back(planned.plan.makespan_us);
+    std::printf("plan %-12s makespan %8.1f us/weight:", pool.c_str(),
+                planned.plan.makespan_us);
+    for (const Assignment& a : planned.plan.assignments) {
+      std::printf("  %s->%s", a.model.c_str(), a.device.c_str());
+    }
+    std::printf("\n");
+    JsonValue entry = placement_to_json(planned);
+    entry.set("pool", pool);
+    predictions.push_back(std::move(entry));
+  }
+  const bool plan_predicts_hetero =
+      predicted_makespans[0] < predicted_makespans[1] &&
+      predicted_makespans[0] < predicted_makespans[2];
+
+  // ---- served comparison (one shared recipe cache across all pools) ------
+  auto cache = std::make_shared<ShardedRecipeCache>(RecipeCacheOptions{});
+  const auto bench_begin = std::chrono::steady_clock::now();
+  JsonValue results = JsonValue::array();
+  double hetero_throughput = 0;
+  double best_homogeneous = 0;
+  for (std::size_t i = 0; i < pool_specs.size(); ++i) {
+    ServerOptions options;
+    options.pool = pool_from_spec(pool_specs[i]);
+    options.batching = batching;
+    Server server(options, cache);
+    server.prewarm({"squeezenet", "mobilenet_v2"}, /*threads=*/0);
+    const ServingResult run = server.run(trace);
+    const ServingStats& s = run.stats;
+
+    std::printf("%-12s %9.1f req/s | mean %8.1f us, p99 %9.1f | "
+                "%lld batches | util %.0f%%\n",
+                pool_specs[i].c_str(), s.throughput_rps, s.mean_latency_us,
+                s.p99_latency_us, static_cast<long long>(s.batches),
+                100 * s.worker_utilization);
+    JsonValue loads = JsonValue::array();
+    for (const DeviceLoad& l : run.device_loads) {
+      JsonValue load = JsonValue::object();
+      load.set("device", l.device);
+      load.set("devices", l.devices);
+      load.set("batches", l.batches);
+      load.set("utilization", l.utilization);
+      loads.push_back(std::move(load));
+      if (run.device_loads.size() > 1) {
+        std::printf("             %-12s %lld batches, util %.1f%%\n",
+                    l.device.c_str(), static_cast<long long>(l.batches),
+                    100 * l.utilization);
+      }
+    }
+
+    JsonValue entry = JsonValue::object();
+    entry.set("pool", pool_specs[i]);
+    entry.set("devices", options.pool.total_devices());
+    entry.set("heterogeneous", options.pool.num_classes() > 1);
+    entry.set("throughput_rps", s.throughput_rps);
+    entry.set("mean_latency_us", s.mean_latency_us);
+    entry.set("p50_latency_us", s.p50_latency_us);
+    entry.set("p99_latency_us", s.p99_latency_us);
+    entry.set("batches", s.batches);
+    entry.set("mean_batch_size", s.mean_batch_size);
+    entry.set("worker_utilization", s.worker_utilization);
+    entry.set("predicted_makespan_us", predicted_makespans[i]);
+    entry.set("device_loads", std::move(loads));
+    results.push_back(std::move(entry));
+
+    if (i == 0) {
+      hetero_throughput = s.throughput_rps;
+    } else {
+      best_homogeneous = std::max(best_homogeneous, s.throughput_rps);
+    }
+  }
+
+  const bool hetero_wins = hetero_throughput > best_homogeneous;
+  const double bench_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - bench_begin)
+          .count();
+  std::printf("heterogeneous pool beats every homogeneous equal-count pool: "
+              "%s (%.1f vs %.1f req/s, %+.1f%%)\n",
+              hetero_wins ? "yes" : "NO", hetero_throughput, best_homogeneous,
+              100 * (hetero_throughput / best_homogeneous - 1));
+
+  JsonValue models_json = JsonValue::array();
+  for (const std::string& m : trace_models) models_json.push_back(m);
+  JsonValue root = JsonValue::object();
+  root.set("bench", "placement");
+  root.set("unit", "req/s (simulated)");
+  root.set("requests", num_requests);
+  root.set("offered_rps", 1e6 / spec.mean_interarrival_us);
+  root.set("trace_seed", static_cast<std::int64_t>(spec.seed));
+  root.set("trace_models", std::move(models_json));
+  root.set("results", std::move(results));
+  root.set("plans", std::move(predictions));
+  root.set("hetero_beats_all_homogeneous", hetero_wins);
+  root.set("plan_predicts_hetero_win", plan_predicts_hetero);
+  root.set("wall_ms", bench_wall_ms);
+  write_file(out_path, root.dump());
+  std::printf("wrote %s (%.0f ms wall)\n", out_path.c_str(), bench_wall_ms);
+
+  if (!hetero_wins) {
+    std::fprintf(stderr,
+                 "FAIL: heterogeneous pool did not strictly beat every "
+                 "homogeneous equal-count pool (acceptance criterion)\n");
+    return 1;
+  }
+  if (!plan_predicts_hetero) {
+    std::fprintf(stderr, "FAIL: the Placer plan did not predict the "
+                         "heterogeneous win the serving simulation showed\n");
+    return 1;
+  }
+  return 0;
+}

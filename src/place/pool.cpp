@@ -1,0 +1,86 @@
+#include "place/pool.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "util/names.hpp"
+
+namespace ios {
+
+std::string DevicePool::spec_string() const {
+  std::string spec;
+  for (const DeviceClass& c : classes) {
+    if (!spec.empty()) spec += ',';
+    spec += device_short_name(c.spec.name);
+    if (c.count != 1) spec += 'x' + std::to_string(c.count);
+  }
+  return spec;
+}
+
+void DevicePool::validate() const {
+  if (classes.empty()) {
+    throw std::invalid_argument("device pool is empty");
+  }
+  for (const DeviceClass& c : classes) {
+    if (c.count < 1) {
+      throw std::invalid_argument("device pool: count for '" + c.spec.name +
+                                  "' must be >= 1");
+    }
+  }
+}
+
+DevicePool pool_from_spec(const std::string& spec) {
+  DevicePool pool;
+  for (const std::string& token : split_csv(spec)) {
+    // <name>[x<count>]: the count suffix starts at the last 'x' that is
+    // followed only by digits ("1080ti" has no such suffix, "k80x2" does).
+    std::string name = token;
+    int count = 1;
+    const std::size_t x = token.rfind('x');
+    if (x != std::string::npos && x + 1 < token.size()) {
+      bool digits = true;
+      for (std::size_t i = x + 1; i < token.size(); ++i) {
+        digits = digits && std::isdigit(static_cast<unsigned char>(token[i]));
+      }
+      if (digits) {
+        name = token.substr(0, x);
+        // Bounded parse: stoi would throw std::out_of_range (breaking the
+        // invalid_argument contract) and a parseable-but-huge count would
+        // overflow total_devices() and the server's worker fleet.
+        constexpr int kMaxClassCount = 4096;
+        try {
+          count = std::stoi(token.substr(x + 1));
+        } catch (const std::out_of_range&) {
+          count = kMaxClassCount + 1;
+        }
+        if (count < 1) {
+          throw std::invalid_argument("device pool: count must be >= 1 in '" +
+                                      token + "'");
+        }
+        if (count > kMaxClassCount) {
+          throw std::invalid_argument(
+              "device pool: count in '" + token + "' exceeds the limit of " +
+              std::to_string(kMaxClassCount) + " devices per class");
+        }
+      }
+    }
+    // Throws the enumerating unknown-device message on a bad name.
+    const DeviceSpec device = device_by_name(name);
+    bool merged = false;
+    for (DeviceClass& c : pool.classes) {
+      if (c.spec.name == device.name) {
+        c.count += count;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) pool.classes.push_back(DeviceClass{device, count});
+  }
+  if (pool.classes.empty()) {
+    throw std::invalid_argument("device pool spec '" + spec +
+                                "' names no devices");
+  }
+  return pool;
+}
+
+}  // namespace ios

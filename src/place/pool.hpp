@@ -1,0 +1,80 @@
+#pragma once
+// Heterogeneous device pools. A DevicePool describes the fleet a deployment
+// runs on: a handful of *device classes* (one simulated DeviceSpec each, e.g.
+// "Tesla P100") with an instance count per class, plus the host interconnect
+// (PCIe-like) a tensor crosses when a model is pipeline-split across two
+// devices. Pools are parsed from compact spec strings — "v100,k80x2" is one
+// V100 next to two K80s — and every name error enumerates the known devices,
+// the same UX as the model/baseline registries.
+//
+// The pool itself is pure description; src/place/placer.hpp decides which
+// device class serves which (model, batch) configuration and src/serve routes
+// batches across pool workers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device.hpp"
+
+namespace ios {
+
+/// Host interconnect crossed by a tensor moving between two pool devices
+/// (PCIe-style): a fixed per-transfer setup latency plus bytes / bandwidth.
+struct InterconnectSpec {
+  double latency_us = 10.0;      ///< DMA setup + host round trip
+  double bandwidth_gbps = 12.0;  ///< effective PCIe 3.0 x16 throughput
+
+  /// Time to move `bytes` between two devices, microseconds.
+  double transfer_us(std::int64_t bytes) const {
+    // GB/s = 1e3 bytes/us (same convention as DeviceSpec::bytes_per_us).
+    return latency_us + static_cast<double>(bytes) / (bandwidth_gbps * 1e3);
+  }
+};
+
+/// One device class of a pool: a spec plus how many identical instances.
+struct DeviceClass {
+  DeviceSpec spec;  ///< the simulated device every instance runs
+  int count = 1;    ///< identical instances of it in the pool
+};
+
+/// A heterogeneous set of simulated devices: device classes in declaration
+/// order (duplicate classes merged by pool_from_spec) plus the interconnect
+/// between them. An empty pool means "single configured device" to the
+/// layers that accept both (OptimizationRequest, ServerOptions).
+struct DevicePool {
+  /// Device classes in declaration order (pool_from_spec merges duplicates).
+  std::vector<DeviceClass> classes;
+  /// The host link crossed by cross-device transfers within this pool.
+  InterconnectSpec interconnect{};
+
+  /// True when the pool describes no devices ("use the single configured
+  /// device" to layers accepting both).
+  bool empty() const { return classes.empty(); }
+  /// Number of distinct device classes.
+  int num_classes() const { return static_cast<int>(classes.size()); }
+
+  /// Total device instances over all classes.
+  int total_devices() const {
+    int n = 0;
+    for (const DeviceClass& c : classes) n += c.count;
+    return n;
+  }
+
+  /// The canonical spec string ("p100,1080tix2"): short names, class order,
+  /// counts > 1 as an x-suffix. pool_from_spec round-trips through this.
+  std::string spec_string() const;
+
+  /// Throws std::invalid_argument when the pool is empty or a class count
+  /// is < 1. Called by every pool-consuming entry point.
+  void validate() const;
+};
+
+/// Parses "v100,k80x2" into a DevicePool: comma-separated device names
+/// (short or full, see device_names()), each optionally suffixed with
+/// "x<count>". Duplicate classes merge their counts, keeping first-seen
+/// order. Throws std::invalid_argument on an empty spec, a malformed count,
+/// or an unknown device name (enumerating all known devices).
+DevicePool pool_from_spec(const std::string& spec);
+
+}  // namespace ios

@@ -44,8 +44,19 @@ ServerOptions normalize(ServerOptions options) {
   // Reject inconsistent scheduler settings at construction, not on the
   // first cache miss.
   options.scheduler.validate();
-  // Canonicalize (and validate) the device name once, up front.
-  options.device = device_by_name(options.device).name;
+  if (options.pool.empty()) {
+    // Canonicalize (and validate) the device name once, up front.
+    options.device = device_by_name(options.device).name;
+  } else {
+    // Pool classes must be registry devices (recipes are resolved through
+    // the Optimizer by name); canonicalize them and size the worker fleet.
+    options.pool.validate();
+    for (DeviceClass& c : options.pool.classes) {
+      c.spec.name = device_by_name(c.spec.name).name;
+    }
+    options.device = options.pool.classes.front().spec.name;
+    options.num_workers = options.pool.total_devices();
+  }
   return options;
 }
 
@@ -69,21 +80,39 @@ Server::Server(ServerOptions options)
 
 Server::Server(ServerOptions options, std::shared_ptr<ShardedRecipeCache> cache)
     : options_(normalize(std::move(options))),
-      device_key_part_('\n' + options_.device + "\nbatch="),
       config_key_part_(
           '\n' + scheduler_config_key(options_.scheduler, options_.protocol)),
       cache_(cache ? std::move(cache)
-                   : std::make_shared<ShardedRecipeCache>(options_.cache)) {}
-
-std::string Server::cache_key(const std::string& model, int batch) const {
-  // Equivalent to serving_cache_key(model, device, batch, ...) with the
-  // constant parts preassembled (pinned by ServingCacheKey tests).
-  return model + device_key_part_ + std::to_string(batch) + config_key_part_;
+                   : std::make_shared<ShardedRecipeCache>(options_.cache)) {
+  if (options_.pool.empty()) {
+    classes_.push_back(WorkerClass{options_.device,
+                                   '\n' + options_.device + "\nbatch=",
+                                   options_.num_workers});
+  } else {
+    for (const DeviceClass& c : options_.pool.classes) {
+      classes_.push_back(WorkerClass{
+          c.spec.name, '\n' + c.spec.name + "\nbatch=", c.count});
+    }
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    for (int i = 0; i < classes_[c].count; ++i) {
+      worker_class_.push_back(static_cast<int>(c));
+    }
+  }
 }
 
-CachedRecipe Server::optimize_config(const std::string& model, int batch) {
+std::string Server::cache_key(const std::string& model, int batch,
+                              std::size_t cls) const {
+  // Equivalent to serving_cache_key(model, class device, batch, ...) with
+  // the constant parts preassembled (pinned by ServingCacheKey tests).
+  return model + classes_[cls].key_part + std::to_string(batch) +
+         config_key_part_;
+}
+
+CachedRecipe Server::optimize_config(const std::string& model, int batch,
+                                     const std::string& device) {
   OptimizationRequest request =
-      OptimizationRequest::for_model(model, options_.device, batch);
+      OptimizationRequest::for_model(model, device, batch);
   request.options = options_.scheduler;
   request.protocol = options_.protocol;
   request.profile_db = options_.profile_db;
@@ -99,30 +128,39 @@ CachedRecipe Server::optimize_config(const std::string& model, int batch) {
 }
 
 CachedRecipe Server::resolve(const std::string& model, int batch,
-                             bool* computed) {
+                             std::size_t cls, bool* computed) {
   return cache_->get_or_compute(
-      cache_key(model, batch), [&] { return optimize_config(model, batch); },
+      cache_key(model, batch, cls),
+      [&] { return optimize_config(model, batch, classes_[cls].device); },
       computed);
 }
 
 double Server::resolve_latency(const std::string& model, int batch,
-                               bool* computed) {
+                               std::size_t cls, bool* computed) {
   return cache_->latency_or_compute(
-      cache_key(model, batch), [&] { return optimize_config(model, batch); },
+      cache_key(model, batch, cls),
+      [&] { return optimize_config(model, batch, classes_[cls].device); },
       computed);
 }
 
 void Server::prewarm(const std::vector<std::string>& models, int threads) {
-  std::vector<std::pair<const std::string*, int>> configs;
+  struct Config {
+    const std::string* model;
+    int batch;
+    std::size_t cls;
+  };
+  std::vector<Config> configs;
   for (const std::string& model : models) {
     for (int batch : options_.batching.batch_sizes) {
-      configs.emplace_back(&model, batch);
+      for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
+        configs.push_back(Config{&model, batch, cls});
+      }
     }
   }
   // Misses fan out over the shared process-wide pool (no per-call pool
   // spawn); the inner wave searches draw from the same pool, nesting-safe.
   parallel_for(configs.size(), threads, [&](std::size_t i) {
-    resolve(*configs[i].first, configs[i].second);
+    resolve(*configs[i].model, configs[i].batch, configs[i].cls);
   });
 }
 
@@ -172,8 +210,15 @@ ServingResult Server::run(const Trace& trace) {
     return trace.requests[static_cast<std::size_t>(index)].arrival_us;
   };
 
+  // Reused per formed batch: service time of the batch on every worker
+  // class (a per-dispatch allocation here would sit in the DES hot loop).
+  std::vector<double> service(classes_.size());
+
   // Closes a batch of the first `size` queued requests of `model` at
-  // simulated time `now` and dispatches it to the worker that frees first.
+  // simulated time `now` and dispatches it to the worker minimizing its
+  // predicted completion, ties broken by the earlier-free worker (queue
+  // depth) and then the lower index. With one device class this reduces to
+  // FIFO list scheduling on the first worker that frees up.
   const auto form_batch = [&](const std::string& model, ModelQueue& q,
                               int size, double now) {
     BatchRecord batch;
@@ -182,19 +227,41 @@ ServingResult Server::run(const Trace& trace) {
     batch.size = size;
     batch.formed_us = now;
 
-    bool computed = false;
-    batch.service_us = resolve_latency(model, size, &computed);
-    ++(computed ? result.stats.cache_misses : result.stats.cache_hits);
+    // Service time of this (model, size) on every worker class — the
+    // routing decision needs all of them.
+    double min_service = kInf;
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      bool computed = false;
+      service[c] = resolve_latency(model, size, c, &computed);
+      ++(computed ? result.stats.cache_misses : result.stats.cache_hits);
+      min_service = std::min(min_service, service[c]);
+    }
 
+    // Routing score: predicted completion plus the service-time inflation
+    // over the batch's best class. The inflation term charges a misroute
+    // the extra device time it burns, so under saturation each class keeps
+    // the work it is best at; when the best class is backlogged the batch
+    // still spills to a worker that genuinely finishes it sooner. With one
+    // class the term is zero and this is plain FIFO list scheduling.
     int worker = 0;
-    for (int w = 1; w < options_.num_workers; ++w) {
-      if (worker_free[static_cast<std::size_t>(w)] <
-          worker_free[static_cast<std::size_t>(worker)]) {
+    double best_score = kInf;
+    for (int w = 0; w < options_.num_workers; ++w) {
+      const auto wi = static_cast<std::size_t>(w);
+      const double svc = service[static_cast<std::size_t>(worker_class_[wi])];
+      const double score =
+          std::max(now, worker_free[wi]) + svc + (svc - min_service);
+      if (score < best_score ||
+          (score == best_score &&
+           worker_free[wi] < worker_free[static_cast<std::size_t>(worker)])) {
+        best_score = score;
         worker = w;
       }
     }
     const auto wi = static_cast<std::size_t>(worker);
+    const std::size_t cls = static_cast<std::size_t>(worker_class_[wi]);
+    batch.service_us = service[cls];
     batch.worker = worker;
+    batch.device = classes_[cls].device;
     batch.start_us = std::max(now, worker_free[wi]);
     batch.completion_us = batch.start_us + batch.service_us;
     worker_free[wi] = batch.completion_us;
@@ -213,6 +280,7 @@ ServingResult Server::run(const Trace& trace) {
       r.batch_size = size;
       r.batch_id = batch.id;
       r.worker = worker;
+      r.device = batch.device;
     }
     result.batches.push_back(std::move(batch));
   };
@@ -303,6 +371,26 @@ ServingResult Server::run(const Trace& trace) {
   stats.max_latency_us = latencies.back();
   stats.mean_batch_size = static_cast<double>(stats.requests) /
                           static_cast<double>(stats.batches);
+  // Per-class load picture (one row for a homogeneous server).
+  result.device_loads.resize(classes_.size());
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    result.device_loads[c].device = classes_[c].device;
+    result.device_loads[c].devices = classes_[c].count;
+  }
+  for (int w = 0; w < options_.num_workers; ++w) {
+    result.device_loads[static_cast<std::size_t>(worker_class_[
+        static_cast<std::size_t>(w)])].busy_us +=
+        worker_busy[static_cast<std::size_t>(w)];
+  }
+  for (const BatchRecord& b : result.batches) {
+    ++result.device_loads[static_cast<std::size_t>(
+        worker_class_[static_cast<std::size_t>(b.worker)])].batches;
+  }
+  if (stats.makespan_us > 0) {
+    for (DeviceLoad& load : result.device_loads) {
+      load.utilization = load.busy_us / (load.devices * stats.makespan_us);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     total_requests_ += stats.requests;

@@ -22,9 +22,17 @@
 //   * batching deadline  -> the oldest queued request has waited
 //                           max_queue_delay_us; flush the queue into the
 //                           largest allowed batch that fits
-//   * batch formed       -> dispatched to the worker that frees up first
-//                           (FIFO list scheduling); completion = start +
-//                           cached schedule latency for that batch size
+//   * batch formed       -> dispatched to the worker minimizing predicted
+//                           completion time max(now, free) + service, where
+//                           service is the cached schedule latency for that
+//                           batch size *on the worker's device class*; ties
+//                           fall back on queue depth (the earlier-free
+//                           worker). For a homogeneous server this is
+//                           exactly FIFO list scheduling; for a device pool
+//                           (ServerOptions::pool) it is device-aware
+//                           routing — a fast-but-busy class loses to a
+//                           slower-but-idle one only when that actually
+//                           finishes the batch earlier.
 
 #include <cstdint>
 #include <memory>
@@ -32,6 +40,7 @@
 #include <vector>
 
 #include "api/optimizer.hpp"
+#include "place/pool.hpp"
 #include "serve/recipe_cache.hpp"
 #include "serve/trace.hpp"
 
@@ -52,9 +61,20 @@ struct BatchingPolicy {
 /// Server configuration.
 struct ServerOptions {
   /// Device short or full name (device_names()); all workers simulate it.
+  /// Ignored when `pool` is non-empty.
   std::string device = "v100";
+  /// Heterogeneous device pool (e.g. pool_from_spec("p100,1080tix2")). When
+  /// non-empty, the server runs one executor worker per pool device
+  /// instance, each typed by its device class: schedules are resolved per
+  /// (model, class, batch) — every class gets its own optimized recipe —
+  /// and the batcher routes each formed batch to the worker minimizing its
+  /// predicted completion time (ties fall back on queue depth, i.e. the
+  /// earlier-free worker). Class names must be registry devices
+  /// (device_names()); `device` and `num_workers` are ignored.
+  DevicePool pool{};
   /// Number of executor workers replaying batches concurrently (clamped
-  /// to >= 1).
+  /// to >= 1). With a pool, the worker count is the pool's total device
+  /// count instead.
   int num_workers = 1;
   /// Dynamic-batching policy shared by all model queues.
   BatchingPolicy batching{};
@@ -83,6 +103,7 @@ struct RequestRecord {
   int batch_size = 0;       ///< size of the coalesced batch it rode in
   int batch_id = 0;         ///< id of that batch (index into batch records)
   int worker = 0;           ///< executor worker that ran the batch
+  std::string device;       ///< device class of that worker
 };
 
 /// Per-batch outcome of a served trace.
@@ -95,6 +116,7 @@ struct BatchRecord {
   double completion_us = 0; ///< start + service time
   double service_us = 0;    ///< schedule latency at this batch size
   int worker = 0;           ///< executor worker it ran on
+  std::string device;       ///< device class it ran on
 };
 
 /// Aggregates of one Server::run call, all on the simulated clock.
@@ -118,11 +140,22 @@ struct ServingStats {
   std::int64_t cache_misses = 0;   ///< recipe-cache misses by this run
 };
 
+/// Per-device-class aggregates of one run (one entry per pool class; a
+/// single entry for a homogeneous server).
+struct DeviceLoad {
+  std::string device;        ///< device class name
+  int devices = 1;           ///< worker instances of the class
+  std::int64_t batches = 0;  ///< batches the class executed
+  double busy_us = 0;        ///< summed service time across its workers
+  double utilization = 0;    ///< busy / (devices * makespan)
+};
+
 /// Everything a served trace produced.
 struct ServingResult {
   std::vector<RequestRecord> records;  ///< per request, trace order
   std::vector<BatchRecord> batches;    ///< per batch, formation order
   ServingStats stats;                  ///< aggregates of this run
+  std::vector<DeviceLoad> device_loads;  ///< per device class, pool order
 };
 
 /// Lifetime counters of a Server, across every run() and prewarm() call.
@@ -156,8 +189,9 @@ class Server {
   /// unknown model or device names throw from the underlying registries.
   ServingResult run(const Trace& trace);
 
-  /// Optimizes every (model, configured batch size) pair into the recipe
-  /// cache up front, fanning the misses out over `threads` host threads
+  /// Optimizes every (model, configured batch size, worker device class)
+  /// triple into the recipe cache up front, fanning the misses out over
+  /// `threads` host threads
   /// (<= 0 = one per hardware thread). Serving then only misses on batch
   /// sizes outside the configured list (a deadline flush of a queue shorter
   /// than the smallest configured size serves the queue whole); those are
@@ -177,29 +211,44 @@ class Server {
   const ServerOptions& options() const { return options_; }
 
  private:
-  /// Resolves the full cached recipe for (model, batch) through the sharded
-  /// cache, invoking the Optimizer on a miss. `computed`, when non-null,
-  /// reports whether this call ran the Optimizer (a miss).
-  CachedRecipe resolve(const std::string& model, int batch,
+  /// One device class the server's workers are typed by: a homogeneous
+  /// server has exactly one (options.device x num_workers); a pool server
+  /// has one per pool class.
+  struct WorkerClass {
+    std::string device;    ///< canonical device name
+    std::string key_part;  ///< "\n<device>\nbatch=" serving-key fragment
+    int count = 1;         ///< workers of this class
+  };
+
+  /// Resolves the full cached recipe for (model, batch) on worker class
+  /// `cls` through the sharded cache, invoking the Optimizer on a miss.
+  /// `computed`, when non-null, reports whether this call ran the Optimizer
+  /// (a miss).
+  CachedRecipe resolve(const std::string& model, int batch, std::size_t cls,
                        bool* computed = nullptr);
 
   /// resolve, but returning only the service latency — the per-batch hot
   /// path, which must not copy a Schedule per dispatch.
-  double resolve_latency(const std::string& model, int batch,
+  double resolve_latency(const std::string& model, int batch, std::size_t cls,
                          bool* computed = nullptr);
 
-  /// Runs the Optimizer for (model, batch) and accounts it in the lifetime
-  /// counters — the compute function behind both resolve flavors.
-  CachedRecipe optimize_config(const std::string& model, int batch);
+  /// Runs the Optimizer for (model, batch) on `device` and accounts it in
+  /// the lifetime counters — the compute function behind both resolve
+  /// flavors.
+  CachedRecipe optimize_config(const std::string& model, int batch,
+                               const std::string& device);
 
-  /// The cache key for (model, batch) under this server's device/options
-  /// (serving_cache_key with the constant device/config suffix precomputed).
-  std::string cache_key(const std::string& model, int batch) const;
+  /// The cache key for (model, batch) on worker class `cls` under this
+  /// server's options (serving_cache_key with the constant device/config
+  /// suffixes precomputed).
+  std::string cache_key(const std::string& model, int batch,
+                        std::size_t cls) const;
 
   ServerOptions options_;
-  /// "\n<device>\nbatch=" prefix-independent parts of serving_cache_key,
-  /// built once — cache_key runs per dispatched batch.
-  std::string device_key_part_;
+  /// Worker classes (one for a homogeneous server, pool order otherwise)
+  /// and each worker's class index; built once in the constructor.
+  std::vector<WorkerClass> classes_;
+  std::vector<int> worker_class_;
   std::string config_key_part_;
   std::shared_ptr<ShardedRecipeCache> cache_;
   /// Capacity 1: the sharded cache is the serving store; the facade's own

@@ -77,6 +77,35 @@ DeviceSpec gtx_980ti() {
   return d;
 }
 
+DeviceSpec tesla_p100() {
+  DeviceSpec d;
+  d.name = "Tesla P100";
+  d.num_sms = 56;
+  d.warp_slots_per_sm = 64;
+  d.peak_tflops = 10.6;  // SXM2 variant
+  d.dram_gbps = 732;     // HBM2
+  d.kernel_launch_us = 4.5;
+  d.stage_sync_us = 5.5;
+  d.stream_sync_us = 2.0;
+  // HBM2's wide bus tolerates co-resident kernels better than GDDR.
+  d.mem_contention_coef = 0.3;
+  return d;
+}
+
+DeviceSpec gtx_1080ti() {
+  DeviceSpec d;
+  d.name = "GTX 1080Ti";
+  d.num_sms = 28;
+  d.warp_slots_per_sm = 64;
+  d.peak_tflops = 11.34;
+  d.dram_gbps = 484;  // GDDR5X
+  d.kernel_launch_us = 5.5;
+  d.stage_sync_us = 8.0;
+  d.stream_sync_us = 2.5;
+  d.mem_contention_coef = 0.4;
+  return d;
+}
+
 namespace {
 
 // Single source for every name device_by_name() accepts; short names sorted.
@@ -87,9 +116,11 @@ struct NamedDevice {
 };
 constexpr NamedDevice kDevices[] = {
     {"1080", "GTX 1080", gtx_1080},
+    {"1080ti", "GTX 1080Ti", gtx_1080ti},
     {"2080ti", "RTX 2080Ti", rtx_2080ti},
     {"980ti", "GTX 980Ti", gtx_980ti},
     {"k80", "Tesla K80", tesla_k80},
+    {"p100", "Tesla P100", tesla_p100},
     {"v100", "Tesla V100", tesla_v100},
 };
 
@@ -104,6 +135,14 @@ std::vector<std::string> device_names() {
 DeviceSpec device_by_name(const std::string& name) {
   for (const NamedDevice& d : kDevices) {
     if (name == d.short_name || name == d.full_name) return d.build();
+  }
+  throw std::invalid_argument(unknown_name_message("device", name,
+                                                   device_names()));
+}
+
+std::string device_short_name(const std::string& name) {
+  for (const NamedDevice& d : kDevices) {
+    if (name == d.short_name || name == d.full_name) return d.short_name;
   }
   throw std::invalid_argument(unknown_name_message("device", name,
                                                    device_names()));

@@ -52,6 +52,16 @@ DeviceSpec gtx_1080();
 /// NVIDIA GTX 980Ti (Maxwell): the 2013-era representative of Figure 1.
 DeviceSpec gtx_980ti();
 
+/// NVIDIA Tesla P100 (Pascal, 2016): HBM2 server card — modest FP32 peak but
+/// the highest DRAM bandwidth of the Pascal generation. Together with the
+/// GTX 1080Ti it forms the pool-placement tradeoff pair: memory-bound
+/// networks run faster here, compute-bound networks faster on the 1080Ti.
+DeviceSpec tesla_p100();
+
+/// NVIDIA GTX 1080Ti (Pascal, 2017): GDDR5X consumer card — more FP32
+/// throughput than the P100 but two thirds of its bandwidth.
+DeviceSpec gtx_1080ti();
+
 /// Short names accepted by device_by_name(), sorted. (The full marketing
 /// names, e.g. "Tesla V100", are accepted too.)
 std::vector<std::string> device_names();
@@ -59,5 +69,9 @@ std::vector<std::string> device_names();
 /// Looks up a device spec by short or full name. Throws std::invalid_argument
 /// enumerating device_names() when the name is unknown.
 DeviceSpec device_by_name(const std::string& name);
+
+/// The short name ("v100") of a device given either of its names. Throws
+/// like device_by_name. Pool spec strings round-trip through this.
+std::string device_short_name(const std::string& name);
 
 }  // namespace ios

@@ -1,0 +1,172 @@
+// Golden-schedule regression corpus. tests/golden/*.json pin the exact
+// schedule, executor latency, and search statistics the optimizer produces
+// for a grid of (model, device, batch, variant, pruning) configurations.
+// Re-optimizing each configuration must reproduce its golden file *bit for
+// bit* — any future change to the search order, the cost model, the
+// simulator, or a device spec that silently shifts results fails loudly
+// here. Intentional changes regenerate the corpus with one command:
+//
+//   cd build && IOS_GOLDEN_REGEN=1 ./golden_test
+//
+// then review the golden-file diff like any other code change. The corpus
+// location is baked in at compile time (IOS_GOLDEN_DIR, set by CMake to the
+// source tree's tests/golden), so regeneration writes the checked-in files
+// directly.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "api/optimizer.hpp"
+#include "models/models.hpp"
+#include "schedule/serialize.hpp"
+#include "util/json.hpp"
+
+#ifndef IOS_GOLDEN_DIR
+#error "IOS_GOLDEN_DIR must be defined (see CMakeLists.txt)"
+#endif
+
+namespace ios {
+namespace {
+
+struct GoldenConfig {
+  const char* file;
+  const char* model;
+  const char* device;
+  int batch;
+  IosVariant variant;
+  int r, s;
+};
+
+// The corpus: every zoo-relevant device family, both non-default variants,
+// a non-default pruning bound, and batch sizes 1/4/8. Keep entries cheap to
+// optimize — the whole suite re-searches all of them from scratch.
+constexpr GoldenConfig kCorpus[] = {
+    {"fig2_v100_b1.json", "fig2", "v100", 1, IosVariant::kBoth, 3, 8},
+    {"fig2_k80_b1.json", "fig2", "k80", 1, IosVariant::kBoth, 3, 8},
+    {"fig2_1080ti_b8.json", "fig2", "1080ti", 8, IosVariant::kBoth, 3, 8},
+    {"squeezenet_v100_b1.json", "squeezenet", "v100", 1, IosVariant::kBoth, 3,
+     8},
+    {"squeezenet_v100_b1_parallel.json", "squeezenet", "v100", 1,
+     IosVariant::kParallel, 3, 8},
+    {"squeezenet_v100_b1_merge.json", "squeezenet", "v100", 1,
+     IosVariant::kMerge, 3, 8},
+    {"squeezenet_2080ti_b4.json", "squeezenet", "2080ti", 4, IosVariant::kBoth,
+     3, 8},
+    {"squeezenet_p100_b1_r2s4.json", "squeezenet", "p100", 1, IosVariant::kBoth,
+     2, 4},
+    {"inception_v3_v100_b1.json", "inception_v3", "v100", 1, IosVariant::kBoth,
+     3, 8},
+};
+
+OptimizationRequest request_for(const GoldenConfig& config) {
+  OptimizationRequest request =
+      OptimizationRequest::for_model(config.model, config.device,
+                                     config.batch);
+  request.options.variant = config.variant;
+  request.options.pruning = PruningStrategy{config.r, config.s};
+  request.baselines.clear();
+  return request;
+}
+
+JsonValue golden_json(const GoldenConfig& config,
+                      const OptimizationResult& result) {
+  JsonValue cfg = JsonValue::object();
+  cfg.set("model", config.model);
+  cfg.set("device", config.device);
+  cfg.set("batch", config.batch);
+  cfg.set("variant", ios_variant_name(config.variant));
+  cfg.set("r", config.r);
+  cfg.set("s", config.s);
+
+  JsonValue stats = JsonValue::object();
+  stats.set("states", result.stats.states);
+  stats.set("transitions", result.stats.transitions);
+  stats.set("measurements", result.stats.measurements);
+  stats.set("cache_hits", result.stats.cache_hits);
+  stats.set("pruned_endings", result.stats.pruned_endings);
+
+  JsonValue root = JsonValue::object();
+  root.set("format", "ios-golden-schedule");
+  root.set("version", 1);
+  root.set("config", std::move(cfg));
+  root.set("schedule", schedule_to_json(result.schedule));
+  root.set("latency_us", result.latency_us);
+  root.set("stats", std::move(stats));
+  return root;
+}
+
+std::string golden_path(const GoldenConfig& config) {
+  return std::string(IOS_GOLDEN_DIR) + "/" + config.file;
+}
+
+bool regen_requested() {
+  const char* env = std::getenv("IOS_GOLDEN_REGEN");
+  return env != nullptr && std::string(env) == "1";
+}
+
+class GoldenScheduleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenScheduleTest, ReoptimizationIsBitIdentical) {
+  const GoldenConfig& config = kCorpus[GetParam()];
+  Optimizer optimizer;
+  const OptimizationResult result = optimizer.optimize(request_for(config));
+  ASSERT_FALSE(result.cache_hit);
+
+  if (regen_requested()) {
+    write_file(golden_path(config), golden_json(config, result).dump());
+    SUCCEED() << "regenerated " << config.file;
+    return;
+  }
+
+  const JsonValue golden = JsonValue::parse(read_file(golden_path(config)));
+  ASSERT_EQ(golden.at("format").as_string(), "ios-golden-schedule");
+  ASSERT_EQ(golden.at("version").as_int(), 1);
+
+  // Bit-identical schedule: compare canonical JSON dumps (keys sorted, so
+  // the dump is a deterministic function of the structure).
+  EXPECT_EQ(schedule_to_json(result.schedule).dump(),
+            golden.at("schedule").dump())
+      << config.file << ": the chosen schedule changed";
+
+  // Bit-identical latency: the %.17g writer round-trips doubles exactly, so
+  // value equality here is bit equality.
+  EXPECT_EQ(result.latency_us, golden.at("latency_us").as_number())
+      << config.file << ": the executor latency changed";
+
+  const JsonValue& stats = golden.at("stats");
+  EXPECT_EQ(result.stats.states, stats.at("states").as_int()) << config.file;
+  EXPECT_EQ(result.stats.transitions, stats.at("transitions").as_int())
+      << config.file;
+  EXPECT_EQ(result.stats.measurements, stats.at("measurements").as_int())
+      << config.file;
+  EXPECT_EQ(result.stats.cache_hits, stats.at("cache_hits").as_int())
+      << config.file;
+  EXPECT_EQ(result.stats.pruned_endings, stats.at("pruned_endings").as_int())
+      << config.file;
+}
+
+std::string corpus_name(const ::testing::TestParamInfo<std::size_t>& info) {
+  std::string name = kCorpus[info.param].file;
+  return name.substr(0, name.size() - 5);  // drop ".json"
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, GoldenScheduleTest,
+                         ::testing::Range<std::size_t>(0, std::size(kCorpus)),
+                         corpus_name);
+
+// The golden files double as recipe documents: the schedule embedded in
+// each must be a valid schedule of its configuration's graph (guards
+// against a stale corpus after model-zoo changes).
+TEST(GoldenCorpus, FilesAreValidSchedules) {
+  if (regen_requested()) GTEST_SKIP() << "regenerating";
+  for (const GoldenConfig& config : kCorpus) {
+    const JsonValue golden = JsonValue::parse(read_file(golden_path(config)));
+    const Graph g = models::build_model(config.model, config.batch);
+    validate_schedule(g, schedule_from_json(golden.at("schedule")));
+  }
+}
+
+}  // namespace
+}  // namespace ios

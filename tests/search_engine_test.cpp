@@ -12,6 +12,7 @@
 #include "models/models.hpp"
 #include "runtime/profile_db.hpp"
 #include "schedule/baselines.hpp"
+#include "util/rng.hpp"
 
 namespace ios {
 namespace {
@@ -158,6 +159,121 @@ TEST(SearchEngine, CachedPrunedVisitsCountAsPruned) {
   // pruned visit is accounted exactly once per (S, S') pair.
   EXPECT_GE(stats.transitions, stats.cache_hits);
 }
+
+// ---------------------------------------------------------------------------
+// Counter invariants on random graphs (property tests)
+// ---------------------------------------------------------------------------
+
+/// Random single-block DAG: 5-9 spatial-preserving ops (1x1/3x3 convs,
+/// pools, sepconvs) wired to random earlier outputs, closed by a concat of
+/// the leaves. One block keeps the whole DP in a single subset search, the
+/// richest setting for the ending/memo counters.
+Graph random_block_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g(1 + rng.uniform_int(2), "prop_" + std::to_string(seed));
+  const OpId in = g.input(8 + 8 * rng.uniform_int(2), 10, 10);
+  g.begin_block();
+
+  std::vector<OpId> nodes{in};
+  std::vector<bool> consumed{true};  // the input never joins the concat
+  const int num_ops = 5 + rng.uniform_int(5);
+  for (int i = 0; i < num_ops; ++i) {
+    const std::size_t src = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<int>(nodes.size())));
+    const OpId x = nodes[src];
+    OpId y;
+    const std::string name = "op" + std::to_string(i);
+    switch (rng.uniform_int(4)) {
+      case 0:
+        y = g.conv2d(x, Conv2dAttrs{.out_channels = 8 + 8 * rng.uniform_int(2),
+                                    .kh = 1, .kw = 1},
+                     name);
+        break;
+      case 1:
+        y = g.conv2d(x, Conv2dAttrs{.out_channels = 8, .kh = 3, .kw = 3,
+                                    .ph = 1, .pw = 1},
+                     name);
+        break;
+      case 2:
+        y = g.pool2d(x, Pool2dAttrs{Pool2dAttrs::Kind::kMax, 3, 3, 1, 1, 1, 1},
+                     name);
+        break;
+      default:
+        y = g.sepconv(x, SepConvAttrs{.out_channels = 8}, name);
+        break;
+    }
+    consumed[src] = true;
+    nodes.push_back(y);
+    consumed.push_back(false);
+  }
+  std::vector<OpId> leaves;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!consumed[i]) leaves.push_back(nodes[i]);
+  }
+  if (leaves.size() > 1) {
+    g.concat(leaves, "out");
+  }
+  g.validate();
+  return g;
+}
+
+/// The SchedulerStats bookkeeping identities that must hold for any search:
+///  * every ending visit is either an explored transition or a pruned visit
+///    (visited = hits + misses: transitions already include the cache-hit
+///    repeats, so cache_hits <= transitions);
+///  * pruned visits never exceed the total visit count;
+///  * at most two stages (merge and concurrent candidates under kBoth) are
+///    profiled per distinct unpruned ending.
+void expect_counter_invariants(const SchedulerStats& s, bool pruning_enabled) {
+  EXPECT_GE(s.states, 1);
+  EXPECT_GE(s.transitions, s.states - 1);  // single-block: every state but
+                                           // the root is entered via one
+  EXPECT_GE(s.transitions, s.cache_hits);
+  EXPECT_GE(s.pruned_endings, 0);
+  const std::int64_t visited = s.transitions + s.pruned_endings;
+  EXPECT_LE(s.pruned_endings, visited);
+  EXPECT_LE(s.measurements, 2 * (s.transitions - s.cache_hits));
+  EXPECT_GE(s.measurements, 0);
+  if (!pruning_enabled) {
+    EXPECT_EQ(s.pruned_endings, 0);
+  }
+}
+
+class SearchEngineProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SearchEngineProperty, CounterInvariantsAndEngineEqualityOnRandomGraphs) {
+  const Graph g = random_block_graph(GetParam());
+  for (const PruningStrategy pruning :
+       {PruningStrategy{}, PruningStrategy::none(), PruningStrategy{2, 2}}) {
+    SchedulerOptions serial;
+    serial.engine = SearchEngine::kSerial;
+    serial.pruning = pruning;
+    const SearchRun ref = run(g, serial);
+    expect_counter_invariants(ref.stats, !pruning.unrestricted());
+
+    for (const int threads : {2, 4}) {
+      SchedulerOptions wave = serial;
+      wave.engine = SearchEngine::kWave;
+      wave.num_threads = threads;
+      const SearchRun got = run(g, wave);
+      SCOPED_TRACE("seed " + std::to_string(GetParam()) + " r=" +
+                   std::to_string(pruning.r) + " s=" + std::to_string(pruning.s) +
+                   " threads=" + std::to_string(threads));
+      // wave == serial on every counter, not just the schedule.
+      expect_same_schedule(got.schedule, ref.schedule);
+      EXPECT_DOUBLE_EQ(got.latency_us, ref.latency_us);
+      EXPECT_EQ(got.stats.states, ref.stats.states);
+      EXPECT_EQ(got.stats.transitions, ref.stats.transitions);
+      EXPECT_EQ(got.stats.measurements, ref.stats.measurements);
+      EXPECT_EQ(got.stats.cache_hits, ref.stats.cache_hits);
+      EXPECT_EQ(got.stats.pruned_endings, ref.stats.pruned_endings);
+      expect_counter_invariants(got.stats, !pruning.unrestricted());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SearchEngineProperty,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 // ---------------------------------------------------------------------------
 // Profiling database

@@ -381,6 +381,132 @@ TEST(Server, ProfileDbWarmStartsColdServers) {
   std::remove(path.c_str());
 }
 
+// ---- heterogeneous device pools ------------------------------------------
+
+TEST(PoolServer, TypesWorkersByDeviceClassAndRecordsDevices) {
+  ServerOptions options = small_options();
+  options.pool = pool_from_spec("v100x2,k80");
+  Server server(options);
+  EXPECT_EQ(server.options().num_workers, 3);
+
+  const ServingResult result = server.run(burst_trace("fig3", 24));
+  ASSERT_FALSE(result.batches.empty());
+  for (const BatchRecord& batch : result.batches) {
+    EXPECT_TRUE(batch.device == "Tesla V100" || batch.device == "Tesla K80")
+        << batch.device;
+    // Worker indices 0-1 are the V100s, 2 the K80 (pool declaration order).
+    EXPECT_EQ(batch.device,
+              batch.worker < 2 ? "Tesla V100" : "Tesla K80");
+  }
+  for (const RequestRecord& record : result.records) {
+    EXPECT_EQ(record.device,
+              result.batches[static_cast<std::size_t>(record.batch_id)].device);
+  }
+  ASSERT_EQ(result.device_loads.size(), 2u);
+  EXPECT_EQ(result.device_loads[0].device, "Tesla V100");
+  EXPECT_EQ(result.device_loads[0].devices, 2);
+  EXPECT_EQ(result.device_loads[1].device, "Tesla K80");
+  EXPECT_EQ(result.device_loads[1].devices, 1);
+  EXPECT_EQ(result.device_loads[0].batches + result.device_loads[1].batches,
+            static_cast<std::int64_t>(result.batches.size()));
+}
+
+TEST(PoolServer, SingleClassPoolMatchesHomogeneousServerExactly) {
+  // A pool of N identical devices must be byte-for-byte the old homogeneous
+  // N-worker server: same routing decisions, same simulated clock.
+  TraceSpec spec;
+  spec.models = {"fig3", "fig5"};
+  spec.num_requests = 120;
+  spec.mean_interarrival_us = 40;
+  spec.seed = 3;
+  const Trace trace = generate_trace(spec);
+
+  ServerOptions homogeneous = small_options();
+  homogeneous.num_workers = 2;
+  Server a(homogeneous);
+  const ServingResult ra = a.run(trace);
+
+  ServerOptions pooled = small_options();
+  pooled.pool = pool_from_spec("v100x2");
+  Server b(pooled);
+  const ServingResult rb = b.run(trace);
+
+  EXPECT_EQ(rb.stats.throughput_rps, ra.stats.throughput_rps);
+  EXPECT_EQ(rb.stats.batches, ra.stats.batches);
+  ASSERT_EQ(rb.records.size(), ra.records.size());
+  for (std::size_t i = 0; i < ra.records.size(); ++i) {
+    EXPECT_EQ(rb.records[i].latency_us, ra.records[i].latency_us) << i;
+    EXPECT_EQ(rb.records[i].worker, ra.records[i].worker) << i;
+  }
+}
+
+TEST(PoolServer, RoutingPrefersTheFasterClassUnderLoad) {
+  // fig3 is much faster on a V100 than on a K80; under a backlogged burst
+  // the V100 must execute at least as many batches, with the K80 only
+  // absorbing genuine overflow.
+  ServerOptions options = small_options();
+  options.pool = pool_from_spec("v100,k80");
+  Server server(options);
+  const ServingResult result = server.run(burst_trace("fig3", 64));
+
+  ASSERT_EQ(result.device_loads.size(), 2u);
+  const DeviceLoad& v100 = result.device_loads[0];
+  const DeviceLoad& k80 = result.device_loads[1];
+  EXPECT_EQ(v100.device, "Tesla V100");
+  EXPECT_GE(v100.batches, k80.batches);
+  EXPECT_GT(v100.batches, 0);
+
+  // Per-class busy time reconciles with the batch records.
+  double v100_service = 0, k80_service = 0;
+  for (const BatchRecord& batch : result.batches) {
+    (batch.device == "Tesla V100" ? v100_service : k80_service) +=
+        batch.service_us;
+  }
+  EXPECT_DOUBLE_EQ(v100.busy_us, v100_service);
+  EXPECT_DOUBLE_EQ(k80.busy_us, k80_service);
+}
+
+TEST(PoolServer, PrewarmFillsEveryClassAndServesWithoutMisses) {
+  ServerOptions options = small_options();
+  options.pool = pool_from_spec("v100,k80");
+  Server server(options);
+  server.prewarm({"fig3"}, /*threads=*/2);
+  // One recipe per (model, batch size, device class).
+  EXPECT_EQ(server.cache().size(),
+            options.batching.batch_sizes.size() * 2);
+
+  const ServingResult result = server.run(burst_trace("fig3", 16));
+  EXPECT_EQ(result.stats.cache_misses, 0);
+  EXPECT_GT(result.stats.cache_hits, 0);
+}
+
+TEST(PoolServer, RejectsUnknownPoolDevices) {
+  ServerOptions options = small_options();
+  DeviceSpec bogus = tesla_v100();
+  bogus.name = "Not A GPU";
+  options.pool.classes.push_back(DeviceClass{bogus, 1});
+  try {
+    Server server(options);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("known devices"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(PoolServer, HomogeneousDeviceLoadsMatchAggregateStats) {
+  ServerOptions options = small_options();
+  options.num_workers = 2;
+  Server server(options);
+  const ServingResult result = server.run(burst_trace("fig3", 24));
+  ASSERT_EQ(result.device_loads.size(), 1u);
+  const DeviceLoad& load = result.device_loads[0];
+  EXPECT_EQ(load.device, "Tesla V100");
+  EXPECT_EQ(load.devices, 2);
+  EXPECT_EQ(load.batches, result.stats.batches);
+  EXPECT_DOUBLE_EQ(load.utilization, result.stats.worker_utilization);
+}
+
 TEST(ServingCacheKey, ServerLookupsMatchThePublicKeyScheme) {
   ServerOptions options = small_options();
   Server server(options);

@@ -128,7 +128,8 @@ TEST_F(EngineTest, ZeroWorkKernelCompletes) {
 
 TEST(DeviceSpec, Presets) {
   for (const DeviceSpec& d :
-       {tesla_v100(), tesla_k80(), rtx_2080ti(), gtx_1080()}) {
+       {tesla_v100(), tesla_k80(), rtx_2080ti(), gtx_1080(), tesla_p100(),
+        gtx_1080ti()}) {
     EXPECT_GT(d.num_sms, 0) << d.name;
     EXPECT_GT(d.peak_tflops, 0) << d.name;
     EXPECT_GT(d.dram_gbps, 0) << d.name;
@@ -141,7 +142,35 @@ TEST(DeviceSpec, LookupByName) {
   EXPECT_EQ(device_by_name("v100").name, "Tesla V100");
   EXPECT_EQ(device_by_name("k80").name, "Tesla K80");
   EXPECT_EQ(device_by_name("2080ti").name, "RTX 2080Ti");
+  EXPECT_EQ(device_by_name("p100").name, "Tesla P100");
+  EXPECT_EQ(device_by_name("1080ti").name, "GTX 1080Ti");
   EXPECT_THROW(device_by_name("tpu"), std::invalid_argument);
+}
+
+TEST(DeviceSpec, ShortNameRoundTrips) {
+  for (const std::string& short_name : device_names()) {
+    EXPECT_EQ(device_short_name(short_name), short_name);
+    EXPECT_EQ(device_short_name(device_by_name(short_name).name), short_name);
+  }
+  EXPECT_THROW(device_short_name("tpu"), std::invalid_argument);
+}
+
+TEST(DeviceSpec, PascalPairIsAGenuineTradeoff) {
+  // The pool-placement story rests on neither Pascal card dominating the
+  // other: the P100 leads on DRAM bandwidth, the 1080Ti on FP32 peak.
+  const DeviceSpec p100 = tesla_p100();
+  const DeviceSpec ti = gtx_1080ti();
+  EXPECT_GT(p100.dram_gbps, ti.dram_gbps);
+  EXPECT_GT(ti.peak_tflops, p100.peak_tflops);
+
+  // And the simulator must reflect it: a memory-bound kernel runs faster on
+  // the P100, a compute-bound one faster on the 1080Ti.
+  const KernelDesc memory_bound = kernel(1e6, 5e7, 4000, 0.8);
+  EXPECT_LT(Engine(p100).kernel_latency_us(memory_bound),
+            Engine(ti).kernel_latency_us(memory_bound));
+  const KernelDesc compute_bound = kernel(2e10, 1e6, 4000, 0.8);
+  EXPECT_GT(Engine(p100).kernel_latency_us(compute_bound),
+            Engine(ti).kernel_latency_us(compute_bound));
 }
 
 TEST(DeviceSpec, FasterDeviceRunsKernelFaster) {

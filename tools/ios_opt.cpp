@@ -10,6 +10,11 @@
 //   ios_opt evaluate --recipe recipe.json --device k80
 // Serve a synthetic multi-model request trace through the dynamic batcher:
 //   ios_opt serve --models squeezenet,inception_v3 --workers 4 --rate 2000
+// Serve on a heterogeneous device pool (device-aware routing):
+//   ios_opt serve --models squeezenet,resnet34 --devices p100,1080ti
+// Place a weighted workload across a heterogeneous pool:
+//   ios_opt place --devices p100,1080tix2 --models squeezenet,resnet34
+//       --batches 1,8 --weights 6,1 --json plan.json
 // Show model facts (Table 1/2 style):
 //   ios_opt inspect --model nasnet
 // Enumerate registered models, devices, and baselines:
@@ -23,6 +28,7 @@
 #include "api/optimizer.hpp"
 #include "core/analysis.hpp"
 #include "models/models.hpp"
+#include "place/placer.hpp"
 #include "runtime/trace_export.hpp"
 #include "serve/server.hpp"
 #include "util/names.hpp"
@@ -47,11 +53,19 @@ void print_usage(std::FILE* out) {
                "             --recipe FILE [--device NAME] [--batch N]\n"
                "  serve      replay a synthetic request trace through the\n"
                "             dynamic batcher + sharded recipe cache\n"
-               "             --models a,b,... | --device NAME | --workers N |\n"
+               "             --models a,b,... | --device NAME |\n"
+               "             --devices POOL (e.g. v100,k80x2; device-aware\n"
+               "             routing, overrides --device/--workers) |\n"
+               "             --workers N |\n"
                "             --requests N | --rate REQ_PER_S | --seed N |\n"
                "             --batch-sizes a,b,... | --max-delay-us T |\n"
                "             --shards N | --capacity N | --prewarm 0|1 |\n"
                "             --profile-db FILE\n"
+               "  place      optimize a workload per pool device class and\n"
+               "             print the placement plan (routing + splits)\n"
+               "             --devices POOL | --models a,b,... |\n"
+               "             --batches a,b,... | --weights a,b,... |\n"
+               "             --splits 0|1 | --profile-db FILE | --json FILE\n"
                "  inspect    print model facts (Table 1/2 style)\n"
                "             --model NAME [--batch N] [--print 1]\n"
                "  list       enumerate known models, devices, and baselines\n"
@@ -231,6 +245,9 @@ int cmd_serve(const Args& args) {
   serve::ServerOptions options;
   options.device = args.get("device", "v100");
   options.num_workers = positive_int(args, "workers", "2");
+  if (const auto pool = args.get("devices")) {
+    options.pool = pool_from_spec(*pool);
+  }
   if (const auto csv = args.get("batch-sizes")) {
     options.batching.batch_sizes.clear();
     for (const std::string& s : split_csv(*csv)) {
@@ -251,10 +268,15 @@ int cmd_serve(const Args& args) {
   for (std::size_t i = 0; i < spec.models.size(); ++i) {
     std::printf("%s%s", i ? ", " : "", spec.models[i].c_str());
   }
-  std::printf("] on %s: %d workers, batch sizes {", options.device.c_str(),
-              options.num_workers);
-
   serve::Server server(options);
+  if (server.options().pool.empty()) {
+    std::printf("] on %s: %d workers, batch sizes {", options.device.c_str(),
+                server.options().num_workers);
+  } else {
+    std::printf("] on pool %s: %d workers, batch sizes {",
+                server.options().pool.spec_string().c_str(),
+                server.options().num_workers);
+  }
   const std::vector<int>& sizes = server.options().batching.batch_sizes;
   for (std::size_t i = 0; i < sizes.size(); ++i) {
     std::printf("%s%d", i ? "," : "", sizes[i]);
@@ -278,6 +300,13 @@ int cmd_serve(const Args& args) {
               s.p99_latency_us, s.max_latency_us);
   std::printf("  queueing     mean wait %.1f us, worker utilization %.1f%%\n",
               s.mean_queue_wait_us, 100 * s.worker_utilization);
+  if (result.device_loads.size() > 1) {
+    for (const serve::DeviceLoad& l : result.device_loads) {
+      std::printf("  %-12s %d device%s, %lld batches, utilization %.1f%%\n",
+                  l.device.c_str(), l.devices, l.devices == 1 ? "" : "s",
+                  static_cast<long long>(l.batches), 100 * l.utilization);
+    }
+  }
   const serve::ServerStats totals = server.stats();
   std::printf("  recipe cache %lld hits / %lld misses, %lld evictions, "
               "%zu resident (%lld optimizer runs, %lld profiles)\n",
@@ -287,6 +316,81 @@ int cmd_serve(const Args& args) {
               totals.cache.size,
               static_cast<long long>(totals.optimizations),
               static_cast<long long>(totals.measurements));
+  return 0;
+}
+
+int cmd_place(const Args& args) {
+  PlacementRequest request;
+  request.pool = pool_from_spec(args.get("devices", "p100,1080ti"));
+
+  const std::vector<std::string> models =
+      split_csv(args.get("models", "squeezenet,resnet34"));
+  std::vector<int> batches;
+  for (const std::string& b : split_csv(args.get("batches", "1"))) {
+    batches.push_back(std::stoi(b));
+  }
+  std::vector<double> weights(models.size(), 1.0);
+  if (const auto csv = args.get("weights")) {
+    const std::vector<std::string> parts = split_csv(*csv);
+    if (parts.size() != models.size()) {
+      throw std::runtime_error("--weights must list one weight per model");
+    }
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      weights[i] = std::stod(parts[i]);
+    }
+  }
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    for (int batch : batches) {
+      request.workload.push_back(WorkloadItem{models[m], batch, weights[m]});
+    }
+  }
+  request.allow_splits = args.get("splits", "1") == "1";
+  request.profile_db = args.get("profile-db", "");
+
+  std::printf("placing %zu configurations on pool %s (%d devices)\n\n",
+              request.workload.size(), request.pool.spec_string().c_str(),
+              request.pool.total_devices());
+  Placer placer;
+  const PlacementResult result = placer.place(request);
+
+  std::printf("  per-device latencies (ms):\n");
+  for (const WorkloadItem& item : request.workload) {
+    std::printf("    %-16s batch %-3d", item.model.c_str(), item.batch);
+    for (const DeviceClass& c : request.pool.classes) {
+      const DeviceRecipe* r =
+          result.recipe_for(item.model, item.batch, c.spec.name);
+      std::printf("  %s %.3f", c.spec.name.c_str(),
+                  r ? r->latency_us / 1000 : 0.0);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n  plan (makespan %.1f us/unit weight):\n",
+              result.plan.makespan_us);
+  for (const Assignment& a : result.plan.assignments) {
+    std::printf("    %-16s batch %-3d weight %-5.2g -> %-24s %.3f ms",
+                a.model.c_str(), a.batch, a.weight, a.device.c_str(),
+                a.service_us / 1000);
+    if (a.split) {
+      std::printf("  (split at block %d: %.3f + %.3f transfer + %.3f)",
+                  a.split->cut_block, a.split->first_us / 1000,
+                  a.split->transfer_us / 1000, a.split->second_us / 1000);
+    }
+    std::printf("\n");
+  }
+  for (const ClassLoad& l : result.plan.loads) {
+    std::printf("    %-16s x%d  load %.1f us, utilization %.1f%%\n",
+                l.device.c_str(), l.count, l.load_us, 100 * l.utilization);
+  }
+  std::printf("\n  %lld optimizer runs (%lld cached), %lld profiles\n",
+              static_cast<long long>(result.optimizations),
+              static_cast<long long>(result.cache_hits),
+              static_cast<long long>(result.measurements));
+
+  if (const auto path = args.get("json")) {
+    write_file(*path, placement_to_json(result).dump());
+    std::printf("  plan written to %s\n", path->c_str());
+  }
   return 0;
 }
 
@@ -333,6 +437,7 @@ int main(int argc, char** argv) {
     if (args.command == "optimize") return cmd_optimize(args);
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "place") return cmd_place(args);
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "list") return cmd_list();
     if (args.command == "help" || args.command == "--help" ||
