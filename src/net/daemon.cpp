@@ -1,0 +1,493 @@
+#include "net/daemon.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "models/models.hpp"
+#include "place/pool.hpp"
+#include "util/names.hpp"
+
+namespace ios::net {
+
+namespace {
+
+// serve_forever's signal plumbing: the handler may only touch
+// async-signal-safe state, so it records the signal number and pokes the
+// daemon's signal pipe.
+std::atomic<int> g_signal_fd{-1};
+std::atomic<int> g_signal{0};
+
+void handle_shutdown_signal(int sig) {
+  g_signal.store(sig);
+  const int fd = g_signal_fd.load();
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void make_pipe(int fds[2], const char* what) {
+  if (::pipe(fds) != 0) {
+    throw std::runtime_error(std::string("pipe (") + what + ") failed");
+  }
+}
+
+void close_pipe(int fds[2]) {
+  for (int i = 0; i < 2; ++i) {
+    if (fds[i] >= 0) {
+      ::close(fds[i]);
+      fds[i] = -1;
+    }
+  }
+}
+
+}  // namespace
+
+DaemonOptions daemon_options_from_json(const JsonValue& config) {
+  if (!config.is_object()) {
+    throw std::runtime_error("daemon config must be a JSON object");
+  }
+  DaemonOptions options;
+  for (const auto& [key, value] : config.as_object()) {
+    if (key == "port") {
+      options.port = static_cast<int>(value.as_int());
+    } else if (key == "device") {
+      options.serving.device = value.as_string();
+    } else if (key == "devices") {
+      options.serving.pool = pool_from_spec(value.as_string());
+    } else if (key == "workers") {
+      options.serving.num_workers = static_cast<int>(value.as_int());
+    } else if (key == "batch_sizes") {
+      options.serving.batching.batch_sizes.clear();
+      for (const JsonValue& b : value.as_array()) {
+        options.serving.batching.batch_sizes.push_back(
+            static_cast<int>(b.as_int()));
+      }
+    } else if (key == "max_queue_delay_us") {
+      options.serving.batching.max_queue_delay_us = value.as_number();
+    } else if (key == "shards") {
+      options.serving.cache.num_shards =
+          static_cast<std::size_t>(value.as_int());
+    } else if (key == "capacity") {
+      options.serving.cache.shard_capacity =
+          static_cast<std::size_t>(value.as_int());
+    } else if (key == "profile_db") {
+      options.serving.profile_db = value.as_string();
+    } else if (key == "prewarm") {
+      for (const JsonValue& m : value.as_array()) {
+        options.prewarm_models.push_back(m.as_string());
+      }
+    } else if (key == "prewarm_threads") {
+      options.prewarm_threads = static_cast<int>(value.as_int());
+    } else if (key == "max_pending") {
+      options.max_pending = static_cast<std::size_t>(value.as_int());
+    } else if (key == "time_scale") {
+      options.time_scale = value.as_number();
+    } else if (key == "io_threads") {
+      options.io_threads = static_cast<int>(value.as_int());
+    } else {
+      throw std::runtime_error(
+          "daemon config: unknown key '" + key +
+          "'; known keys: port device devices workers batch_sizes "
+          "max_queue_delay_us shards capacity profile_db prewarm "
+          "prewarm_threads max_pending time_scale io_threads");
+    }
+  }
+  return options;
+}
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), engine_(options_.serving, &clock_) {
+  const std::vector<std::string> models = models::model_names();
+  known_models_.insert(models.begin(), models.end());
+}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  if (started_) throw std::logic_error("Daemon::start: already started");
+  started_ = true;
+
+  listener_.emplace(options_.port);
+  make_pipe(wake_pipe_, "accept wake");
+  make_pipe(sig_pipe_, "signal wake");
+
+  if (!options_.prewarm_models.empty()) {
+    engine_.prewarm(options_.prewarm_models, options_.prewarm_threads);
+  }
+
+  exec_queues_.resize(engine_.worker_busy().size());
+  running_.store(true);
+
+  accept_thread_ = std::thread(&Daemon::accept_loop, this);
+  batcher_thread_ = std::thread(&Daemon::batcher_loop, this);
+  const int io = std::max(1, options_.io_threads);
+  io_threads_.reserve(static_cast<std::size_t>(io));
+  for (int i = 0; i < io; ++i) {
+    io_threads_.emplace_back(&Daemon::io_loop, this);
+  }
+  exec_threads_.reserve(exec_queues_.size());
+  for (std::size_t w = 0; w < exec_queues_.size(); ++w) {
+    exec_threads_.emplace_back(&Daemon::executor_loop, this,
+                               static_cast<int>(w));
+  }
+}
+
+int Daemon::port() const {
+  if (!listener_) throw std::logic_error("Daemon::port: not started");
+  return listener_->port();
+}
+
+void Daemon::stop() {
+  {
+    std::lock_guard<std::mutex> guard(stop_mu_);
+    if (!started_ || stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true);
+
+  // 1. Stop accepting: wake the accept loop, close the listener.
+  {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.reset();
+
+  // 2. Stop reading: drop never-served connections, EOF the live readers,
+  //    and join the io pool — after this no new request can be admitted.
+  {
+    std::lock_guard<std::mutex> guard(conn_mu_);
+    accepted_.clear();
+    for (auto& weak : live_) {
+      if (auto conn = weak.lock()) conn->sock.shutdown_read();
+    }
+  }
+  conn_cv_.notify_all();
+  for (auto& t : io_threads_) {
+    if (t.joinable()) t.join();
+  }
+
+  // 3. Flush: every queued request leaves the engine in a batch now.
+  std::vector<serve::EngineBatch> formed;
+  {
+    std::lock_guard<std::mutex> guard(engine_mu_);
+    formed = engine_.drain();
+  }
+  dispatch(std::move(formed));
+  engine_cv_.notify_all();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+
+  // 4. Wait until every admitted request has been answered.
+  {
+    std::unique_lock<std::mutex> lock(engine_mu_);
+    drain_cv_.wait(lock, [this] { return pending_.empty(); });
+  }
+
+  // 5. Park the executors and tear down.
+  {
+    std::lock_guard<std::mutex> guard(exec_mu_);
+    exec_stop_ = true;
+  }
+  exec_cv_.notify_all();
+  for (auto& t : exec_threads_) {
+    if (t.joinable()) t.join();
+  }
+
+  close_pipe(wake_pipe_);
+  close_pipe(sig_pipe_);
+  running_.store(false);
+}
+
+int Daemon::serve_forever() {
+  if (!running_.load()) {
+    throw std::logic_error("Daemon::serve_forever: call start() first");
+  }
+  g_signal.store(0);
+  g_signal_fd.store(sig_pipe_[1]);
+
+  struct sigaction action {};
+  action.sa_handler = handle_shutdown_signal;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_term {}, old_int {};
+  ::sigaction(SIGTERM, &action, &old_term);
+  ::sigaction(SIGINT, &action, &old_int);
+
+  char byte = 0;
+  while (::read(sig_pipe_[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  g_signal_fd.store(-1);
+
+  stop();
+  return g_signal.load();
+}
+
+DaemonStats Daemon::stats() const {
+  DaemonStats stats;
+  stats.connections = connections_.load();
+  stats.admitted = admitted_.load();
+  stats.completed = completed_.load();
+  stats.rejected = rejected_.load();
+  stats.protocol_errors = protocol_errors_.load();
+  stats.batches = batches_.load();
+  return stats;
+}
+
+void Daemon::accept_loop() {
+  for (;;) {
+    std::optional<Socket> accepted =
+        listener_->accept_interruptible(wake_pipe_[0]);
+    if (stopping_.load()) return;
+    if (!accepted) continue;  // transient accept failure
+    auto conn = std::make_shared<Connection>(std::move(*accepted));
+    connections_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> guard(conn_mu_);
+      live_.erase(std::remove_if(live_.begin(), live_.end(),
+                                 [](const std::weak_ptr<Connection>& w) {
+                                   return w.expired();
+                                 }),
+                  live_.end());
+      live_.push_back(conn);
+      accepted_.push_back(std::move(conn));
+    }
+    conn_cv_.notify_one();
+  }
+}
+
+void Daemon::io_loop() {
+  for (;;) {
+    std::shared_ptr<Connection> conn;
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conn_cv_.wait(lock, [this] {
+        return stopping_.load() || !accepted_.empty();
+      });
+      if (accepted_.empty()) return;  // stopping
+      conn = std::move(accepted_.front());
+      accepted_.pop_front();
+    }
+    handle_connection(conn);
+  }
+}
+
+void Daemon::handle_connection(const std::shared_ptr<Connection>& conn) {
+  std::string line;
+  try {
+    while (conn->sock.read_line(line)) {
+      if (line.empty()) continue;
+      WireRequest request;
+      try {
+        request = parse_request(line);
+      } catch (const std::exception& e) {
+        protocol_errors_.fetch_add(1);
+        write_response(conn, format_response(error_response(0, e.what())));
+        continue;
+      }
+      handle_request(conn, request);
+    }
+  } catch (const std::exception&) {
+    // Read error: the peer vanished mid-line. Pending responses for this
+    // connection still complete; their writes fail quietly.
+  }
+}
+
+void Daemon::handle_request(const std::shared_ptr<Connection>& conn,
+                            const WireRequest& request) {
+  switch (request.kind) {
+    case RequestKind::kPing: {
+      JsonValue v = JsonValue::object();
+      v.set("id", request.id);
+      v.set("ok", true);
+      v.set("pong", true);
+      write_response(conn, v.dump());
+      return;
+    }
+    case RequestKind::kStats:
+      write_response(conn, stats_json(request.id));
+      return;
+    case RequestKind::kInfer:
+      break;
+  }
+
+  // Validate the model before it reaches the engine: an unknown name must
+  // be one failed request, not an exception inside a shared batch.
+  if (known_models_.find(request.model) == known_models_.end()) {
+    protocol_errors_.fetch_add(1);
+    write_response(
+        conn, format_response(error_response(
+                  request.id, unknown_name_message("model", request.model,
+                                                   models::model_names()))));
+    return;
+  }
+
+  std::vector<serve::EngineBatch> formed;
+  std::string refusal;
+  {
+    std::unique_lock<std::mutex> lock(engine_mu_);
+    if (stopping_.load()) {
+      refusal = "shutting down";
+    } else if (pending_.size() >= options_.max_pending) {
+      refusal = "overloaded";
+    } else {
+      const std::int64_t engine_id = next_engine_id_++;
+      Pending pending;
+      pending.conn = conn;
+      pending.client_id = request.id;
+      pending.wall_admitted_us = clock_.now_us();
+      pending_.emplace(engine_id, std::move(pending));
+      admitted_.fetch_add(1);
+      try {
+        formed = engine_.submit(engine_id, request.model);
+      } catch (const std::exception& e) {
+        pending_.erase(engine_id);
+        admitted_.fetch_sub(1);
+        refusal = e.what();
+      }
+    }
+  }
+  if (!refusal.empty()) {
+    rejected_.fetch_add(1);
+    write_response(conn,
+                   format_response(error_response(request.id, refusal)));
+    return;
+  }
+  engine_cv_.notify_one();  // the next flush deadline may have changed
+  dispatch(std::move(formed));
+}
+
+void Daemon::batcher_loop() {
+  std::unique_lock<std::mutex> lock(engine_mu_);
+  while (!stopping_.load()) {
+    const double deadline = engine_.next_deadline_us();
+    if (deadline == std::numeric_limits<double>::infinity()) {
+      engine_cv_.wait(lock);
+      continue;
+    }
+    // +1us: time_point_at truncates, and waking a hair early would spin.
+    engine_cv_.wait_until(
+        lock, clock_.time_point_at(deadline) + std::chrono::microseconds(1));
+    if (stopping_.load()) break;
+    std::vector<serve::EngineBatch> formed;
+    try {
+      formed = engine_.poll();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ios daemon: batcher error: %s\n", e.what());
+      continue;
+    }
+    if (!formed.empty()) {
+      lock.unlock();
+      dispatch(std::move(formed));
+      lock.lock();
+    }
+  }
+}
+
+void Daemon::dispatch(std::vector<serve::EngineBatch> formed) {
+  if (formed.empty()) return;
+  {
+    std::lock_guard<std::mutex> guard(exec_mu_);
+    for (serve::EngineBatch& batch : formed) {
+      batches_.fetch_add(1);
+      exec_queues_[static_cast<std::size_t>(batch.record.worker)].push_back(
+          std::move(batch));
+    }
+  }
+  exec_cv_.notify_all();
+}
+
+void Daemon::executor_loop(int worker) {
+  const auto w = static_cast<std::size_t>(worker);
+  for (;;) {
+    serve::EngineBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(exec_mu_);
+      exec_cv_.wait(lock, [this, w] {
+        return exec_stop_ || !exec_queues_[w].empty();
+      });
+      if (exec_queues_[w].empty()) return;  // exec_stop_ and drained
+      batch = std::move(exec_queues_[w].front());
+      exec_queues_[w].pop_front();
+    }
+
+    // Occupy this worker for the schedule's latency: the simulated device,
+    // made temporal (time_scale 0 in tests skips the sleep).
+    if (options_.time_scale > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+          batch.record.service_us * options_.time_scale));
+    }
+
+    for (const serve::EngineRequest& member : batch.members) {
+      Pending pending;
+      {
+        std::lock_guard<std::mutex> guard(engine_mu_);
+        auto it = pending_.find(member.id);
+        if (it == pending_.end()) continue;  // refused after formation: never
+        pending = std::move(it->second);
+        pending_.erase(it);
+        if (pending_.empty()) drain_cv_.notify_all();
+      }
+      WireResponse response;
+      response.id = pending.client_id;
+      response.ok = true;
+      response.model = batch.record.model;
+      response.device = batch.record.device;
+      response.batch_size = batch.record.size;
+      response.worker = batch.record.worker;
+      response.latency_us = batch.record.completion_us - member.arrival_us;
+      response.queue_us = batch.record.start_us - member.arrival_us;
+      response.service_us = batch.record.service_us;
+      response.wall_latency_us = clock_.now_us() - pending.wall_admitted_us;
+      write_response(pending.conn, format_response(response));
+      completed_.fetch_add(1);
+    }
+  }
+}
+
+void Daemon::write_response(const std::shared_ptr<Connection>& conn,
+                            const std::string& line) {
+  std::lock_guard<std::mutex> guard(conn->write_mu);
+  try {
+    conn->sock.write_all(line);
+    conn->sock.write_all("\n");
+  } catch (const std::exception&) {
+    // Dead peer: nothing useful to do with the response.
+  }
+}
+
+std::string Daemon::stats_json(std::int64_t id) const {
+  JsonValue v = JsonValue::object();
+  v.set("id", id);
+  v.set("ok", true);
+  v.set("connections", connections_.load());
+  v.set("admitted", admitted_.load());
+  v.set("completed", completed_.load());
+  v.set("rejected", rejected_.load());
+  v.set("protocol_errors", protocol_errors_.load());
+  v.set("batches", batches_.load());
+  {
+    std::lock_guard<std::mutex> guard(engine_mu_);
+    v.set("pending", static_cast<std::int64_t>(pending_.size()));
+    v.set("queued", static_cast<std::int64_t>(engine_.queued()));
+  }
+  const serve::EngineCounters counters = engine_.counters();
+  v.set("optimizations", counters.optimizations);
+  v.set("measurements", counters.measurements);
+  const serve::RecipeCacheStats cache = engine_.cache().stats();
+  v.set("cache_hits", cache.hits);
+  v.set("cache_misses", cache.misses);
+  v.set("cache_size", static_cast<std::int64_t>(cache.size));
+  return v.dump();
+}
+
+}  // namespace ios::net

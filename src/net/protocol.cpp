@@ -1,0 +1,111 @@
+#include "net/protocol.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ios::net {
+
+WireRequest parse_request(std::string_view line) {
+  const JsonValue v = JsonValue::parse(line);
+  if (!v.is_object()) {
+    throw std::runtime_error("request must be a JSON object");
+  }
+  WireRequest request;
+  if (v.contains("id")) request.id = v.at("id").as_int();
+  const std::string cmd = v.contains("cmd") ? v.at("cmd").as_string() : "infer";
+  if (cmd == "infer") {
+    request.kind = RequestKind::kInfer;
+    if (!v.contains("model")) {
+      throw std::runtime_error("inference request missing 'model'");
+    }
+    request.model = v.at("model").as_string();
+  } else if (cmd == "ping") {
+    request.kind = RequestKind::kPing;
+  } else if (cmd == "stats") {
+    request.kind = RequestKind::kStats;
+  } else {
+    throw std::runtime_error("unknown cmd '" + cmd +
+                             "'; known cmds: infer ping stats");
+  }
+  return request;
+}
+
+std::string format_request(const WireRequest& request) {
+  JsonValue v = JsonValue::object();
+  v.set("id", request.id);
+  switch (request.kind) {
+    case RequestKind::kInfer:
+      v.set("model", request.model);
+      break;
+    case RequestKind::kPing:
+      v.set("cmd", "ping");
+      break;
+    case RequestKind::kStats:
+      v.set("cmd", "stats");
+      break;
+  }
+  return v.dump();
+}
+
+std::string format_response(const WireResponse& response) {
+  JsonValue v = JsonValue::object();
+  v.set("id", response.id);
+  v.set("ok", response.ok);
+  if (!response.ok) {
+    v.set("error", response.error);
+    return v.dump();
+  }
+  v.set("model", response.model);
+  v.set("device", response.device);
+  v.set("batch_size", response.batch_size);
+  v.set("worker", response.worker);
+  v.set("latency_us", response.latency_us);
+  v.set("queue_us", response.queue_us);
+  v.set("service_us", response.service_us);
+  v.set("wall_latency_us", response.wall_latency_us);
+  return v.dump();
+}
+
+WireResponse parse_response(std::string_view line) {
+  const JsonValue v = JsonValue::parse(line);
+  if (!v.is_object()) {
+    throw std::runtime_error("response must be a JSON object");
+  }
+  WireResponse response;
+  if (v.contains("id")) response.id = v.at("id").as_int();
+  response.ok = v.contains("ok") && v.at("ok").as_bool();
+  if (!response.ok) {
+    if (v.contains("error")) response.error = v.at("error").as_string();
+    return response;
+  }
+  // Ping/stats responses parse as ok with the numeric fields left zero.
+  if (v.contains("model")) response.model = v.at("model").as_string();
+  if (v.contains("device")) response.device = v.at("device").as_string();
+  if (v.contains("batch_size")) {
+    response.batch_size = static_cast<int>(v.at("batch_size").as_int());
+  }
+  if (v.contains("worker")) {
+    response.worker = static_cast<int>(v.at("worker").as_int());
+  }
+  if (v.contains("latency_us")) {
+    response.latency_us = v.at("latency_us").as_number();
+  }
+  if (v.contains("queue_us")) response.queue_us = v.at("queue_us").as_number();
+  if (v.contains("service_us")) {
+    response.service_us = v.at("service_us").as_number();
+  }
+  if (v.contains("wall_latency_us")) {
+    response.wall_latency_us = v.at("wall_latency_us").as_number();
+  }
+  return response;
+}
+
+WireResponse error_response(std::int64_t id, std::string message) {
+  WireResponse response;
+  response.id = id;
+  response.ok = false;
+  response.error = std::move(message);
+  return response;
+}
+
+}  // namespace ios::net

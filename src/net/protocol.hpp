@@ -1,0 +1,74 @@
+#pragma once
+// The daemon's wire protocol: newline-delimited JSON, one object per line
+// in each direction, over a plain TCP stream. Requests carry a
+// client-chosen id that the response echoes, so a client may pipeline
+// arbitrarily many requests on one connection and match completions as its
+// batches finish (responses come back in batch-completion order, not
+// submission order — that is the whole point of a batching server).
+//
+//   -> {"id":7,"model":"squeezenet"}                     inference
+//   -> {"id":8,"cmd":"ping"}                             liveness probe
+//   -> {"id":9,"cmd":"stats"}                            engine counters
+//   <- {"id":7,"ok":true,"model":"squeezenet","batch_size":4,
+//       "worker":0,"device":"Tesla V100","latency_us":...,
+//       "queue_us":...,"service_us":...,"wall_latency_us":...}
+//   <- {"id":3,"ok":false,"error":"overloaded"}          backpressure
+//
+// latency/queue/service_us are engine-clock numbers (the same quantities
+// the DES reports); wall_latency_us is measured admission-to-response on
+// the daemon's wall clock.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace ios::net {
+
+/// What a request line asks for.
+enum class RequestKind { kInfer, kPing, kStats };
+
+/// A parsed request line.
+struct WireRequest {
+  std::int64_t id = 0;
+  RequestKind kind = RequestKind::kInfer;
+  std::string model;  ///< kInfer only
+};
+
+/// A response line (inference result or error; ping/stats build their JSON
+/// directly in the daemon).
+struct WireResponse {
+  std::int64_t id = 0;
+  bool ok = false;
+  std::string error;  ///< non-empty iff !ok
+
+  std::string model;
+  std::string device;
+  int batch_size = 0;
+  int worker = 0;
+  double latency_us = 0;       ///< engine-clock completion - arrival
+  double queue_us = 0;         ///< engine-clock dispatch - arrival
+  double service_us = 0;       ///< schedule latency of the coalesced batch
+  double wall_latency_us = 0;  ///< daemon wall clock, admission -> response
+};
+
+/// Parses one request line. Throws std::runtime_error on malformed JSON, a
+/// missing/unknown cmd, or a missing model on an inference request.
+WireRequest parse_request(std::string_view line);
+
+/// Serializes a request (the trace client's sender side), without the
+/// trailing newline.
+std::string format_request(const WireRequest& request);
+
+/// Serializes a response, without the trailing newline.
+std::string format_response(const WireResponse& response);
+
+/// Parses a response line (the trace client's receiver side). Throws
+/// std::runtime_error on malformed input.
+WireResponse parse_response(std::string_view line);
+
+/// An error response for `id` (e.g. "overloaded", "unknown model ...").
+WireResponse error_response(std::int64_t id, std::string message);
+
+}  // namespace ios::net

@@ -1,0 +1,94 @@
+#pragma once
+// Minimal hand-rolled POSIX TCP wrappers for the serving daemon: an RAII
+// connected socket with buffered line reads, and a listening socket whose
+// accept loop can be woken by a pipe (the daemon's shutdown path). No
+// external dependencies; loopback-oriented (the daemon binds 127.0.0.1 —
+// it is a research serving daemon, not an internet-facing one).
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ios::net {
+
+/// A connected TCP socket: owns the fd, closes on destruction, and layers a
+/// read buffer for newline-delimited protocols. Move-only.
+class Socket {
+ public:
+  /// Wraps an already-connected fd (takes ownership).
+  explicit Socket(int fd) : fd_(fd) {}
+  /// Transfers fd ownership; `other` is left invalid.
+  Socket(Socket&& other) noexcept;
+  /// Closes the current fd (if any) and takes over `other`'s.
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;             ///< not copyable (owns the fd)
+  Socket& operator=(const Socket&) = delete;  ///< not copyable (owns the fd)
+  /// Closes the fd.
+  ~Socket();
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1"). Throws
+  /// std::runtime_error on failure.
+  static Socket connect_to(const std::string& host, int port);
+
+  /// Reads up to and including the next '\n'; returns the line without the
+  /// newline in `line`. Returns false on orderly EOF with no buffered
+  /// partial line. Throws std::runtime_error on a read error. A trailing
+  /// unterminated line at EOF is returned as a final line.
+  bool read_line(std::string& line);
+
+  /// Writes all of `data`, retrying short writes. Throws std::runtime_error
+  /// on error (a closed peer surfaces here, not as SIGPIPE).
+  void write_all(std::string_view data);
+
+  /// Half-closes the read side (wakes a blocked reader with EOF).
+  void shutdown_read();
+
+  /// Half-closes the write side (the peer's reader sees EOF; this side can
+  /// still read — how a client says "no more requests, finish the rest").
+  void shutdown_write();
+
+  /// The underlying fd (for poll()-style multiplexing in the daemon).
+  int fd() const { return fd_; }
+
+  /// True while this object owns a live fd (false after being moved from).
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// A listening TCP socket bound to 127.0.0.1:`port` (0 = kernel-assigned
+/// ephemeral port; read it back with port()). SO_REUSEADDR is set so
+/// restarted daemons do not trip over TIME_WAIT.
+class ListenSocket {
+ public:
+  /// Binds and listens. Throws std::runtime_error on failure.
+  explicit ListenSocket(int port);
+  /// Transfers fd ownership; `other` is left invalid.
+  ListenSocket(ListenSocket&& other) noexcept;
+  ListenSocket(const ListenSocket&) = delete;  ///< not copyable (owns the fd)
+  /// Not copyable (owns the fd).
+  ListenSocket& operator=(const ListenSocket&) = delete;
+  /// Closes the listening fd.
+  ~ListenSocket();
+
+  /// The bound port (resolves 0 to the kernel's ephemeral choice).
+  int port() const { return port_; }
+
+  /// Blocks until a connection arrives or `wake_fd` becomes readable
+  /// (the daemon's shutdown pipe). Returns the accepted socket, or
+  /// std::nullopt when woken (or on a transient accept failure). Throws
+  /// std::runtime_error on poll errors.
+  std::optional<Socket> accept_interruptible(int wake_fd);
+
+  /// The listening fd.
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace ios::net

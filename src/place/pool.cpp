@@ -77,8 +77,12 @@ DevicePool pool_from_spec(const std::string& spec) {
     if (!merged) pool.classes.push_back(DeviceClass{device, count});
   }
   if (pool.classes.empty()) {
+    // Enumerate like every other unknown-name path (util/names.hpp): an
+    // empty or all-commas --devices spec gets the same one-round-trip fix
+    // as a typo'd device name.
     throw std::invalid_argument("device pool spec '" + spec +
-                                "' names no devices");
+                                "' names no devices; " +
+                                known_names_list("device", device_names()));
   }
   return pool;
 }

@@ -1,0 +1,76 @@
+#pragma once
+// Time sources for the serving engine. The ServingEngine never reads a
+// hardware clock directly: it asks an injected TimeSource for "now", which
+// is the whole trick that lets one batching/routing engine power both the
+// deterministic discrete-event Server (VirtualClock, advanced by the event
+// loop) and the real network daemon (WallClock, advanced by physics). A
+// test can drive the engine with a VirtualClock by hand and compare its
+// decisions bit-for-bit against the DES — see tests/engine_test.cpp.
+
+#include <chrono>
+#include <stdexcept>
+
+namespace ios::serve {
+
+/// The engine's view of time: a monotone microsecond clock. Implementations
+/// must never go backwards between calls.
+class TimeSource {
+ public:
+  virtual ~TimeSource() = default;
+
+  /// Current time in microseconds since an implementation-defined epoch.
+  virtual double now_us() = 0;
+};
+
+/// A manually advanced clock for deterministic (simulated) driving: now()
+/// is whatever the driver last set. The DES Server advances it to each
+/// event's timestamp before stepping the engine, so a fixed trace always
+/// produces bit-identical decisions.
+class VirtualClock final : public TimeSource {
+ public:
+  double now_us() override { return now_; }
+
+  /// Moves the clock forward to `t_us`. Throws std::invalid_argument on a
+  /// backwards move — simulated time, like real time, is monotone.
+  void advance_to(double t_us) {
+    if (t_us < now_) {
+      throw std::invalid_argument("VirtualClock: time must not go backwards");
+    }
+    now_ = t_us;
+  }
+
+  /// Rewinds to `t_us` (default 0) for a fresh simulation run. Unlike
+  /// advance_to this may go backwards; callers reset the engine alongside.
+  void reset(double t_us = 0) { now_ = t_us; }
+
+ private:
+  double now_ = 0;
+};
+
+/// Real time: microseconds since construction on the monotonic steady
+/// clock. The daemon injects this so the same engine that the DES tests
+/// exercise batches live traffic.
+class WallClock final : public TimeSource {
+ public:
+  WallClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  double now_us() override {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  /// The steady_clock instant corresponding to engine time `t_us` — what a
+  /// condition variable should wait_until when sleeping toward a batching
+  /// deadline.
+  std::chrono::steady_clock::time_point time_point_at(double t_us) const {
+    return epoch_ + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double, std::micro>(t_us));
+  }
+
+ private:
+  const std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace ios::serve

@@ -1,0 +1,461 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/device.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ios::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Tolerance when comparing engine times (they are sums of doubles).
+constexpr double kTimeEps = 1e-9;
+
+ServerOptions normalize(ServerOptions options) {
+  if (options.batching.batch_sizes.empty()) {
+    throw std::invalid_argument("ServingEngine: batching.batch_sizes is empty");
+  }
+  for (int b : options.batching.batch_sizes) {
+    if (b < 1) {
+      throw std::invalid_argument("ServingEngine: batch sizes must be >= 1");
+    }
+  }
+  std::sort(options.batching.batch_sizes.begin(),
+            options.batching.batch_sizes.end());
+  options.batching.batch_sizes.erase(
+      std::unique(options.batching.batch_sizes.begin(),
+                  options.batching.batch_sizes.end()),
+      options.batching.batch_sizes.end());
+  if (options.batching.max_queue_delay_us < 0) {
+    throw std::invalid_argument(
+        "ServingEngine: max_queue_delay_us must be >= 0");
+  }
+  options.num_workers = std::max(1, options.num_workers);
+  // Reject inconsistent scheduler settings at construction, not on the
+  // first cache miss.
+  options.scheduler.validate();
+  if (options.pool.empty()) {
+    // Canonicalize (and validate) the device name once, up front.
+    options.device = device_by_name(options.device).name;
+  } else {
+    // Pool classes must be registry devices (recipes are resolved through
+    // the Optimizer by name); canonicalize them and size the worker fleet.
+    options.pool.validate();
+    for (DeviceClass& c : options.pool.classes) {
+      c.spec.name = device_by_name(c.spec.name).name;
+    }
+    options.device = options.pool.classes.front().spec.name;
+    options.num_workers = options.pool.total_devices();
+  }
+  return options;
+}
+
+}  // namespace
+
+std::string serving_cache_key(const std::string& model,
+                              const std::string& device, int batch,
+                              const SchedulerOptions& options,
+                              const ProfilingProtocol& protocol) {
+  std::string key = model;
+  key += '\n';
+  key += device;
+  key += "\nbatch=" + std::to_string(batch);
+  key += '\n';
+  key += scheduler_config_key(options, protocol);
+  return key;
+}
+
+ServingEngine::ServingEngine(ServerOptions options, TimeSource* clock)
+    : ServingEngine(std::move(options), clock, nullptr) {}
+
+ServingEngine::ServingEngine(ServerOptions options, TimeSource* clock,
+                             std::shared_ptr<ShardedRecipeCache> cache)
+    : options_(normalize(std::move(options))),
+      clock_(clock),
+      config_key_part_(
+          '\n' + scheduler_config_key(options_.scheduler, options_.protocol)),
+      cache_(cache ? std::move(cache)
+                   : std::make_shared<ShardedRecipeCache>(options_.cache)) {
+  if (clock_ == nullptr) {
+    throw std::invalid_argument("ServingEngine: clock must not be null");
+  }
+  if (options_.pool.empty()) {
+    classes_.push_back(WorkerClass{options_.device,
+                                   '\n' + options_.device + "\nbatch=",
+                                   options_.num_workers});
+  } else {
+    for (const DeviceClass& c : options_.pool.classes) {
+      classes_.push_back(WorkerClass{
+          c.spec.name, '\n' + c.spec.name + "\nbatch=", c.count});
+    }
+  }
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    for (int i = 0; i < classes_[c].count; ++i) {
+      worker_class_.push_back(static_cast<int>(c));
+    }
+  }
+  worker_free_.assign(static_cast<std::size_t>(options_.num_workers), 0.0);
+  worker_busy_.assign(static_cast<std::size_t>(options_.num_workers), 0.0);
+  service_.resize(classes_.size());
+}
+
+std::string ServingEngine::cache_key(const std::string& model, int batch,
+                                     std::size_t cls) const {
+  // Equivalent to serving_cache_key(model, class device, batch, ...) with
+  // the constant parts preassembled (pinned by ServingCacheKey tests).
+  return model + classes_[cls].key_part + std::to_string(batch) +
+         config_key_part_;
+}
+
+CachedRecipe ServingEngine::optimize_config(const std::string& model,
+                                            int batch,
+                                            const std::string& device) {
+  OptimizationRequest request =
+      OptimizationRequest::for_model(model, device, batch);
+  request.options = options_.scheduler;
+  request.protocol = options_.protocol;
+  request.profile_db = options_.profile_db;
+  request.baselines.clear();  // serving needs the schedule, not comparisons
+  const OptimizationResult result = optimizer_.optimize(request);
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.optimizations;
+    counters_.measurements += result.new_measurements;
+  }
+  return CachedRecipe{result.schedule, result.latency_us, result.stats,
+                      result.new_measurements};
+}
+
+CachedRecipe ServingEngine::resolve(const std::string& model, int batch,
+                                    std::size_t cls, bool* computed) {
+  return cache_->get_or_compute(
+      cache_key(model, batch, cls),
+      [&] { return optimize_config(model, batch, classes_[cls].device); },
+      computed);
+}
+
+double ServingEngine::resolve_latency(const std::string& model, int batch,
+                                      std::size_t cls, bool* computed) {
+  return cache_->latency_or_compute(
+      cache_key(model, batch, cls),
+      [&] { return optimize_config(model, batch, classes_[cls].device); },
+      computed);
+}
+
+void ServingEngine::prewarm(const std::vector<std::string>& models,
+                            int threads) {
+  struct Config {
+    const std::string* model;
+    int batch;
+    std::size_t cls;
+  };
+  std::vector<Config> configs;
+  for (const std::string& model : models) {
+    for (int batch : options_.batching.batch_sizes) {
+      for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
+        configs.push_back(Config{&model, batch, cls});
+      }
+    }
+  }
+  // Misses fan out over the shared process-wide pool (no per-call pool
+  // spawn); the inner wave searches draw from the same pool, nesting-safe.
+  parallel_for(configs.size(), threads, [&](std::size_t i) {
+    resolve(*configs[i].model, configs[i].batch, configs[i].cls);
+  });
+}
+
+double ServingEngine::advance_now() {
+  const double now = clock_->now_us();
+  if (now < last_now_) {
+    throw std::invalid_argument(
+        "ServingEngine: time went backwards (monotone clock required)");
+  }
+  last_now_ = now;
+  return now;
+}
+
+int ServingEngine::deadline_batch_size(std::size_t len) const {
+  int best = 0;
+  for (int s : options_.batching.batch_sizes) {
+    if (static_cast<std::size_t>(s) <= len) best = s;
+  }
+  return best > 0 ? best : static_cast<int>(len);
+}
+
+void ServingEngine::arm_flush(ModelQueue& q) {
+  if (q.pending.empty()) {
+    q.flush_at = kInf;
+    return;
+  }
+  const double t =
+      q.pending.front().arrival_us + options_.batching.max_queue_delay_us;
+  if (q.flush_at != t) {
+    q.flush_at = t;
+    q.arm_seq = next_arm_seq_++;
+  }
+}
+
+void ServingEngine::form_batch(const std::string& model, ModelQueue& q,
+                               int size, double now,
+                               std::vector<EngineBatch>& out) {
+  EngineBatch batch;
+  batch.record.id = next_batch_id_++;
+  batch.record.model = model;
+  batch.record.size = size;
+  batch.record.formed_us = now;
+
+  // Service time of this (model, size) on every worker class — the routing
+  // decision needs all of them.
+  double min_service = kInf;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    bool computed = false;
+    service_[c] = resolve_latency(model, size, c, &computed);
+    ++(computed ? batch.resolve_misses : batch.resolve_hits);
+    min_service = std::min(min_service, service_[c]);
+  }
+
+  // Routing score: predicted completion plus the service-time inflation
+  // over the batch's best class. The inflation term charges a misroute the
+  // extra device time it burns, so under saturation each class keeps the
+  // work it is best at; when the best class is backlogged the batch still
+  // spills to a worker that genuinely finishes it sooner. With one class
+  // the term is zero and this is plain FIFO list scheduling.
+  int worker = 0;
+  double best_score = kInf;
+  for (int w = 0; w < options_.num_workers; ++w) {
+    const auto wi = static_cast<std::size_t>(w);
+    const double svc = service_[static_cast<std::size_t>(worker_class_[wi])];
+    const double score =
+        std::max(now, worker_free_[wi]) + svc + (svc - min_service);
+    if (score < best_score ||
+        (score == best_score &&
+         worker_free_[wi] < worker_free_[static_cast<std::size_t>(worker)])) {
+      best_score = score;
+      worker = w;
+    }
+  }
+  const auto wi = static_cast<std::size_t>(worker);
+  const std::size_t cls = static_cast<std::size_t>(worker_class_[wi]);
+  batch.record.service_us = service_[cls];
+  batch.record.worker = worker;
+  batch.record.device = classes_[cls].device;
+  batch.record.start_us = std::max(now, worker_free_[wi]);
+  batch.record.completion_us = batch.record.start_us + batch.record.service_us;
+  worker_free_[wi] = batch.record.completion_us;
+  worker_busy_[wi] += batch.record.service_us;
+
+  batch.members.reserve(static_cast<std::size_t>(size));
+  for (int k = 0; k < size; ++k) {
+    batch.members.push_back(std::move(q.pending.front()));
+    q.pending.pop_front();
+  }
+  out.push_back(std::move(batch));
+}
+
+std::vector<EngineBatch> ServingEngine::submit(std::int64_t id,
+                                               const std::string& model) {
+  const double now = advance_now();
+  std::vector<EngineBatch> out;
+  ModelQueue& q = queues_[model];
+  q.pending.push_back(EngineRequest{id, model, now});
+  const int max_batch = options_.batching.batch_sizes.back();
+  while (static_cast<int>(q.pending.size()) >= max_batch) {
+    form_batch(model, q, max_batch, now, out);
+  }
+  arm_flush(q);
+  return out;
+}
+
+void ServingEngine::flush_queue(const std::string& model, ModelQueue& q,
+                                double now, bool ignore_deadline,
+                                std::vector<EngineBatch>& out) {
+  const double delay = options_.batching.max_queue_delay_us;
+  q.flush_at = kInf;
+  while (!q.pending.empty() &&
+         (ignore_deadline ||
+          now >= q.pending.front().arrival_us + delay - kTimeEps)) {
+    form_batch(model, q, deadline_batch_size(q.pending.size()), now, out);
+  }
+  arm_flush(q);
+}
+
+std::vector<EngineBatch> ServingEngine::poll() {
+  const double now = advance_now();
+  std::vector<EngineBatch> out;
+  // Queues whose deadline has passed fire in (deadline, arming) order —
+  // exactly the (time, seq) order of the DES event heap, so a driver that
+  // advances a virtual clock deadline-by-deadline reproduces the DES bit
+  // for bit even when several queues fall due at one instant.
+  for (;;) {
+    ModelQueue* due = nullptr;
+    const std::string* due_model = nullptr;
+    for (auto& [model, q] : queues_) {
+      if (q.flush_at > now) continue;
+      if (due == nullptr || q.flush_at < due->flush_at ||
+          (q.flush_at == due->flush_at && q.arm_seq < due->arm_seq)) {
+        due = &q;
+        due_model = &model;
+      }
+    }
+    if (due == nullptr) break;
+    flush_queue(*due_model, *due, now, /*ignore_deadline=*/false, out);
+  }
+  return out;
+}
+
+std::vector<EngineBatch> ServingEngine::drain() {
+  const double now = advance_now();
+  std::vector<EngineBatch> out;
+  for (;;) {
+    // Arming order, mirroring poll(): the longest-waiting queue goes first.
+    ModelQueue* due = nullptr;
+    const std::string* due_model = nullptr;
+    for (auto& [model, q] : queues_) {
+      if (q.pending.empty()) continue;
+      if (due == nullptr || q.flush_at < due->flush_at ||
+          (q.flush_at == due->flush_at && q.arm_seq < due->arm_seq)) {
+        due = &q;
+        due_model = &model;
+      }
+    }
+    if (due == nullptr) break;
+    flush_queue(*due_model, *due, now, /*ignore_deadline=*/true, out);
+  }
+  return out;
+}
+
+double ServingEngine::next_deadline_us() const {
+  double next = kInf;
+  for (const auto& [model, q] : queues_) {
+    next = std::min(next, q.flush_at);
+  }
+  return next;
+}
+
+std::size_t ServingEngine::queued() const {
+  std::size_t n = 0;
+  for (const auto& [model, q] : queues_) n += q.pending.size();
+  return n;
+}
+
+void ServingEngine::reset() {
+  queues_.clear();
+  worker_free_.assign(worker_free_.size(), 0.0);
+  worker_busy_.assign(worker_busy_.size(), 0.0);
+  next_batch_id_ = 0;
+  next_arm_seq_ = 0;
+  last_now_ = 0;
+}
+
+EngineCounters ServingEngine::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+std::vector<std::string> ServingEngine::device_classes() const {
+  std::vector<std::string> names;
+  for (const WorkerClass& c : classes_) names.push_back(c.device);
+  return names;
+}
+
+std::vector<int> ServingEngine::class_counts() const {
+  std::vector<int> counts;
+  for (const WorkerClass& c : classes_) counts.push_back(c.count);
+  return counts;
+}
+
+ServingResult summarize(std::vector<EngineBatch> batches,
+                        const ServingEngine& engine,
+                        std::size_t num_requests) {
+  ServingResult result;
+  result.records.resize(num_requests);
+  for (EngineBatch& b : batches) {
+    for (const EngineRequest& m : b.members) {
+      if (m.id < 0 || static_cast<std::size_t>(m.id) >= num_requests) {
+        throw std::out_of_range(
+            "summarize: request id outside [0, num_requests)");
+      }
+      RequestRecord& r = result.records[static_cast<std::size_t>(m.id)];
+      r.index = static_cast<int>(m.id);
+      r.model = b.record.model;
+      r.arrival_us = m.arrival_us;
+      r.dispatch_us = b.record.start_us;
+      r.completion_us = b.record.completion_us;
+      r.latency_us = b.record.completion_us - m.arrival_us;
+      r.batch_size = b.record.size;
+      r.batch_id = b.record.id;
+      r.worker = b.record.worker;
+      r.device = b.record.device;
+    }
+    result.stats.cache_hits += b.resolve_hits;
+    result.stats.cache_misses += b.resolve_misses;
+    result.batches.push_back(std::move(b.record));
+  }
+  if (num_requests == 0) return result;
+
+  ServingStats& stats = result.stats;
+  stats.requests = static_cast<std::int64_t>(result.records.size());
+  stats.batches = static_cast<std::int64_t>(result.batches.size());
+  std::vector<double> latencies, waits;
+  latencies.reserve(result.records.size());
+  waits.reserve(result.records.size());
+  for (const RequestRecord& r : result.records) {
+    latencies.push_back(r.latency_us);
+    waits.push_back(r.dispatch_us - r.arrival_us);
+  }
+  for (const BatchRecord& b : result.batches) {
+    stats.makespan_us = std::max(stats.makespan_us, b.completion_us);
+  }
+  const std::vector<double>& worker_busy = engine.worker_busy();
+  if (stats.makespan_us > 0) {
+    stats.throughput_rps =
+        static_cast<double>(stats.requests) / (stats.makespan_us / 1e6);
+    double busy = 0;
+    for (double b : worker_busy) busy += b;
+    stats.worker_utilization =
+        busy /
+        (static_cast<double>(worker_busy.size()) * stats.makespan_us);
+  }
+  stats.mean_latency_us = mean(latencies);
+  stats.mean_queue_wait_us = mean(waits);
+  std::sort(latencies.begin(), latencies.end());
+  stats.p50_latency_us = percentile_sorted(latencies, 50);
+  stats.p95_latency_us = percentile_sorted(latencies, 95);
+  stats.p99_latency_us = percentile_sorted(latencies, 99);
+  stats.max_latency_us = latencies.empty() ? 0 : latencies.back();
+  if (stats.batches > 0) {
+    stats.mean_batch_size = static_cast<double>(stats.requests) /
+                            static_cast<double>(stats.batches);
+  }
+  // Per-class load picture (one row for a homogeneous configuration).
+  const std::vector<std::string> classes = engine.device_classes();
+  const std::vector<int> counts = engine.class_counts();
+  const std::vector<int>& worker_class = engine.worker_class();
+  result.device_loads.resize(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    result.device_loads[c].device = classes[c];
+    result.device_loads[c].devices = counts[c];
+  }
+  for (std::size_t w = 0; w < worker_busy.size(); ++w) {
+    result.device_loads[static_cast<std::size_t>(worker_class[w])].busy_us +=
+        worker_busy[w];
+  }
+  for (const BatchRecord& b : result.batches) {
+    ++result.device_loads[static_cast<std::size_t>(
+        worker_class[static_cast<std::size_t>(b.worker)])].batches;
+  }
+  if (stats.makespan_us > 0) {
+    for (DeviceLoad& load : result.device_loads) {
+      load.utilization = load.busy_us / (load.devices * stats.makespan_us);
+    }
+  }
+  return result;
+}
+
+}  // namespace ios::serve

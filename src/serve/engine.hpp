@@ -1,0 +1,375 @@
+#pragma once
+// ios::serve::ServingEngine — the clock-agnostic batching/routing core of
+// the serving layer. IOS (the paper) finds the best schedule for one
+// (model, device, batch) point; this engine is the piece that makes those
+// schedules pay off under multi-user load, factored so that *how time
+// advances* is somebody else's problem:
+//
+//   * the DES Server (serve/server.hpp) drives it with a VirtualClock,
+//     advancing simulated time event by event — a fixed trace always
+//     produces bit-identical batches, routing, and latencies;
+//   * the network daemon (net/daemon.hpp) drives the very same engine with
+//     a WallClock — real sockets, real deadlines, identical decisions for
+//     identical arrival times.
+//
+// The engine owns the three decisions of the serving hot path:
+//
+//   batching   per-model queues; a queue reaching the largest allowed batch
+//              size is flushed greedily; a queue whose oldest request has
+//              waited max_queue_delay_us is deadline-flushed into the
+//              largest allowed size that fits (a queue shorter than the
+//              smallest allowed size is served whole);
+//   resolution each formed batch's schedule comes from the sharded LRU
+//              recipe cache, invoking the ios::Optimizer at most once per
+//              (model, device class, batch) configuration;
+//   routing    the batch goes to the worker minimizing predicted completion
+//              max(now, free) + service + (service - best_service), where
+//              service is the cached schedule latency on the worker's
+//              device class — FIFO list scheduling for one class,
+//              device-aware routing for a heterogeneous pool.
+//
+// Threading: submit/poll/drain/reset mutate queue and worker state and must
+// be externally serialized (the DES is single-threaded; the daemon wraps
+// them in one mutex). prewarm, counters(), cache(), and options() are safe
+// to call concurrently with each other.
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/optimizer.hpp"
+#include "place/pool.hpp"
+#include "serve/clock.hpp"
+#include "serve/recipe_cache.hpp"
+#include "serve/trace.hpp"
+
+namespace ios::serve {
+
+/// How the dynamic batcher coalesces a model's request queue.
+struct BatchingPolicy {
+  /// Batch sizes the batcher may form (deduplicated and sorted ascending by
+  /// the engine). A queue reaching the largest size is flushed immediately;
+  /// a deadline flush picks the largest entry that fits the queue. The
+  /// degenerate policy {1} disables batching entirely.
+  std::vector<int> batch_sizes = {1, 2, 4, 8};
+  /// Max time a request may wait in the queue before its model's queue is
+  /// force-flushed, in engine-clock microseconds.
+  double max_queue_delay_us = 2000;
+};
+
+/// Configuration shared by every front end over the engine: the DES Server,
+/// the network daemon, and a bare engine in tests.
+struct ServerOptions {
+  /// Device short or full name (device_names()); all workers simulate it.
+  /// Ignored when `pool` is non-empty.
+  std::string device = "v100";
+  /// Heterogeneous device pool (e.g. pool_from_spec("p100,1080tix2")). When
+  /// non-empty, the engine runs one executor worker per pool device
+  /// instance, each typed by its device class: schedules are resolved per
+  /// (model, class, batch) — every class gets its own optimized recipe —
+  /// and the batcher routes each formed batch to the worker minimizing its
+  /// predicted completion time (ties fall back on queue depth, i.e. the
+  /// earlier-free worker). Class names must be registry devices
+  /// (device_names()); `device` and `num_workers` are ignored.
+  DevicePool pool{};
+  /// Number of executor workers replaying batches concurrently (clamped
+  /// to >= 1). With a pool, the worker count is the pool's total device
+  /// count instead.
+  int num_workers = 1;
+  /// Dynamic-batching policy shared by all model queues.
+  BatchingPolicy batching{};
+  /// DP-search options forwarded to the Optimizer on recipe-cache misses.
+  SchedulerOptions scheduler{};
+  /// Profiling protocol forwarded to the Optimizer on recipe-cache misses.
+  ProfilingProtocol protocol{};
+  /// Sizing of the sharded recipe cache (ignored when the engine is built
+  /// around an external cache).
+  RecipeCacheOptions cache{};
+  /// Persistable profiling-database path forwarded to every Optimizer run a
+  /// sharded-cache miss triggers (see OptimizationRequest::profile_db). A
+  /// warm-started engine whose previous life profiled the same
+  /// (model, device, batch) configurations re-runs zero simulations.
+  std::string profile_db;
+};
+
+/// Per-request outcome of a served trace.
+struct RequestRecord {
+  int index = 0;            ///< position of the request in the trace
+  std::string model;        ///< model the request asked for
+  double arrival_us = 0;    ///< engine-clock arrival time
+  double dispatch_us = 0;   ///< when its batch started on a worker
+  double completion_us = 0; ///< when its batch finished
+  double latency_us = 0;    ///< completion - arrival (queueing + service)
+  int batch_size = 0;       ///< size of the coalesced batch it rode in
+  int batch_id = 0;         ///< id of that batch (index into batch records)
+  int worker = 0;           ///< executor worker that ran the batch
+  std::string device;       ///< device class of that worker
+};
+
+/// Per-batch outcome of a served trace.
+struct BatchRecord {
+  int id = 0;               ///< dense batch id, formation order
+  std::string model;        ///< model of every request in the batch
+  int size = 0;             ///< number of coalesced requests
+  double formed_us = 0;     ///< when the batcher closed the batch
+  double start_us = 0;      ///< when a worker started executing it
+  double completion_us = 0; ///< start + service time
+  double service_us = 0;    ///< schedule latency at this batch size
+  int worker = 0;           ///< executor worker it ran on
+  std::string device;       ///< device class it ran on
+};
+
+/// Aggregates of one served trace, all on the engine clock.
+struct ServingStats {
+  std::int64_t requests = 0;       ///< requests served
+  std::int64_t batches = 0;        ///< batches formed
+  double makespan_us = 0;          ///< completion time of the last batch
+  double throughput_rps = 0;       ///< requests per engine-clock second
+  double mean_latency_us = 0;      ///< mean request latency
+  double p50_latency_us = 0;       ///< median request latency
+  double p95_latency_us = 0;       ///< 95th percentile request latency
+  double p99_latency_us = 0;       ///< 99th percentile request latency
+  double max_latency_us = 0;       ///< worst request latency
+  double mean_queue_wait_us = 0;   ///< mean dispatch - arrival
+  double mean_batch_size = 0;      ///< requests / batches
+  double worker_utilization = 0;   ///< busy time / (workers * makespan)
+  /// Recipe-cache hits by this run's own lookups (counted per lookup, not
+  /// diffed from the cache's global counters — exact even when several
+  /// engines share one cache concurrently).
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;   ///< recipe-cache misses by this run
+};
+
+/// Per-device-class aggregates of one run (one entry per pool class; a
+/// single entry for a homogeneous configuration).
+struct DeviceLoad {
+  std::string device;        ///< device class name
+  int devices = 1;           ///< worker instances of the class
+  std::int64_t batches = 0;  ///< batches the class executed
+  double busy_us = 0;        ///< summed service time across its workers
+  double utilization = 0;    ///< busy / (devices * makespan)
+};
+
+/// Everything a served trace produced.
+struct ServingResult {
+  std::vector<RequestRecord> records;  ///< per request, trace order
+  std::vector<BatchRecord> batches;    ///< per batch, formation order
+  ServingStats stats;                  ///< aggregates of this run
+  std::vector<DeviceLoad> device_loads;  ///< per device class, pool order
+};
+
+/// One request admitted to the engine: a single sample of `model`, carrying
+/// a caller-assigned id (the DES uses the trace index, the daemon a dense
+/// admission counter) and the engine-clock time it was admitted.
+struct EngineRequest {
+  std::int64_t id = 0;
+  std::string model;
+  double arrival_us = 0;
+};
+
+/// A batch the engine formed, resolved, and routed: the decision record
+/// plus the member requests in arrival order. `record.start_us` and
+/// `record.completion_us` are the engine's predictions from its worker
+/// bookkeeping — for the DES they *are* the simulated execution; the daemon
+/// additionally measures wall time around the real execution.
+struct EngineBatch {
+  BatchRecord record;
+  std::vector<EngineRequest> members;
+  /// Recipe-cache outcome of this batch's per-class schedule resolution
+  /// (one lookup per device class).
+  int resolve_hits = 0;
+  int resolve_misses = 0;
+};
+
+/// Lifetime optimizer accounting of one engine, across resets.
+struct EngineCounters {
+  std::int64_t optimizations = 0;  ///< recipe-cache misses -> Optimizer runs
+  std::int64_t measurements = 0;   ///< cost-model profiles those runs took
+};
+
+/// The clock-agnostic batching/routing engine (see the file comment for the
+/// model and the threading contract).
+class ServingEngine {
+ public:
+  /// Builds an engine reading time from `clock` (not owned, must outlive
+  /// the engine) with its own sharded recipe cache sized by
+  /// `options.cache`.
+  ServingEngine(ServerOptions options, TimeSource* clock);
+
+  /// Builds an engine around an external (possibly shared) recipe cache —
+  /// several engines or servers then reuse each other's optimized
+  /// schedules. `cache` must not be null.
+  ServingEngine(ServerOptions options, TimeSource* clock,
+                std::shared_ptr<ShardedRecipeCache> cache);
+
+  /// Admits one single-sample request for `model` at the clock's current
+  /// time and greedily forms any full max-size batches this enables.
+  /// Arrival times must be non-decreasing across submit/poll/drain calls
+  /// (throws std::invalid_argument otherwise); unknown models throw from
+  /// the registry on batch resolution.
+  std::vector<EngineBatch> submit(std::int64_t id, const std::string& model);
+
+  /// Fires every batching deadline due at the clock's current time: each
+  /// queue whose oldest request has waited max_queue_delay_us is flushed
+  /// into the largest allowed batch sizes that fit. Due queues flush in
+  /// deadline order (ties: arming order), exactly like the DES event heap.
+  std::vector<EngineBatch> poll();
+
+  /// The earliest armed flush deadline, or +infinity when no queue is
+  /// waiting. Drivers sleep (daemon) or advance the virtual clock (DES) to
+  /// this time, then poll().
+  double next_deadline_us() const;
+
+  /// Flushes every queue immediately, deadline or not — the daemon's
+  /// graceful-drain path. Queues flush in arming order.
+  std::vector<EngineBatch> drain();
+
+  /// Queued (admitted but not yet batched) requests across all models.
+  std::size_t queued() const;
+
+  /// Forgets all queued requests and worker bookkeeping for a fresh run;
+  /// the recipe cache and lifetime counters are kept. The driver resets its
+  /// clock alongside (VirtualClock::reset).
+  void reset();
+
+  /// Optimizes every (model, configured batch size, worker device class)
+  /// triple into the recipe cache up front, fanning the misses out over
+  /// `threads` host threads (<= 0 = one per hardware thread). The cached
+  /// results are identical to lazy misses — prewarming changes wall-clock
+  /// cost, never engine-clock latencies.
+  void prewarm(const std::vector<std::string>& models, int threads = 1);
+
+  /// Lifetime Optimizer invocation/measurement counters (across resets).
+  EngineCounters counters() const;
+
+  /// The recipe cache this engine resolves schedules through.
+  ShardedRecipeCache& cache() { return *cache_; }
+  const ShardedRecipeCache& cache() const { return *cache_; }
+
+  /// The normalized options (batch sizes deduplicated/sorted, worker count
+  /// clamped, device names canonicalized) the engine actually runs with.
+  const ServerOptions& options() const { return options_; }
+
+  /// Per-worker busy time (summed service) since the last reset.
+  const std::vector<double>& worker_busy() const { return worker_busy_; }
+
+  /// Worker index -> device-class index (into device_classes()).
+  const std::vector<int>& worker_class() const { return worker_class_; }
+
+  /// Canonical device name per class, pool order (one entry when
+  /// homogeneous).
+  std::vector<std::string> device_classes() const;
+
+  /// Worker instances per class, matching device_classes().
+  std::vector<int> class_counts() const;
+
+  /// The injected time source (e.g. for drivers that need to re-read now).
+  TimeSource& clock() { return *clock_; }
+
+ private:
+  /// One device class the engine's workers are typed by.
+  struct WorkerClass {
+    std::string device;    ///< canonical device name
+    std::string key_part;  ///< "\n<device>\nbatch=" serving-key fragment
+    int count = 1;         ///< workers of this class
+  };
+
+  /// One model's pending queue.
+  struct ModelQueue {
+    std::deque<EngineRequest> pending;  ///< arrival order
+    double flush_at = std::numeric_limits<double>::infinity();
+    long arm_seq = 0;  ///< when flush_at was (re)armed — DES event order
+  };
+
+  /// Resolves the full cached recipe for (model, batch) on worker class
+  /// `cls` through the sharded cache, invoking the Optimizer on a miss.
+  CachedRecipe resolve(const std::string& model, int batch, std::size_t cls,
+                       bool* computed = nullptr);
+
+  /// resolve, but returning only the service latency — the per-batch hot
+  /// path, which must not copy a Schedule per dispatch.
+  double resolve_latency(const std::string& model, int batch, std::size_t cls,
+                         bool* computed = nullptr);
+
+  /// Runs the Optimizer for (model, batch) on `device` and accounts it in
+  /// the lifetime counters — the compute function behind both resolve
+  /// flavors.
+  CachedRecipe optimize_config(const std::string& model, int batch,
+                               const std::string& device);
+
+  /// The cache key for (model, batch) on worker class `cls` under this
+  /// engine's options (serving_cache_key with the constant device/config
+  /// suffixes precomputed).
+  std::string cache_key(const std::string& model, int batch,
+                        std::size_t cls) const;
+
+  /// Closes a batch of the first `size` queued requests of `q` at time
+  /// `now`, resolves its per-class service times, and routes it (see the
+  /// file comment). Appends to `out`.
+  void form_batch(const std::string& model, ModelQueue& q, int size,
+                  double now, std::vector<EngineBatch>& out);
+
+  /// The largest allowed batch size fitting `len` queued requests; a queue
+  /// shorter than the smallest allowed size is flushed whole.
+  int deadline_batch_size(std::size_t len) const;
+
+  /// Re-arms `q`'s flush deadline for its current oldest request.
+  void arm_flush(ModelQueue& q);
+
+  /// Flushes one due queue at `now` (the poll/drain inner loop).
+  void flush_queue(const std::string& model, ModelQueue& q, double now,
+                   bool ignore_deadline, std::vector<EngineBatch>& out);
+
+  /// Reads the clock and enforces monotonicity across engine calls.
+  double advance_now();
+
+  ServerOptions options_;
+  TimeSource* clock_;
+  /// Worker classes (one for a homogeneous configuration, pool order
+  /// otherwise) and each worker's class index; built once in the ctor.
+  std::vector<WorkerClass> classes_;
+  std::vector<int> worker_class_;
+  std::string config_key_part_;
+  std::shared_ptr<ShardedRecipeCache> cache_;
+  /// Capacity 1: the sharded cache is the serving store; the facade's own
+  /// cache (keyed by full graph JSON) would otherwise hold every recipe a
+  /// second time.
+  Optimizer optimizer_{1};
+
+  // ---- per-run state (cleared by reset) ----
+  std::map<std::string, ModelQueue> queues_;  ///< deterministic iteration
+  std::vector<double> worker_free_;
+  std::vector<double> worker_busy_;
+  int next_batch_id_ = 0;
+  long next_arm_seq_ = 0;
+  double last_now_ = 0;
+  /// Scratch: per-class service times of the batch being formed (kept out
+  /// of the per-dispatch hot loop).
+  std::vector<double> service_;
+
+  mutable std::mutex counters_mu_;
+  EngineCounters counters_;
+};
+
+/// Builds the per-request records and aggregate statistics from a stream of
+/// engine batches — the one summarization path shared by the DES Server and
+/// any engine driver (pinned by the DES/engine equivalence tests). Request
+/// ids must lie in [0, num_requests); `records` come back in id order.
+ServingResult summarize(std::vector<EngineBatch> batches,
+                        const ServingEngine& engine, std::size_t num_requests);
+
+/// The recipe-cache key material for serving lookups: model, canonical
+/// device name, batch size, and the scheduler/profiling settings that can
+/// change the found schedule. Cheap to build (no graph serialization) —
+/// suitable for the per-batch hot path.
+std::string serving_cache_key(const std::string& model,
+                              const std::string& device, int batch,
+                              const SchedulerOptions& options,
+                              const ProfilingProtocol& protocol);
+
+}  // namespace ios::serve

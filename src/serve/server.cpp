@@ -1,174 +1,25 @@
 #include "serve/server.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
 #include <limits>
-#include <map>
-#include <queue>
 #include <stdexcept>
-#include <tuple>
 #include <utility>
 
-#include "sim/device.hpp"
-#include "util/stats.hpp"
-#include "util/thread_pool.hpp"
-
 namespace ios::serve {
-
-namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-// Tolerance when comparing simulated times (they are sums of doubles).
-constexpr double kTimeEps = 1e-9;
-
-ServerOptions normalize(ServerOptions options) {
-  if (options.batching.batch_sizes.empty()) {
-    throw std::invalid_argument("Server: batching.batch_sizes is empty");
-  }
-  for (int b : options.batching.batch_sizes) {
-    if (b < 1) {
-      throw std::invalid_argument("Server: batch sizes must be >= 1");
-    }
-  }
-  std::sort(options.batching.batch_sizes.begin(),
-            options.batching.batch_sizes.end());
-  options.batching.batch_sizes.erase(
-      std::unique(options.batching.batch_sizes.begin(),
-                  options.batching.batch_sizes.end()),
-      options.batching.batch_sizes.end());
-  if (options.batching.max_queue_delay_us < 0) {
-    throw std::invalid_argument("Server: max_queue_delay_us must be >= 0");
-  }
-  options.num_workers = std::max(1, options.num_workers);
-  // Reject inconsistent scheduler settings at construction, not on the
-  // first cache miss.
-  options.scheduler.validate();
-  if (options.pool.empty()) {
-    // Canonicalize (and validate) the device name once, up front.
-    options.device = device_by_name(options.device).name;
-  } else {
-    // Pool classes must be registry devices (recipes are resolved through
-    // the Optimizer by name); canonicalize them and size the worker fleet.
-    options.pool.validate();
-    for (DeviceClass& c : options.pool.classes) {
-      c.spec.name = device_by_name(c.spec.name).name;
-    }
-    options.device = options.pool.classes.front().spec.name;
-    options.num_workers = options.pool.total_devices();
-  }
-  return options;
-}
-
-}  // namespace
-
-std::string serving_cache_key(const std::string& model,
-                              const std::string& device, int batch,
-                              const SchedulerOptions& options,
-                              const ProfilingProtocol& protocol) {
-  std::string key = model;
-  key += '\n';
-  key += device;
-  key += "\nbatch=" + std::to_string(batch);
-  key += '\n';
-  key += scheduler_config_key(options, protocol);
-  return key;
-}
 
 Server::Server(ServerOptions options)
     : Server(std::move(options), nullptr) {}
 
 Server::Server(ServerOptions options, std::shared_ptr<ShardedRecipeCache> cache)
-    : options_(normalize(std::move(options))),
-      config_key_part_(
-          '\n' + scheduler_config_key(options_.scheduler, options_.protocol)),
-      cache_(cache ? std::move(cache)
-                   : std::make_shared<ShardedRecipeCache>(options_.cache)) {
-  if (options_.pool.empty()) {
-    classes_.push_back(WorkerClass{options_.device,
-                                   '\n' + options_.device + "\nbatch=",
-                                   options_.num_workers});
-  } else {
-    for (const DeviceClass& c : options_.pool.classes) {
-      classes_.push_back(WorkerClass{
-          c.spec.name, '\n' + c.spec.name + "\nbatch=", c.count});
-    }
-  }
-  for (std::size_t c = 0; c < classes_.size(); ++c) {
-    for (int i = 0; i < classes_[c].count; ++i) {
-      worker_class_.push_back(static_cast<int>(c));
-    }
-  }
-}
-
-std::string Server::cache_key(const std::string& model, int batch,
-                              std::size_t cls) const {
-  // Equivalent to serving_cache_key(model, class device, batch, ...) with
-  // the constant parts preassembled (pinned by ServingCacheKey tests).
-  return model + classes_[cls].key_part + std::to_string(batch) +
-         config_key_part_;
-}
-
-CachedRecipe Server::optimize_config(const std::string& model, int batch,
-                                     const std::string& device) {
-  OptimizationRequest request =
-      OptimizationRequest::for_model(model, device, batch);
-  request.options = options_.scheduler;
-  request.protocol = options_.protocol;
-  request.profile_db = options_.profile_db;
-  request.baselines.clear();  // serving needs the schedule, not comparisons
-  const OptimizationResult result = optimizer_.optimize(request);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++total_optimizations_;
-    total_measurements_ += result.new_measurements;
-  }
-  return CachedRecipe{result.schedule, result.latency_us, result.stats,
-                      result.new_measurements};
-}
-
-CachedRecipe Server::resolve(const std::string& model, int batch,
-                             std::size_t cls, bool* computed) {
-  return cache_->get_or_compute(
-      cache_key(model, batch, cls),
-      [&] { return optimize_config(model, batch, classes_[cls].device); },
-      computed);
-}
-
-double Server::resolve_latency(const std::string& model, int batch,
-                               std::size_t cls, bool* computed) {
-  return cache_->latency_or_compute(
-      cache_key(model, batch, cls),
-      [&] { return optimize_config(model, batch, classes_[cls].device); },
-      computed);
-}
+    : engine_(std::move(options), &clock_, std::move(cache)) {}
 
 void Server::prewarm(const std::vector<std::string>& models, int threads) {
-  struct Config {
-    const std::string* model;
-    int batch;
-    std::size_t cls;
-  };
-  std::vector<Config> configs;
-  for (const std::string& model : models) {
-    for (int batch : options_.batching.batch_sizes) {
-      for (std::size_t cls = 0; cls < classes_.size(); ++cls) {
-        configs.push_back(Config{&model, batch, cls});
-      }
-    }
-  }
-  // Misses fan out over the shared process-wide pool (no per-call pool
-  // spawn); the inner wave searches draw from the same pool, nesting-safe.
-  parallel_for(configs.size(), threads, [&](std::size_t i) {
-    resolve(*configs[i].model, configs[i].batch, configs[i].cls);
-  });
+  engine_.prewarm(models, threads);
 }
 
 ServingResult Server::run(const Trace& trace) {
-  ServingResult result;
-  result.records.resize(trace.requests.size());
-  if (trace.requests.empty()) return result;
-
+  if (trace.requests.empty()) {
+    return summarize({}, engine_, 0);
+  }
   for (std::size_t i = 1; i < trace.requests.size(); ++i) {
     if (trace.requests[i].arrival_us < trace.requests[i - 1].arrival_us) {
       throw std::invalid_argument(
@@ -176,225 +27,41 @@ ServingResult Server::run(const Trace& trace) {
     }
   }
 
-  // ---- simulation state -----------------------------------------------
-  struct ModelQueue {
-    int id = 0;               // index into `names` (flush-event payload)
-    std::deque<int> pending;  // request indices, arrival order
-    double flush_at = kInf;   // deadline of the currently armed flush event
+  // Fresh simulation: the engine forgets queues and worker bookkeeping (but
+  // keeps the recipe cache and lifetime counters), and time restarts at 0.
+  engine_.reset();
+  clock_.reset();
+
+  std::vector<EngineBatch> batches;
+  const auto collect = [&](std::vector<EngineBatch> formed) {
+    for (EngineBatch& b : formed) batches.push_back(std::move(b));
   };
-  // std::map: deterministic iteration order (not that the DES relies on it).
-  std::map<std::string, ModelQueue> queues;
 
-  // Min-heap of (time, sequence, kind, payload). kind 0 = arrival (payload =
-  // request index), kind 1 = flush deadline (payload = index into `names`).
-  using Event = std::tuple<double, long, int, int>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
-  long seq = 0;
-  std::vector<std::string> names;  // flush payload -> model name
-
-  std::vector<double> worker_free(
-      static_cast<std::size_t>(options_.num_workers), 0.0);
-  std::vector<double> worker_busy(
-      static_cast<std::size_t>(options_.num_workers), 0.0);
-
-  const std::vector<int>& sizes = options_.batching.batch_sizes;
-  const int max_batch = sizes.back();
-  const double delay = options_.batching.max_queue_delay_us;
-
+  // The DES event loop: deadlines strictly before the next arrival fire
+  // first; an arrival coinciding with a deadline is admitted first (it may
+  // complete a full batch the flush would otherwise split) — the (time,
+  // seq) order of the pre-extraction event heap, where every arrival
+  // outranked every later-armed flush event at equal times.
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
-    events.emplace(trace.requests[i].arrival_us, seq++, 0,
-                   static_cast<int>(i));
-  }
-
-  const auto arrival_of = [&](int index) {
-    return trace.requests[static_cast<std::size_t>(index)].arrival_us;
-  };
-
-  // Reused per formed batch: service time of the batch on every worker
-  // class (a per-dispatch allocation here would sit in the DES hot loop).
-  std::vector<double> service(classes_.size());
-
-  // Closes a batch of the first `size` queued requests of `model` at
-  // simulated time `now` and dispatches it to the worker minimizing its
-  // predicted completion, ties broken by the earlier-free worker (queue
-  // depth) and then the lower index. With one device class this reduces to
-  // FIFO list scheduling on the first worker that frees up.
-  const auto form_batch = [&](const std::string& model, ModelQueue& q,
-                              int size, double now) {
-    BatchRecord batch;
-    batch.id = static_cast<int>(result.batches.size());
-    batch.model = model;
-    batch.size = size;
-    batch.formed_us = now;
-
-    // Service time of this (model, size) on every worker class — the
-    // routing decision needs all of them.
-    double min_service = kInf;
-    for (std::size_t c = 0; c < classes_.size(); ++c) {
-      bool computed = false;
-      service[c] = resolve_latency(model, size, c, &computed);
-      ++(computed ? result.stats.cache_misses : result.stats.cache_hits);
-      min_service = std::min(min_service, service[c]);
+    const TraceRequest& request = trace.requests[i];
+    while (engine_.next_deadline_us() < request.arrival_us) {
+      clock_.advance_to(engine_.next_deadline_us());
+      collect(engine_.poll());
     }
-
-    // Routing score: predicted completion plus the service-time inflation
-    // over the batch's best class. The inflation term charges a misroute
-    // the extra device time it burns, so under saturation each class keeps
-    // the work it is best at; when the best class is backlogged the batch
-    // still spills to a worker that genuinely finishes it sooner. With one
-    // class the term is zero and this is plain FIFO list scheduling.
-    int worker = 0;
-    double best_score = kInf;
-    for (int w = 0; w < options_.num_workers; ++w) {
-      const auto wi = static_cast<std::size_t>(w);
-      const double svc = service[static_cast<std::size_t>(worker_class_[wi])];
-      const double score =
-          std::max(now, worker_free[wi]) + svc + (svc - min_service);
-      if (score < best_score ||
-          (score == best_score &&
-           worker_free[wi] < worker_free[static_cast<std::size_t>(worker)])) {
-        best_score = score;
-        worker = w;
-      }
-    }
-    const auto wi = static_cast<std::size_t>(worker);
-    const std::size_t cls = static_cast<std::size_t>(worker_class_[wi]);
-    batch.service_us = service[cls];
-    batch.worker = worker;
-    batch.device = classes_[cls].device;
-    batch.start_us = std::max(now, worker_free[wi]);
-    batch.completion_us = batch.start_us + batch.service_us;
-    worker_free[wi] = batch.completion_us;
-    worker_busy[wi] += batch.service_us;
-
-    for (int k = 0; k < size; ++k) {
-      const int index = q.pending.front();
-      q.pending.pop_front();
-      RequestRecord& r = result.records[static_cast<std::size_t>(index)];
-      r.index = index;
-      r.model = model;
-      r.arrival_us = arrival_of(index);
-      r.dispatch_us = batch.start_us;
-      r.completion_us = batch.completion_us;
-      r.latency_us = batch.completion_us - r.arrival_us;
-      r.batch_size = size;
-      r.batch_id = batch.id;
-      r.worker = worker;
-      r.device = batch.device;
-    }
-    result.batches.push_back(std::move(batch));
-  };
-
-  // The largest allowed batch size that fits `len` queued requests; a queue
-  // shorter than the smallest allowed size is flushed whole.
-  const auto deadline_batch_size = [&](std::size_t len) {
-    int best = 0;
-    for (int s : sizes) {
-      if (static_cast<std::size_t>(s) <= len) best = s;
-    }
-    return best > 0 ? best : static_cast<int>(len);
-  };
-
-  // (Re)arms the flush event for the queue's current oldest request.
-  const auto arm_flush = [&](ModelQueue& q) {
-    if (q.pending.empty()) {
-      q.flush_at = kInf;
-      return;
-    }
-    const double t = arrival_of(q.pending.front()) + delay;
-    if (q.flush_at != t) {
-      q.flush_at = t;
-      events.emplace(t, seq++, 1, q.id);
-    }
-  };
-
-  // ---- event loop ------------------------------------------------------
-  while (!events.empty()) {
-    const auto [now, s, kind, payload] = events.top();
-    events.pop();
-    (void)s;
-    if (kind == 0) {  // arrival
-      const std::string& model =
-          trace.requests[static_cast<std::size_t>(payload)].model;
-      const auto [it, inserted] = queues.try_emplace(model);
-      ModelQueue& q = it->second;
-      if (inserted) {
-        q.id = static_cast<int>(names.size());
-        names.push_back(model);
-      }
-      q.pending.push_back(payload);
-      while (static_cast<int>(q.pending.size()) >= max_batch) {
-        form_batch(model, q, max_batch, now);
-      }
-      arm_flush(q);
-    } else {  // flush deadline
-      const std::string& model = names[static_cast<std::size_t>(payload)];
-      ModelQueue& q = queues[model];
-      if (q.flush_at != now) continue;  // stale event: the queue moved on
-      q.flush_at = kInf;
-      while (!q.pending.empty() &&
-             now >= arrival_of(q.pending.front()) + delay - kTimeEps) {
-        form_batch(model, q, deadline_batch_size(q.pending.size()), now);
-      }
-      arm_flush(q);
-    }
+    clock_.advance_to(request.arrival_us);
+    collect(engine_.submit(static_cast<std::int64_t>(i), request.model));
+  }
+  while (engine_.next_deadline_us() < std::numeric_limits<double>::infinity()) {
+    clock_.advance_to(engine_.next_deadline_us());
+    collect(engine_.poll());
   }
 
-  // ---- aggregates ------------------------------------------------------
-  ServingStats& stats = result.stats;
-  stats.requests = static_cast<std::int64_t>(result.records.size());
-  stats.batches = static_cast<std::int64_t>(result.batches.size());
-  std::vector<double> latencies, waits;
-  latencies.reserve(result.records.size());
-  waits.reserve(result.records.size());
-  for (const RequestRecord& r : result.records) {
-    latencies.push_back(r.latency_us);
-    waits.push_back(r.dispatch_us - r.arrival_us);
-  }
-  for (const BatchRecord& b : result.batches) {
-    stats.makespan_us = std::max(stats.makespan_us, b.completion_us);
-  }
-  if (stats.makespan_us > 0) {
-    stats.throughput_rps =
-        static_cast<double>(stats.requests) / (stats.makespan_us / 1e6);
-    double busy = 0;
-    for (double b : worker_busy) busy += b;
-    stats.worker_utilization =
-        busy / (static_cast<double>(options_.num_workers) * stats.makespan_us);
-  }
-  stats.mean_latency_us = mean(latencies);
-  stats.mean_queue_wait_us = mean(waits);
-  std::sort(latencies.begin(), latencies.end());
-  stats.p50_latency_us = percentile_sorted(latencies, 50);
-  stats.p95_latency_us = percentile_sorted(latencies, 95);
-  stats.p99_latency_us = percentile_sorted(latencies, 99);
-  stats.max_latency_us = latencies.back();
-  stats.mean_batch_size = static_cast<double>(stats.requests) /
-                          static_cast<double>(stats.batches);
-  // Per-class load picture (one row for a homogeneous server).
-  result.device_loads.resize(classes_.size());
-  for (std::size_t c = 0; c < classes_.size(); ++c) {
-    result.device_loads[c].device = classes_[c].device;
-    result.device_loads[c].devices = classes_[c].count;
-  }
-  for (int w = 0; w < options_.num_workers; ++w) {
-    result.device_loads[static_cast<std::size_t>(worker_class_[
-        static_cast<std::size_t>(w)])].busy_us +=
-        worker_busy[static_cast<std::size_t>(w)];
-  }
-  for (const BatchRecord& b : result.batches) {
-    ++result.device_loads[static_cast<std::size_t>(
-        worker_class_[static_cast<std::size_t>(b.worker)])].batches;
-  }
-  if (stats.makespan_us > 0) {
-    for (DeviceLoad& load : result.device_loads) {
-      load.utilization = load.busy_us / (load.devices * stats.makespan_us);
-    }
-  }
+  ServingResult result =
+      summarize(std::move(batches), engine_, trace.requests.size());
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    total_requests_ += stats.requests;
-    total_batches_ += stats.batches;
+    total_requests_ += result.stats.requests;
+    total_batches_ += result.stats.batches;
   }
   return result;
 }
@@ -405,10 +72,11 @@ ServerStats Server::stats() const {
     std::lock_guard<std::mutex> lock(stats_mu_);
     s.requests = total_requests_;
     s.batches = total_batches_;
-    s.optimizations = total_optimizations_;
-    s.measurements = total_measurements_;
   }
-  s.cache = cache_->stats();
+  const EngineCounters counters = engine_.counters();
+  s.optimizations = counters.optimizations;
+  s.measurements = counters.measurements;
+  s.cache = engine_.cache().stats();
   return s;
 }
 

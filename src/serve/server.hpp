@@ -1,162 +1,38 @@
 #pragma once
-// ios::serve::Server — the inference-serving front end over the paper's
-// optimizer. IOS (the paper) finds the best schedule for one (model, device,
-// batch) point; the Server is the layer that makes those schedules pay off
-// under multi-user load: it admits a trace of single-sample requests on a
-// deterministic simulated clock, coalesces each model's queue into the
-// nearest optimized batch size (dynamic batching), resolves the schedule for
-// that batch through a sharded LRU recipe cache (invoking the ios::Optimizer
-// on a miss, so every configuration is searched at most once), and replays
-// the chosen Schedule on one of N simulated executor workers.
+// ios::serve::Server — the deterministic, simulated-clock front end over
+// the clock-agnostic ServingEngine (serve/engine.hpp). The engine makes
+// every batching, schedule-resolution, and routing decision; the Server is
+// a thin discrete-event driver that owns a VirtualClock and advances it
+// through the two event kinds of a served trace:
+//
+//   * request arrival    -> clock to the arrival time, engine.submit()
+//                           (greedy full-batch formation)
+//   * batching deadline  -> clock to engine.next_deadline_us(),
+//                           engine.poll() (deadline flush)
+//
+// with deadlines strictly before an arrival processed first and arrivals
+// winning ties — the exact (time, seq) order of the event heap the DES used
+// before the engine was extracted, pinned bit-for-bit by the equivalence
+// suite in tests/engine_test.cpp. The network daemon (net/daemon.hpp)
+// drives the same engine with a WallClock, which is what makes this Server
+// the deterministic test harness for the production data path.
 //
 // Everything the server reports — per-request latency, batch timelines,
-// throughput and tail percentiles — is derived from the simulated clock, so
-// a fixed trace and configuration always produce bit-identical results,
+// throughput and tail percentiles — is derived from the virtual clock, so a
+// fixed trace and configuration always produce bit-identical results,
 // independent of host thread scheduling. Optimization happens off the
-// simulated clock (it is the paper's offline cost) but is fully accounted in
-// the server counters.
-//
-// Event model (discrete-event simulation):
-//   * request arrival    -> enqueue on the model's queue; greedily form
-//                           full max-size batches
-//   * batching deadline  -> the oldest queued request has waited
-//                           max_queue_delay_us; flush the queue into the
-//                           largest allowed batch that fits
-//   * batch formed       -> dispatched to the worker minimizing predicted
-//                           completion time max(now, free) + service, where
-//                           service is the cached schedule latency for that
-//                           batch size *on the worker's device class*; ties
-//                           fall back on queue depth (the earlier-free
-//                           worker). For a homogeneous server this is
-//                           exactly FIFO list scheduling; for a device pool
-//                           (ServerOptions::pool) it is device-aware
-//                           routing — a fast-but-busy class loses to a
-//                           slower-but-idle one only when that actually
-//                           finishes the batch earlier.
+// simulated clock (it is the paper's offline cost) but is fully accounted
+// in the server counters.
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
-#include "api/optimizer.hpp"
-#include "place/pool.hpp"
-#include "serve/recipe_cache.hpp"
-#include "serve/trace.hpp"
+#include "serve/engine.hpp"
 
 namespace ios::serve {
-
-/// How the dynamic batcher coalesces a model's request queue.
-struct BatchingPolicy {
-  /// Batch sizes the batcher may form (deduplicated and sorted ascending by
-  /// the Server). A queue reaching the largest size is flushed immediately;
-  /// a deadline flush picks the largest entry that fits the queue. The
-  /// degenerate policy {1} disables batching entirely.
-  std::vector<int> batch_sizes = {1, 2, 4, 8};
-  /// Max time a request may wait in the queue before its model's queue is
-  /// force-flushed, in simulated microseconds.
-  double max_queue_delay_us = 2000;
-};
-
-/// Server configuration.
-struct ServerOptions {
-  /// Device short or full name (device_names()); all workers simulate it.
-  /// Ignored when `pool` is non-empty.
-  std::string device = "v100";
-  /// Heterogeneous device pool (e.g. pool_from_spec("p100,1080tix2")). When
-  /// non-empty, the server runs one executor worker per pool device
-  /// instance, each typed by its device class: schedules are resolved per
-  /// (model, class, batch) — every class gets its own optimized recipe —
-  /// and the batcher routes each formed batch to the worker minimizing its
-  /// predicted completion time (ties fall back on queue depth, i.e. the
-  /// earlier-free worker). Class names must be registry devices
-  /// (device_names()); `device` and `num_workers` are ignored.
-  DevicePool pool{};
-  /// Number of executor workers replaying batches concurrently (clamped
-  /// to >= 1). With a pool, the worker count is the pool's total device
-  /// count instead.
-  int num_workers = 1;
-  /// Dynamic-batching policy shared by all model queues.
-  BatchingPolicy batching{};
-  /// DP-search options forwarded to the Optimizer on recipe-cache misses.
-  SchedulerOptions scheduler{};
-  /// Profiling protocol forwarded to the Optimizer on recipe-cache misses.
-  ProfilingProtocol protocol{};
-  /// Sizing of the sharded recipe cache (ignored when the Server is built
-  /// around an external cache).
-  RecipeCacheOptions cache{};
-  /// Persistable profiling-database path forwarded to every Optimizer run a
-  /// sharded-cache miss triggers (see OptimizationRequest::profile_db). A
-  /// warm-started server whose previous life profiled the same
-  /// (model, device, batch) configurations re-runs zero simulations.
-  std::string profile_db;
-};
-
-/// Per-request outcome of a served trace.
-struct RequestRecord {
-  int index = 0;            ///< position of the request in the trace
-  std::string model;        ///< model the request asked for
-  double arrival_us = 0;    ///< simulated arrival time
-  double dispatch_us = 0;   ///< when its batch started on a worker
-  double completion_us = 0; ///< when its batch finished
-  double latency_us = 0;    ///< completion - arrival (queueing + service)
-  int batch_size = 0;       ///< size of the coalesced batch it rode in
-  int batch_id = 0;         ///< id of that batch (index into batch records)
-  int worker = 0;           ///< executor worker that ran the batch
-  std::string device;       ///< device class of that worker
-};
-
-/// Per-batch outcome of a served trace.
-struct BatchRecord {
-  int id = 0;               ///< dense batch id, formation order
-  std::string model;        ///< model of every request in the batch
-  int size = 0;             ///< number of coalesced requests
-  double formed_us = 0;     ///< when the batcher closed the batch
-  double start_us = 0;      ///< when a worker started executing it
-  double completion_us = 0; ///< start + service time
-  double service_us = 0;    ///< schedule latency at this batch size
-  int worker = 0;           ///< executor worker it ran on
-  std::string device;       ///< device class it ran on
-};
-
-/// Aggregates of one Server::run call, all on the simulated clock.
-struct ServingStats {
-  std::int64_t requests = 0;       ///< requests served
-  std::int64_t batches = 0;        ///< batches formed
-  double makespan_us = 0;          ///< completion time of the last batch
-  double throughput_rps = 0;       ///< requests per simulated second
-  double mean_latency_us = 0;      ///< mean request latency
-  double p50_latency_us = 0;       ///< median request latency
-  double p95_latency_us = 0;       ///< 95th percentile request latency
-  double p99_latency_us = 0;       ///< 99th percentile request latency
-  double max_latency_us = 0;       ///< worst request latency
-  double mean_queue_wait_us = 0;   ///< mean dispatch - arrival
-  double mean_batch_size = 0;      ///< requests / batches
-  double worker_utilization = 0;   ///< busy time / (workers * makespan)
-  /// Recipe-cache hits by this run's own lookups (counted per lookup, not
-  /// diffed from the cache's global counters — exact even when several
-  /// servers share one cache concurrently).
-  std::int64_t cache_hits = 0;
-  std::int64_t cache_misses = 0;   ///< recipe-cache misses by this run
-};
-
-/// Per-device-class aggregates of one run (one entry per pool class; a
-/// single entry for a homogeneous server).
-struct DeviceLoad {
-  std::string device;        ///< device class name
-  int devices = 1;           ///< worker instances of the class
-  std::int64_t batches = 0;  ///< batches the class executed
-  double busy_us = 0;        ///< summed service time across its workers
-  double utilization = 0;    ///< busy / (devices * makespan)
-};
-
-/// Everything a served trace produced.
-struct ServingResult {
-  std::vector<RequestRecord> records;  ///< per request, trace order
-  std::vector<BatchRecord> batches;    ///< per batch, formation order
-  ServingStats stats;                  ///< aggregates of this run
-  std::vector<DeviceLoad> device_loads;  ///< per device class, pool order
-};
 
 /// Lifetime counters of a Server, across every run() and prewarm() call.
 struct ServerStats {
@@ -167,10 +43,9 @@ struct ServerStats {
   RecipeCacheStats cache;          ///< live sharded-cache counters
 };
 
-/// The serving front end: admits request traces on a deterministic
-/// simulated clock, batches them dynamically, resolves schedules through
-/// the sharded recipe cache, and replays them on N simulated executor
-/// workers (see the file comment for the event model).
+/// The simulated-clock serving front end: a DES adapter replaying request
+/// traces through the shared ServingEngine (see the file comment for the
+/// event model).
 class Server {
  public:
   /// Builds a server with its own sharded recipe cache sized by
@@ -182,7 +57,7 @@ class Server {
   /// other's optimized schedules. `cache` must not be null.
   Server(ServerOptions options, std::shared_ptr<ShardedRecipeCache> cache);
 
-  /// Replays the trace on the simulated clock and returns per-request
+  /// Replays the trace on the virtual clock and returns per-request
   /// records plus aggregate statistics. Deterministic: the same trace and
   /// options always yield identical results. Requests must arrive in
   /// non-decreasing time order (throws std::invalid_argument otherwise);
@@ -191,12 +66,12 @@ class Server {
 
   /// Optimizes every (model, configured batch size, worker device class)
   /// triple into the recipe cache up front, fanning the misses out over
-  /// `threads` host threads
-  /// (<= 0 = one per hardware thread). Serving then only misses on batch
-  /// sizes outside the configured list (a deadline flush of a queue shorter
-  /// than the smallest configured size serves the queue whole); those are
-  /// resolved lazily. The cached results are identical to lazy misses —
-  /// prewarming changes wall-clock cost, never simulated latencies.
+  /// `threads` host threads (<= 0 = one per hardware thread). Serving then
+  /// only misses on batch sizes outside the configured list (a deadline
+  /// flush of a queue shorter than the smallest configured size serves the
+  /// queue whole); those are resolved lazily. The cached results are
+  /// identical to lazy misses — prewarming changes wall-clock cost, never
+  /// simulated latencies.
   void prewarm(const std::vector<std::string>& models, int threads = 1);
 
   /// Lifetime counters: requests/batches served, Optimizer invocations, and
@@ -204,72 +79,23 @@ class Server {
   ServerStats stats() const;
 
   /// The recipe cache this server resolves schedules through.
-  ShardedRecipeCache& cache() { return *cache_; }
+  ShardedRecipeCache& cache() { return engine_.cache(); }
 
   /// The normalized options (batch sizes deduplicated/sorted, worker count
   /// clamped) the server actually runs with.
-  const ServerOptions& options() const { return options_; }
+  const ServerOptions& options() const { return engine_.options(); }
+
+  /// The underlying clock-agnostic engine (shared with the daemon design;
+  /// exposed for the DES/engine equivalence tests).
+  ServingEngine& engine() { return engine_; }
 
  private:
-  /// One device class the server's workers are typed by: a homogeneous
-  /// server has exactly one (options.device x num_workers); a pool server
-  /// has one per pool class.
-  struct WorkerClass {
-    std::string device;    ///< canonical device name
-    std::string key_part;  ///< "\n<device>\nbatch=" serving-key fragment
-    int count = 1;         ///< workers of this class
-  };
-
-  /// Resolves the full cached recipe for (model, batch) on worker class
-  /// `cls` through the sharded cache, invoking the Optimizer on a miss.
-  /// `computed`, when non-null, reports whether this call ran the Optimizer
-  /// (a miss).
-  CachedRecipe resolve(const std::string& model, int batch, std::size_t cls,
-                       bool* computed = nullptr);
-
-  /// resolve, but returning only the service latency — the per-batch hot
-  /// path, which must not copy a Schedule per dispatch.
-  double resolve_latency(const std::string& model, int batch, std::size_t cls,
-                         bool* computed = nullptr);
-
-  /// Runs the Optimizer for (model, batch) on `device` and accounts it in
-  /// the lifetime counters — the compute function behind both resolve
-  /// flavors.
-  CachedRecipe optimize_config(const std::string& model, int batch,
-                               const std::string& device);
-
-  /// The cache key for (model, batch) on worker class `cls` under this
-  /// server's options (serving_cache_key with the constant device/config
-  /// suffixes precomputed).
-  std::string cache_key(const std::string& model, int batch,
-                        std::size_t cls) const;
-
-  ServerOptions options_;
-  /// Worker classes (one for a homogeneous server, pool order otherwise)
-  /// and each worker's class index; built once in the constructor.
-  std::vector<WorkerClass> classes_;
-  std::vector<int> worker_class_;
-  std::string config_key_part_;
-  std::shared_ptr<ShardedRecipeCache> cache_;
-  /// Capacity 1: the sharded cache is the serving store; the facade's own
-  /// cache (keyed by full graph JSON) would otherwise hold every recipe a
-  /// second time.
-  Optimizer optimizer_{1};
+  VirtualClock clock_;
+  ServingEngine engine_;
 
   mutable std::mutex stats_mu_;
   std::int64_t total_requests_ = 0;
   std::int64_t total_batches_ = 0;
-  std::int64_t total_optimizations_ = 0;
-  std::int64_t total_measurements_ = 0;
 };
-
-/// The recipe-cache key material for serving lookups: model, canonical
-/// device name, batch size, and the scheduler/profiling settings that can
-/// change the found schedule. Cheap to build (no graph serialization) —
-/// suitable for the per-batch hot path.
-std::string serving_cache_key(const std::string& model,
-                              const std::string& device, int batch,
-                              const SchedulerOptions& options,
-                              const ProfilingProtocol& protocol);
 
 }  // namespace ios::serve

@@ -12,6 +12,21 @@
 
 namespace ios {
 
+/// "known devices: 1080 2080ti k80 ..." — the enumerating suffix every
+/// name-keyed error ends with, also usable on its own for errors that are
+/// not a simple unknown-name lookup (e.g. an empty device-pool spec).
+inline std::string known_names_list(std::string_view kind,
+                                    const std::vector<std::string>& known) {
+  std::string msg = "known ";
+  msg += kind;
+  msg += "s:";
+  for (const std::string& k : known) {
+    msg += ' ';
+    msg += k;
+  }
+  return msg;
+}
+
 /// "unknown device 'foo'; known devices: 1080, 2080ti, k80, ..." — names are
 /// listed in the order given (registries pass them sorted).
 inline std::string unknown_name_message(std::string_view kind,
@@ -21,13 +36,8 @@ inline std::string unknown_name_message(std::string_view kind,
   msg += kind;
   msg += " '";
   msg += name;
-  msg += "'; known ";
-  msg += kind;
-  msg += "s:";
-  for (const std::string& k : known) {
-    msg += ' ';
-    msg += k;
-  }
+  msg += "'; ";
+  msg += known_names_list(kind, known);
   return msg;
 }
 

@@ -6,13 +6,17 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <span>
 #include <vector>
 
 namespace ios {
 
+/// Mean of the sample; an empty sample has no mean and returns quiet NaN
+/// (explicit, not an out-of-bounds read — callers that want 0 for "no data"
+/// must branch themselves).
 inline double mean(std::span<const double> xs) {
-  assert(!xs.empty());
+  if (xs.empty()) return std::numeric_limits<double>::quiet_NaN();
   double s = 0;
   for (double x : xs) s += x;
   return s / static_cast<double>(xs.size());
@@ -54,10 +58,18 @@ inline double max_of(std::span<const double> xs) {
 /// linear interpolation between order statistics — the serving layer reports
 /// p50/p95/p99 tail latencies. Callers extracting several percentiles sort
 /// once and call this repeatedly.
+///
+/// Edge behavior is explicit (pinned by util_test):
+///   * empty sample      -> quiet NaN for every p (there is no order
+///                          statistic to report; a serving run with zero
+///                          requests reports zeroed stats instead of
+///                          calling this);
+///   * one-element sample-> that element for every p, including 0 and 100;
+///   * p = 0 / p = 100   -> the minimum / maximum element exactly.
 inline double percentile_sorted(std::span<const double> sorted, double p) {
-  assert(!sorted.empty());
   assert(p >= 0 && p <= 100);
   assert(std::is_sorted(sorted.begin(), sorted.end()));
+  if (sorted.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (sorted.size() == 1) return sorted[0];
   const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# End-to-end exercise of `ios_opt daemon` + `ios_opt fire`: boot the daemon
+# on an ephemeral loopback port, fire a synthetic trace at it, require every
+# request to come back with a finite p99, then SIGTERM and require a clean
+# graceful drain (exit 0, completed == admitted). Registered with CTest
+# under the `integration` label; also runnable by hand:
+#
+#   tests/e2e_daemon.sh build/ios_opt
+set -euo pipefail
+
+IOS_OPT=${1:?usage: e2e_daemon.sh <path-to-ios_opt>}
+WORKDIR=$(mktemp -d "${TMPDIR:-/tmp}/ios_e2e_daemon.XXXXXX")
+DAEMON_LOG="$WORKDIR/daemon.log"
+FIRE_LOG="$WORKDIR/fire.log"
+DAEMON_PID=""
+
+cleanup() {
+  if [[ -n "$DAEMON_PID" ]] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill -KILL "$DAEMON_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "e2e_daemon: FAIL: $*" >&2
+  echo "---- daemon log ----" >&2
+  cat "$DAEMON_LOG" >&2 || true
+  echo "---- fire log ----" >&2
+  cat "$FIRE_LOG" >&2 || true
+  exit 1
+}
+
+# 1. Boot on an ephemeral port. fig3 is the didactic two-block graph: its
+# recipes optimize in milliseconds, so prewarm keeps the test fast. A small
+# time scale still exercises the executor sleep path.
+"$IOS_OPT" daemon --port 0 --models fig3 --device v100 --workers 2 \
+  --batch-sizes 1,2,4 --max-delay-us 2000 --time-scale 0.05 \
+  >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+PORT=""
+for _ in $(seq 1 150); do
+  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+    "$DAEMON_LOG" | head -n 1)
+  [[ -n "$PORT" ]] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died before listening"
+  sleep 0.2
+done
+[[ -n "$PORT" ]] || fail "daemon never printed its listening port"
+echo "e2e_daemon: daemon up on port $PORT (pid $DAEMON_PID)"
+
+# 2. Fire a trace and require a fully-served run with a finite p99.
+"$IOS_OPT" fire --port "$PORT" --models fig3 --requests 120 --rate 2000 \
+  --seed 7 >"$FIRE_LOG" 2>&1 || fail "fire exited nonzero"
+grep -q " 120 ok, 0 errors" "$FIRE_LOG" || fail "not all 120 requests served"
+P99=$(sed -n 's/.*p99 \([0-9.][0-9.]*\).*/\1/p' "$FIRE_LOG" | head -n 1)
+[[ -n "$P99" ]] || fail "no p99 in fire output (nan/inf?)"
+echo "e2e_daemon: 120/120 served, p99 ${P99} us"
+
+# 3. Graceful drain on SIGTERM: exit 0 and a drain summary accounting for
+# every admitted request.
+kill -TERM "$DAEMON_PID"
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+[[ "$DAEMON_STATUS" -eq 0 ]] || fail "daemon exited $DAEMON_STATUS on SIGTERM"
+grep -q "drained" "$DAEMON_LOG" || fail "no drain summary in daemon log"
+grep -q "120 admitted, 120 completed, 0 rejected" "$DAEMON_LOG" \
+  || fail "drain summary does not account for all 120 requests"
+DAEMON_PID=""
+
+echo "e2e_daemon: PASS"

@@ -1,0 +1,379 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
+
+namespace ios {
+namespace {
+
+using namespace ios::serve;
+
+// ---- clocks --------------------------------------------------------------
+
+TEST(Clock, VirtualClockAdvancesAndRefusesToGoBackwards) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now_us(), 0.0);
+  clock.advance_to(125.5);
+  EXPECT_EQ(clock.now_us(), 125.5);
+  clock.advance_to(125.5);  // standing still is fine
+  EXPECT_THROW(clock.advance_to(125.0), std::invalid_argument);
+  clock.reset();
+  EXPECT_EQ(clock.now_us(), 0.0);
+}
+
+TEST(Clock, WallClockIsMonotoneAndMapsTimePoints) {
+  WallClock clock;
+  const double a = clock.now_us();
+  const double b = clock.now_us();
+  EXPECT_GE(b, a);
+  // time_point_at inverts now_us up to clock granularity.
+  const auto tp = clock.time_point_at(b);
+  const double us = std::chrono::duration<double, std::micro>(
+                        tp.time_since_epoch() -
+                        clock.time_point_at(0).time_since_epoch())
+                        .count();
+  EXPECT_NEAR(us, b, 1.0);
+}
+
+// ---- direct engine driving -----------------------------------------------
+
+TEST(ServingEngine, RequiresAClock) {
+  EXPECT_THROW(ServingEngine(ServerOptions{}, nullptr), std::invalid_argument);
+}
+
+TEST(ServingEngine, SubmitFormsFullBatchesAndPollFlushesDeadlines) {
+  ServerOptions options;
+  options.device = "v100";
+  options.num_workers = 1;
+  options.batching.batch_sizes = {1, 2, 4};
+  options.batching.max_queue_delay_us = 1000;
+  VirtualClock clock;
+  ServingEngine engine(options, &clock);
+
+  EXPECT_EQ(engine.next_deadline_us(),
+            std::numeric_limits<double>::infinity());
+
+  // Three arrivals at t=0: no full batch of 4 yet, so a deadline is armed.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(engine.submit(i, "fig3").empty());
+  }
+  EXPECT_EQ(engine.queued(), 3u);
+  EXPECT_EQ(engine.next_deadline_us(), 1000.0);
+
+  // The fourth arrival completes a max-size batch immediately.
+  const std::vector<EngineBatch> formed = engine.submit(3, "fig3");
+  ASSERT_EQ(formed.size(), 1u);
+  EXPECT_EQ(formed[0].record.size, 4);
+  EXPECT_EQ(formed[0].record.formed_us, 0.0);
+  ASSERT_EQ(formed[0].members.size(), 4u);
+  EXPECT_EQ(formed[0].members[0].id, 0);
+  EXPECT_EQ(formed[0].members[3].id, 3);
+  EXPECT_EQ(engine.queued(), 0u);
+  EXPECT_EQ(engine.next_deadline_us(),
+            std::numeric_limits<double>::infinity());
+
+  // One more arrival, then its deadline fires at arrival + delay.
+  clock.advance_to(2500);
+  EXPECT_TRUE(engine.submit(4, "fig3").empty());
+  EXPECT_EQ(engine.next_deadline_us(), 3500.0);
+  EXPECT_TRUE(engine.poll().empty());  // not due yet
+  clock.advance_to(3500);
+  const std::vector<EngineBatch> flushed = engine.poll();
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].record.size, 1);
+  EXPECT_EQ(flushed[0].record.formed_us, 3500.0);
+}
+
+TEST(ServingEngine, DrainFlushesEverythingRegardlessOfDeadline) {
+  ServerOptions options;
+  options.batching.batch_sizes = {8};
+  options.batching.max_queue_delay_us = 1e9;
+  VirtualClock clock;
+  ServingEngine engine(options, &clock);
+  for (int i = 0; i < 3; ++i) engine.submit(i, "fig3");
+  EXPECT_EQ(engine.queued(), 3u);
+  const std::vector<EngineBatch> drained = engine.drain();
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].record.size, 3);
+  EXPECT_EQ(engine.queued(), 0u);
+  EXPECT_EQ(engine.next_deadline_us(),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(ServingEngine, TimeMustNotGoBackwardsAcrossCalls) {
+  VirtualClock clock;
+  ServerOptions options;
+  ServingEngine engine(options, &clock);
+  clock.advance_to(100);
+  engine.submit(0, "fig3");
+  clock.reset(50);  // rewind the clock under the engine's feet
+  EXPECT_THROW(engine.submit(1, "fig3"), std::invalid_argument);
+}
+
+TEST(ServingEngine, ResetClearsRunStateButKeepsCacheAndCounters) {
+  VirtualClock clock;
+  ServerOptions options;
+  options.batching.batch_sizes = {2};
+  ServingEngine engine(options, &clock);
+  engine.submit(0, "fig3");
+  engine.submit(1, "fig3");  // forms a batch -> resolves -> cache miss
+  engine.submit(2, "fig3");  // queued
+  EXPECT_EQ(engine.queued(), 1u);
+  const EngineCounters before = engine.counters();
+  EXPECT_GT(before.optimizations, 0);
+
+  engine.reset();
+  clock.reset();
+  EXPECT_EQ(engine.queued(), 0u);
+  EXPECT_EQ(engine.next_deadline_us(),
+            std::numeric_limits<double>::infinity());
+  EXPECT_EQ(engine.counters().optimizations, before.optimizations);
+  EXPECT_GT(engine.cache().size(), 0u);
+
+  // The same workload after reset resolves from cache: no new optimizer
+  // runs.
+  engine.submit(0, "fig3");
+  engine.submit(1, "fig3");
+  EXPECT_EQ(engine.counters().optimizations, before.optimizations);
+}
+
+// ---- DES <-> engine equivalence ------------------------------------------
+//
+// The acceptance bar of the engine extraction: the DES Server (event heap
+// semantics) and a hand-driven ServingEngine on a VirtualClock must produce
+// bit-identical batch compositions, routing decisions, and statistics.
+
+/// Drives a fresh engine through `trace` exactly like the Server's event
+/// loop: deadlines strictly before an arrival fire first, arrivals win
+/// ties, trailing deadlines fire after the last arrival.
+ServingResult drive_engine(const ServerOptions& options, const Trace& trace) {
+  VirtualClock clock;
+  ServingEngine engine(options, &clock);
+  std::vector<EngineBatch> batches;
+  auto collect = [&batches](std::vector<EngineBatch> formed) {
+    for (EngineBatch& b : formed) batches.push_back(std::move(b));
+  };
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    const TraceRequest& request = trace.requests[i];
+    while (engine.next_deadline_us() < request.arrival_us) {
+      clock.advance_to(engine.next_deadline_us());
+      collect(engine.poll());
+    }
+    clock.advance_to(request.arrival_us);
+    collect(engine.submit(static_cast<std::int64_t>(i), request.model));
+  }
+  while (engine.next_deadline_us() < std::numeric_limits<double>::infinity()) {
+    clock.advance_to(engine.next_deadline_us());
+    collect(engine.poll());
+  }
+  return summarize(std::move(batches), engine, trace.requests.size());
+}
+
+/// Bit-identical comparison of two serving results (EXPECT_EQ on doubles is
+/// exact equality — that is the point).
+void expect_identical(const ServingResult& a, const ServingResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const RequestRecord& x = a.records[i];
+    const RequestRecord& y = b.records[i];
+    EXPECT_EQ(x.index, y.index);
+    EXPECT_EQ(x.model, y.model);
+    EXPECT_EQ(x.arrival_us, y.arrival_us);
+    EXPECT_EQ(x.dispatch_us, y.dispatch_us);
+    EXPECT_EQ(x.completion_us, y.completion_us);
+    EXPECT_EQ(x.latency_us, y.latency_us);
+    EXPECT_EQ(x.batch_size, y.batch_size);
+    EXPECT_EQ(x.batch_id, y.batch_id);
+    EXPECT_EQ(x.worker, y.worker);
+    EXPECT_EQ(x.device, y.device);
+  }
+  ASSERT_EQ(a.batches.size(), b.batches.size());
+  for (std::size_t i = 0; i < a.batches.size(); ++i) {
+    const BatchRecord& x = a.batches[i];
+    const BatchRecord& y = b.batches[i];
+    EXPECT_EQ(x.id, y.id);
+    EXPECT_EQ(x.model, y.model);
+    EXPECT_EQ(x.size, y.size);
+    EXPECT_EQ(x.formed_us, y.formed_us);
+    EXPECT_EQ(x.start_us, y.start_us);
+    EXPECT_EQ(x.completion_us, y.completion_us);
+    EXPECT_EQ(x.service_us, y.service_us);
+    EXPECT_EQ(x.worker, y.worker);
+    EXPECT_EQ(x.device, y.device);
+  }
+  EXPECT_EQ(a.stats.requests, b.stats.requests);
+  EXPECT_EQ(a.stats.batches, b.stats.batches);
+  EXPECT_EQ(a.stats.makespan_us, b.stats.makespan_us);
+  EXPECT_EQ(a.stats.throughput_rps, b.stats.throughput_rps);
+  EXPECT_EQ(a.stats.mean_latency_us, b.stats.mean_latency_us);
+  EXPECT_EQ(a.stats.p50_latency_us, b.stats.p50_latency_us);
+  EXPECT_EQ(a.stats.p95_latency_us, b.stats.p95_latency_us);
+  EXPECT_EQ(a.stats.p99_latency_us, b.stats.p99_latency_us);
+  EXPECT_EQ(a.stats.max_latency_us, b.stats.max_latency_us);
+  EXPECT_EQ(a.stats.mean_queue_wait_us, b.stats.mean_queue_wait_us);
+  EXPECT_EQ(a.stats.mean_batch_size, b.stats.mean_batch_size);
+  EXPECT_EQ(a.stats.worker_utilization, b.stats.worker_utilization);
+  EXPECT_EQ(a.stats.cache_hits, b.stats.cache_hits);
+  EXPECT_EQ(a.stats.cache_misses, b.stats.cache_misses);
+  ASSERT_EQ(a.device_loads.size(), b.device_loads.size());
+  for (std::size_t i = 0; i < a.device_loads.size(); ++i) {
+    EXPECT_EQ(a.device_loads[i].device, b.device_loads[i].device);
+    EXPECT_EQ(a.device_loads[i].devices, b.device_loads[i].devices);
+    EXPECT_EQ(a.device_loads[i].batches, b.device_loads[i].batches);
+    EXPECT_EQ(a.device_loads[i].busy_us, b.device_loads[i].busy_us);
+    EXPECT_EQ(a.device_loads[i].utilization, b.device_loads[i].utilization);
+  }
+}
+
+/// One equivalence case: a serving configuration plus a trace to replay.
+struct EquivalenceCase {
+  const char* name;
+  ServerOptions options;
+  Trace trace;
+};
+
+Trace poisson(std::vector<std::string> models, int n, double mean_gap_us,
+              unsigned long long seed) {
+  TraceSpec spec;
+  spec.models = std::move(models);
+  spec.num_requests = n;
+  spec.mean_interarrival_us = mean_gap_us;
+  spec.seed = seed;
+  return generate_trace(spec);
+}
+
+Trace burst(const std::string& model, int n, double at_us) {
+  Trace t;
+  for (int i = 0; i < n; ++i) t.requests.push_back({at_us, model});
+  return t;
+}
+
+std::vector<EquivalenceCase> equivalence_cases() {
+  std::vector<EquivalenceCase> cases;
+
+  {  // 1: single worker, single model, moderate load
+    EquivalenceCase c;
+    c.name = "fig3-1worker";
+    c.options.device = "v100";
+    c.options.num_workers = 1;
+    c.options.batching.max_queue_delay_us = 1000;
+    c.trace = poisson({"fig3"}, 120, 400, 7);
+    cases.push_back(std::move(c));
+  }
+  {  // 2: two workers, two models, heavier load
+    EquivalenceCase c;
+    c.name = "fig3+fig5-2workers";
+    c.options.device = "v100";
+    c.options.num_workers = 2;
+    c.options.batching.max_queue_delay_us = 800;
+    c.trace = poisson({"fig3", "fig5"}, 160, 150, 21);
+    cases.push_back(std::move(c));
+  }
+  {  // 3: heterogeneous pool, device-aware routing
+    EquivalenceCase c;
+    c.name = "pool-v100x2-k80";
+    c.options.pool = pool_from_spec("v100x2,k80");
+    c.options.batching.max_queue_delay_us = 1200;
+    c.trace = poisson({"fig3", "fig5"}, 140, 250, 3);
+    cases.push_back(std::move(c));
+  }
+  {  // 4: a different pool, three models
+    EquivalenceCase c;
+    c.name = "pool-p100-1080ti";
+    c.options.pool = pool_from_spec("p100,1080ti");
+    c.options.batching.max_queue_delay_us = 600;
+    c.trace = poisson({"fig3", "fig5", "fig2"}, 150, 200, 11);
+    cases.push_back(std::move(c));
+  }
+  {  // 5: simultaneous arrivals (event-heap tie-breaking)
+    EquivalenceCase c;
+    c.name = "burst-ties";
+    c.options.device = "v100";
+    c.options.num_workers = 2;
+    c.options.batching.max_queue_delay_us = 500;
+    c.trace = burst("fig3", 11, 0);
+    for (const TraceRequest& r : burst("fig5", 7, 0).requests) {
+      c.trace.requests.push_back(r);
+    }
+    for (const TraceRequest& r : burst("fig3", 5, 500).requests) {
+      c.trace.requests.push_back(r);  // arrivals exactly at a deadline
+    }
+    cases.push_back(std::move(c));
+  }
+  {  // 6: degenerate policy {1} — no batching at all
+    EquivalenceCase c;
+    c.name = "no-batching";
+    c.options.device = "k80";
+    c.options.num_workers = 2;
+    c.options.batching.batch_sizes = {1};
+    c.options.batching.max_queue_delay_us = 300;
+    c.trace = poisson({"fig3"}, 80, 100, 5);
+    cases.push_back(std::move(c));
+  }
+  {  // 7: allowed sizes {4, 8} only — deadline flushes serve short queues
+    EquivalenceCase c;
+    c.name = "sizes-4-8";
+    c.options.device = "v100";
+    c.options.num_workers = 1;
+    c.options.batching.batch_sizes = {4, 8};
+    c.options.batching.max_queue_delay_us = 900;
+    c.trace = poisson({"fig3", "fig5"}, 130, 300, 13);
+    cases.push_back(std::move(c));
+  }
+  {  // 8: a single lonely request
+    EquivalenceCase c;
+    c.name = "single-request";
+    c.options.device = "v100";
+    c.options.num_workers = 3;
+    c.options.batching.max_queue_delay_us = 2000;
+    c.trace = burst("fig5", 1, 42.5);
+    cases.push_back(std::move(c));
+  }
+  {  // 9: zero queueing delay — every request flushes at its own arrival
+    EquivalenceCase c;
+    c.name = "zero-delay";
+    c.options.device = "p100";
+    c.options.num_workers = 2;
+    c.options.batching.max_queue_delay_us = 0;
+    c.trace = poisson({"fig3", "fig5"}, 90, 180, 17);
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+TEST(Equivalence, ServerAndHandDrivenEngineAreBitIdentical) {
+  for (EquivalenceCase& c : equivalence_cases()) {
+    SCOPED_TRACE(c.name);
+    Server server(c.options);
+    const ServingResult des = server.run(c.trace);
+    const ServingResult manual = drive_engine(c.options, c.trace);
+    expect_identical(des, manual);
+  }
+}
+
+TEST(Equivalence, RepeatedRunsOnOneServerStayIdentical) {
+  // Second run on the same server: warm cache (different cache counters by
+  // design), identical timing decisions.
+  EquivalenceCase c = std::move(equivalence_cases()[2]);
+  Server server(c.options);
+  const ServingResult first = server.run(c.trace);
+  const ServingResult second = server.run(c.trace);
+  ASSERT_EQ(first.records.size(), second.records.size());
+  for (std::size_t i = 0; i < first.records.size(); ++i) {
+    EXPECT_EQ(first.records[i].latency_us, second.records[i].latency_us);
+    EXPECT_EQ(first.records[i].worker, second.records[i].worker);
+    EXPECT_EQ(first.records[i].batch_id, second.records[i].batch_id);
+  }
+  EXPECT_EQ(first.stats.makespan_us, second.stats.makespan_us);
+  EXPECT_EQ(second.stats.cache_misses, 0);  // everything resolved warm
+}
+
+}  // namespace
+}  // namespace ios

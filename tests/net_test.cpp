@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/daemon.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "util/json.hpp"
+
+namespace ios {
+namespace {
+
+using namespace ios::net;
+
+// ---- protocol ------------------------------------------------------------
+
+TEST(Protocol, InferRequestRoundTrips) {
+  WireRequest request;
+  request.id = 42;
+  request.kind = RequestKind::kInfer;
+  request.model = "squeezenet";
+  const WireRequest parsed = parse_request(format_request(request));
+  EXPECT_EQ(parsed.id, 42);
+  EXPECT_EQ(parsed.kind, RequestKind::kInfer);
+  EXPECT_EQ(parsed.model, "squeezenet");
+}
+
+TEST(Protocol, PingAndStatsRoundTrip) {
+  for (const RequestKind kind : {RequestKind::kPing, RequestKind::kStats}) {
+    WireRequest request;
+    request.id = 7;
+    request.kind = kind;
+    const WireRequest parsed = parse_request(format_request(request));
+    EXPECT_EQ(parsed.id, 7);
+    EXPECT_EQ(parsed.kind, kind);
+  }
+}
+
+TEST(Protocol, BareModelLineIsAnInferRequest) {
+  const WireRequest parsed = parse_request(R"({"id":3,"model":"fig3"})");
+  EXPECT_EQ(parsed.kind, RequestKind::kInfer);
+  EXPECT_EQ(parsed.model, "fig3");
+}
+
+TEST(Protocol, MalformedRequestsThrow) {
+  EXPECT_THROW(parse_request("not json"), std::runtime_error);
+  EXPECT_THROW(parse_request("[1,2,3]"), std::runtime_error);
+  EXPECT_THROW(parse_request(R"({"id":1})"), std::runtime_error);  // no model
+  EXPECT_THROW(parse_request(R"({"id":1,"cmd":"reboot"})"),
+               std::runtime_error);
+}
+
+TEST(Protocol, ResponseRoundTripsIncludingErrors) {
+  WireResponse ok;
+  ok.id = 9;
+  ok.ok = true;
+  ok.model = "fig5";
+  ok.device = "Tesla V100";
+  ok.batch_size = 4;
+  ok.worker = 1;
+  ok.latency_us = 123.5;
+  ok.queue_us = 50.25;
+  ok.service_us = 73.25;
+  ok.wall_latency_us = 4200.0;
+  const WireResponse parsed = parse_response(format_response(ok));
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.id, 9);
+  EXPECT_EQ(parsed.model, "fig5");
+  EXPECT_EQ(parsed.device, "Tesla V100");
+  EXPECT_EQ(parsed.batch_size, 4);
+  EXPECT_EQ(parsed.worker, 1);
+  EXPECT_EQ(parsed.latency_us, 123.5);
+  EXPECT_EQ(parsed.queue_us, 50.25);
+  EXPECT_EQ(parsed.service_us, 73.25);
+  EXPECT_EQ(parsed.wall_latency_us, 4200.0);
+
+  const WireResponse err =
+      parse_response(format_response(error_response(3, "overloaded")));
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.id, 3);
+  EXPECT_EQ(err.error, "overloaded");
+}
+
+// ---- sockets -------------------------------------------------------------
+
+TEST(SocketTest, LoopbackLinesRoundTripAcrossThreads) {
+  ListenSocket listener(0);  // ephemeral port
+  ASSERT_GT(listener.port(), 0);
+
+  std::thread server([&listener] {
+    std::optional<Socket> conn = listener.accept_interruptible(-1);
+    ASSERT_TRUE(conn.has_value());
+    std::string line;
+    while (conn->read_line(line)) {
+      conn->write_all("echo:" + line + "\n");
+    }
+  });
+
+  Socket client = Socket::connect_to("127.0.0.1", listener.port());
+  // Two lines in one write (the read side must split them) plus a separate
+  // write; the trailing line is unterminated and must still arrive at EOF
+  // on the server — but here the client terminates everything.
+  client.write_all("alpha\nbeta\n");
+  client.write_all("gamma\n");
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(line, "echo:alpha");
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(line, "echo:beta");
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(line, "echo:gamma");
+  client.shutdown_write();
+  server.join();
+}
+
+TEST(SocketTest, AcceptInterruptibleWakesOnPipe) {
+  ListenSocket listener(0);
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  std::atomic<bool> woke{false};
+  std::thread acceptor([&] {
+    const std::optional<Socket> conn =
+        listener.accept_interruptible(pipe_fds[0]);
+    EXPECT_FALSE(conn.has_value());
+    woke.store(true);
+  });
+  const char byte = 1;
+  ASSERT_EQ(::write(pipe_fds[1], &byte, 1), 1);
+  acceptor.join();
+  EXPECT_TRUE(woke.load());
+  ::close(pipe_fds[0]);
+  ::close(pipe_fds[1]);
+}
+
+// ---- daemon config -------------------------------------------------------
+
+TEST(DaemonConfig, ParsesEveryKnownKey) {
+  const DaemonOptions options = daemon_options_from_json(JsonValue::parse(R"({
+    "port": 7411,
+    "devices": "v100x2,k80",
+    "workers": 3,
+    "batch_sizes": [1, 4, 8],
+    "max_queue_delay_us": 750,
+    "shards": 4,
+    "capacity": 16,
+    "profile_db": "db.json",
+    "prewarm": ["fig3", "fig5"],
+    "prewarm_threads": 2,
+    "max_pending": 32,
+    "time_scale": 0.5,
+    "io_threads": 2
+  })"));
+  EXPECT_EQ(options.port, 7411);
+  EXPECT_EQ(options.serving.pool.spec_string(), "v100x2,k80");
+  EXPECT_EQ(options.serving.num_workers, 3);
+  EXPECT_EQ(options.serving.batching.batch_sizes,
+            (std::vector<int>{1, 4, 8}));
+  EXPECT_EQ(options.serving.batching.max_queue_delay_us, 750);
+  EXPECT_EQ(options.serving.cache.num_shards, 4u);
+  EXPECT_EQ(options.serving.cache.shard_capacity, 16u);
+  EXPECT_EQ(options.serving.profile_db, "db.json");
+  EXPECT_EQ(options.prewarm_models,
+            (std::vector<std::string>{"fig3", "fig5"}));
+  EXPECT_EQ(options.prewarm_threads, 2);
+  EXPECT_EQ(options.max_pending, 32u);
+  EXPECT_EQ(options.time_scale, 0.5);
+  EXPECT_EQ(options.io_threads, 2);
+}
+
+TEST(DaemonConfig, UnknownKeysAreRejected) {
+  EXPECT_THROW(daemon_options_from_json(JsonValue::parse(R"({"prot":1})")),
+               std::runtime_error);
+  EXPECT_THROW(daemon_options_from_json(JsonValue::parse("[]")),
+               std::runtime_error);
+}
+
+// ---- in-process daemon ---------------------------------------------------
+
+DaemonOptions test_daemon_options() {
+  DaemonOptions options;
+  options.port = 0;  // ephemeral
+  options.serving.device = "v100";
+  options.serving.num_workers = 2;
+  options.serving.batching.batch_sizes = {1, 2, 4};
+  options.serving.batching.max_queue_delay_us = 2000;
+  options.time_scale = 0;  // execute instantly: tests must not sleep
+  options.io_threads = 2;
+  return options;
+}
+
+TEST(DaemonTest, ServesPingInferStatsAndDrains) {
+  DaemonOptions daemon_options = test_daemon_options();
+  // Deadline far in the future: the batch of 4 below can only form when
+  // the fourth request lands, however slowly the wire delivers them.
+  daemon_options.serving.batching.max_queue_delay_us = 1e9;
+  Daemon daemon(daemon_options);
+  daemon.start();
+  ASSERT_TRUE(daemon.running());
+  ASSERT_GT(daemon.port(), 0);
+
+  Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+  std::string line;
+
+  client.write_all(R"({"id":1,"cmd":"ping"})" "\n");
+  ASSERT_TRUE(client.read_line(line));
+  const JsonValue pong = JsonValue::parse(line);
+  EXPECT_EQ(pong.at("id").as_int(), 1);
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  EXPECT_TRUE(pong.at("pong").as_bool());
+
+  // Four pipelined inference requests complete a full batch of 4.
+  for (int i = 10; i < 14; ++i) {
+    WireRequest request;
+    request.id = i;
+    request.model = "fig3";
+    client.write_all(format_request(request) + "\n");
+  }
+  std::vector<WireResponse> responses;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.read_line(line));
+    responses.push_back(parse_response(line));
+  }
+  for (const WireResponse& r : responses) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.model, "fig3");
+    EXPECT_EQ(r.device, "Tesla V100");
+    EXPECT_EQ(r.batch_size, 4);
+    EXPECT_GE(r.latency_us, 0);
+    EXPECT_GE(r.wall_latency_us, 0);
+  }
+
+  client.write_all(R"({"id":2,"cmd":"stats"})" "\n");
+  ASSERT_TRUE(client.read_line(line));
+  const JsonValue stats = JsonValue::parse(line);
+  EXPECT_TRUE(stats.at("ok").as_bool());
+  EXPECT_EQ(stats.at("admitted").as_int(), 4);
+  EXPECT_EQ(stats.at("completed").as_int(), 4);
+  EXPECT_EQ(stats.at("pending").as_int(), 0);
+
+  daemon.stop();
+  EXPECT_FALSE(daemon.running());
+  const DaemonStats final_stats = daemon.stats();
+  EXPECT_EQ(final_stats.connections, 1);
+  EXPECT_EQ(final_stats.admitted, 4);
+  EXPECT_EQ(final_stats.completed, 4);
+  EXPECT_EQ(final_stats.rejected, 0);
+}
+
+TEST(DaemonTest, UnknownModelAndGarbageAreSingleRequestErrors) {
+  Daemon daemon(test_daemon_options());
+  daemon.start();
+  Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+  std::string line;
+
+  client.write_all(R"({"id":5,"model":"not_a_model"})" "\n");
+  ASSERT_TRUE(client.read_line(line));
+  WireResponse response = parse_response(line);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, 5);
+  EXPECT_NE(response.error.find("unknown model"), std::string::npos);
+  EXPECT_NE(response.error.find("fig3"), std::string::npos);  // enumerates
+
+  client.write_all("this is not json\n");
+  ASSERT_TRUE(client.read_line(line));
+  response = parse_response(line);
+  EXPECT_FALSE(response.ok);
+
+  // The connection survives both errors.
+  client.write_all(R"({"id":6,"cmd":"ping"})" "\n");
+  ASSERT_TRUE(client.read_line(line));
+  EXPECT_EQ(JsonValue::parse(line).at("id").as_int(), 6);
+
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().protocol_errors, 2);
+}
+
+TEST(DaemonTest, BoundedAdmissionRefusesThenDrainCompletesTheRest) {
+  DaemonOptions options = test_daemon_options();
+  options.serving.batching.batch_sizes = {8};       // nothing fills a batch
+  options.serving.batching.max_queue_delay_us = 1e9;  // nor flushes in time
+  options.max_pending = 2;
+  Daemon daemon(options);
+  daemon.start();
+  Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+
+  // Three pipelined requests: the third must bounce off the admission
+  // bound (requests on one connection are handled strictly in order).
+  for (int i = 1; i <= 3; ++i) {
+    WireRequest request;
+    request.id = i;
+    request.model = "fig3";
+    client.write_all(format_request(request) + "\n");
+  }
+  std::string line;
+  ASSERT_TRUE(client.read_line(line));
+  const WireResponse refused = parse_response(line);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.id, 3);
+  EXPECT_EQ(refused.error, "overloaded");
+
+  // Graceful drain answers the two admitted requests as a whole-queue
+  // flush.
+  daemon.stop();
+  std::vector<WireResponse> drained;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(client.read_line(line));
+    drained.push_back(parse_response(line));
+  }
+  for (const WireResponse& r : drained) {
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.batch_size, 2);
+  }
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.rejected, 1);
+}
+
+TEST(DaemonTest, StopIsIdempotentAndDestructorIsSafe) {
+  Daemon daemon(test_daemon_options());
+  daemon.start();
+  daemon.stop();
+  daemon.stop();  // second stop is a no-op
+  EXPECT_FALSE(daemon.running());
+  // Destructor runs stop() again on scope exit — must not hang or throw.
+}
+
+TEST(DaemonTest, ManyConnectionsShareTheBatcher) {
+  DaemonOptions options = test_daemon_options();
+  options.io_threads = 4;
+  Daemon daemon(options);
+  daemon.start();
+
+  // Four clients, three requests each, all for one model: the engine
+  // coalesces across connections (that is the point of a shared batcher).
+  std::vector<std::thread> clients;
+  std::atomic<int> ok_count{0};
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&daemon, &ok_count, c] {
+      Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+      for (int i = 0; i < 3; ++i) {
+        WireRequest request;
+        request.id = c * 10 + i;
+        request.model = "fig3";
+        client.write_all(format_request(request) + "\n");
+      }
+      std::string line;
+      for (int i = 0; i < 3; ++i) {
+        if (!client.read_line(line)) break;
+        const WireResponse response = parse_response(line);
+        if (response.ok) ok_count.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  daemon.stop();
+  EXPECT_EQ(ok_count.load(), 12);
+  EXPECT_EQ(daemon.stats().admitted, 12);
+  EXPECT_EQ(daemon.stats().completed, 12);
+}
+
+}  // namespace
+}  // namespace ios

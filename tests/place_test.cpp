@@ -69,6 +69,26 @@ TEST(DevicePool, UnknownDeviceEnumeratesKnownDevices) {
   }
 }
 
+TEST(DevicePool, EmptyPoolErrorEnumeratesKnownDevices) {
+  // A spec that names no devices at all gets the same enumeration as a
+  // typo'd name — the user learns the vocabulary either way.
+  for (const char* spec : {"", ","}) {
+    try {
+      pool_from_spec(spec);
+      FAIL() << "expected std::invalid_argument for '" << spec << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("names no devices"), std::string::npos)
+          << message;
+      EXPECT_NE(message.find("known devices:"), std::string::npos) << message;
+      for (const std::string& name : device_names()) {
+        EXPECT_NE(message.find(name), std::string::npos)
+            << message << " should list " << name;
+      }
+    }
+  }
+}
+
 TEST(DevicePool, RejectsMalformedSpecs) {
   EXPECT_THROW(pool_from_spec(""), std::invalid_argument);
   EXPECT_THROW(pool_from_spec(","), std::invalid_argument);

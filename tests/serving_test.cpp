@@ -130,6 +130,24 @@ TEST(Server, QueueShorterThanSmallestAllowedSizeIsFlushedWhole) {
   EXPECT_DOUBLE_EQ(result.batches[0].formed_us, 1000);
 }
 
+TEST(Server, BurstLargerThanMaxBatchSplitsGreedilyThenFlushes) {
+  // 11 simultaneous requests with allowed sizes {1,2,4,8}: a full batch of
+  // 8 forms at arrival; the 3 leftovers wait out the deadline and flush as
+  // 2 + 1.
+  Server server(small_options());
+  const ServingResult result = server.run(burst_trace("fig3", 11));
+
+  ASSERT_EQ(result.batches.size(), 3u);
+  EXPECT_EQ(result.batches[0].size, 8);
+  EXPECT_DOUBLE_EQ(result.batches[0].formed_us, 0);
+  EXPECT_EQ(result.batches[1].size, 2);
+  EXPECT_EQ(result.batches[2].size, 1);
+  EXPECT_DOUBLE_EQ(result.batches[1].formed_us, 1000);
+  EXPECT_DOUBLE_EQ(result.batches[2].formed_us, 1000);
+  // Members ride in arrival order: the batch of 8 carries requests 0..7.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(result.records[i].batch_id, 0);
+}
+
 TEST(Server, PerModelQueuesBatchIndependently) {
   ServerOptions options = small_options();
   options.num_workers = 2;

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "util/bitset64.hpp"
 #include "util/flat_map.hpp"
@@ -101,6 +103,26 @@ TEST(Stats, MeanGeomeanStd) {
   EXPECT_NEAR(stddev(xs), 1.5275, 1e-3);
   EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
   EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+}
+
+TEST(Stats, PercentileEdgeContract) {
+  // The documented edge behavior: an empty sample has no percentiles (NaN,
+  // never a crash or a fabricated 0), a one-element sample answers that
+  // element for every p, and p=0/p=100 are exactly min/max.
+  const std::vector<double> empty;
+  EXPECT_TRUE(std::isnan(mean(empty)));
+  EXPECT_TRUE(std::isnan(percentile_sorted(empty, 50)));
+  EXPECT_TRUE(std::isnan(percentile_sorted(empty, 99)));
+
+  const double one[] = {42.5};
+  for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(one, p), 42.5);
+  }
+
+  const double sorted[] = {1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 50), 2.5);  // interpolated
 }
 
 TEST(Table, AlignsColumns) {

@@ -12,6 +12,10 @@
 //   ios_opt serve --models squeezenet,inception_v3 --workers 4 --rate 2000
 // Serve on a heterogeneous device pool (device-aware routing):
 //   ios_opt serve --models squeezenet,resnet34 --devices p100,1080ti
+// Run the serving engine as a real TCP daemon (line-delimited JSON):
+//   ios_opt daemon --port 7411 --models squeezenet --devices v100x2
+// Fire a synthetic trace at a running daemon and report wall latencies:
+//   ios_opt fire --port 7411 --models squeezenet --requests 200 --rate 500
 // Place a weighted workload across a heterogeneous pool:
 //   ios_opt place --devices p100,1080tix2 --models squeezenet,resnet34
 //       --batches 1,8 --weights 6,1 --json plan.json
@@ -20,18 +24,27 @@
 // Enumerate registered models, devices, and baselines:
 //   ios_opt list
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "api/optimizer.hpp"
 #include "core/analysis.hpp"
 #include "models/models.hpp"
+#include "net/daemon.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
 #include "place/placer.hpp"
 #include "runtime/trace_export.hpp"
 #include "serve/server.hpp"
 #include "util/names.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -61,6 +74,20 @@ void print_usage(std::FILE* out) {
                "             --batch-sizes a,b,... | --max-delay-us T |\n"
                "             --shards N | --capacity N | --prewarm 0|1 |\n"
                "             --profile-db FILE\n"
+               "  daemon     run the serving engine as a TCP daemon on\n"
+               "             127.0.0.1 (newline-delimited JSON protocol;\n"
+               "             SIGTERM/SIGINT drains gracefully)\n"
+               "             --port N (0 = ephemeral) | --config FILE |\n"
+               "             --models a,b,... (prewarm) | --device NAME |\n"
+               "             --devices POOL | --workers N |\n"
+               "             --batch-sizes a,b,... | --max-delay-us T |\n"
+               "             --shards N | --capacity N | --profile-db FILE |\n"
+               "             --max-pending N | --time-scale X |\n"
+               "             --io-threads N | --prewarm-threads N\n"
+               "  fire       replay a synthetic trace against a running\n"
+               "             daemon and report client-observed latencies\n"
+               "             --port N | --host ADDR | --models a,b,... |\n"
+               "             --requests N | --rate REQ_PER_S | --seed N\n"
                "  place      optimize a workload per pool device class and\n"
                "             print the placement plan (routing + splits)\n"
                "             --devices POOL | --models a,b,... |\n"
@@ -319,6 +346,188 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+int cmd_daemon(const Args& args) {
+  net::DaemonOptions options;
+  if (const auto path = args.get("config")) {
+    options = net::daemon_options_from_json(JsonValue::parse(read_file(*path)));
+  }
+  // Explicit flags override the config file.
+  if (const auto v = args.get("port")) {
+    options.port = std::stoi(*v);
+    if (options.port < 0 || options.port > 65535) {
+      throw std::runtime_error("--port must be in [0, 65535] (0 = ephemeral)");
+    }
+  }
+  if (const auto v = args.get("device")) options.serving.device = *v;
+  if (const auto v = args.get("devices")) {
+    options.serving.pool = pool_from_spec(*v);
+  }
+  if (args.get("workers")) {
+    options.serving.num_workers = positive_int(args, "workers", "");
+  }
+  if (const auto v = args.get("models")) options.prewarm_models = split_csv(*v);
+  if (const auto csv = args.get("batch-sizes")) {
+    options.serving.batching.batch_sizes.clear();
+    for (const std::string& s : split_csv(*csv)) {
+      options.serving.batching.batch_sizes.push_back(std::stoi(s));
+    }
+  }
+  if (const auto v = args.get("max-delay-us")) {
+    options.serving.batching.max_queue_delay_us = std::stod(*v);
+  }
+  if (args.get("shards")) {
+    options.serving.cache.num_shards =
+        static_cast<std::size_t>(positive_int(args, "shards", ""));
+  }
+  if (args.get("capacity")) {
+    options.serving.cache.shard_capacity =
+        static_cast<std::size_t>(positive_int(args, "capacity", ""));
+  }
+  if (const auto v = args.get("profile-db")) options.serving.profile_db = *v;
+  if (args.get("max-pending")) {
+    options.max_pending =
+        static_cast<std::size_t>(positive_int(args, "max-pending", ""));
+  }
+  if (const auto v = args.get("time-scale")) {
+    options.time_scale = std::stod(*v);
+    if (options.time_scale < 0) {
+      throw std::runtime_error("--time-scale must be >= 0");
+    }
+  }
+  if (args.get("io-threads")) {
+    options.io_threads = positive_int(args, "io-threads", "");
+  }
+  if (const auto v = args.get("prewarm-threads")) {
+    options.prewarm_threads = std::stoi(*v);
+  }
+
+  net::Daemon daemon(std::move(options));
+  daemon.start();
+  const serve::ServerOptions& serving = daemon.serving_options();
+  if (serving.pool.empty()) {
+    std::printf("ios daemon: %s, %d workers\n", serving.device.c_str(),
+                serving.num_workers);
+  } else {
+    std::printf("ios daemon: pool %s, %d workers\n",
+                serving.pool.spec_string().c_str(), serving.num_workers);
+  }
+  std::printf("listening on 127.0.0.1:%d\n", daemon.port());
+  std::fflush(stdout);
+
+  const int sig = daemon.serve_forever();
+
+  const net::DaemonStats stats = daemon.stats();
+  std::printf("signal %d: drained — %lld connections, %lld admitted, "
+              "%lld completed, %lld rejected, %lld protocol errors, "
+              "%lld batches\n",
+              sig, static_cast<long long>(stats.connections),
+              static_cast<long long>(stats.admitted),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.rejected),
+              static_cast<long long>(stats.protocol_errors),
+              static_cast<long long>(stats.batches));
+  return 0;
+}
+
+int cmd_fire(const Args& args) {
+  const auto port_flag = args.get("port");
+  if (!port_flag) throw std::runtime_error("fire requires --port");
+  const int port = std::stoi(*port_flag);
+  const std::string host = args.get("host", "127.0.0.1");
+
+  serve::TraceSpec spec;
+  spec.models = split_csv(args.get("models", "squeezenet"));
+  spec.num_requests = positive_int(args, "requests", "200");
+  const double rate = std::stod(args.get("rate", "500"));
+  if (rate <= 0) throw std::runtime_error("--rate must be > 0");
+  spec.mean_interarrival_us = 1e6 / rate;
+  spec.seed = std::stoull(args.get("seed", "1"));
+  const serve::Trace trace = serve::generate_trace(spec);
+  const std::size_t n = trace.requests.size();
+
+  net::Socket sock = net::Socket::connect_to(host, port);
+  std::printf("firing %zu requests at %s:%d (%.0f req/s offered)\n", n,
+              host.c_str(), port, rate);
+  std::fflush(stdout);
+
+  // Sender paces requests at the trace's arrival times on the wall clock;
+  // the receiver matches responses by id (they return in batch-completion
+  // order). recv and send on one socket from two threads is safe — the
+  // directions are independent.
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<double> sent_at_us(n, 0);
+  std::vector<net::WireResponse> responses;
+  responses.reserve(n);
+
+  std::thread receiver([&] {
+    std::string line;
+    while (responses.size() < n && sock.read_line(line)) {
+      if (line.empty()) continue;
+      responses.push_back(net::parse_response(line));
+    }
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto due =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::micro>(
+                        trace.requests[i].arrival_us));
+    std::this_thread::sleep_until(due);
+    sent_at_us[i] = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    net::WireRequest request;
+    request.id = static_cast<std::int64_t>(i);
+    request.kind = net::RequestKind::kInfer;
+    request.model = trace.requests[i].model;
+    sock.write_all(net::format_request(request) + "\n");
+  }
+  receiver.join();
+  const double elapsed_us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+
+  // Client-observed wall latency per request: response receipt - send.
+  // (Responses all arrived by now, so receipt ~ join time is too coarse;
+  // use the daemon-measured wall latency for the distribution and count
+  // errors separately.)
+  std::size_t ok = 0, errors = 0;
+  std::vector<double> wall;
+  wall.reserve(n);
+  double queue_sum = 0, service_sum = 0;
+  for (const net::WireResponse& r : responses) {
+    if (!r.ok) {
+      ++errors;
+      continue;
+    }
+    ++ok;
+    wall.push_back(r.wall_latency_us);
+    queue_sum += r.queue_us;
+    service_sum += r.service_us;
+  }
+  std::sort(wall.begin(), wall.end());
+  std::printf("  %zu ok, %zu errors in %.1f ms (%.1f req/s)\n", ok, errors,
+              elapsed_us / 1000, ok / (elapsed_us / 1e6));
+  if (!wall.empty()) {
+    std::printf("  wall latency  p50 %.1f us | p95 %.1f | p99 %.1f | "
+                "max %.1f\n",
+                percentile_sorted(wall, 50), percentile_sorted(wall, 95),
+                percentile_sorted(wall, 99), wall.back());
+    std::printf("  server view   mean queue %.1f us, mean service %.1f us\n",
+                queue_sum / static_cast<double>(ok),
+                service_sum / static_cast<double>(ok));
+  }
+
+  // One final stats probe, printed raw for scripting.
+  net::WireRequest stats_request;
+  stats_request.id = static_cast<std::int64_t>(n);
+  stats_request.kind = net::RequestKind::kStats;
+  sock.write_all(net::format_request(stats_request) + "\n");
+  std::string line;
+  if (sock.read_line(line)) std::printf("  daemon stats %s\n", line.c_str());
+  return 0;
+}
+
 int cmd_place(const Args& args) {
   PlacementRequest request;
   request.pool = pool_from_spec(args.get("devices", "p100,1080ti"));
@@ -437,6 +646,8 @@ int main(int argc, char** argv) {
     if (args.command == "optimize") return cmd_optimize(args);
     if (args.command == "evaluate") return cmd_evaluate(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "daemon") return cmd_daemon(args);
+    if (args.command == "fire") return cmd_fire(args);
     if (args.command == "place") return cmd_place(args);
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "list") return cmd_list();
