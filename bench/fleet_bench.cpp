@@ -1,0 +1,253 @@
+// Fleet benchmark: planning cost and failure recovery at cluster scale. A
+// heterogeneous {P100, 1080Ti} building-block node is replicated into
+// fleets of 16 -> 1024 devices; each fleet is planned from a cold
+// FleetPlanner. Because the Placer optimizes per device *class*, not per
+// device instance, the number of Optimizer searches must stay constant
+// across the sweep — planning cost is sub-linear in fleet size (the only
+// thing that scales is the cheap replica assignment). A second plan on the
+// warm planner must re-search nothing at all.
+//
+// The failure half replays a saturating trace on a 64-device fleet while a
+// seeded FailureInjector kills workers mid-run. Gates: every admitted
+// request completes (lost_requests == 0), kills actually interrupted
+// in-flight batches (rerouted_requests > 0), and a second identical run is
+// bit-identical in stats and per-request latencies — the fleet layer keeps
+// the repo's determinism doctrine under failures.
+//
+// Like bench_placement this is a plain main() with no google-benchmark
+// dependency; everything simulated is on the virtual clock.
+//
+//   $ ./bench_fleet [out.json] [max_devices] [num_requests]
+//     out.json      default BENCH_fleet.json
+//     max_devices   default 1024 (CI smoke: 64)
+//     num_requests  default 2000 (CI smoke runs fewer)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fleet/planner.hpp"
+#include "fleet/sim.hpp"
+#include "util/json.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ios;
+  using namespace ios::fleet;
+  using namespace ios::serve;
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  const int max_devices = argc > 2 ? std::atoi(argv[2]) : 1024;
+  const int num_requests = argc > 3 ? std::atoi(argv[3]) : 2000;
+  const auto bench_begin = std::chrono::steady_clock::now();
+
+  // The building block: a node of 4 P100s + 4 1080Tis (8 devices), so every
+  // fleet size exercises heterogeneous routing.
+  struct Size {
+    int devices;
+    const char* spec;
+  };
+  const std::vector<Size> all_sizes = {
+      {16, "rack:1{node:2{p100x4,1080tix4}}"},
+      {64, "rack:2{node:4{p100x4,1080tix4}}"},
+      {256, "rack:8{node:4{p100x4,1080tix4}}"},
+      {1024, "rack:32{node:4{p100x4,1080tix4}}"},
+  };
+  std::vector<Size> sizes;
+  for (const Size& s : all_sizes) {
+    if (s.devices <= max_devices) sizes.push_back(s);
+  }
+  if (sizes.empty()) sizes.push_back(all_sizes.front());
+
+  const std::vector<WorkloadItem> workload = {
+      WorkloadItem{"squeezenet", 8, 3.0}, WorkloadItem{"mobilenet_v2", 8, 2.0}};
+
+  // ---- planning sweep: cold planner per size -----------------------------
+  JsonValue size_entries = JsonValue::array();
+  std::vector<double> plan_walls;
+  std::vector<std::int64_t> plan_optimizations;
+  for (const Size& size : sizes) {
+    FleetPlanRequest request;
+    request.topology = fleet_from_spec(size.spec);
+    request.workload = workload;
+    request.replicas = 2;
+    FleetPlanner planner;  // cold: pays the full per-class search cost
+    const FleetPlan plan = planner.plan(request);
+    plan_walls.push_back(plan.plan_wall_ms);
+    plan_optimizations.push_back(plan.placement.optimizations);
+    std::printf("plan %5d devices (%2d nodes, %2d racks): %7.1f ms wall, "
+                "%lld searches, replica spread >= %d nodes / %d racks\n",
+                request.topology.total_devices(), request.topology.num_nodes,
+                request.topology.num_racks, plan.plan_wall_ms,
+                static_cast<long long>(plan.placement.optimizations),
+                plan.min_distinct_nodes, plan.min_distinct_racks);
+
+    JsonValue entry = JsonValue::object();
+    entry.set("spec", size.spec);
+    entry.set("devices", request.topology.total_devices());
+    entry.set("nodes", request.topology.num_nodes);
+    entry.set("racks", request.topology.num_racks);
+    entry.set("plan_wall_ms", plan.plan_wall_ms);
+    entry.set("optimizations", plan.placement.optimizations);
+    entry.set("cache_hits", plan.placement.cache_hits);
+    entry.set("min_distinct_nodes", plan.min_distinct_nodes);
+    entry.set("min_distinct_racks", plan.min_distinct_racks);
+    size_entries.push_back(std::move(entry));
+  }
+
+  // Gate: the search count is constant in fleet size (per-class planning).
+  bool constant_searches = true;
+  for (const std::int64_t o : plan_optimizations) {
+    constant_searches = constant_searches && o == plan_optimizations.front();
+  }
+  // Gate: wall time grows sub-linearly — at a >= 16x device ratio the cold
+  // plan must cost well under a proportional scale-up (2x headroom).
+  bool sublinear_wall = true;
+  const double device_ratio = static_cast<double>(sizes.back().devices) /
+                              static_cast<double>(sizes.front().devices);
+  if (device_ratio >= 16) {
+    sublinear_wall =
+        plan_walls.back() < plan_walls.front() * device_ratio / 2.0;
+    std::printf("sub-linear planning: %.1f ms at %dx devices vs %.1f ms "
+                "(linear would allow %.1f ms): %s\n",
+                plan_walls.back(), static_cast<int>(device_ratio),
+                plan_walls.front(), plan_walls.front() * device_ratio,
+                sublinear_wall ? "yes" : "NO");
+  }
+
+  // Gate: a warm planner re-searches nothing for the largest fleet.
+  FleetPlanRequest warm_request;
+  warm_request.topology = fleet_from_spec(sizes.back().spec);
+  warm_request.workload = workload;
+  warm_request.replicas = 2;
+  FleetPlanner warm_planner;
+  warm_planner.plan(warm_request);
+  const FleetPlan warm = warm_planner.plan(warm_request);
+  const bool warm_replan_free = warm.placement.optimizations == 0;
+  std::printf("warm re-plan at %d devices: %lld searches, %lld cache hits, "
+              "%.1f ms\n",
+              warm_request.topology.total_devices(),
+              static_cast<long long>(warm.placement.optimizations),
+              static_cast<long long>(warm.placement.cache_hits),
+              warm.plan_wall_ms);
+
+  // ---- failure recovery on a 64-device fleet -----------------------------
+  const Size& sim_size = sizes.size() > 1 ? sizes[1] : sizes[0];
+  TraceSpec trace_spec;
+  trace_spec.models = {"squeezenet", "squeezenet", "squeezenet",
+                       "mobilenet_v2", "mobilenet_v2"};
+  trace_spec.num_requests = num_requests;
+  trace_spec.mean_interarrival_us = 10;  // saturating: batches stay in flight
+  trace_spec.seed = 7;
+  const Trace trace = generate_trace(trace_spec);
+
+  FleetSimOptions sim_options;
+  sim_options.topology = fleet_from_spec(sim_size.spec);
+  sim_options.batching = BatchingPolicy{{1, 2, 4, 8}, 3000};
+  sim_options.workload = workload;
+  sim_options.failures.seed = 11;
+  sim_options.failures.max_kills = 6;
+  sim_options.failures.first_kill_at_us = trace.duration_us() * 0.05;
+  sim_options.failures.mean_time_between_kills_us = trace.duration_us() * 0.1;
+
+  const auto run_once = [&]() {
+    FleetSimulator sim(sim_options);
+    sim.plan();  // warm the shared Optimizer so re-plans are cache hits
+    return sim.run(trace);
+  };
+  const FleetSimResult run1 = run_once();
+  const FleetSimResult run2 = run_once();
+  const FleetStats& s = run1.stats;
+  std::printf("failure sim %d devices, %d requests: %lld kills, %lld batches "
+              "killed, %lld requests re-routed, %lld re-plans, %lld lost | "
+              "p99 %9.1f us, recovery mean %8.1f us\n",
+              sim_options.topology.total_devices(), num_requests,
+              static_cast<long long>(s.failures),
+              static_cast<long long>(s.killed_batches),
+              static_cast<long long>(s.rerouted_requests),
+              static_cast<long long>(s.replans),
+              static_cast<long long>(s.lost_requests), s.p99_latency_us,
+              s.mean_recovery_us);
+
+  const bool nothing_lost = s.lost_requests == 0;
+  const bool kills_fired = s.failures > 0;
+  const bool kills_interrupted = s.rerouted_requests > 0;
+  const bool deterministic =
+      run1.latencies == run2.latencies &&
+      fleet_stats_to_json(run1.stats).dump() ==
+          fleet_stats_to_json(run2.stats).dump();
+  std::printf("zero lost admitted requests: %s | deterministic replay: %s\n",
+              nothing_lost ? "yes" : "NO", deterministic ? "yes" : "NO");
+
+  const double bench_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - bench_begin)
+          .count();
+
+  JsonValue root = JsonValue::object();
+  root.set("bench", "fleet");
+  root.set("unit", "ms wall (planning), us simulated (serving)");
+  root.set("requests", num_requests);
+  root.set("trace_seed", static_cast<std::int64_t>(trace_spec.seed));
+  root.set("failure_seed", static_cast<std::int64_t>(sim_options.failures.seed));
+  root.set("sizes", std::move(size_entries));
+  JsonValue warm_json = JsonValue::object();
+  warm_json.set("devices", warm_request.topology.total_devices());
+  warm_json.set("optimizations", warm.placement.optimizations);
+  warm_json.set("cache_hits", warm.placement.cache_hits);
+  warm_json.set("plan_wall_ms", warm.plan_wall_ms);
+  root.set("warm_replan", std::move(warm_json));
+  JsonValue failure_json = JsonValue::object();
+  failure_json.set("devices", sim_options.topology.total_devices());
+  failure_json.set("stats", fleet_stats_to_json(run1.stats));
+  failure_json.set("run_wall_ms", run1.run_wall_ms);
+  root.set("failure", std::move(failure_json));
+  JsonValue gates = JsonValue::object();
+  gates.set("constant_searches", constant_searches);
+  gates.set("sublinear_plan_wall", sublinear_wall);
+  gates.set("warm_replan_free", warm_replan_free);
+  gates.set("zero_lost_requests", nothing_lost);
+  gates.set("kills_fired", kills_fired);
+  gates.set("kills_interrupted_batches", kills_interrupted);
+  gates.set("deterministic_replay", deterministic);
+  root.set("gates", std::move(gates));
+  root.set("wall_ms", bench_wall_ms);
+  write_file(out_path, root.dump());
+  std::printf("wrote %s (%.0f ms wall)\n", out_path.c_str(), bench_wall_ms);
+
+  bool ok = true;
+  if (!constant_searches) {
+    std::fprintf(stderr, "FAIL: Optimizer search count grew with fleet size "
+                         "(planning must be per-class, not per-device)\n");
+    ok = false;
+  }
+  if (!sublinear_wall) {
+    std::fprintf(stderr,
+                 "FAIL: cold planning wall time scaled about linearly "
+                 "with device count\n");
+    ok = false;
+  }
+  if (!warm_replan_free) {
+    std::fprintf(stderr,
+                 "FAIL: warm re-plan ran Optimizer searches (recipe cache "
+                 "should have served all of them)\n");
+    ok = false;
+  }
+  if (!nothing_lost) {
+    std::fprintf(stderr, "FAIL: admitted requests were lost under the "
+                         "seeded kill schedule\n");
+    ok = false;
+  }
+  if (!kills_fired || !kills_interrupted) {
+    std::fprintf(stderr, "FAIL: the kill schedule did not exercise the "
+                         "requeue path (no kills or no interrupted batches)\n");
+    ok = false;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: two identical failure runs diverged "
+                         "(determinism doctrine)\n");
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

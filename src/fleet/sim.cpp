@@ -1,0 +1,285 @@
+#include "fleet/sim.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "util/stats.hpp"
+
+namespace ios::fleet {
+
+namespace {
+
+serve::ServerOptions engine_options(const FleetSimOptions& options) {
+  serve::ServerOptions server;
+  server.pool = options.topology.pool;
+  server.batching = options.batching;
+  server.scheduler = options.scheduler;
+  server.protocol = options.protocol;
+  server.cache = options.cache;
+  server.profile_db = options.profile_db;
+  return server;
+}
+
+}  // namespace
+
+FleetSimulator::FleetSimulator(FleetSimOptions options)
+    : options_(std::move(options)),
+      planner_(optimizer_),
+      placer_(optimizer_),
+      engine_(engine_options(options_), &clock_) {
+  if (options_.topology.devices.empty()) {
+    throw std::invalid_argument("fleet sim: the topology has no devices");
+  }
+}
+
+const FleetPlan& FleetSimulator::plan() {
+  if (!plan_) {
+    if (options_.workload.empty()) {
+      throw std::invalid_argument("fleet sim: no workload to plan");
+    }
+    FleetPlanRequest request;
+    request.topology = options_.topology;
+    request.workload = options_.workload;
+    request.options = options_.scheduler;
+    request.protocol = options_.protocol;
+    request.profile_db = options_.profile_db;
+    request.allow_splits = false;
+    request.replicas = options_.replicas;
+    plan_ = planner_.plan(request);
+  }
+  return *plan_;
+}
+
+FleetSimResult FleetSimulator::run(const serve::Trace& trace) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  engine_.reset();
+  clock_.reset();
+
+  const std::size_t n = trace.requests.size();
+  if (options_.prewarm && n > 0) {
+    std::vector<std::string> models;
+    for (const serve::TraceRequest& r : trace.requests) {
+      if (std::find(models.begin(), models.end(), r.model) == models.end()) {
+        models.push_back(r.model);
+      }
+    }
+    engine_.prewarm(models, options_.prewarm_threads);
+  }
+
+  FailureInjector injector(options_.failures);
+  FleetStats stats;
+
+  // Per original request id: the latest predicted completion (-1 = pending)
+  // and the kill that last requeued it (-1 = never requeued).
+  std::vector<double> completion(n, -1.0);
+  std::vector<int> requeue_event(n, -1);
+  std::vector<double> kill_times;
+
+  /// A formed batch whose predicted execution window is still open — what a
+  /// kill can interrupt. The engine forgets batch membership on return, so
+  /// the simulator is the system of record for requeueing.
+  struct Outstanding {
+    int worker = 0;
+    int batch_id = 0;
+    double start_us = 0;
+    double completion_us = 0;
+    std::vector<serve::EngineRequest> members;
+  };
+  std::vector<Outstanding> outstanding;
+
+  const auto collect = [&](std::vector<serve::EngineBatch>&& batches) {
+    for (serve::EngineBatch& b : batches) {
+      ++stats.batches;
+      for (const serve::EngineRequest& m : b.members) {
+        completion[static_cast<std::size_t>(m.id)] = b.record.completion_us;
+      }
+      outstanding.push_back(Outstanding{b.record.worker, b.record.id,
+                                        b.record.start_us,
+                                        b.record.completion_us,
+                                        std::move(b.members)});
+    }
+  };
+
+  // The DES loop of serve/server.cpp plus a third event kind. Order at one
+  // instant: deadlines strictly before arrivals, arrivals win exact
+  // arrival/deadline and arrival/kill ties, deadlines win deadline/kill
+  // ties, kills last — a kill never preempts work already due at its time.
+  std::size_t next = 0;
+  while (true) {
+    const double t_dl = engine_.next_deadline_us();
+    const double t_arr = next < n ? trace.requests[next].arrival_us : kInf;
+    double t_kill = injector.next_kill_us();
+    if (t_kill < kInf) {
+      // Spare the last alive worker (the lost_requests == 0 invariant), and
+      // skip kills past the end of the run: with nothing arriving, queued,
+      // or executing beyond the kill time, firing could change no outcome.
+      bool live_batch = false;
+      for (const Outstanding& o : outstanding) {
+        if (o.completion_us > t_kill) {
+          live_batch = true;
+          break;
+        }
+      }
+      const bool terminal = next >= n && engine_.queued() == 0 && !live_batch;
+      if (engine_.alive_workers() <= 1 || terminal) t_kill = kInf;
+    }
+    if (t_dl == kInf && t_arr == kInf && t_kill == kInf) break;
+
+    if (t_dl < t_arr && t_dl <= t_kill) {
+      clock_.advance_to(t_dl);
+      collect(engine_.poll());
+      continue;
+    }
+    if (t_arr <= t_kill && t_arr < kInf) {
+      clock_.advance_to(t_arr);
+      collect(engine_.submit(static_cast<std::int64_t>(next),
+                             trace.requests[next].model));
+      ++next;
+      continue;
+    }
+
+    // ---- kill ----
+    const double t = t_kill;
+    clock_.advance_to(t);
+    std::vector<int> alive;
+    const int total = options_.topology.total_devices();
+    for (int w = 0; w < total; ++w) {
+      if (engine_.worker_alive(w)) alive.push_back(w);
+    }
+    const int victim = injector.fire(alive);
+    engine_.kill_worker(victim);
+    const int kill_index = static_cast<int>(kill_times.size());
+    kill_times.push_back(t);
+    ++stats.failures;
+
+    // Retire batches that finished by now; batches open on the victim are
+    // interrupted and their members requeued in deterministic order
+    // (dispatch order, then batch id; members keep arrival order).
+    std::vector<Outstanding> interrupted;
+    std::vector<Outstanding> keep;
+    for (Outstanding& o : outstanding) {
+      if (o.completion_us <= t) continue;
+      (o.worker == victim ? interrupted : keep).push_back(std::move(o));
+    }
+    outstanding = std::move(keep);
+    std::sort(interrupted.begin(), interrupted.end(),
+              [](const Outstanding& a, const Outstanding& b) {
+                if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                return a.batch_id < b.batch_id;
+              });
+    for (const Outstanding& o : interrupted) {
+      ++stats.killed_batches;
+      for (const serve::EngineRequest& m : o.members) {
+        completion[static_cast<std::size_t>(m.id)] = -1.0;
+        requeue_event[static_cast<std::size_t>(m.id)] = kill_index;
+        ++stats.rerouted_requests;
+        collect(engine_.submit(m.id, m.model));
+      }
+    }
+
+    // A wiped-out class changes what the fleet can serve — re-plan the
+    // workload over the survivors. Warm Optimizer => pure cache hits.
+    const std::size_t cls = static_cast<std::size_t>(
+        engine_.worker_class()[static_cast<std::size_t>(victim)]);
+    if (engine_.alive_in_class(cls) == 0) {
+      ++stats.replans;
+      if (!options_.workload.empty()) {
+        PlacementRequest replan;
+        const std::vector<DeviceClass>& classes =
+            options_.topology.pool.classes;
+        for (std::size_t c = 0; c < classes.size(); ++c) {
+          const int alive_count = engine_.alive_in_class(c);
+          if (alive_count > 0) {
+            replan.pool.classes.push_back(
+                DeviceClass{classes[c].spec, alive_count});
+          }
+        }
+        replan.workload = options_.workload;
+        replan.options = options_.scheduler;
+        replan.protocol = options_.protocol;
+        replan.profile_db = options_.profile_db;
+        replan.allow_splits = false;
+        const PlacementResult result = placer_.place(replan);
+        stats.replan_optimizations += result.optimizations;
+        stats.replan_cache_hits += result.cache_hits;
+      }
+    }
+  }
+
+  // ---- summarize (virtual-clock quantities only) ----
+  stats.requests = static_cast<std::int64_t>(n);
+  FleetSimResult result;
+  result.latencies.reserve(n);
+  std::vector<double> completed;
+  completed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (completion[i] < 0) {
+      ++stats.lost_requests;
+      result.latencies.push_back(-1.0);
+      continue;
+    }
+    const double latency = completion[i] - trace.requests[i].arrival_us;
+    result.latencies.push_back(latency);
+    completed.push_back(latency);
+    stats.makespan_us = std::max(stats.makespan_us, completion[i]);
+  }
+  if (!completed.empty()) {
+    std::vector<double> sorted = completed;
+    std::sort(sorted.begin(), sorted.end());
+    stats.mean_latency_us = mean(sorted);
+    stats.p50_latency_us = percentile_sorted(sorted, 50);
+    stats.p95_latency_us = percentile_sorted(sorted, 95);
+    stats.p99_latency_us = percentile_sorted(sorted, 99);
+    stats.max_latency_us = sorted.back();
+  }
+
+  std::vector<double> recoveries;
+  for (std::size_t k = 0; k < kill_times.size(); ++k) {
+    double last = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (requeue_event[i] == static_cast<int>(k) && completion[i] >= 0) {
+        last = std::max(last, completion[i] - kill_times[k]);
+      }
+    }
+    if (last >= 0) recoveries.push_back(last);
+  }
+  if (!recoveries.empty()) {
+    stats.mean_recovery_us = mean(recoveries);
+    stats.max_recovery_us = max_of(recoveries);
+  }
+
+  result.stats = stats;
+  result.run_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  return result;
+}
+
+JsonValue fleet_stats_to_json(const FleetStats& stats) {
+  JsonValue v = JsonValue::object();
+  v.set("requests", stats.requests);
+  v.set("batches", stats.batches);
+  v.set("failures", stats.failures);
+  v.set("killed_batches", stats.killed_batches);
+  v.set("rerouted_requests", stats.rerouted_requests);
+  v.set("replans", stats.replans);
+  v.set("replan_optimizations", stats.replan_optimizations);
+  v.set("replan_cache_hits", stats.replan_cache_hits);
+  v.set("lost_requests", stats.lost_requests);
+  v.set("makespan_us", stats.makespan_us);
+  v.set("mean_latency_us", stats.mean_latency_us);
+  v.set("p50_latency_us", stats.p50_latency_us);
+  v.set("p95_latency_us", stats.p95_latency_us);
+  v.set("p99_latency_us", stats.p99_latency_us);
+  v.set("max_latency_us", stats.max_latency_us);
+  v.set("mean_recovery_us", stats.mean_recovery_us);
+  v.set("max_recovery_us", stats.max_recovery_us);
+  return v;
+}
+
+}  // namespace ios::fleet

@@ -1,0 +1,307 @@
+#include "fleet/topology.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/device.hpp"
+#include "util/names.hpp"
+
+namespace ios::fleet {
+
+namespace {
+
+/// The fleet-wide device cap, matching pool_from_spec's per-class cap: specs
+/// beyond it are configuration mistakes, not simulations we can serve.
+constexpr int kMaxFleetDevices = 4096;
+
+/// Pre-expansion node: a multiplicity plus its device tokens.
+struct NodeSpec {
+  int count = 1;
+  std::vector<DeviceClass> devices;
+};
+
+/// Pre-expansion rack: a multiplicity plus its nodes.
+struct RackSpec {
+  int count = 1;
+  std::vector<NodeSpec> nodes;
+};
+
+/// Recursive-descent parser over the whitespace-stripped spec. Commas
+/// separate items at every level; '{'/'}' brace level contents.
+class Parser {
+ public:
+  explicit Parser(const std::string& spec) {
+    for (const char c : spec) {
+      if (!std::isspace(static_cast<unsigned char>(c))) s_ += c;
+    }
+  }
+
+  std::vector<RackSpec> parse() {
+    std::vector<RackSpec> racks;
+    std::vector<NodeSpec> loose_nodes;
+    NodeSpec loose_devices;
+    while (pos_ < s_.size()) {
+      if (s_[pos_] == ',') {
+        ++pos_;  // empty segments are dropped, like split_csv
+        continue;
+      }
+      if (at_level("rack")) {
+        racks.push_back(parse_rack());
+      } else if (at_level("node")) {
+        loose_nodes.push_back(parse_node());
+      } else {
+        loose_devices.devices.push_back(device_class_from_token(next_token()));
+      }
+      expect_separator("},");
+    }
+    // Loose devices form one implicit node; loose nodes one implicit rack.
+    if (!loose_devices.devices.empty()) {
+      loose_nodes.push_back(std::move(loose_devices));
+    }
+    if (!loose_nodes.empty()) {
+      racks.push_back(RackSpec{1, std::move(loose_nodes)});
+    }
+    return racks;
+  }
+
+ private:
+  /// True when the upcoming characters are "<level>:".
+  bool at_level(const char* level) const {
+    const std::size_t len = std::strlen(level);
+    return s_.compare(pos_, len, level) == 0 && pos_ + len < s_.size() &&
+           s_[pos_ + len] == ':';
+  }
+
+  RackSpec parse_rack() {
+    RackSpec rack;
+    rack.count = parse_count("rack");
+    expect('{', "after 'rack:<count>'");
+    NodeSpec loose;
+    while (pos_ < s_.size() && s_[pos_] != '}') {
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (at_level("rack")) {
+        throw std::invalid_argument(
+            "fleet spec: 'rack' may not nest inside a rack");
+      }
+      if (at_level("node")) {
+        rack.nodes.push_back(parse_node());
+      } else {
+        loose.devices.push_back(device_class_from_token(next_token()));
+      }
+      expect_separator("},");
+    }
+    expect('}', "to close the rack group");
+    if (!loose.devices.empty()) rack.nodes.push_back(std::move(loose));
+    if (rack.nodes.empty()) {
+      throw std::invalid_argument("fleet spec: a rack group names no devices");
+    }
+    return rack;
+  }
+
+  NodeSpec parse_node() {
+    NodeSpec node;
+    node.count = parse_count("node");
+    expect('{', "after 'node:<count>'");
+    while (pos_ < s_.size() && s_[pos_] != '}') {
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (at_level("rack") || at_level("node")) {
+        throw std::invalid_argument(
+            "fleet spec: a node group may only contain device tokens");
+      }
+      node.devices.push_back(device_class_from_token(next_token()));
+      expect_separator("},");
+    }
+    expect('}', "to close the node group");
+    if (node.devices.empty()) {
+      throw std::invalid_argument("fleet spec: a node group names no devices");
+    }
+    return node;
+  }
+
+  /// Parses the "<level>:<count>" multiplicity the cursor sits on.
+  int parse_count(const char* level) {
+    pos_ += std::strlen(level) + 1;  // the level name and its ':'
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    const std::string digits = s_.substr(start, pos_ - start);
+    const std::string token = std::string(level) + ':' + digits;
+    if (digits.empty() || digits == "-" || digits == "+") {
+      throw std::invalid_argument(std::string("fleet spec: expected a count "
+                                              "after '") +
+                                  level + ":'");
+    }
+    long value = 0;
+    try {
+      value = std::stol(digits);
+    } catch (const std::out_of_range&) {
+      value = kMaxFleetDevices + 1;
+    }
+    if (value < 1) {
+      throw std::invalid_argument(
+          "fleet spec: multiplicity must be >= 1 in '" + token + "'");
+    }
+    if (value > kMaxFleetDevices) {
+      throw std::invalid_argument("fleet spec: multiplicity in '" + token +
+                                  "' exceeds the limit of " +
+                                  std::to_string(kMaxFleetDevices));
+    }
+    return static_cast<int>(value);
+  }
+
+  /// Reads one device token (everything up to a separator or brace).
+  std::string next_token() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ',' && s_[pos_] != '{' &&
+           s_[pos_] != '}') {
+      ++pos_;
+    }
+    const std::string token = s_.substr(start, pos_ - start);
+    if (token.empty()) {
+      throw std::invalid_argument(std::string("fleet spec: unexpected '") +
+                                  s_[pos_] + "'");
+    }
+    if (token.find(':') != std::string::npos) {
+      throw std::invalid_argument(
+          "fleet spec: unknown level '" + token.substr(0, token.find(':')) +
+          "' in '" + token + "' (expected rack or node)");
+    }
+    return token;
+  }
+
+  void expect(char c, const char* where) {
+    if (pos_ >= s_.size() || s_[pos_] != c) {
+      throw std::invalid_argument(std::string("fleet spec: expected '") + c +
+                                  "' " + where);
+    }
+    ++pos_;
+  }
+
+  /// After an item, the next character must be a separator (or the end).
+  void expect_separator(const char* allowed) {
+    if (pos_ < s_.size() && std::strchr(allowed, s_[pos_]) == nullptr) {
+      throw std::invalid_argument(std::string("fleet spec: expected ',' "
+                                              "before '") +
+                                  s_[pos_] + "'");
+    }
+  }
+
+  std::string s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+LinkLevel FleetTopology::level_between(int a, int b) const {
+  const FleetDevice& da = devices.at(static_cast<std::size_t>(a));
+  const FleetDevice& db = devices.at(static_cast<std::size_t>(b));
+  if (da.node == db.node) return LinkLevel::kIntraNode;
+  if (da.rack == db.rack) return LinkLevel::kCrossNode;
+  return LinkLevel::kCrossRack;
+}
+
+const InterconnectSpec& FleetTopology::link_between(int a, int b) const {
+  return links.at(level_between(a, b));
+}
+
+FleetTopology fleet_from_spec(const std::string& spec,
+                              const InterconnectHierarchy& links) {
+  const std::vector<RackSpec> racks = Parser(spec).parse();
+  if (racks.empty()) {
+    throw std::invalid_argument("fleet spec '" + spec +
+                                "' names no devices; " +
+                                known_names_list("device", device_names()));
+  }
+
+  // Bound the fleet before expanding: rack:4096{node:4096{v100}} must be an
+  // error message, not a 16M-element allocation.
+  std::int64_t total = 0;
+  for (const RackSpec& rack : racks) {
+    std::int64_t per_rack = 0;
+    for (const NodeSpec& node : rack.nodes) {
+      std::int64_t per_node = 0;
+      for (const DeviceClass& dc : node.devices) per_node += dc.count;
+      per_rack += static_cast<std::int64_t>(node.count) * per_node;
+    }
+    total += static_cast<std::int64_t>(rack.count) * per_rack;
+  }
+  if (total > kMaxFleetDevices) {
+    throw std::invalid_argument(
+        "fleet spec describes " + std::to_string(total) +
+        " devices, beyond the limit of " + std::to_string(kMaxFleetDevices));
+  }
+
+  FleetTopology topology;
+  topology.links = links;
+  topology.spec = spec;
+  topology.pool.interconnect = links.intra_node;
+
+  // Expand the multiplicities into device instances with global node/rack
+  // ids (declaration order), merging pool classes first-seen like
+  // pool_from_spec.
+  struct Instance {
+    int class_index, node, rack;
+  };
+  std::vector<Instance> instances;
+  instances.reserve(static_cast<std::size_t>(total));
+  int node_id = 0;
+  int rack_id = 0;
+  for (const RackSpec& rack : racks) {
+    for (int rc = 0; rc < rack.count; ++rc) {
+      const int this_rack = rack_id++;
+      for (const NodeSpec& node : rack.nodes) {
+        for (int nc = 0; nc < node.count; ++nc) {
+          const int this_node = node_id++;
+          for (const DeviceClass& dc : node.devices) {
+            int class_index = -1;
+            for (std::size_t c = 0; c < topology.pool.classes.size(); ++c) {
+              if (topology.pool.classes[c].spec.name == dc.spec.name) {
+                class_index = static_cast<int>(c);
+                break;
+              }
+            }
+            if (class_index < 0) {
+              class_index = static_cast<int>(topology.pool.classes.size());
+              topology.pool.classes.push_back(DeviceClass{dc.spec, 0});
+            }
+            topology.pool.classes[static_cast<std::size_t>(class_index)]
+                .count += dc.count;
+            for (int k = 0; k < dc.count; ++k) {
+              instances.push_back(Instance{class_index, this_node, this_rack});
+            }
+          }
+        }
+      }
+    }
+  }
+  topology.num_nodes = node_id;
+  topology.num_racks = rack_id;
+
+  // Engine worker order: grouped by pool class, declaration order within a
+  // class — exactly how ServingEngine numbers the workers of a pool, so
+  // FleetDevice::id == worker index.
+  topology.devices.reserve(instances.size());
+  for (std::size_t c = 0; c < topology.pool.classes.size(); ++c) {
+    for (const Instance& instance : instances) {
+      if (instance.class_index != static_cast<int>(c)) continue;
+      topology.devices.push_back(
+          FleetDevice{static_cast<int>(topology.devices.size()),
+                      instance.class_index, instance.node, instance.rack});
+    }
+  }
+  return topology;
+}
+
+}  // namespace ios::fleet

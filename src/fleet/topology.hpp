@@ -1,0 +1,83 @@
+#pragma once
+// ios::fleet — hierarchical fleet topologies. PR 5's DevicePool describes a
+// handful of devices behind one host link; a FleetTopology scales that to
+// thousands by arranging device instances into nodes and racks:
+//
+//   rack:2{node:4{v100x8}}          2 racks x 4 nodes x 8 V100s = 64 devices
+//   rack:2{node:2{p100x4,1080tix4}} heterogeneous nodes, 32 devices
+//   node:4{v100x8}                  one implicit rack
+//   v100x8                          one implicit node in one implicit rack
+//
+// with one InterconnectSpec per level (place/pool.hpp's
+// InterconnectHierarchy): a tensor moving between two devices crosses the
+// link of the outermost level at which they differ. The flattened class
+// view (`pool`) is exactly what the existing Placer and ServingEngine
+// consume — the fleet layers above (planner.hpp, sim.hpp) add placement
+// over the hierarchy and failure-injected serving.
+
+#include <string>
+#include <vector>
+
+#include "place/pool.hpp"
+
+namespace ios::fleet {
+
+/// One physical device instance of the fleet. `id` doubles as the
+/// ServingEngine worker index when the engine runs on `pool` — the engine
+/// numbers workers grouped by pool class, and `devices` is built in exactly
+/// that order — so a worker death maps straight back to a node and rack.
+struct FleetDevice {
+  int id = 0;           ///< engine worker index (grouped by pool class)
+  int class_index = 0;  ///< index into pool.classes
+  int node = 0;         ///< global node id, declaration order
+  int rack = 0;         ///< global rack id, declaration order
+};
+
+/// A parsed fleet: the flattened device-class pool (what the Placer and the
+/// ServingEngine consume), the per-device node/rack coordinates, and the
+/// per-level interconnects.
+struct FleetTopology {
+  /// Flattened device classes (duplicates merged, first-seen order). Its
+  /// interconnect is the intra-node link, so single-node consumers of the
+  /// pool (the Placer's pipeline splits) price transfers as before.
+  DevicePool pool;
+  /// The per-level links crossed by cross-device transfers.
+  InterconnectHierarchy links;
+  /// Every device instance; index == FleetDevice::id == engine worker.
+  std::vector<FleetDevice> devices;
+  int num_nodes = 0;
+  int num_racks = 0;
+  /// The spec string this topology was parsed from.
+  std::string spec;
+
+  int total_devices() const { return static_cast<int>(devices.size()); }
+
+  /// The outermost level at which devices `a` and `b` differ (kIntraNode
+  /// for two devices of one node, including a == b). Indexes are
+  /// FleetDevice ids; throws std::out_of_range on a bad id.
+  LinkLevel level_between(int a, int b) const;
+
+  /// The interconnect crossed by a tensor moving between devices `a` and
+  /// `b` — `links.at(level_between(a, b))`.
+  const InterconnectSpec& link_between(int a, int b) const;
+};
+
+/// Parses a hierarchical fleet spec. Grammar, comma-separated at every
+/// level:
+///
+///   group  := item (',' item)*
+///   item   := 'rack' ':' count '{' group '}'     (top level only)
+///           | 'node' ':' count '{' devices '}'   (top level or in a rack)
+///           | device-token                        ("v100", "k80x2")
+///
+/// A multiplicity replicates the braced contents count times. Loose device
+/// tokens form one implicit node per enclosing scope; loose nodes at the
+/// top level form one implicit rack. Whitespace is ignored. Throws
+/// std::invalid_argument on malformed syntax, zero/negative multiplicities
+/// (naming the bad token), unknown device names (enumerating the known
+/// devices), misplaced levels (a rack inside a rack), an empty spec, or a
+/// fleet beyond 4096 devices.
+FleetTopology fleet_from_spec(const std::string& spec,
+                              const InterconnectHierarchy& links = {});
+
+}  // namespace ios::fleet

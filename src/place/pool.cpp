@@ -29,52 +29,75 @@ void DevicePool::validate() const {
   }
 }
 
+const char* link_level_name(LinkLevel level) {
+  switch (level) {
+    case LinkLevel::kIntraNode: return "intra-node";
+    case LinkLevel::kCrossNode: return "cross-node";
+    case LinkLevel::kCrossRack: return "cross-rack";
+  }
+  return "intra-node";  // unreachable; keeps -Wreturn-type quiet
+}
+
+DeviceClass device_class_from_token(const std::string& token) {
+  // <name>[x<count>]: the count suffix starts at the last 'x' that is
+  // followed only by digits, optionally signed ("1080ti" has no such
+  // suffix, "k80x2" and the rejected "k80x-1" do).
+  std::string name = token;
+  int count = 1;
+  const std::size_t x = token.rfind('x');
+  if (x != std::string::npos && x + 1 < token.size()) {
+    std::size_t digit_begin = x + 1;
+    const bool negative = token[digit_begin] == '-';
+    if (negative) ++digit_begin;
+    bool digits = digit_begin < token.size();
+    for (std::size_t i = digit_begin; i < token.size(); ++i) {
+      digits = digits && std::isdigit(static_cast<unsigned char>(token[i]));
+    }
+    if (digits) {
+      if (negative) {
+        // "k80x-1" must be the count error naming the token, not a
+        // baffling unknown-device lookup of the literal string.
+        throw std::invalid_argument("device pool: count must be >= 1 in '" +
+                                    token + "'");
+      }
+      name = token.substr(0, x);
+      // Bounded parse: stoi would throw std::out_of_range (breaking the
+      // invalid_argument contract) and a parseable-but-huge count would
+      // overflow total_devices() and the server's worker fleet.
+      constexpr int kMaxClassCount = 4096;
+      try {
+        count = std::stoi(token.substr(x + 1));
+      } catch (const std::out_of_range&) {
+        count = kMaxClassCount + 1;
+      }
+      if (count < 1) {
+        throw std::invalid_argument("device pool: count must be >= 1 in '" +
+                                    token + "'");
+      }
+      if (count > kMaxClassCount) {
+        throw std::invalid_argument(
+            "device pool: count in '" + token + "' exceeds the limit of " +
+            std::to_string(kMaxClassCount) + " devices per class");
+      }
+    }
+  }
+  // Throws the enumerating unknown-device message on a bad name.
+  return DeviceClass{device_by_name(name), count};
+}
+
 DevicePool pool_from_spec(const std::string& spec) {
   DevicePool pool;
   for (const std::string& token : split_csv(spec)) {
-    // <name>[x<count>]: the count suffix starts at the last 'x' that is
-    // followed only by digits ("1080ti" has no such suffix, "k80x2" does).
-    std::string name = token;
-    int count = 1;
-    const std::size_t x = token.rfind('x');
-    if (x != std::string::npos && x + 1 < token.size()) {
-      bool digits = true;
-      for (std::size_t i = x + 1; i < token.size(); ++i) {
-        digits = digits && std::isdigit(static_cast<unsigned char>(token[i]));
-      }
-      if (digits) {
-        name = token.substr(0, x);
-        // Bounded parse: stoi would throw std::out_of_range (breaking the
-        // invalid_argument contract) and a parseable-but-huge count would
-        // overflow total_devices() and the server's worker fleet.
-        constexpr int kMaxClassCount = 4096;
-        try {
-          count = std::stoi(token.substr(x + 1));
-        } catch (const std::out_of_range&) {
-          count = kMaxClassCount + 1;
-        }
-        if (count < 1) {
-          throw std::invalid_argument("device pool: count must be >= 1 in '" +
-                                      token + "'");
-        }
-        if (count > kMaxClassCount) {
-          throw std::invalid_argument(
-              "device pool: count in '" + token + "' exceeds the limit of " +
-              std::to_string(kMaxClassCount) + " devices per class");
-        }
-      }
-    }
-    // Throws the enumerating unknown-device message on a bad name.
-    const DeviceSpec device = device_by_name(name);
+    const DeviceClass parsed = device_class_from_token(token);
     bool merged = false;
     for (DeviceClass& c : pool.classes) {
-      if (c.spec.name == device.name) {
-        c.count += count;
+      if (c.spec.name == parsed.spec.name) {
+        c.count += parsed.count;
         merged = true;
         break;
       }
     }
-    if (!merged) pool.classes.push_back(DeviceClass{device, count});
+    if (!merged) pool.classes.push_back(parsed);
   }
   if (pool.classes.empty()) {
     // Enumerate like every other unknown-name path (util/names.hpp): an

@@ -32,6 +32,38 @@ struct InterconnectSpec {
   }
 };
 
+/// Levels of a hierarchical fleet interconnect, innermost first. A tensor
+/// moving between two fleet devices crosses the link of the *outermost*
+/// level at which the endpoints differ: two devices in one node share the
+/// host PCIe fabric, two nodes in one rack talk over the node NIC, and two
+/// racks cross the datacenter network (see src/fleet/topology.hpp for the
+/// device -> node -> rack topology itself).
+enum class LinkLevel { kIntraNode = 0, kCrossNode = 1, kCrossRack = 2 };
+
+/// Printable name of a link level ("intra-node", "cross-node", "cross-rack").
+const char* link_level_name(LinkLevel level);
+
+/// Per-level interconnects of a hierarchical fleet — PR 5's flat
+/// InterconnectSpec transfer model, extended with one spec per topology
+/// level. Defaults model a PCIe 3.0 x16 host fabric, an RDMA-class node NIC,
+/// and an oversubscribed cross-rack network: every level outward is strictly
+/// worse in both setup latency and bandwidth.
+struct InterconnectHierarchy {
+  InterconnectSpec intra_node{10.0, 12.0};  ///< host PCIe between two devices
+  InterconnectSpec cross_node{25.0, 10.0};  ///< NIC between two rack nodes
+  InterconnectSpec cross_rack{80.0, 5.0};   ///< datacenter fabric across racks
+
+  /// The spec of one level.
+  const InterconnectSpec& at(LinkLevel level) const {
+    switch (level) {
+      case LinkLevel::kIntraNode: return intra_node;
+      case LinkLevel::kCrossNode: return cross_node;
+      case LinkLevel::kCrossRack: return cross_rack;
+    }
+    return intra_node;  // unreachable; keeps -Wreturn-type quiet
+  }
+};
+
 /// One device class of a pool: a spec plus how many identical instances.
 struct DeviceClass {
   DeviceSpec spec;  ///< the simulated device every instance runs
@@ -70,11 +102,19 @@ struct DevicePool {
   void validate() const;
 };
 
+/// Parses one "<name>[x<count>]" device token ("v100", "k80x2") into a
+/// DeviceClass. Throws std::invalid_argument on a zero or negative count —
+/// naming the offending token — and on an unknown device name (enumerating
+/// all known devices). Shared by pool_from_spec and the hierarchical fleet
+/// parser (src/fleet/topology.hpp), so both report identical errors.
+DeviceClass device_class_from_token(const std::string& token);
+
 /// Parses "v100,k80x2" into a DevicePool: comma-separated device names
 /// (short or full, see device_names()), each optionally suffixed with
 /// "x<count>". Duplicate classes merge their counts, keeping first-seen
-/// order. Throws std::invalid_argument on an empty spec, a malformed count,
-/// or an unknown device name (enumerating all known devices).
+/// order. Throws std::invalid_argument on an empty spec, a malformed count
+/// (zero, negative, or beyond the per-class cap — the error names the bad
+/// token), or an unknown device name (enumerating all known devices).
 DevicePool pool_from_spec(const std::string& spec);
 
 }  // namespace ios

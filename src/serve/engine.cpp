@@ -102,7 +102,42 @@ ServingEngine::ServingEngine(ServerOptions options, TimeSource* clock,
   }
   worker_free_.assign(static_cast<std::size_t>(options_.num_workers), 0.0);
   worker_busy_.assign(static_cast<std::size_t>(options_.num_workers), 0.0);
+  worker_dead_.assign(static_cast<std::size_t>(options_.num_workers), 0);
+  class_alive_.clear();
+  for (const WorkerClass& c : classes_) class_alive_.push_back(c.count);
   service_.resize(classes_.size());
+}
+
+void ServingEngine::kill_worker(int worker) {
+  if (worker < 0 || worker >= options_.num_workers) {
+    throw std::out_of_range("ServingEngine::kill_worker: no worker " +
+                            std::to_string(worker));
+  }
+  const auto wi = static_cast<std::size_t>(worker);
+  if (worker_dead_[wi]) {
+    throw std::invalid_argument("ServingEngine::kill_worker: worker " +
+                                std::to_string(worker) + " is already dead");
+  }
+  worker_dead_[wi] = 1;
+  --class_alive_[static_cast<std::size_t>(worker_class_[wi])];
+}
+
+bool ServingEngine::worker_alive(int worker) const {
+  if (worker < 0 || worker >= options_.num_workers) {
+    throw std::out_of_range("ServingEngine::worker_alive: no worker " +
+                            std::to_string(worker));
+  }
+  return !worker_dead_[static_cast<std::size_t>(worker)];
+}
+
+int ServingEngine::alive_workers() const {
+  int alive = 0;
+  for (int n : class_alive_) alive += n;
+  return alive;
+}
+
+int ServingEngine::alive_in_class(std::size_t cls) const {
+  return class_alive_.at(cls);
 }
 
 std::string ServingEngine::cache_key(const std::string& model, int batch,
@@ -210,14 +245,24 @@ void ServingEngine::form_batch(const std::string& model, ModelQueue& q,
   batch.record.size = size;
   batch.record.formed_us = now;
 
-  // Service time of this (model, size) on every worker class — the routing
-  // decision needs all of them.
+  // Service time of this (model, size) on every worker class with at least
+  // one alive worker — the routing decision needs all of them. Wiped-out
+  // classes resolve nothing (their recipes would route nowhere) and do not
+  // anchor the inflation penalty.
   double min_service = kInf;
   for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (class_alive_[c] == 0) {
+      service_[c] = kInf;
+      continue;
+    }
     bool computed = false;
     service_[c] = resolve_latency(model, size, c, &computed);
     ++(computed ? batch.resolve_misses : batch.resolve_hits);
     min_service = std::min(min_service, service_[c]);
+  }
+  if (min_service == kInf) {
+    throw std::runtime_error(
+        "ServingEngine: no alive workers to route a batch to");
   }
 
   // Routing score: predicted completion plus the service-time inflation
@@ -225,15 +270,17 @@ void ServingEngine::form_batch(const std::string& model, ModelQueue& q,
   // extra device time it burns, so under saturation each class keeps the
   // work it is best at; when the best class is backlogged the batch still
   // spills to a worker that genuinely finishes it sooner. With one class
-  // the term is zero and this is plain FIFO list scheduling.
-  int worker = 0;
+  // the term is zero and this is plain FIFO list scheduling. Dead workers
+  // are skipped — an alive one always exists (min_service is finite).
+  int worker = -1;
   double best_score = kInf;
   for (int w = 0; w < options_.num_workers; ++w) {
     const auto wi = static_cast<std::size_t>(w);
+    if (worker_dead_[wi]) continue;
     const double svc = service_[static_cast<std::size_t>(worker_class_[wi])];
     const double score =
         std::max(now, worker_free_[wi]) + svc + (svc - min_service);
-    if (score < best_score ||
+    if (worker < 0 || score < best_score ||
         (score == best_score &&
          worker_free_[wi] < worker_free_[static_cast<std::size_t>(worker)])) {
       best_score = score;
@@ -348,6 +395,10 @@ void ServingEngine::reset() {
   queues_.clear();
   worker_free_.assign(worker_free_.size(), 0.0);
   worker_busy_.assign(worker_busy_.size(), 0.0);
+  worker_dead_.assign(worker_dead_.size(), 0);
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    class_alive_[c] = classes_[c].count;
+  }
   next_batch_id_ = 0;
   next_arm_seq_ = 0;
   last_now_ = 0;

@@ -232,6 +232,30 @@ class ServingEngine {
   /// Queued (admitted but not yet batched) requests across all models.
   std::size_t queued() const;
 
+  /// Marks `worker` dead: the router stops considering it from the next
+  /// formed batch on. The engine does not retain batch membership after
+  /// returning an EngineBatch, so batches already routed to the worker are
+  /// the *driver's* to requeue — the fleet simulator (src/fleet/sim.hpp)
+  /// tracks outstanding batches and resubmits the members of any batch the
+  /// death interrupts. Throws std::out_of_range on a bad index and
+  /// std::invalid_argument when the worker is already dead. Killing the
+  /// last alive worker is allowed; the next formed batch then throws
+  /// std::runtime_error. reset() revives every worker. Mutates routing
+  /// state: externally serialized like submit/poll/drain.
+  void kill_worker(int worker);
+
+  /// True when `worker` has not been killed since construction or the last
+  /// reset(). Throws std::out_of_range on a bad index.
+  bool worker_alive(int worker) const;
+
+  /// Workers still alive (num_workers minus kills since the last reset()).
+  int alive_workers() const;
+
+  /// Alive workers of device class `cls` (an index into device_classes()).
+  /// Zero means the class is wiped out — no batch routes there and its
+  /// service time no longer anchors the routing inflation penalty.
+  int alive_in_class(std::size_t cls) const;
+
   /// Forgets all queued requests and worker bookkeeping for a fresh run;
   /// the recipe cache and lifetime counters are kept. The driver resets its
   /// clock alongside (VirtualClock::reset).
@@ -345,6 +369,8 @@ class ServingEngine {
   std::map<std::string, ModelQueue> queues_;  ///< deterministic iteration
   std::vector<double> worker_free_;
   std::vector<double> worker_busy_;
+  std::vector<char> worker_dead_;  ///< kill_worker flags (reset revives)
+  std::vector<int> class_alive_;   ///< alive workers per class
   int next_batch_id_ = 0;
   long next_arm_seq_ = 0;
   double last_now_ = 0;

@@ -104,6 +104,30 @@ TEST(DevicePool, RejectsMalformedSpecs) {
   EXPECT_EQ(pool_from_spec("v100x4096").total_devices(), 4096);
 }
 
+TEST(DevicePool, RejectsZeroAndNegativeCountsNamingTheToken) {
+  // The error must name the offending token and the >= 1 rule — and a
+  // negative count must hit the count diagnosis, not fall through to a
+  // baffling unknown-device lookup of the literal "k80x-1".
+  for (const char* bad : {"v100x0", "k80x-1", "v100,k80x-3", "1080tix-12"}) {
+    try {
+      pool_from_spec(bad);
+      FAIL() << "expected invalid_argument for '" << bad << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("count must be >= 1"), std::string::npos)
+          << message;
+      EXPECT_EQ(message.find("unknown device"), std::string::npos) << message;
+    }
+  }
+  try {
+    pool_from_spec("p100,v100x-2");
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'v100x-2'"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(DevicePool, ValidateRejectsEmptyAndNonPositiveCounts) {
   DevicePool pool;
   EXPECT_THROW(pool.validate(), std::invalid_argument);

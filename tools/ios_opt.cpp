@@ -19,6 +19,9 @@
 // Place a weighted workload across a heterogeneous pool:
 //   ios_opt place --devices p100,1080tix2 --models squeezenet,resnet34
 //       --batches 1,8 --weights 6,1 --json plan.json
+// Plan and serve a hierarchical fleet with failure injection:
+//   ios_opt fleet --topology "rack:2{node:4{v100x8}}" --models squeezenet
+//       --kills 4 --requests 2000
 // Show model facts (Table 1/2 style):
 //   ios_opt inspect --model nasnet
 // Enumerate registered models, devices, and baselines:
@@ -40,6 +43,7 @@
 #include "net/daemon.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "fleet/sim.hpp"
 #include "place/placer.hpp"
 #include "runtime/trace_export.hpp"
 #include "serve/server.hpp"
@@ -93,6 +97,17 @@ void print_usage(std::FILE* out) {
                "             --devices POOL | --models a,b,... |\n"
                "             --batches a,b,... | --weights a,b,... |\n"
                "             --splits 0|1 | --profile-db FILE | --json FILE\n"
+               "  fleet      plan a hierarchical fleet (racks/nodes) and\n"
+               "             replay a trace with deterministic failure\n"
+               "             injection (worker kills, requeue, re-plan)\n"
+               "             --topology SPEC (e.g. rack:2{node:4{v100x8}}) |\n"
+               "             --models a,b,... | --batches a,b,... |\n"
+               "             --weights a,b,... | --replicas N |\n"
+               "             --requests N | --rate REQ_PER_S | --seed N |\n"
+               "             --kills N | --mtbf-us T | --first-kill-us T |\n"
+               "             --kill-seed N | --batch-sizes a,b,... |\n"
+               "             --max-delay-us T | --profile-db FILE |\n"
+               "             --json FILE\n"
                "  inspect    print model facts (Table 1/2 style)\n"
                "             --model NAME [--batch N] [--print 1]\n"
                "  list       enumerate known models, devices, and baselines\n"
@@ -495,6 +510,7 @@ int cmd_fire(const Args& args) {
   std::vector<double> wall;
   wall.reserve(n);
   double queue_sum = 0, service_sum = 0;
+  std::map<std::string, std::vector<double>> wall_by_model;
   for (const net::WireResponse& r : responses) {
     if (!r.ok) {
       ++errors;
@@ -502,6 +518,7 @@ int cmd_fire(const Args& args) {
     }
     ++ok;
     wall.push_back(r.wall_latency_us);
+    wall_by_model[r.model].push_back(r.wall_latency_us);
     queue_sum += r.queue_us;
     service_sum += r.service_us;
   }
@@ -516,6 +533,18 @@ int cmd_fire(const Args& args) {
     std::printf("  server view   mean queue %.1f us, mean service %.1f us\n",
                 queue_sum / static_cast<double>(ok),
                 service_sum / static_cast<double>(ok));
+  }
+  // Per-model breakdown: a mixed trace hides per-model tails in the
+  // aggregate (std::map => stable alphabetical order).
+  if (wall_by_model.size() > 1) {
+    for (auto& [model, latencies] : wall_by_model) {
+      std::sort(latencies.begin(), latencies.end());
+      std::printf("    %-16s %5zu req | p50 %.1f us | p95 %.1f | p99 %.1f\n",
+                  model.c_str(), latencies.size(),
+                  percentile_sorted(latencies, 50),
+                  percentile_sorted(latencies, 95),
+                  percentile_sorted(latencies, 99));
+    }
   }
 
   // One final stats probe, printed raw for scripting.
@@ -603,6 +632,125 @@ int cmd_place(const Args& args) {
   return 0;
 }
 
+int cmd_fleet(const Args& args) {
+  fleet::FleetSimOptions options;
+  options.topology = fleet::fleet_from_spec(
+      args.get("topology", "rack:2{node:2{p100x2,1080tix2}}"));
+
+  const std::vector<std::string> models =
+      split_csv(args.get("models", "squeezenet,mobilenet_v2"));
+  std::vector<int> batches;
+  for (const std::string& b : split_csv(args.get("batches", "8"))) {
+    batches.push_back(std::stoi(b));
+  }
+  std::vector<double> weights(models.size(), 1.0);
+  if (const auto csv = args.get("weights")) {
+    const std::vector<std::string> parts = split_csv(*csv);
+    if (parts.size() != models.size()) {
+      throw std::runtime_error("--weights must list one weight per model");
+    }
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      weights[i] = std::stod(parts[i]);
+    }
+  }
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    for (int batch : batches) {
+      options.workload.push_back(WorkloadItem{models[m], batch, weights[m]});
+    }
+  }
+  options.replicas = positive_int(args, "replicas", "2");
+  if (const auto csv = args.get("batch-sizes")) {
+    options.batching.batch_sizes.clear();
+    for (const std::string& s : split_csv(*csv)) {
+      options.batching.batch_sizes.push_back(std::stoi(s));
+    }
+  }
+  options.batching.max_queue_delay_us =
+      std::stod(args.get("max-delay-us", "2000"));
+  options.profile_db = args.get("profile-db", "");
+
+  serve::TraceSpec spec;
+  spec.models = models;
+  spec.num_requests = positive_int(args, "requests", "1000");
+  const double rate = std::stod(args.get("rate", "20000"));
+  if (rate <= 0) throw std::runtime_error("--rate must be > 0");
+  spec.mean_interarrival_us = 1e6 / rate;
+  spec.seed = std::stoull(args.get("seed", "1"));
+  const serve::Trace trace = serve::generate_trace(spec);
+
+  options.failures.max_kills = std::stoi(args.get("kills", "0"));
+  options.failures.seed = std::stoull(args.get("kill-seed", "1"));
+  options.failures.first_kill_at_us = std::stod(
+      args.get("first-kill-us", std::to_string(trace.duration_us() * 0.05)));
+  options.failures.mean_time_between_kills_us = std::stod(
+      args.get("mtbf-us", std::to_string(trace.duration_us() * 0.1)));
+
+  fleet::FleetSimulator sim(std::move(options));
+  const fleet::FleetTopology& topology = sim.options().topology;
+  std::printf("fleet %s: %d devices across %d nodes in %d racks\n",
+              topology.spec.c_str(), topology.total_devices(),
+              topology.num_nodes, topology.num_racks);
+  for (const DeviceClass& c : topology.pool.classes) {
+    std::printf("  %-16s x%d\n", c.spec.name.c_str(), c.count);
+  }
+
+  const fleet::FleetPlan& plan = sim.plan();
+  std::printf("\nplan (%.1f ms wall, %lld searches, %lld cached):\n",
+              plan.plan_wall_ms,
+              static_cast<long long>(plan.placement.optimizations),
+              static_cast<long long>(plan.placement.cache_hits));
+  for (const Assignment& a : plan.placement.plan.assignments) {
+    std::printf("  %-16s batch %-3d weight %-5.2g -> %-12s %.3f ms\n",
+                a.model.c_str(), a.batch, a.weight, a.device.c_str(),
+                a.service_us / 1000);
+  }
+  for (const fleet::ReplicaPlacement& r : plan.replicas) {
+    std::printf("    replica %-16s batch %-3d -> worker %-4d (%s, node %d, "
+                "rack %d)\n",
+                r.model.c_str(), r.batch, r.worker, r.device.c_str(), r.node,
+                r.rack);
+  }
+  std::printf("  anti-affinity: every item spans >= %d nodes, >= %d racks\n",
+              plan.min_distinct_nodes, plan.min_distinct_racks);
+
+  std::printf("\nserving %d requests (%.0f req/s offered, seed %llu), "
+              "%d seeded kills\n",
+              spec.num_requests, rate,
+              static_cast<unsigned long long>(spec.seed),
+              sim.options().failures.max_kills);
+  const fleet::FleetSimResult result = sim.run(trace);
+  const fleet::FleetStats& s = result.stats;
+  std::printf("  served       %lld requests, %lld batches, makespan %.1f ms "
+              "(%.0f ms wall)\n",
+              static_cast<long long>(s.requests),
+              static_cast<long long>(s.batches), s.makespan_us / 1000,
+              result.run_wall_ms);
+  std::printf("  latency      mean %.1f us | p50 %.1f | p95 %.1f | p99 %.1f "
+              "| max %.1f\n",
+              s.mean_latency_us, s.p50_latency_us, s.p95_latency_us,
+              s.p99_latency_us, s.max_latency_us);
+  std::printf("  failures     %lld kills, %lld batches interrupted, %lld "
+              "requests re-routed, %lld lost\n",
+              static_cast<long long>(s.failures),
+              static_cast<long long>(s.killed_batches),
+              static_cast<long long>(s.rerouted_requests),
+              static_cast<long long>(s.lost_requests));
+  std::printf("  recovery     %lld re-plans (%lld searches, %lld cached), "
+              "mean %.1f us, max %.1f us\n",
+              static_cast<long long>(s.replans),
+              static_cast<long long>(s.replan_optimizations),
+              static_cast<long long>(s.replan_cache_hits), s.mean_recovery_us,
+              s.max_recovery_us);
+
+  if (const auto path = args.get("json")) {
+    JsonValue root = fleet::fleet_plan_to_json(topology, plan);
+    root.set("stats", fleet::fleet_stats_to_json(s));
+    write_file(*path, root.dump());
+    std::printf("  fleet report written to %s\n", path->c_str());
+  }
+  return 0;
+}
+
 int cmd_inspect(const Args& args) {
   const Graph g = models::build_model(args.get("model", "inception_v3"),
                                       std::stoi(args.get("batch", "1")));
@@ -649,6 +797,7 @@ int main(int argc, char** argv) {
     if (args.command == "daemon") return cmd_daemon(args);
     if (args.command == "fire") return cmd_fire(args);
     if (args.command == "place") return cmd_place(args);
+    if (args.command == "fleet") return cmd_fleet(args);
     if (args.command == "inspect") return cmd_inspect(args);
     if (args.command == "list") return cmd_list();
     if (args.command == "help" || args.command == "--help" ||
