@@ -92,12 +92,48 @@ DaemonOptions daemon_options_from_json(const JsonValue& config) {
       options.time_scale = value.as_number();
     } else if (key == "io_threads") {
       options.io_threads = static_cast<int>(value.as_int());
+    } else if (key == "slo") {
+      // Per-model SLO classes: "model": 2500 (SLO only) or
+      // "model": {"slo_us": 2500, "priority": 2}.
+      for (const auto& [model, cls] : value.as_object()) {
+        serve::SloClass slo;
+        if (cls.is_object()) {
+          for (const auto& [k, v] : cls.as_object()) {
+            if (k == "slo_us") {
+              slo.slo_us = v.as_number();
+            } else if (k == "priority") {
+              slo.priority = static_cast<int>(v.as_int());
+            } else {
+              throw std::runtime_error(
+                  "daemon config: unknown slo key '" + k +
+                  "' for model '" + model + "'; known keys: slo_us priority");
+            }
+          }
+        } else {
+          slo.slo_us = cls.as_number();
+        }
+        options.serving.slo.models[model] = slo;
+      }
+    } else if (key == "default_slo_us") {
+      options.serving.slo.fallback.slo_us = value.as_number();
+    } else if (key == "default_priority") {
+      options.serving.slo.fallback.priority = static_cast<int>(value.as_int());
+    } else if (key == "shed") {
+      options.serving.slo.shed = value.as_bool();
+    } else if (key == "shed_slack") {
+      options.serving.slo.shed_slack_factor = value.as_number();
+    } else if (key == "starvation_limit_us") {
+      options.serving.slo.starvation_limit_us = value.as_number();
+    } else if (key == "adaptive") {
+      options.serving.adaptive.enabled = value.as_bool();
     } else {
       throw std::runtime_error(
           "daemon config: unknown key '" + key +
           "'; known keys: port device devices workers batch_sizes "
           "max_queue_delay_us shards capacity profile_db prewarm "
-          "prewarm_threads max_pending time_scale io_threads");
+          "prewarm_threads max_pending time_scale io_threads slo "
+          "default_slo_us default_priority shed shed_slack "
+          "starvation_limit_us adaptive");
     }
   }
   return options;
@@ -105,6 +141,10 @@ DaemonOptions daemon_options_from_json(const JsonValue& config) {
 
 Daemon::Daemon(DaemonOptions options)
     : options_(std::move(options)), engine_(options_.serving, &clock_) {
+  if (engine_.options().adaptive.enabled) {
+    adaptive_ = std::make_unique<serve::AdaptiveController>(
+        engine_.options().adaptive, engine_);
+  }
   const std::vector<std::string> models = models::model_names();
   known_models_.insert(models.begin(), models.end());
 }
@@ -175,13 +215,17 @@ void Daemon::stop() {
     if (t.joinable()) t.join();
   }
 
-  // 3. Flush: every queued request leaves the engine in a batch now.
+  // 3. Flush: every queued request leaves the engine in a batch now
+  //    (drain never sheds, but poll-time sheds may still be unanswered).
   std::vector<serve::EngineBatch> formed;
+  std::vector<serve::ShedRecord> sheds;
   {
     std::lock_guard<std::mutex> guard(engine_mu_);
     formed = engine_.drain();
+    sheds = engine_.take_shed();
   }
   dispatch(std::move(formed));
+  answer_shed(std::move(sheds));
   engine_cv_.notify_all();
   if (batcher_thread_.joinable()) batcher_thread_.join();
 
@@ -240,6 +284,8 @@ DaemonStats Daemon::stats() const {
   stats.rejected = rejected_.load();
   stats.protocol_errors = protocol_errors_.load();
   stats.batches = batches_.load();
+  stats.shed = shed_.load();
+  if (adaptive_) stats.replans = adaptive_->stats().replans;
   return stats;
 }
 
@@ -362,6 +408,9 @@ void Daemon::handle_request(const std::shared_ptr<Connection>& conn,
                    format_response(error_response(request.id, refusal)));
     return;
   }
+  // Feed the load detector outside engine_mu_: the controller has its own
+  // lock and must never nest inside the engine's.
+  if (adaptive_) adaptive_->observe_arrival(request.model, clock_.now_us());
   engine_cv_.notify_one();  // the next flush deadline may have changed
   dispatch(std::move(formed));
 }
@@ -369,6 +418,19 @@ void Daemon::handle_request(const std::shared_ptr<Connection>& conn,
 void Daemon::batcher_loop() {
   std::unique_lock<std::mutex> lock(engine_mu_);
   while (!stopping_.load()) {
+    // Due re-plans run here, off the request path, with the engine lock
+    // dropped: a re-plan only touches the shared recipe cache and profile
+    // db, never live queues, so serving continues underneath it.
+    if (adaptive_ && adaptive_->replan_due(clock_.now_us())) {
+      lock.unlock();
+      try {
+        adaptive_->replan(clock_.now_us());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ios daemon: replan error: %s\n", e.what());
+      }
+      lock.lock();
+      continue;
+    }
     const double deadline = engine_.next_deadline_us();
     if (deadline == std::numeric_limits<double>::infinity()) {
       engine_cv_.wait(lock);
@@ -379,15 +441,18 @@ void Daemon::batcher_loop() {
         lock, clock_.time_point_at(deadline) + std::chrono::microseconds(1));
     if (stopping_.load()) break;
     std::vector<serve::EngineBatch> formed;
+    std::vector<serve::ShedRecord> sheds;
     try {
       formed = engine_.poll();
+      sheds = engine_.take_shed();
     } catch (const std::exception& e) {
       std::fprintf(stderr, "ios daemon: batcher error: %s\n", e.what());
       continue;
     }
-    if (!formed.empty()) {
+    if (!formed.empty() || !sheds.empty()) {
       lock.unlock();
       dispatch(std::move(formed));
+      answer_shed(std::move(sheds));
       lock.lock();
     }
   }
@@ -427,7 +492,15 @@ void Daemon::executor_loop(int worker) {
           batch.record.service_us * options_.time_scale));
     }
 
+    const double batch_slo =
+        adaptive_ ? engine_.slo_for(batch.record.model).slo_us
+                  : std::numeric_limits<double>::infinity();
     for (const serve::EngineRequest& member : batch.members) {
+      if (adaptive_) {
+        adaptive_->observe_outcome(
+            batch.record.model,
+            batch.record.completion_us - member.arrival_us <= batch_slo);
+      }
       Pending pending;
       {
         std::lock_guard<std::mutex> guard(engine_mu_);
@@ -454,6 +527,24 @@ void Daemon::executor_loop(int worker) {
   }
 }
 
+void Daemon::answer_shed(std::vector<serve::ShedRecord> sheds) {
+  for (const serve::ShedRecord& record : sheds) {
+    Pending pending;
+    {
+      std::lock_guard<std::mutex> guard(engine_mu_);
+      auto it = pending_.find(record.id);
+      if (it == pending_.end()) continue;
+      pending = std::move(it->second);
+      pending_.erase(it);
+      if (pending_.empty()) drain_cv_.notify_all();
+    }
+    shed_.fetch_add(1);
+    if (adaptive_) adaptive_->observe_outcome(record.model, false);
+    write_response(pending.conn,
+                   format_response(error_response(pending.client_id, "shed")));
+  }
+}
+
 void Daemon::write_response(const std::shared_ptr<Connection>& conn,
                             const std::string& line) {
   std::lock_guard<std::mutex> guard(conn->write_mu);
@@ -475,6 +566,13 @@ std::string Daemon::stats_json(std::int64_t id) const {
   v.set("rejected", rejected_.load());
   v.set("protocol_errors", protocol_errors_.load());
   v.set("batches", batches_.load());
+  v.set("shed", shed_.load());
+  if (adaptive_) {
+    const serve::AdaptiveStats a = adaptive_->stats();
+    v.set("replans", a.replans);
+    v.set("shifts_detected", a.shifts_detected);
+    v.set("attainment_ewma", a.attainment_ewma);
+  }
   {
     std::lock_guard<std::mutex> guard(engine_mu_);
     v.set("pending", static_cast<std::int64_t>(pending_.size()));

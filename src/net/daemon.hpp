@@ -39,6 +39,7 @@
 
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
+#include "serve/adaptive.hpp"
 #include "serve/engine.hpp"
 #include "util/json.hpp"
 
@@ -70,9 +71,11 @@ struct DaemonOptions {
 /// Parses a daemon config file (JSON object) into options. Recognized keys:
 /// port, device, devices (pool spec string), workers, batch_sizes (array),
 /// max_queue_delay_us, shards, capacity, profile_db, prewarm (array of
-/// model names), prewarm_threads, max_pending, time_scale, io_threads.
-/// Unknown keys throw std::runtime_error (a typo'd config should not
-/// silently serve defaults).
+/// model names), prewarm_threads, max_pending, time_scale, io_threads,
+/// slo (object: model name -> SLO in us, or -> {"slo_us": n,
+/// "priority": p}), default_slo_us, default_priority, shed (bool),
+/// shed_slack, starvation_limit_us, adaptive (bool). Unknown keys throw
+/// std::runtime_error (a typo'd config should not silently serve defaults).
 DaemonOptions daemon_options_from_json(const JsonValue& config);
 
 /// Lifetime counters of a daemon.
@@ -83,6 +86,11 @@ struct DaemonStats {
   std::int64_t rejected = 0;         ///< refused by the admission bound
   std::int64_t protocol_errors = 0;  ///< malformed / unknown-model requests
   std::int64_t batches = 0;          ///< batches dispatched to executors
+  /// Admitted requests the shed policy rejected (answered
+  /// {"ok":false,"error":"shed"}). admitted == completed + shed after a
+  /// clean drain.
+  std::int64_t shed = 0;
+  std::int64_t replans = 0;          ///< adaptive-controller re-plans
 };
 
 /// The long-running serving daemon (see the file comment). start() binds
@@ -162,6 +170,10 @@ class Daemon {
   /// Pushes formed batches onto the executor queues.
   void dispatch(std::vector<serve::EngineBatch> formed);
 
+  /// Answers shed requests with {"ok":false,"error":"shed"} and settles
+  /// their pending entries. Takes engine_mu_ per record; call unlocked.
+  void answer_shed(std::vector<serve::ShedRecord> sheds);
+
   /// Writes one response line (appending '\n'), swallowing write errors
   /// from a dead peer — the response has nowhere useful to go.
   void write_response(const std::shared_ptr<Connection>& conn,
@@ -173,6 +185,10 @@ class Daemon {
   DaemonOptions options_;
   serve::WallClock clock_;
   serve::ServingEngine engine_;
+  /// Load-shift detector + re-planner (null unless
+  /// serving.adaptive.enabled). io threads feed arrivals, executors feed
+  /// SLO outcomes, the batcher runs due re-plans off the request path.
+  std::unique_ptr<serve::AdaptiveController> adaptive_;
   std::set<std::string> known_models_;  ///< admission-time model validation
 
   std::optional<ListenSocket> listener_;
@@ -218,6 +234,7 @@ class Daemon {
   std::atomic<std::int64_t> rejected_{0};
   std::atomic<std::int64_t> protocol_errors_{0};
   std::atomic<std::int64_t> batches_{0};
+  std::atomic<std::int64_t> shed_{0};
 };
 
 }  // namespace ios::net

@@ -37,6 +37,24 @@ ServerOptions normalize(ServerOptions options) {
         "ServingEngine: max_queue_delay_us must be >= 0");
   }
   options.num_workers = std::max(1, options.num_workers);
+  const auto check_slo_class = [](const SloClass& c, const std::string& what) {
+    if (std::isnan(c.slo_us) || c.slo_us < 0) {
+      throw std::invalid_argument("ServingEngine: " + what +
+                                  " slo_us must be >= 0");
+    }
+  };
+  check_slo_class(options.slo.fallback, "fallback");
+  for (const auto& [name, cls] : options.slo.models) {
+    check_slo_class(cls, "model '" + name + "'");
+  }
+  if (!(options.slo.shed_slack_factor > 0)) {
+    throw std::invalid_argument(
+        "ServingEngine: slo.shed_slack_factor must be > 0");
+  }
+  if (!(options.slo.starvation_limit_us > 0)) {
+    throw std::invalid_argument(
+        "ServingEngine: slo.starvation_limit_us must be > 0");
+  }
   // Reject inconsistent scheduler settings at construction, not on the
   // first cache miss.
   options.scheduler.validate();
@@ -223,27 +241,165 @@ int ServingEngine::deadline_batch_size(std::size_t len) const {
   return best > 0 ? best : static_cast<int>(len);
 }
 
-void ServingEngine::arm_flush(ModelQueue& q) {
+const SloClass& ServingEngine::slo_for(const std::string& model) const {
+  const auto it = options_.slo.models.find(model);
+  return it == options_.slo.models.end() ? options_.slo.fallback : it->second;
+}
+
+ServingEngine::ModelQueue& ServingEngine::queue_for(const std::string& model) {
+  ModelQueue& q = queues_[model];
+  if (q.slo == nullptr) q.slo = &slo_for(model);
+  return q;
+}
+
+double ServingEngine::min_service_estimate(const std::string& model,
+                                           int size) {
+  double best = kInf;
+  for (std::size_t c = 0; c < classes_.size(); ++c) {
+    if (class_alive_[c] == 0) continue;
+    best = std::min(best, resolve_latency(model, size, c));
+  }
+  return best == kInf ? 0 : best;
+}
+
+double ServingEngine::earliest_free_us(double now) const {
+  double best = kInf;
+  for (std::size_t w = 0; w < worker_free_.size(); ++w) {
+    if (worker_dead_[w]) continue;
+    best = std::min(best, std::max(now, worker_free_[w]));
+  }
+  return best == kInf ? now : best;
+}
+
+double ServingEngine::queue_flush_time(const std::string& model,
+                                       const ModelQueue& q, double now) {
+  const EngineRequest& front = q.pending.front();
+  double t = front.arrival_us + options_.batching.max_queue_delay_us;
+  if (options_.slo.deadline_flush && std::isfinite(q.slo->slo_us)) {
+    // The oldest request must dispatch by (deadline - service) to have a
+    // chance: pull the flush up to its slack point, never later than the
+    // global timer.
+    const double est =
+        min_service_estimate(model, deadline_batch_size(q.pending.size()));
+    const double slack = front.arrival_us + q.slo->slo_us - est;
+    if (slack <= front.arrival_us) {
+      // An SLO shorter than the service itself: flush immediately.
+      t = std::min(t, front.arrival_us);
+    } else {
+      // Backlog-aware: the dispatch will sit behind the earliest-free
+      // worker's backlog, so pull the flush earlier by that wait — a
+      // just-in-time flush against the SLO as workers actually free up,
+      // not as if one were idle. When the backlog alone already makes the
+      // deadline hopeless, rushing a partial batch out only burns
+      // capacity — keep the slack point and let the queue fill.
+      const double wait = earliest_free_us(now) - now;
+      const double pulled = slack - wait;
+      t = std::min(t, pulled >= front.arrival_us ? pulled : slack);
+    }
+  }
+  return t;
+}
+
+int ServingEngine::effective_priority(const ModelQueue& q, double now) const {
+  if (q.pending.empty()) return std::numeric_limits<int>::min();
+  if (now - q.pending.front().arrival_us >=
+      options_.slo.starvation_limit_us - kTimeEps) {
+    return std::numeric_limits<int>::max();
+  }
+  return q.slo->priority;
+}
+
+int ServingEngine::lowest_queued_priority() const {
+  int lowest = std::numeric_limits<int>::max();
+  for (const auto& [model, q] : queues_) {
+    if (q.pending.empty()) continue;
+    lowest = std::min(lowest, q.slo->priority);
+  }
+  return lowest;
+}
+
+bool ServingEngine::maybe_shed(const std::string& model, ModelQueue& q,
+                               double now) {
+  if (!options_.slo.shed) return false;
+  const SloClass& slo = *q.slo;
+  if (!std::isfinite(slo.slo_us)) return false;
+  const EngineRequest& front = q.pending.front();
+  // Past the starvation bound a request is served no matter what.
+  if (now - front.arrival_us >=
+      options_.slo.starvation_limit_us - kTimeEps) {
+    return false;
+  }
+  // Only ever reject the lowest priority present across all queues.
+  if (slo.priority > lowest_queued_priority()) return false;
+  // Hopelessness test: even dispatched right now at the smallest
+  // configured batch on the earliest-free worker, the request would miss
+  // its (slack-scaled) SLO.
+  const double best = earliest_free_us(now) +
+                      min_service_estimate(model, deadline_batch_size(1));
+  if (best <= front.arrival_us + slo.slo_us * options_.slo.shed_slack_factor +
+                  kTimeEps) {
+    return false;
+  }
+  shed_.push_back(ShedRecord{front.id, model, front.arrival_us, now,
+                             slo.priority, next_batch_id_});
+  q.pending.pop_front();
+  return true;
+}
+
+int ServingEngine::degraded_size(const std::string& model, ModelQueue& q,
+                                 int size, double now, bool* degraded) {
+  const SloClass& slo = *q.slo;
+  if (!options_.slo.degrade || !std::isfinite(slo.slo_us) || size <= 1) {
+    return size;
+  }
+  const double deadline = q.pending.front().arrival_us + slo.slo_us;
+  const double free = earliest_free_us(now);
+  if (free + min_service_estimate(model, size) <= deadline + kTimeEps) {
+    return size;
+  }
+  // The full batch misses the oldest member's SLO: take the largest
+  // smaller configured size that still meets it. When none does the SLO is
+  // lost either way — keep the full size for throughput.
+  const std::vector<int>& sizes = options_.batching.batch_sizes;
+  for (auto it = sizes.rbegin(); it != sizes.rend(); ++it) {
+    if (*it >= size) continue;
+    if (free + min_service_estimate(model, *it) <= deadline + kTimeEps) {
+      *degraded = true;
+      return *it;
+    }
+  }
+  return size;
+}
+
+void ServingEngine::arm_flush(const std::string& model, ModelQueue& q,
+                              double now) {
   if (q.pending.empty()) {
     q.flush_at = kInf;
     return;
   }
-  const double t =
-      q.pending.front().arrival_us + options_.batching.max_queue_delay_us;
+  const double t = queue_flush_time(model, q, now);
   if (q.flush_at != t) {
     q.flush_at = t;
     q.arm_seq = next_arm_seq_++;
   }
 }
 
+void ServingEngine::rearm_all(double now) {
+  for (auto& [queued_model, queue] : queues_) {
+    arm_flush(queued_model, queue, now);
+  }
+}
+
 void ServingEngine::form_batch(const std::string& model, ModelQueue& q,
-                               int size, double now,
+                               int size, double now, bool degraded,
                                std::vector<EngineBatch>& out) {
   EngineBatch batch;
   batch.record.id = next_batch_id_++;
   batch.record.model = model;
   batch.record.size = size;
   batch.record.formed_us = now;
+  batch.record.priority = q.slo->priority;
+  batch.record.degraded = degraded;
 
   // Service time of this (model, size) on every worker class with at least
   // one alive worker — the routing decision needs all of them. Wiped-out
@@ -309,45 +465,74 @@ std::vector<EngineBatch> ServingEngine::submit(std::int64_t id,
                                                const std::string& model) {
   const double now = advance_now();
   std::vector<EngineBatch> out;
-  ModelQueue& q = queues_[model];
+  ModelQueue& q = queue_for(model);
   q.pending.push_back(EngineRequest{id, model, now});
   const int max_batch = options_.batching.batch_sizes.back();
   while (static_cast<int>(q.pending.size()) >= max_batch) {
-    form_batch(model, q, max_batch, now, out);
+    // A full greedy batch can blow the oldest member's deadline when the
+    // queue filled slowly (the full batch serves longer than the partial
+    // flush the armed deadline was counting on): degrade it like a
+    // deadline flush would.
+    bool degraded = false;
+    const int size = degraded_size(model, q, max_batch, now, &degraded);
+    form_batch(model, q, size, now, degraded, out);
   }
-  arm_flush(q);
+  if (out.empty()) {
+    arm_flush(model, q, now);
+  } else {
+    rearm_all(now);
+  }
   return out;
 }
 
 void ServingEngine::flush_queue(const std::string& model, ModelQueue& q,
                                 double now, bool ignore_deadline,
                                 std::vector<EngineBatch>& out) {
-  const double delay = options_.batching.max_queue_delay_us;
   q.flush_at = kInf;
-  while (!q.pending.empty() &&
-         (ignore_deadline ||
-          now >= q.pending.front().arrival_us + delay - kTimeEps)) {
-    form_batch(model, q, deadline_batch_size(q.pending.size()), now, out);
+  const std::size_t before = out.size();
+  while (!q.pending.empty()) {
+    if (!ignore_deadline) {
+      if (now < queue_flush_time(model, q, now) - kTimeEps) break;
+      if (maybe_shed(model, q, now)) continue;
+    }
+    int size = deadline_batch_size(q.pending.size());
+    bool degraded = false;
+    if (!ignore_deadline) {
+      size = degraded_size(model, q, size, now, &degraded);
+    }
+    form_batch(model, q, size, now, degraded, out);
   }
-  arm_flush(q);
+  if (out.size() > before) {
+    rearm_all(now);
+  } else {
+    arm_flush(model, q, now);
+  }
 }
 
 std::vector<EngineBatch> ServingEngine::poll() {
   const double now = advance_now();
   std::vector<EngineBatch> out;
-  // Queues whose deadline has passed fire in (deadline, arming) order —
-  // exactly the (time, seq) order of the DES event heap, so a driver that
-  // advances a virtual clock deadline-by-deadline reproduces the DES bit
-  // for bit even when several queues fall due at one instant.
+  // Queues whose deadline has passed fire in (priority desc, deadline,
+  // arming) order. Without priority classes that is exactly the (time,
+  // seq) order of the DES event heap, so a driver that advances a virtual
+  // clock deadline-by-deadline reproduces the DES bit for bit even when
+  // several queues fall due at one instant; with classes, the
+  // highest-effective-priority due queue dispatches first (a queue past
+  // the starvation bound outranks every class).
   for (;;) {
     ModelQueue* due = nullptr;
     const std::string* due_model = nullptr;
+    int due_priority = 0;
     for (auto& [model, q] : queues_) {
       if (q.flush_at > now) continue;
-      if (due == nullptr || q.flush_at < due->flush_at ||
-          (q.flush_at == due->flush_at && q.arm_seq < due->arm_seq)) {
+      const int priority = effective_priority(q, now);
+      if (due == nullptr || priority > due_priority ||
+          (priority == due_priority &&
+           (q.flush_at < due->flush_at ||
+            (q.flush_at == due->flush_at && q.arm_seq < due->arm_seq)))) {
         due = &q;
         due_model = &model;
+        due_priority = priority;
       }
     }
     if (due == nullptr) break;
@@ -360,21 +545,31 @@ std::vector<EngineBatch> ServingEngine::drain() {
   const double now = advance_now();
   std::vector<EngineBatch> out;
   for (;;) {
-    // Arming order, mirroring poll(): the longest-waiting queue goes first.
+    // (priority desc, arming) order, mirroring poll(): among equal
+    // priorities the longest-waiting queue goes first.
     ModelQueue* due = nullptr;
     const std::string* due_model = nullptr;
+    int due_priority = 0;
     for (auto& [model, q] : queues_) {
       if (q.pending.empty()) continue;
-      if (due == nullptr || q.flush_at < due->flush_at ||
-          (q.flush_at == due->flush_at && q.arm_seq < due->arm_seq)) {
+      const int priority = effective_priority(q, now);
+      if (due == nullptr || priority > due_priority ||
+          (priority == due_priority &&
+           (q.flush_at < due->flush_at ||
+            (q.flush_at == due->flush_at && q.arm_seq < due->arm_seq)))) {
         due = &q;
         due_model = &model;
+        due_priority = priority;
       }
     }
     if (due == nullptr) break;
     flush_queue(*due_model, *due, now, /*ignore_deadline=*/true, out);
   }
   return out;
+}
+
+std::vector<ShedRecord> ServingEngine::take_shed() {
+  return std::exchange(shed_, {});
 }
 
 double ServingEngine::next_deadline_us() const {
@@ -402,6 +597,7 @@ void ServingEngine::reset() {
   next_batch_id_ = 0;
   next_arm_seq_ = 0;
   last_now_ = 0;
+  shed_.clear();
 }
 
 EngineCounters ServingEngine::counters() const {
@@ -424,6 +620,13 @@ std::vector<int> ServingEngine::class_counts() const {
 ServingResult summarize(std::vector<EngineBatch> batches,
                         const ServingEngine& engine,
                         std::size_t num_requests) {
+  return summarize(std::move(batches), {}, engine, num_requests);
+}
+
+ServingResult summarize(std::vector<EngineBatch> batches,
+                        std::vector<ShedRecord> sheds,
+                        const ServingEngine& engine,
+                        std::size_t num_requests) {
   ServingResult result;
   result.records.resize(num_requests);
   for (EngineBatch& b : batches) {
@@ -443,30 +646,59 @@ ServingResult summarize(std::vector<EngineBatch> batches,
       r.batch_id = b.record.id;
       r.worker = b.record.worker;
       r.device = b.record.device;
+      r.priority = b.record.priority;
+      r.slo_us = engine.slo_for(b.record.model).slo_us;
+      r.slo_met = r.latency_us <= r.slo_us + kTimeEps;
     }
     result.stats.cache_hits += b.resolve_hits;
     result.stats.cache_misses += b.resolve_misses;
+    if (b.record.degraded) ++result.stats.degraded_batches;
     result.batches.push_back(std::move(b.record));
+  }
+  for (ShedRecord& s : sheds) {
+    if (s.id < 0 || static_cast<std::size_t>(s.id) >= num_requests) {
+      throw std::out_of_range(
+          "summarize: shed request id outside [0, num_requests)");
+    }
+    RequestRecord& r = result.records[static_cast<std::size_t>(s.id)];
+    r.index = static_cast<int>(s.id);
+    r.model = std::move(s.model);
+    r.arrival_us = s.arrival_us;
+    r.batch_id = -1;
+    r.worker = -1;
+    r.priority = s.priority;
+    r.slo_us = engine.slo_for(r.model).slo_us;
+    r.slo_met = false;
+    r.shed = true;
+    r.shed_us = s.shed_us;
   }
   if (num_requests == 0) return result;
 
   ServingStats& stats = result.stats;
   stats.requests = static_cast<std::int64_t>(result.records.size());
   stats.batches = static_cast<std::int64_t>(result.batches.size());
+  stats.shed = static_cast<std::int64_t>(sheds.size());
+  stats.completed = stats.requests - stats.shed;
+  // Latency aggregates are over completed requests; attainment charges
+  // sheds as misses.
   std::vector<double> latencies, waits;
   latencies.reserve(result.records.size());
   waits.reserve(result.records.size());
   for (const RequestRecord& r : result.records) {
+    if (r.shed) continue;
     latencies.push_back(r.latency_us);
     waits.push_back(r.dispatch_us - r.arrival_us);
+    if (r.slo_met) ++stats.slo_met;
   }
+  stats.slo_attainment = static_cast<double>(stats.slo_met) /
+                         static_cast<double>(stats.requests);
   for (const BatchRecord& b : result.batches) {
     stats.makespan_us = std::max(stats.makespan_us, b.completion_us);
   }
   const std::vector<double>& worker_busy = engine.worker_busy();
   if (stats.makespan_us > 0) {
     stats.throughput_rps =
-        static_cast<double>(stats.requests) / (stats.makespan_us / 1e6);
+        static_cast<double>(stats.completed) / (stats.makespan_us / 1e6);
     double busy = 0;
     for (double b : worker_busy) busy += b;
     stats.worker_utilization =
@@ -481,7 +713,7 @@ ServingResult summarize(std::vector<EngineBatch> batches,
   stats.p99_latency_us = percentile_sorted(latencies, 99);
   stats.max_latency_us = latencies.empty() ? 0 : latencies.back();
   if (stats.batches > 0) {
-    stats.mean_batch_size = static_cast<double>(stats.requests) /
+    stats.mean_batch_size = static_cast<double>(stats.completed) /
                             static_cast<double>(stats.batches);
   }
   // Per-class load picture (one row for a homogeneous configuration).

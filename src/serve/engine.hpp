@@ -62,6 +62,80 @@ struct BatchingPolicy {
   double max_queue_delay_us = 2000;
 };
 
+/// Latency objective and importance of one model's traffic.
+struct SloClass {
+  /// Target end-to-end latency (arrival -> completion) in engine-clock
+  /// microseconds. Infinity (the default) means "no SLO": flushing falls
+  /// back to the global max_queue_delay_us timer and requests of the model
+  /// never degrade or shed — the PR 6 behavior, bit for bit.
+  double slo_us = std::numeric_limits<double>::infinity();
+  /// Priority class: when several queues are due at one instant, higher
+  /// priority flushes (and therefore dispatches) first; the shed policy
+  /// only ever rejects the lowest priority present. Default 0.
+  int priority = 0;
+};
+
+/// Per-model SLO/priority policy plus the engine-side adaptation knobs
+/// (deadline flushing, degrade, shed, starvation bound). The default
+/// policy reproduces the plain global-timer engine bit for bit.
+struct SloPolicy {
+  /// Per-model overrides; models not listed here use `fallback`.
+  std::map<std::string, SloClass> models;
+  /// Class for models without an explicit entry.
+  SloClass fallback{};
+  /// Flush a queue when its oldest request's slack against its SLO runs
+  /// out — at arrival + slo - (estimated service of the batch the queue
+  /// would form) — instead of waiting for the global max_queue_delay_us
+  /// timer. Never flushes later than the timer. No effect on models
+  /// without a finite SLO.
+  bool deadline_flush = true;
+  /// Step a deadline flush down to a smaller configured batch size when
+  /// the full-size batch would miss the oldest member's SLO and the
+  /// smaller one would not (the batch is marked `degraded`). No effect on
+  /// models without a finite SLO.
+  bool degrade = true;
+  /// Reject a queued request at flush time when even an immediate
+  /// minimum-size dispatch on the fastest free worker would miss
+  /// slo_us * shed_slack_factor — but only while the request is the
+  /// lowest priority present across all queues, and never once it has
+  /// crossed the starvation bound. Shed requests are reported via
+  /// take_shed(), never batched. Off by default.
+  bool shed = false;
+  /// Slack multiplier on slo_us in the shed test (> 1 sheds later,
+  /// < 1 sheds earlier). Must be > 0.
+  double shed_slack_factor = 1.0;
+  /// A queue whose oldest request has waited this long outranks every
+  /// priority class and becomes exempt from shedding until it flushes —
+  /// the per-priority starvation bound. Infinity disables promotion.
+  double starvation_limit_us = std::numeric_limits<double>::infinity();
+};
+
+/// Knobs of the load-shift detection + re-planning loop (the
+/// serve::AdaptiveController). Carried in ServerOptions so the DES Server
+/// and the wall-clock daemon construct identical controllers; the engine
+/// itself never reads them.
+struct AdaptiveOptions {
+  /// Master switch: off (the default) runs no controller at all.
+  bool enabled = false;
+  /// EWMA weight of the fast per-model inter-arrival tracker (0, 1].
+  double fast_alpha = 0.3;
+  /// EWMA weight of the slow tracker the fast one is compared against.
+  double slow_alpha = 0.05;
+  /// A model whose fast/slow mean-gap ratio leaves
+  /// [1/shift_ratio, shift_ratio] flags a load shift. Must be > 1.
+  double shift_ratio = 2.0;
+  /// The SLO-attainment EWMA (weight fast_alpha) dropping below this
+  /// also flags a shift.
+  double attainment_floor = 0.9;
+  /// Per-model arrivals observed before shift detection arms.
+  int warmup_arrivals = 16;
+  /// Hysteresis: minimum engine-clock gap between re-plans.
+  double min_replan_gap_us = 100000;
+  /// Pre-warm the recipe cache for every (model, batch, class) point the
+  /// re-plan anticipates.
+  bool prewarm = true;
+};
+
 /// Configuration shared by every front end over the engine: the DES Server,
 /// the network daemon, and a bare engine in tests.
 struct ServerOptions {
@@ -95,6 +169,13 @@ struct ServerOptions {
   /// warm-started engine whose previous life profiled the same
   /// (model, device, batch) configurations re-runs zero simulations.
   std::string profile_db;
+  /// Per-model latency SLOs, priorities, and the shed/degrade policy. The
+  /// default (no SLOs) reproduces the plain global-timer engine bit for
+  /// bit.
+  SloPolicy slo{};
+  /// Load-shift detection + re-planning loop (off by default; consumed by
+  /// the drivers, not the engine).
+  AdaptiveOptions adaptive{};
 };
 
 /// Per-request outcome of a served trace.
@@ -109,6 +190,12 @@ struct RequestRecord {
   int batch_id = 0;         ///< id of that batch (index into batch records)
   int worker = 0;           ///< executor worker that ran the batch
   std::string device;       ///< device class of that worker
+  int priority = 0;         ///< priority class of the request's model
+  /// The model's SLO (infinity when it has none).
+  double slo_us = std::numeric_limits<double>::infinity();
+  bool slo_met = true;      ///< completed within slo_us (false when shed)
+  bool shed = false;        ///< rejected by the shed policy, never served
+  double shed_us = 0;       ///< when it was shed (0 when served)
 };
 
 /// Per-batch outcome of a served trace.
@@ -122,6 +209,11 @@ struct BatchRecord {
   double service_us = 0;    ///< schedule latency at this batch size
   int worker = 0;           ///< executor worker it ran on
   std::string device;       ///< device class it ran on
+  int priority = 0;         ///< priority class of the batch's model
+  /// True when the degrade policy stepped this batch down from the size a
+  /// plain deadline flush would have formed, to meet the oldest member's
+  /// SLO.
+  bool degraded = false;
 };
 
 /// Aggregates of one served trace, all on the engine clock.
@@ -143,6 +235,18 @@ struct ServingStats {
   /// engines share one cache concurrently).
   std::int64_t cache_hits = 0;
   std::int64_t cache_misses = 0;   ///< recipe-cache misses by this run
+  // ---- SLO-aware serving (all zero/neutral without an SloPolicy) ----
+  std::int64_t completed = 0;        ///< requests actually served (not shed)
+  std::int64_t shed = 0;             ///< requests rejected by the shed policy
+  std::int64_t slo_met = 0;          ///< completed within their model's SLO
+  /// slo_met / requests; sheds count as misses. 1.0 when every request met
+  /// its SLO (vacuously with no finite SLO configured).
+  double slo_attainment = 1.0;
+  std::int64_t degraded_batches = 0; ///< batches the degrade policy shrank
+  // ---- adaptive control loop (filled by the driver, not summarize) ----
+  std::int64_t replans = 0;               ///< controller re-plans this run
+  std::int64_t replan_optimizations = 0;  ///< Optimizer runs those took
+  std::int64_t replan_measurements = 0;   ///< new cost-model measurements
 };
 
 /// Per-device-class aggregates of one run (one entry per pool class; a
@@ -186,6 +290,24 @@ struct EngineBatch {
   int resolve_misses = 0;
 };
 
+/// One request the shed policy rejected instead of batching. Collected by
+/// the driver via take_shed() after every submit/poll/drain call; the
+/// daemon answers them with an error, the DES folds them into the
+/// ServingResult.
+struct ShedRecord {
+  std::int64_t id = 0;    ///< caller-assigned request id
+  std::string model;      ///< model the request asked for
+  double arrival_us = 0;  ///< engine-clock admission time
+  double shed_us = 0;     ///< engine-clock time of the shed decision
+  int priority = 0;       ///< priority class of the request's model
+  /// The engine's next batch id at the decision: batches with id < seq
+  /// formed before this shed, batches with id >= seq after. Together with
+  /// take_shed()'s return order this reconstructs the exact interleaving
+  /// of sheds and flushes within one poll instant (the property tests
+  /// replay it to check the lowest-priority-present invariant).
+  int seq = 0;
+};
+
 /// Lifetime optimizer accounting of one engine, across resets.
 struct EngineCounters {
   std::int64_t optimizations = 0;  ///< recipe-cache misses -> Optimizer runs
@@ -226,8 +348,19 @@ class ServingEngine {
   double next_deadline_us() const;
 
   /// Flushes every queue immediately, deadline or not — the daemon's
-  /// graceful-drain path. Queues flush in arming order.
+  /// graceful-drain path. Queues flush in arming order. Never sheds or
+  /// degrades: every queued request is served.
   std::vector<EngineBatch> drain();
+
+  /// Returns (and clears) the requests the shed policy rejected since the
+  /// last take_shed()/reset(), in decision order. Empty unless
+  /// options().slo.shed is on. Mutates run state: externally serialized
+  /// like submit/poll/drain.
+  std::vector<ShedRecord> take_shed();
+
+  /// The SLO class of `model` under this engine's policy (the explicit
+  /// per-model entry, or the fallback).
+  const SloClass& slo_for(const std::string& model) const;
 
   /// Queued (admitted but not yet batched) requests across all models.
   std::size_t queued() const;
@@ -308,6 +441,9 @@ class ServingEngine {
     std::deque<EngineRequest> pending;  ///< arrival order
     double flush_at = std::numeric_limits<double>::infinity();
     long arm_seq = 0;  ///< when flush_at was (re)armed — DES event order
+    /// The model's SLO class (resolved once on queue creation; points into
+    /// options_.slo, which is immutable after construction).
+    const SloClass* slo = nullptr;
   };
 
   /// Resolves the full cached recipe for (model, batch) on worker class
@@ -336,14 +472,66 @@ class ServingEngine {
   /// `now`, resolves its per-class service times, and routes it (see the
   /// file comment). Appends to `out`.
   void form_batch(const std::string& model, ModelQueue& q, int size,
-                  double now, std::vector<EngineBatch>& out);
+                  double now, bool degraded, std::vector<EngineBatch>& out);
 
   /// The largest allowed batch size fitting `len` queued requests; a queue
   /// shorter than the smallest allowed size is flushed whole.
   int deadline_batch_size(std::size_t len) const;
 
-  /// Re-arms `q`'s flush deadline for its current oldest request.
-  void arm_flush(ModelQueue& q);
+  /// The queue the requests of `model` wait in, creating it (and resolving
+  /// its SLO class) on first use.
+  ModelQueue& queue_for(const std::string& model);
+
+  /// When `q` must flush for its oldest request: the max_queue_delay_us
+  /// timer, pulled earlier to the request's SLO slack point
+  /// (arrival + slo - estimated service) when its model has a finite SLO
+  /// and deadline flushing is on. The slack point is itself pulled earlier
+  /// by the earliest-free worker's backlog at `now` — a dispatch queued
+  /// behind busy workers must leave sooner to make the same deadline —
+  /// unless the backlog alone already makes the deadline hopeless, in
+  /// which case the plain slack point stands (keep batching; rushing a
+  /// partial batch out only burns capacity).
+  double queue_flush_time(const std::string& model, const ModelQueue& q,
+                          double now);
+
+  /// Cheapest service estimate of (model, size): the minimum cached
+  /// schedule latency across alive worker classes (0 when none is alive —
+  /// form_batch throws before the estimate matters).
+  double min_service_estimate(const std::string& model, int size);
+
+  /// Earliest time any alive worker is free, but not before `now`.
+  double earliest_free_us(double now) const;
+
+  /// The priority `q` flushes at when due at `now`: its SLO class
+  /// priority, promoted above every class once its oldest request has
+  /// waited past the starvation bound.
+  int effective_priority(const ModelQueue& q, double now) const;
+
+  /// The lowest SLO-class priority among all queued requests (INT_MAX when
+  /// nothing is queued).
+  int lowest_queued_priority() const;
+
+  /// Sheds `q`'s oldest request at `now` when the shed policy condemns it
+  /// (hopeless against its SLO and the lowest priority present); returns
+  /// true when it did.
+  bool maybe_shed(const std::string& model, ModelQueue& q, double now);
+
+  /// The batch size a deadline flush of `q` should actually form: `size`,
+  /// stepped down to a smaller configured size when only that meets the
+  /// oldest member's SLO (sets *degraded).
+  int degraded_size(const std::string& model, ModelQueue& q, int size,
+                    double now, bool* degraded);
+
+  /// Re-arms `q`'s flush deadline for its current oldest request, against
+  /// the worker backlog as of `now`.
+  void arm_flush(const std::string& model, ModelQueue& q, double now);
+
+  /// Re-arms every queue's flush deadline. Called after a dispatch grows
+  /// the worker backlog: queues armed against the old (smaller) backlog
+  /// hold flush times that are now too late for their SLOs. Deadlines
+  /// that do not depend on the backlog (the plain timer, SLO-less
+  /// queues) recompute to the same value and keep their arming order.
+  void rearm_all(double now);
 
   /// Flushes one due queue at `now` (the poll/drain inner loop).
   void flush_queue(const std::string& model, ModelQueue& q, double now,
@@ -374,6 +562,7 @@ class ServingEngine {
   int next_batch_id_ = 0;
   long next_arm_seq_ = 0;
   double last_now_ = 0;
+  std::vector<ShedRecord> shed_;  ///< shed decisions since last take_shed
   /// Scratch: per-class service times of the batch being formed (kept out
   /// of the per-dispatch hot loop).
   std::vector<double> service_;
@@ -383,9 +572,18 @@ class ServingEngine {
 };
 
 /// Builds the per-request records and aggregate statistics from a stream of
-/// engine batches — the one summarization path shared by the DES Server and
-/// any engine driver (pinned by the DES/engine equivalence tests). Request
-/// ids must lie in [0, num_requests); `records` come back in id order.
+/// engine batches plus the shed decisions of the run — the one
+/// summarization path shared by the DES Server and any engine driver
+/// (pinned by the DES/engine equivalence tests). Request ids must lie in
+/// [0, num_requests) and every id must appear exactly once, as a batch
+/// member or a shed; `records` come back in id order. Latency percentiles,
+/// throughput, and mean batch size are over completed (non-shed) requests;
+/// slo_attainment counts sheds as misses.
+ServingResult summarize(std::vector<EngineBatch> batches,
+                        std::vector<ShedRecord> sheds,
+                        const ServingEngine& engine, std::size_t num_requests);
+
+/// summarize without sheds (a run with the shed policy off).
 ServingResult summarize(std::vector<EngineBatch> batches,
                         const ServingEngine& engine, std::size_t num_requests);
 

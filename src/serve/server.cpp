@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -10,7 +11,12 @@ Server::Server(ServerOptions options)
     : Server(std::move(options), nullptr) {}
 
 Server::Server(ServerOptions options, std::shared_ptr<ShardedRecipeCache> cache)
-    : engine_(std::move(options), &clock_, std::move(cache)) {}
+    : engine_(std::move(options), &clock_, std::move(cache)) {
+  if (engine_.options().adaptive.enabled) {
+    adaptive_ = std::make_unique<AdaptiveController>(
+        engine_.options().adaptive, engine_);
+  }
+}
 
 void Server::prewarm(const std::vector<std::string>& models, int threads) {
   engine_.prewarm(models, threads);
@@ -31,10 +37,33 @@ ServingResult Server::run(const Trace& trace) {
   // keeps the recipe cache and lifetime counters), and time restarts at 0.
   engine_.reset();
   clock_.reset();
+  AdaptiveStats adaptive_before;
+  if (adaptive_) {
+    adaptive_->reset_run();
+    adaptive_before = adaptive_->stats();
+  }
 
   std::vector<EngineBatch> batches;
   const auto collect = [&](std::vector<EngineBatch> formed) {
+    // Completed batches feed the controller's attainment signal; the
+    // controller never feeds back into engine decisions, so the results
+    // stay bit-identical with it on or off.
+    if (adaptive_) {
+      for (const EngineBatch& b : formed) {
+        const double slo = engine_.slo_for(b.record.model).slo_us;
+        for (const EngineRequest& m : b.members) {
+          adaptive_->observe_outcome(
+              b.record.model,
+              b.record.completion_us - m.arrival_us <= slo);
+        }
+      }
+    }
     for (EngineBatch& b : formed) batches.push_back(std::move(b));
+  };
+  const auto maybe_replan = [&] {
+    if (adaptive_ && adaptive_->replan_due(clock_.now_us())) {
+      adaptive_->replan(clock_.now_us());
+    }
   };
 
   // The DES event loop: deadlines strictly before the next arrival fire
@@ -42,22 +71,39 @@ ServingResult Server::run(const Trace& trace) {
   // complete a full batch the flush would otherwise split) — the (time,
   // seq) order of the pre-extraction event heap, where every arrival
   // outranked every later-armed flush event at equal times.
+  // A deadline may lie in the past: growing a queue at an arrival enlarges
+  // the deadline batch, whose larger service estimate pulls the SLO flush
+  // time backwards — possibly behind the arrival that caused it. Such a
+  // flush fires "now" (max with the current time), exactly as the
+  // wall-clock daemon's already-expired wait_until does.
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
     const TraceRequest& request = trace.requests[i];
     while (engine_.next_deadline_us() < request.arrival_us) {
-      clock_.advance_to(engine_.next_deadline_us());
+      clock_.advance_to(std::max(engine_.next_deadline_us(), clock_.now_us()));
       collect(engine_.poll());
+      maybe_replan();
     }
     clock_.advance_to(request.arrival_us);
+    if (adaptive_) adaptive_->observe_arrival(request.model, clock_.now_us());
     collect(engine_.submit(static_cast<std::int64_t>(i), request.model));
+    maybe_replan();
   }
   while (engine_.next_deadline_us() < std::numeric_limits<double>::infinity()) {
-    clock_.advance_to(engine_.next_deadline_us());
+    clock_.advance_to(std::max(engine_.next_deadline_us(), clock_.now_us()));
     collect(engine_.poll());
+    maybe_replan();
   }
 
-  ServingResult result =
-      summarize(std::move(batches), engine_, trace.requests.size());
+  ServingResult result = summarize(std::move(batches), engine_.take_shed(),
+                                   engine_, trace.requests.size());
+  if (adaptive_) {
+    const AdaptiveStats after = adaptive_->stats();
+    result.stats.replans = after.replans - adaptive_before.replans;
+    result.stats.replan_optimizations =
+        after.replan_optimizations - adaptive_before.replan_optimizations;
+    result.stats.replan_measurements =
+        after.replan_measurements - adaptive_before.replan_measurements;
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     total_requests_ += result.stats.requests;

@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "serve/adaptive.hpp"
 #include "serve/engine.hpp"
 
 namespace ios::serve {
@@ -89,9 +90,15 @@ class Server {
   /// exposed for the DES/engine equivalence tests).
   ServingEngine& engine() { return engine_; }
 
+  /// The adaptive controller, or nullptr when options.adaptive.enabled is
+  /// false. Lifetime counters (AdaptiveController::stats) span runs; the
+  /// per-run re-plan numbers land in ServingStats::replans*.
+  const AdaptiveController* adaptive() const { return adaptive_.get(); }
+
  private:
   VirtualClock clock_;
   ServingEngine engine_;
+  std::unique_ptr<AdaptiveController> adaptive_;
 
   mutable std::mutex stats_mu_;
   std::int64_t total_requests_ = 0;

@@ -3,33 +3,72 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace ios::serve {
+
+namespace {
+
+// Appends `num_requests` Poisson arrivals at mean gap `mean_us` starting
+// from *now, drawing gaps and model picks from `rng`. Leaves *now at the
+// last generated arrival.
+void append_phase(const TraceSpec& spec, int num_requests, double mean_us,
+                  Rng& rng, double* now, Trace* trace) {
+  for (int i = 0; i < num_requests; ++i) {
+    // Exponential inter-arrival gap; 1 - uniform() is in (0, 1], so the log
+    // is finite.
+    *now += -std::log(1.0 - rng.uniform()) * mean_us;
+    const int pick = rng.uniform_int(static_cast<int>(spec.models.size()));
+    trace->requests.push_back(
+        {*now, spec.models[static_cast<std::size_t>(pick)]});
+  }
+}
+
+}  // namespace
 
 Trace generate_trace(const TraceSpec& spec) {
   if (spec.models.empty()) {
     throw std::invalid_argument("generate_trace: spec.models is empty");
   }
-  if (spec.num_requests <= 0) {
-    throw std::invalid_argument("generate_trace: num_requests must be > 0");
-  }
-  if (spec.mean_interarrival_us <= 0) {
-    throw std::invalid_argument(
-        "generate_trace: mean_interarrival_us must be > 0");
+
+  Trace trace;
+  double now = 0;
+  if (spec.phases.empty()) {
+    if (spec.num_requests <= 0) {
+      throw std::invalid_argument("generate_trace: num_requests must be > 0");
+    }
+    if (spec.mean_interarrival_us <= 0) {
+      throw std::invalid_argument(
+          "generate_trace: mean_interarrival_us must be > 0");
+    }
+    Rng rng(spec.seed);
+    trace.requests.reserve(static_cast<std::size_t>(spec.num_requests));
+    append_phase(spec, spec.num_requests, spec.mean_interarrival_us, rng, &now,
+                 &trace);
+    return trace;
   }
 
-  Rng rng(spec.seed);
-  Trace trace;
-  trace.requests.reserve(static_cast<std::size_t>(spec.num_requests));
-  double now = 0;
-  for (int i = 0; i < spec.num_requests; ++i) {
-    // Exponential inter-arrival gap; 1 - uniform() is in (0, 1], so the log
-    // is finite.
-    now += -std::log(1.0 - rng.uniform()) * spec.mean_interarrival_us;
-    const int pick = rng.uniform_int(static_cast<int>(spec.models.size()));
-    trace.requests.push_back(
-        {now, spec.models[static_cast<std::size_t>(pick)]});
+  std::size_t total = 0;
+  for (const TracePhase& phase : spec.phases) {
+    if (phase.num_requests <= 0) {
+      throw std::invalid_argument(
+          "generate_trace: phase num_requests must be > 0");
+    }
+    if (phase.mean_interarrival_us <= 0) {
+      throw std::invalid_argument(
+          "generate_trace: phase mean_interarrival_us must be > 0");
+    }
+    total += static_cast<std::size_t>(phase.num_requests);
+  }
+  trace.requests.reserve(total);
+  for (std::size_t k = 0; k < spec.phases.size(); ++k) {
+    // Seed-stable splicing: each phase gets its own RNG stream derived from
+    // (seed, phase index), so tweaking one phase's shape never perturbs the
+    // draws of any other phase.
+    Rng rng(hash_combine(spec.seed, mix64(static_cast<std::uint64_t>(k))));
+    append_phase(spec, spec.phases[k].num_requests,
+                 spec.phases[k].mean_interarrival_us, rng, &now, &trace);
   }
   return trace;
 }

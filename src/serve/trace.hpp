@@ -34,23 +34,43 @@ struct Trace {
   }
 };
 
+/// One segment of a non-stationary trace: `num_requests` Poisson arrivals
+/// at mean gap `mean_interarrival_us`. A burst is simply a phase with a
+/// much smaller gap than its neighbors.
+struct TracePhase {
+  /// Requests generated in this phase.
+  int num_requests = 0;
+  /// Mean exponential inter-arrival gap within the phase, in simulated
+  /// microseconds.
+  double mean_interarrival_us = 0;
+};
+
 /// Parameters for synthetic trace generation.
 struct TraceSpec {
   /// Candidate models; each request picks one uniformly at random. Must be
   /// non-empty.
   std::vector<std::string> models = {"squeezenet"};
-  /// Number of requests to generate.
+  /// Number of requests to generate (ignored when `phases` is non-empty).
   int num_requests = 100;
   /// Mean of the exponential inter-arrival gap (Poisson arrivals), in
   /// simulated microseconds. The offered load is 1e6 / mean requests/s.
+  /// Ignored when `phases` is non-empty.
   double mean_interarrival_us = 500;
   /// RNG seed: same spec + seed => identical trace.
   std::uint64_t seed = 1;
+  /// Non-stationary workload: when non-empty, the trace is the phases
+  /// spliced back to back (phase k starts at the last arrival of phase
+  /// k-1), and `num_requests` / `mean_interarrival_us` are ignored. Each
+  /// phase draws from its own RNG stream derived from (seed, phase index),
+  /// so editing phase k leaves the arrivals of every other phase
+  /// bit-identical — only the later phases' common time offset moves.
+  std::vector<TracePhase> phases;
 };
 
 /// Generates a Poisson-arrival trace from the spec, deterministically in
 /// the seed. Throws std::invalid_argument on an empty model list or
-/// non-positive request count / inter-arrival mean.
+/// non-positive request count / inter-arrival mean (per phase when phases
+/// are given).
 Trace generate_trace(const TraceSpec& spec);
 
 }  // namespace ios::serve

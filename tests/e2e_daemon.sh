@@ -1,9 +1,18 @@
 #!/usr/bin/env bash
-# End-to-end exercise of `ios_opt daemon` + `ios_opt fire`: boot the daemon
-# on an ephemeral loopback port, fire a synthetic trace at it, require every
-# request to come back with a finite p99, then SIGTERM and require a clean
-# graceful drain (exit 0, completed == admitted). Registered with CTest
-# under the `integration` label; also runnable by hand:
+# End-to-end exercise of `ios_opt daemon` + `ios_opt fire`, two scenarios:
+#
+#   1. Plain serving: boot the daemon on an ephemeral loopback port, fire a
+#      synthetic trace at it, require every request to come back with a
+#      finite p99, then SIGTERM and require a clean graceful drain (exit 0,
+#      completed == admitted).
+#   2. SLO serving under a load shift: boot with a per-model SLO and the
+#      shed policy enabled, fire a quiet trace (zero sheds required), then
+#      a phased quiet->burst trace that overwhelms the two workers (sheds
+#      required), and require the SIGTERM drain summary to account for
+#      every admitted request as completed + shed.
+#
+# Registered with CTest under the `integration` label; also runnable by
+# hand:
 #
 #   tests/e2e_daemon.sh build/ios_opt
 set -euo pipefail
@@ -31,42 +40,100 @@ fail() {
   exit 1
 }
 
-# 1. Boot on an ephemeral port. fig3 is the didactic two-block graph: its
-# recipes optimize in milliseconds, so prewarm keeps the test fast. A small
-# time scale still exercises the executor sleep path.
+wait_for_port() {
+  PORT=""
+  for _ in $(seq 1 150); do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
+      "$DAEMON_LOG" | head -n 1)
+    [[ -n "$PORT" ]] && return 0
+    kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died before listening"
+    sleep 0.2
+  done
+  fail "daemon never printed its listening port"
+}
+
+# ---------------------------------------------------------------------------
+# Scenario 1: plain serving + graceful drain.
+#
+# fig3 is the didactic two-block graph: its recipes optimize in
+# milliseconds, so prewarm keeps the test fast. A small time scale still
+# exercises the executor sleep path.
 "$IOS_OPT" daemon --port 0 --models fig3 --device v100 --workers 2 \
   --batch-sizes 1,2,4 --max-delay-us 2000 --time-scale 0.05 \
   >"$DAEMON_LOG" 2>&1 &
 DAEMON_PID=$!
-
-PORT=""
-for _ in $(seq 1 150); do
-  PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9][0-9]*\).*/\1/p' \
-    "$DAEMON_LOG" | head -n 1)
-  [[ -n "$PORT" ]] && break
-  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died before listening"
-  sleep 0.2
-done
-[[ -n "$PORT" ]] || fail "daemon never printed its listening port"
+wait_for_port
 echo "e2e_daemon: daemon up on port $PORT (pid $DAEMON_PID)"
 
-# 2. Fire a trace and require a fully-served run with a finite p99.
+# Fire a trace and require a fully-served run with a finite p99.
 "$IOS_OPT" fire --port "$PORT" --models fig3 --requests 120 --rate 2000 \
   --seed 7 >"$FIRE_LOG" 2>&1 || fail "fire exited nonzero"
-grep -q " 120 ok, 0 errors" "$FIRE_LOG" || fail "not all 120 requests served"
+grep -q " 120 ok, 0 shed, 0 errors" "$FIRE_LOG" \
+  || fail "not all 120 requests served"
 P99=$(sed -n 's/.*p99 \([0-9.][0-9.]*\).*/\1/p' "$FIRE_LOG" | head -n 1)
 [[ -n "$P99" ]] || fail "no p99 in fire output (nan/inf?)"
 echo "e2e_daemon: 120/120 served, p99 ${P99} us"
 
-# 3. Graceful drain on SIGTERM: exit 0 and a drain summary accounting for
+# Graceful drain on SIGTERM: exit 0 and a drain summary accounting for
 # every admitted request.
 kill -TERM "$DAEMON_PID"
 DAEMON_STATUS=0
 wait "$DAEMON_PID" || DAEMON_STATUS=$?
 [[ "$DAEMON_STATUS" -eq 0 ]] || fail "daemon exited $DAEMON_STATUS on SIGTERM"
 grep -q "drained" "$DAEMON_LOG" || fail "no drain summary in daemon log"
-grep -q "120 admitted, 120 completed, 0 rejected" "$DAEMON_LOG" \
+grep -q "120 admitted, 120 completed, 0 shed, 0 rejected" "$DAEMON_LOG" \
   || fail "drain summary does not account for all 120 requests"
 DAEMON_PID=""
+echo "e2e_daemon: scenario 1 (plain) PASS"
+
+# ---------------------------------------------------------------------------
+# Scenario 2: SLO + shed under a quiet->burst load shift.
+#
+# fig3's singleton service is ~15.4 ms of engine time, so a 40 ms SLO
+# leaves ~25 ms of tolerable backlog: a 30 req/s trickle never sheds, an
+# 8000 req/s burst (far past the two workers' capacity) must. The short
+# 500 us flush deadline keeps partial batches reaching the poll-time shed
+# check during the burst.
+"$IOS_OPT" daemon --port 0 --models fig3 --device v100 --workers 2 \
+  --batch-sizes 1,2,4 --max-delay-us 500 --time-scale 0.05 \
+  --slo fig3=40000 --shed 1 >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+wait_for_port
+echo "e2e_daemon: slo daemon up on port $PORT (pid $DAEMON_PID)"
+
+# Quiet phase: every request served, nothing shed.
+"$IOS_OPT" fire --port "$PORT" --models fig3 --requests 30 --rate 30 \
+  --seed 3 >"$FIRE_LOG" 2>&1 || fail "quiet fire exited nonzero"
+grep -q " 30 ok, 0 shed, 0 errors" "$FIRE_LOG" \
+  || fail "quiet trace shed or dropped requests"
+echo "e2e_daemon: quiet phase 30/30 served, 0 shed"
+
+# Burst phase (phased trace: trickle then overload): the shed policy must
+# engage, everything not shed must be answered, and the p99 of the served
+# requests must stay finite.
+"$IOS_OPT" fire --port "$PORT" --models fig3 --phases "20@30,300@8000" \
+  --seed 5 >"$FIRE_LOG" 2>&1 || fail "burst fire exited nonzero"
+BURST_OK=$(sed -n 's/^ *\([0-9][0-9]*\) ok, .*/\1/p' "$FIRE_LOG" | head -n 1)
+BURST_SHED=$(sed -n 's/.* \([0-9][0-9]*\) shed, .*/\1/p' "$FIRE_LOG" | head -n 1)
+[[ -n "$BURST_OK" && -n "$BURST_SHED" ]] || fail "no ok/shed counts in burst"
+grep -q " 0 errors" "$FIRE_LOG" || fail "burst trace had hard errors"
+[[ "$BURST_SHED" -gt 0 ]] || fail "burst trace shed nothing (shed policy idle)"
+[[ $((BURST_OK + BURST_SHED)) -eq 320 ]] \
+  || fail "burst ok ($BURST_OK) + shed ($BURST_SHED) != 320"
+P99=$(sed -n 's/.*p99 \([0-9.][0-9.]*\).*/\1/p' "$FIRE_LOG" | head -n 1)
+[[ -n "$P99" ]] || fail "no p99 in burst fire output (nan/inf?)"
+echo "e2e_daemon: burst phase $BURST_OK served + $BURST_SHED shed, p99 ${P99} us"
+
+# Clean drain: admitted == completed + shed.
+kill -TERM "$DAEMON_PID"
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+[[ "$DAEMON_STATUS" -eq 0 ]] || fail "slo daemon exited $DAEMON_STATUS on SIGTERM"
+TOTAL_SHED=$((BURST_SHED))
+TOTAL_OK=$((30 + BURST_OK))
+grep -q "350 admitted, $TOTAL_OK completed, $TOTAL_SHED shed, 0 rejected" \
+  "$DAEMON_LOG" || fail "slo drain summary does not balance admitted"
+DAEMON_PID=""
+echo "e2e_daemon: scenario 2 (slo/shed) PASS"
 
 echo "e2e_daemon: PASS"

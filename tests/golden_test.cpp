@@ -21,6 +21,7 @@
 #include "api/optimizer.hpp"
 #include "models/models.hpp"
 #include "schedule/serialize.hpp"
+#include "serve/server.hpp"
 #include "util/json.hpp"
 
 #ifndef IOS_GOLDEN_DIR
@@ -155,6 +156,164 @@ std::string corpus_name(const ::testing::TestParamInfo<std::size_t>& info) {
 INSTANTIATE_TEST_SUITE_P(Corpus, GoldenScheduleTest,
                          ::testing::Range<std::size_t>(0, std::size(kCorpus)),
                          corpus_name);
+
+// ---------------------------------------------------------------------------
+// Adaptive-serving golden corpus: tests/golden/serve_adaptive_*.json pin the
+// complete ServingResult (every record, batch, and stat, doubles at full
+// precision) of an SLO-aware adaptive serve run on a seeded phased trace.
+// Any change to deadline flushing, priority dequeue, degrade, shed, or the
+// controller's re-plan cadence fails loudly here; intentional changes
+// regenerate with the same IOS_GOLDEN_REGEN=1 command as the schedules.
+
+struct ServeGoldenConfig {
+  const char* file;
+  serve::ServerOptions options;
+  serve::TraceSpec trace;
+};
+
+std::vector<ServeGoldenConfig> serve_corpus() {
+  std::vector<ServeGoldenConfig> corpus;
+  {  // quiet -> burst -> quiet with shed + priorities, controller on
+    ServeGoldenConfig c;
+    c.file = "serve_adaptive_shift.json";
+    c.options.device = "v100";
+    c.options.num_workers = 2;
+    c.options.batching.max_queue_delay_us = 600;
+    c.options.slo.models["fig2"] = {1200, 2};
+    c.options.slo.models["fig5"] = {400, 1};
+    c.options.slo.shed = true;
+    c.options.adaptive.enabled = true;
+    c.options.adaptive.warmup_arrivals = 8;
+    c.options.adaptive.min_replan_gap_us = 1000;
+    c.trace.models = {"fig2", "fig5"};
+    c.trace.phases = {{40, 700}, {90, 70}, {30, 700}};
+    c.trace.seed = 101;
+    corpus.push_back(std::move(c));
+  }
+  {  // tight SLO on one worker: degrade engages, nothing sheds
+    ServeGoldenConfig c;
+    c.file = "serve_adaptive_degrade.json";
+    c.options.device = "v100";
+    c.options.num_workers = 1;
+    c.options.batching.max_queue_delay_us = 1000;
+    c.options.slo.models["fig2"] = {1500, 0};
+    c.options.slo.models["fig5"] = {800, 0};
+    c.options.adaptive.enabled = true;
+    c.options.adaptive.warmup_arrivals = 8;
+    c.options.adaptive.min_replan_gap_us = 2000;
+    c.trace.models = {"fig2", "fig5"};
+    c.trace.phases = {{50, 900}, {70, 150}};
+    c.trace.seed = 55;
+    corpus.push_back(std::move(c));
+  }
+  {  // starvation bound + shed slack across three priority classes
+    ServeGoldenConfig c;
+    c.file = "serve_adaptive_starvation.json";
+    c.options.device = "v100";
+    c.options.num_workers = 2;
+    c.options.batching.max_queue_delay_us = 500;
+    c.options.slo.models["fig2"] = {1000, 3};
+    c.options.slo.models["fig5"] = {350, 1};
+    c.options.slo.shed = true;
+    c.options.slo.shed_slack_factor = 1.3;
+    c.options.slo.starvation_limit_us = 4000;
+    c.options.adaptive.enabled = true;
+    c.options.adaptive.warmup_arrivals = 8;
+    c.options.adaptive.min_replan_gap_us = 1500;
+    c.trace.models = {"fig2", "fig5"};
+    c.trace.phases = {{30, 600}, {100, 60}, {30, 600}};
+    c.trace.seed = 202;
+    corpus.push_back(std::move(c));
+  }
+  return corpus;
+}
+
+JsonValue serving_json(const serve::ServingResult& result) {
+  JsonValue records = JsonValue::array();
+  for (const serve::RequestRecord& r : result.records) {
+    JsonValue v = JsonValue::object();
+    v.set("model", r.model);
+    v.set("arrival_us", r.arrival_us);
+    v.set("dispatch_us", r.dispatch_us);
+    v.set("completion_us", r.completion_us);
+    v.set("batch_id", r.batch_id);
+    v.set("worker", r.worker);
+    v.set("priority", r.priority);
+    v.set("slo_us", r.slo_us);
+    v.set("slo_met", r.slo_met);
+    v.set("shed", r.shed);
+    v.set("shed_us", r.shed_us);
+    records.push_back(std::move(v));
+  }
+  JsonValue batches = JsonValue::array();
+  for (const serve::BatchRecord& b : result.batches) {
+    JsonValue v = JsonValue::object();
+    v.set("model", b.model);
+    v.set("size", b.size);
+    v.set("formed_us", b.formed_us);
+    v.set("start_us", b.start_us);
+    v.set("completion_us", b.completion_us);
+    v.set("worker", b.worker);
+    v.set("device", b.device);
+    v.set("priority", b.priority);
+    v.set("degraded", b.degraded);
+    batches.push_back(std::move(v));
+  }
+  JsonValue stats = JsonValue::object();
+  stats.set("requests", result.stats.requests);
+  stats.set("batches", result.stats.batches);
+  stats.set("completed", result.stats.completed);
+  stats.set("shed", result.stats.shed);
+  stats.set("slo_met", result.stats.slo_met);
+  stats.set("slo_attainment", result.stats.slo_attainment);
+  stats.set("degraded_batches", result.stats.degraded_batches);
+  stats.set("replans", result.stats.replans);
+  stats.set("makespan_us", result.stats.makespan_us);
+  stats.set("mean_latency_us", result.stats.mean_latency_us);
+  stats.set("p99_latency_us", result.stats.p99_latency_us);
+
+  JsonValue root = JsonValue::object();
+  root.set("format", "ios-golden-serving");
+  root.set("version", 1);
+  root.set("records", std::move(records));
+  root.set("batches", std::move(batches));
+  root.set("stats", std::move(stats));
+  return root;
+}
+
+class GoldenServingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GoldenServingTest, AdaptiveServeIsBitIdentical) {
+  const ServeGoldenConfig config = serve_corpus()[GetParam()];
+  serve::Server server(config.options);
+  const serve::ServingResult result =
+      server.run(serve::generate_trace(config.trace));
+  const std::string path = std::string(IOS_GOLDEN_DIR) + "/" + config.file;
+  const std::string dump = serving_json(result).dump();
+
+  if (regen_requested()) {
+    write_file(path, dump);
+    SUCCEED() << "regenerated " << config.file;
+    return;
+  }
+
+  const JsonValue golden = JsonValue::parse(read_file(path));
+  ASSERT_EQ(golden.at("format").as_string(), "ios-golden-serving");
+  ASSERT_EQ(golden.at("version").as_int(), 1);
+  // Canonical dumps (sorted keys, %.17g doubles) make string equality bit
+  // equality on every field at once.
+  EXPECT_EQ(dump, golden.dump())
+      << config.file << ": the serving schedule changed";
+}
+
+std::string serve_corpus_name(const ::testing::TestParamInfo<std::size_t>& i) {
+  std::string name = serve_corpus()[i.param].file;
+  return name.substr(0, name.size() - 5);  // drop ".json"
+}
+
+INSTANTIATE_TEST_SUITE_P(ServeCorpus, GoldenServingTest,
+                         ::testing::Range<std::size_t>(0, 3),
+                         serve_corpus_name);
 
 // The golden files double as recipe documents: the schedule embedded in
 // each must be a valid schedule of its configuration's graph (guards

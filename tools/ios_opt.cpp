@@ -75,9 +75,14 @@ void print_usage(std::FILE* out) {
                "             routing, overrides --device/--workers) |\n"
                "             --workers N |\n"
                "             --requests N | --rate REQ_PER_S | --seed N |\n"
+               "             --phases N@RATE,... (non-stationary trace;\n"
+               "             overrides --requests/--rate) |\n"
                "             --batch-sizes a,b,... | --max-delay-us T |\n"
                "             --shards N | --capacity N | --prewarm 0|1 |\n"
-               "             --profile-db FILE\n"
+               "             --profile-db FILE |\n"
+               "             --slo model=SLO_US[:PRIORITY],... |\n"
+               "             --default-slo-us T | --default-priority N |\n"
+               "             --shed 0|1 | --starvation-us T | --adaptive 0|1\n"
                "  daemon     run the serving engine as a TCP daemon on\n"
                "             127.0.0.1 (newline-delimited JSON protocol;\n"
                "             SIGTERM/SIGINT drains gracefully)\n"
@@ -87,11 +92,15 @@ void print_usage(std::FILE* out) {
                "             --batch-sizes a,b,... | --max-delay-us T |\n"
                "             --shards N | --capacity N | --profile-db FILE |\n"
                "             --max-pending N | --time-scale X |\n"
-               "             --io-threads N | --prewarm-threads N\n"
+               "             --io-threads N | --prewarm-threads N |\n"
+               "             --slo model=SLO_US[:PRIORITY],... |\n"
+               "             --default-slo-us T | --default-priority N |\n"
+               "             --shed 0|1 | --starvation-us T | --adaptive 0|1\n"
                "  fire       replay a synthetic trace against a running\n"
                "             daemon and report client-observed latencies\n"
                "             --port N | --host ADDR | --models a,b,... |\n"
-               "             --requests N | --rate REQ_PER_S | --seed N\n"
+               "             --requests N | --rate REQ_PER_S | --seed N |\n"
+               "             --phases N@RATE,...\n"
                "  place      optimize a workload per pool device class and\n"
                "             print the placement plan (routing + splits)\n"
                "             --devices POOL | --models a,b,... |\n"
@@ -275,6 +284,71 @@ int positive_int(const Args& args, const std::string& key,
   return v;
 }
 
+// SLO flags shared by serve and daemon:
+//   --slo "model=SLO_US[:PRIORITY],..." | --default-slo-us T |
+//   --default-priority N | --shed 0|1 | --starvation-us T | --adaptive 0|1
+void apply_slo_flags(const Args& args, serve::ServerOptions& options) {
+  if (const auto csv = args.get("slo")) {
+    for (const std::string& part : split_csv(*csv)) {
+      const std::size_t eq = part.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        throw std::runtime_error(
+            "--slo expects model=SLO_US[:PRIORITY] entries, got '" + part +
+            "'");
+      }
+      serve::SloClass cls;
+      std::string value = part.substr(eq + 1);
+      const std::size_t colon = value.find(':');
+      if (colon != std::string::npos) {
+        cls.priority = std::stoi(value.substr(colon + 1));
+        value.resize(colon);
+      }
+      cls.slo_us = std::stod(value);
+      options.slo.models[part.substr(0, eq)] = cls;
+    }
+  }
+  if (const auto v = args.get("default-slo-us")) {
+    options.slo.fallback.slo_us = std::stod(*v);
+  }
+  if (const auto v = args.get("default-priority")) {
+    options.slo.fallback.priority = std::stoi(*v);
+  }
+  if (const auto v = args.get("shed")) options.slo.shed = *v == "1";
+  if (const auto v = args.get("starvation-us")) {
+    options.slo.starvation_limit_us = std::stod(*v);
+  }
+  if (const auto v = args.get("adaptive")) {
+    options.adaptive.enabled = *v == "1";
+  }
+}
+
+// --phases "N@REQ_PER_S,..." appends non-stationary trace segments; when
+// present it overrides --requests/--rate (shared by serve and fire).
+void apply_phase_flags(const Args& args, serve::TraceSpec& spec) {
+  if (const auto csv = args.get("phases")) {
+    for (const std::string& part : split_csv(*csv)) {
+      const std::size_t at = part.find('@');
+      if (at == std::string::npos || at == 0) {
+        throw std::runtime_error(
+            "--phases expects N@REQ_PER_S entries, got '" + part + "'");
+      }
+      serve::TracePhase phase;
+      phase.num_requests = std::stoi(part.substr(0, at));
+      const double rate = std::stod(part.substr(at + 1));
+      if (rate <= 0) throw std::runtime_error("--phases rate must be > 0");
+      phase.mean_interarrival_us = 1e6 / rate;
+      spec.phases.push_back(phase);
+    }
+  }
+}
+
+int total_requests(const serve::TraceSpec& spec) {
+  if (spec.phases.empty()) return spec.num_requests;
+  int total = 0;
+  for (const serve::TracePhase& p : spec.phases) total += p.num_requests;
+  return total;
+}
+
 int cmd_serve(const Args& args) {
   serve::TraceSpec spec;
   spec.models = split_csv(args.get("models", "squeezenet,inception_v3"));
@@ -283,6 +357,7 @@ int cmd_serve(const Args& args) {
   if (rate <= 0) throw std::runtime_error("--rate must be > 0");
   spec.mean_interarrival_us = 1e6 / rate;
   spec.seed = std::stoull(args.get("seed", "1"));
+  apply_phase_flags(args, spec);
 
   serve::ServerOptions options;
   options.device = args.get("device", "v100");
@@ -303,10 +378,17 @@ int cmd_serve(const Args& args) {
   options.cache.shard_capacity =
       static_cast<std::size_t>(positive_int(args, "capacity", "64"));
   options.profile_db = args.get("profile-db", "");
+  apply_slo_flags(args, options);
 
-  std::printf("serving %d requests (%.0f req/s offered, seed %llu) of [",
-              spec.num_requests, rate,
-              static_cast<unsigned long long>(spec.seed));
+  if (spec.phases.empty()) {
+    std::printf("serving %d requests (%.0f req/s offered, seed %llu) of [",
+                spec.num_requests, rate,
+                static_cast<unsigned long long>(spec.seed));
+  } else {
+    std::printf("serving %d requests in %zu phases (seed %llu) of [",
+                total_requests(spec), spec.phases.size(),
+                static_cast<unsigned long long>(spec.seed));
+  }
   for (std::size_t i = 0; i < spec.models.size(); ++i) {
     std::printf("%s%s", i ? ", " : "", spec.models[i].c_str());
   }
@@ -342,6 +424,21 @@ int cmd_serve(const Args& args) {
               s.p99_latency_us, s.max_latency_us);
   std::printf("  queueing     mean wait %.1f us, worker utilization %.1f%%\n",
               s.mean_queue_wait_us, 100 * s.worker_utilization);
+  if (args.get("slo") || args.get("default-slo-us")) {
+    std::printf("  slo          attainment %.1f%% (%lld met / %lld), "
+                "%lld shed, %lld degraded batches\n",
+                100 * s.slo_attainment, static_cast<long long>(s.slo_met),
+                static_cast<long long>(s.requests),
+                static_cast<long long>(s.shed),
+                static_cast<long long>(s.degraded_batches));
+  }
+  if (server.options().adaptive.enabled) {
+    std::printf("  adaptive     %lld re-plans (%lld optimizer runs, "
+                "%lld new profile measurements)\n",
+                static_cast<long long>(s.replans),
+                static_cast<long long>(s.replan_optimizations),
+                static_cast<long long>(s.replan_measurements));
+  }
   if (result.device_loads.size() > 1) {
     for (const serve::DeviceLoad& l : result.device_loads) {
       std::printf("  %-12s %d device%s, %lld batches, utilization %.1f%%\n",
@@ -415,6 +512,7 @@ int cmd_daemon(const Args& args) {
   if (const auto v = args.get("prewarm-threads")) {
     options.prewarm_threads = std::stoi(*v);
   }
+  apply_slo_flags(args, options.serving);
 
   net::Daemon daemon(std::move(options));
   daemon.start();
@@ -433,14 +531,16 @@ int cmd_daemon(const Args& args) {
 
   const net::DaemonStats stats = daemon.stats();
   std::printf("signal %d: drained — %lld connections, %lld admitted, "
-              "%lld completed, %lld rejected, %lld protocol errors, "
-              "%lld batches\n",
+              "%lld completed, %lld shed, %lld rejected, "
+              "%lld protocol errors, %lld batches, %lld re-plans\n",
               sig, static_cast<long long>(stats.connections),
               static_cast<long long>(stats.admitted),
               static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.shed),
               static_cast<long long>(stats.rejected),
               static_cast<long long>(stats.protocol_errors),
-              static_cast<long long>(stats.batches));
+              static_cast<long long>(stats.batches),
+              static_cast<long long>(stats.replans));
   return 0;
 }
 
@@ -457,6 +557,7 @@ int cmd_fire(const Args& args) {
   if (rate <= 0) throw std::runtime_error("--rate must be > 0");
   spec.mean_interarrival_us = 1e6 / rate;
   spec.seed = std::stoull(args.get("seed", "1"));
+  apply_phase_flags(args, spec);
   const serve::Trace trace = serve::generate_trace(spec);
   const std::size_t n = trace.requests.size();
 
@@ -506,14 +607,18 @@ int cmd_fire(const Args& args) {
   // (Responses all arrived by now, so receipt ~ join time is too coarse;
   // use the daemon-measured wall latency for the distribution and count
   // errors separately.)
-  std::size_t ok = 0, errors = 0;
+  std::size_t ok = 0, errors = 0, shed = 0;
   std::vector<double> wall;
   wall.reserve(n);
   double queue_sum = 0, service_sum = 0;
   std::map<std::string, std::vector<double>> wall_by_model;
   for (const net::WireResponse& r : responses) {
     if (!r.ok) {
-      ++errors;
+      if (r.error == "shed") {
+        ++shed;
+      } else {
+        ++errors;
+      }
       continue;
     }
     ++ok;
@@ -523,8 +628,8 @@ int cmd_fire(const Args& args) {
     service_sum += r.service_us;
   }
   std::sort(wall.begin(), wall.end());
-  std::printf("  %zu ok, %zu errors in %.1f ms (%.1f req/s)\n", ok, errors,
-              elapsed_us / 1000, ok / (elapsed_us / 1e6));
+  std::printf("  %zu ok, %zu shed, %zu errors in %.1f ms (%.1f req/s)\n", ok,
+              shed, errors, elapsed_us / 1000, ok / (elapsed_us / 1e6));
   if (!wall.empty()) {
     std::printf("  wall latency  p50 %.1f us | p95 %.1f | p99 %.1f | "
                 "max %.1f\n",
