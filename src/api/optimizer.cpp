@@ -1,6 +1,7 @@
 #include "api/optimizer.hpp"
 
 #include <bit>
+#include <cstdio>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -61,7 +62,18 @@ struct ProfileDbRegistry {
     }
     auto opened = std::make_shared<OpenProfileDb>();
     opened->on_disk.store(ProfileDb::exists(path));
-    opened->db = ProfileDb::load(path);
+    try {
+      opened->db = ProfileDb::load(path);
+    } catch (const CorruptFileError& e) {
+      // A truncated/corrupt warm-start cache costs re-simulation, never the
+      // process: fall back to a cold database and let the next save (which
+      // is atomic) replace the bad file with a good one.
+      std::fprintf(stderr,
+                   "ios: %s; starting with a cold profile database\n",
+                   e.what());
+      opened->db = ProfileDb{};
+      opened->on_disk.store(false);
+    }
     by_path.emplace(path, opened);
     return opened;
   }

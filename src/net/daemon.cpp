@@ -126,6 +126,37 @@ DaemonOptions daemon_options_from_json(const JsonValue& config) {
       options.serving.slo.starvation_limit_us = value.as_number();
     } else if (key == "adaptive") {
       options.serving.adaptive.enabled = value.as_bool();
+    } else if (key == "idle_timeout_us") {
+      options.idle_timeout_us = value.as_number();
+    } else if (key == "write_timeout_us") {
+      options.write_timeout_us = value.as_number();
+    } else if (key == "max_line_bytes") {
+      options.max_line_bytes = static_cast<std::size_t>(value.as_int());
+    } else if (key == "chaos") {
+      options.chaos = value.as_bool();
+    } else if (key == "stuck_grace_us") {
+      options.stuck_grace_us = value.as_number();
+    } else if (key == "watchdog_interval_us") {
+      options.watchdog_interval_us = value.as_number();
+    } else if (key == "fault") {
+      for (const auto& [k, v] : value.as_object()) {
+        if (k == "seed") {
+          options.fault.seed = static_cast<std::uint64_t>(v.as_int());
+        } else if (k == "torn_write_prob") {
+          options.fault.torn_write_prob = v.as_number();
+        } else if (k == "stall_prob") {
+          options.fault.stall_prob = v.as_number();
+        } else if (k == "stall_us") {
+          options.fault.stall_us = v.as_number();
+        } else if (k == "disconnect_prob") {
+          options.fault.disconnect_prob = v.as_number();
+        } else {
+          throw std::runtime_error(
+              "daemon config: unknown fault key '" + k +
+              "'; known keys: seed torn_write_prob stall_prob stall_us "
+              "disconnect_prob");
+        }
+      }
     } else {
       throw std::runtime_error(
           "daemon config: unknown key '" + key +
@@ -133,7 +164,8 @@ DaemonOptions daemon_options_from_json(const JsonValue& config) {
           "max_queue_delay_us shards capacity profile_db prewarm "
           "prewarm_threads max_pending time_scale io_threads slo "
           "default_slo_us default_priority shed shed_slack "
-          "starvation_limit_us adaptive");
+          "starvation_limit_us adaptive idle_timeout_us write_timeout_us "
+          "max_line_bytes chaos stuck_grace_us watchdog_interval_us fault");
     }
   }
   return options;
@@ -147,6 +179,9 @@ Daemon::Daemon(DaemonOptions options)
   }
   const std::vector<std::string> models = models::model_names();
   known_models_.insert(models.begin(), models.end());
+  if (options_.fault.any()) {
+    fault_ = std::make_unique<FaultInjector>(options_.fault);
+  }
 }
 
 Daemon::~Daemon() { stop(); }
@@ -164,10 +199,16 @@ void Daemon::start() {
   }
 
   exec_queues_.resize(engine_.worker_busy().size());
+  inflight_.resize(exec_queues_.size());
+  exec_dead_.assign(exec_queues_.size(), 0);
+  exec_stall_us_.assign(exec_queues_.size(), 0.0);
   running_.store(true);
 
   accept_thread_ = std::thread(&Daemon::accept_loop, this);
   batcher_thread_ = std::thread(&Daemon::batcher_loop, this);
+  if (options_.stuck_grace_us > 0) {
+    watchdog_thread_ = std::thread(&Daemon::watchdog_loop, this);
+  }
   const int io = std::max(1, options_.io_threads);
   io_threads_.reserve(static_cast<std::size_t>(io));
   for (int i = 0; i < io; ++i) {
@@ -229,11 +270,20 @@ void Daemon::stop() {
   engine_cv_.notify_all();
   if (batcher_thread_.joinable()) batcher_thread_.join();
 
-  // 4. Wait until every admitted request has been answered.
+  // 4. Wait until every admitted request has been answered. The watchdog
+  //    stays alive through this wait: a worker wedged mid-batch would
+  //    otherwise hold the drain hostage; the watchdog kills it and the
+  //    requeued members complete on the survivors.
   {
     std::unique_lock<std::mutex> lock(engine_mu_);
     drain_cv_.wait(lock, [this] { return pending_.empty(); });
   }
+  {
+    std::lock_guard<std::mutex> guard(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
 
   // 5. Park the executors and tear down.
   {
@@ -286,6 +336,11 @@ DaemonStats Daemon::stats() const {
   stats.batches = batches_.load();
   stats.shed = shed_.load();
   if (adaptive_) stats.replans = adaptive_->stats().replans;
+  stats.idle_closes = idle_closes_.load();
+  stats.slow_client_closes = slow_client_closes_.load();
+  stats.oversized_lines = oversized_lines_.load();
+  stats.worker_deaths = worker_deaths_.load();
+  stats.requeued_requests = requeued_requests_.load();
   return stats;
 }
 
@@ -328,9 +383,23 @@ void Daemon::io_loop() {
 }
 
 void Daemon::handle_connection(const std::shared_ptr<Connection>& conn) {
+  conn->sock.set_max_line_bytes(options_.max_line_bytes);
+  if (options_.write_timeout_us > 0) {
+    conn->sock.set_write_timeout_us(options_.write_timeout_us);
+  }
+  if (fault_) conn->sock.set_fault_injector(fault_.get());
   std::string line;
   try {
-    while (conn->sock.read_line(line)) {
+    for (;;) {
+      const ReadStatus status =
+          conn->sock.read_line_deadline(line, options_.idle_timeout_us);
+      if (status == ReadStatus::kEof) return;
+      if (status == ReadStatus::kTimeout) {
+        // Idle client: reclaim the io thread. Responses already in flight
+        // for this connection still complete; their writes fail quietly.
+        idle_closes_.fetch_add(1);
+        return;
+      }
       if (line.empty()) continue;
       WireRequest request;
       try {
@@ -342,9 +411,24 @@ void Daemon::handle_connection(const std::shared_ptr<Connection>& conn) {
       }
       handle_request(conn, request);
     }
-  } catch (const std::exception&) {
-    // Read error: the peer vanished mid-line. Pending responses for this
+  } catch (const SocketError& e) {
+    if (e.kind() == SocketErrorKind::kOversizedLine) {
+      // Bounded-line guard: answer with a protocol error, then close —
+      // the stream position inside the oversized line is unknowable.
+      oversized_lines_.fetch_add(1);
+      protocol_errors_.fetch_add(1);
+      write_response(conn, format_response(error_response(0, e.what())));
+      // Absorb the rest of the oversized line briefly before closing;
+      // closing with unread bytes queued sends RST, which would destroy
+      // the error response before the client reads it.
+      conn->sock.shutdown_write();
+      conn->sock.discard_pending(100e3);
+      return;
+    }
+    // Peer reset / IO error mid-line: pending responses for this
     // connection still complete; their writes fail quietly.
+  } catch (const std::exception&) {
+    // Same as above for non-socket failures.
   }
 }
 
@@ -362,6 +446,60 @@ void Daemon::handle_request(const std::shared_ptr<Connection>& conn,
     case RequestKind::kStats:
       write_response(conn, stats_json(request.id));
       return;
+    case RequestKind::kHealth:
+      write_response(conn, health_json(request.id));
+      return;
+    case RequestKind::kKillWorker: {
+      if (!options_.chaos) {
+        protocol_errors_.fetch_add(1);
+        write_response(conn, format_response(error_response(
+                                 request.id,
+                                 "chaos verbs are disabled; start the "
+                                 "daemon with chaos enabled")));
+        return;
+      }
+      std::string why;
+      if (!kill_worker(request.worker, &why)) {
+        write_response(conn,
+                       format_response(error_response(request.id, why)));
+        return;
+      }
+      JsonValue v = JsonValue::object();
+      v.set("id", request.id);
+      v.set("ok", true);
+      v.set("killed", request.worker);
+      write_response(conn, v.dump());
+      return;
+    }
+    case RequestKind::kStallWorker: {
+      if (!options_.chaos) {
+        protocol_errors_.fetch_add(1);
+        write_response(conn, format_response(error_response(
+                                 request.id,
+                                 "chaos verbs are disabled; start the "
+                                 "daemon with chaos enabled")));
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> guard(exec_mu_);
+        if (request.worker < 0 ||
+            static_cast<std::size_t>(request.worker) >=
+                exec_stall_us_.size()) {
+          write_response(conn, format_response(error_response(
+                                   request.id, "worker index out of range")));
+          return;
+        }
+        exec_stall_us_[static_cast<std::size_t>(request.worker)] =
+            request.stall_us;
+      }
+      JsonValue v = JsonValue::object();
+      v.set("id", request.id);
+      v.set("ok", true);
+      v.set("stalled", request.worker);
+      v.set("stall_us", request.stall_us);
+      write_response(conn, v.dump());
+      return;
+    }
     case RequestKind::kInfer:
       break;
   }
@@ -460,15 +598,149 @@ void Daemon::batcher_loop() {
 
 void Daemon::dispatch(std::vector<serve::EngineBatch> formed) {
   if (formed.empty()) return;
+  std::vector<serve::EngineRequest> orphans;
   {
     std::lock_guard<std::mutex> guard(exec_mu_);
     for (serve::EngineBatch& batch : formed) {
+      const auto w = static_cast<std::size_t>(batch.record.worker);
+      if (exec_dead_[w]) {
+        // The worker died between batch formation and this dispatch (the
+        // engine lock is not held across the gap). Its queue was already
+        // drained by the kill, so route the members back through submit.
+        orphans.insert(orphans.end(), batch.members.begin(),
+                       batch.members.end());
+        continue;
+      }
       batches_.fetch_add(1);
-      exec_queues_[static_cast<std::size_t>(batch.record.worker)].push_back(
-          std::move(batch));
+      exec_queues_[w].push_back(std::move(batch));
     }
   }
   exec_cv_.notify_all();
+  requeue(std::move(orphans));
+}
+
+void Daemon::requeue(std::vector<serve::EngineRequest> members) {
+  if (members.empty()) return;
+  std::vector<serve::EngineBatch> formed;
+  std::vector<serve::ShedRecord> sheds;
+  std::vector<std::pair<std::shared_ptr<Connection>, std::string>> failures;
+  {
+    std::lock_guard<std::mutex> guard(engine_mu_);
+    for (const serve::EngineRequest& member : members) {
+      try {
+        std::vector<serve::EngineBatch> now =
+            engine_.submit(member.id, member.model);
+        formed.insert(formed.end(), std::make_move_iterator(now.begin()),
+                      std::make_move_iterator(now.end()));
+        requeued_requests_.fetch_add(1);
+      } catch (const std::exception& e) {
+        // No capacity left (e.g. every worker dead): answer rather than
+        // lose the request. The write happens after the lock drops.
+        auto it = pending_.find(member.id);
+        if (it != pending_.end()) {
+          const Pending pending = std::move(it->second);
+          pending_.erase(it);
+          if (pending_.empty()) drain_cv_.notify_all();
+          rejected_.fetch_add(1);
+          failures.emplace_back(
+              pending.conn, format_response(error_response(
+                                pending.client_id, e.what())));
+        }
+      }
+    }
+    sheds = engine_.take_shed();
+    // During a drain the batcher is gone — nobody will flush a partial
+    // requeued batch at its deadline, so force it out now.
+    if (stopping_.load()) {
+      std::vector<serve::EngineBatch> rest = engine_.drain();
+      formed.insert(formed.end(), std::make_move_iterator(rest.begin()),
+                    std::make_move_iterator(rest.end()));
+    }
+  }
+  engine_cv_.notify_one();  // the next flush deadline may have changed
+  for (const auto& [conn, line] : failures) write_response(conn, line);
+  dispatch(std::move(formed));
+  answer_shed(std::move(sheds));
+}
+
+bool Daemon::kill_worker(int worker, std::string* error) {
+  {
+    std::lock_guard<std::mutex> guard(engine_mu_);
+    if (worker < 0 ||
+        static_cast<std::size_t>(worker) >= exec_queues_.size()) {
+      if (error) *error = "worker index out of range";
+      return false;
+    }
+    if (!engine_.worker_alive(worker)) {
+      if (error) *error = "worker already dead";
+      return false;
+    }
+    if (engine_.alive_workers() <= 1) {
+      if (error) *error = "cannot kill the last alive worker";
+      return false;
+    }
+    engine_.kill_worker(worker);
+  }
+  // Steal everything the dead worker holds: the in-flight batch (its
+  // executor notices the steal on wakeup and drops it) and every batch
+  // still queued behind it.
+  std::vector<serve::EngineRequest> orphans;
+  {
+    const auto w = static_cast<std::size_t>(worker);
+    std::lock_guard<std::mutex> guard(exec_mu_);
+    exec_dead_[w] = 1;
+    if (inflight_[w].active) {
+      orphans.insert(orphans.end(), inflight_[w].members.begin(),
+                     inflight_[w].members.end());
+      inflight_[w].active = false;
+      inflight_[w].members.clear();
+    }
+    for (serve::EngineBatch& batch : exec_queues_[w]) {
+      orphans.insert(orphans.end(), batch.members.begin(),
+                     batch.members.end());
+    }
+    exec_queues_[w].clear();
+  }
+  exec_cv_.notify_all();
+  worker_deaths_.fetch_add(1);
+  requeue(std::move(orphans));
+  return true;
+}
+
+void Daemon::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  for (;;) {
+    watchdog_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::micro>(
+            options_.watchdog_interval_us),
+        [this] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    lock.unlock();
+    std::vector<int> suspects;
+    {
+      const double now = clock_.now_us();
+      std::lock_guard<std::mutex> guard(exec_mu_);
+      for (std::size_t w = 0; w < inflight_.size(); ++w) {
+        if (!exec_dead_[w] && inflight_[w].active &&
+            now > inflight_[w].deadline_wall_us + options_.stuck_grace_us) {
+          suspects.push_back(static_cast<int>(w));
+        }
+      }
+    }
+    for (const int w : suspects) {
+      std::string why;
+      if (kill_worker(w, &why)) {
+        std::fprintf(stderr,
+                     "ios daemon: watchdog killed stuck worker %d\n", w);
+      } else {
+        std::fprintf(stderr,
+                     "ios daemon: watchdog could not kill worker %d: %s\n",
+                     w, why.c_str());
+      }
+    }
+    lock.lock();
+  }
 }
 
 void Daemon::executor_loop(int worker) {
@@ -483,13 +755,29 @@ void Daemon::executor_loop(int worker) {
       if (exec_queues_[w].empty()) return;  // exec_stop_ and drained
       batch = std::move(exec_queues_[w].front());
       exec_queues_[w].pop_front();
-    }
 
-    // Occupy this worker for the schedule's latency: the simulated device,
-    // made temporal (time_scale 0 in tests skips the sleep).
-    if (options_.time_scale > 0) {
-      std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
-          batch.record.service_us * options_.time_scale));
+      // Occupy this worker for the schedule's latency: the simulated
+      // device, made temporal (time_scale 0 in tests skips the sleep).
+      // The batch stays registered in inflight_ for the duration so a
+      // kill (chaos verb or watchdog) can steal its members and requeue
+      // them on the survivors; the wait wakes early when that happens.
+      // An injected stall (stall_worker) wedges the executor past its
+      // deadline_wall_us, which is what the watchdog keys on.
+      const double stall_us = std::exchange(exec_stall_us_[w], 0.0);
+      const double service_wall_us =
+          batch.record.service_us * std::max(0.0, options_.time_scale);
+      inflight_[w].active = true;
+      inflight_[w].members = batch.members;
+      inflight_[w].deadline_wall_us = clock_.now_us() + service_wall_us;
+      if (service_wall_us > 0 || stall_us > 0) {
+        const auto wake = clock_.time_point_at(clock_.now_us() +
+                                               service_wall_us + stall_us);
+        exec_cv_.wait_until(lock, wake,
+                            [this, w] { return exec_dead_[w] != 0; });
+      }
+      if (!inflight_[w].active) continue;  // stolen by a kill: requeued
+      inflight_[w].active = false;
+      inflight_[w].members.clear();
     }
 
     const double batch_slo =
@@ -551,6 +839,17 @@ void Daemon::write_response(const std::shared_ptr<Connection>& conn,
   try {
     conn->sock.write_all(line);
     conn->sock.write_all("\n");
+  } catch (const SocketError& e) {
+    if (e.kind() == SocketErrorKind::kTimeout) {
+      // Slow client: it stopped draining its receive window. Abandon the
+      // connection — shutting down both sides wakes its blocked reader so
+      // the io thread moves on.
+      slow_client_closes_.fetch_add(1);
+      conn->sock.shutdown_read();
+      conn->sock.shutdown_write();
+    }
+    // Otherwise a dead peer (reset / injected drop): nothing useful to do
+    // with the response.
   } catch (const std::exception&) {
     // Dead peer: nothing useful to do with the response.
   }
@@ -567,6 +866,11 @@ std::string Daemon::stats_json(std::int64_t id) const {
   v.set("protocol_errors", protocol_errors_.load());
   v.set("batches", batches_.load());
   v.set("shed", shed_.load());
+  v.set("idle_closes", idle_closes_.load());
+  v.set("slow_client_closes", slow_client_closes_.load());
+  v.set("oversized_lines", oversized_lines_.load());
+  v.set("worker_deaths", worker_deaths_.load());
+  v.set("requeued_requests", requeued_requests_.load());
   if (adaptive_) {
     const serve::AdaptiveStats a = adaptive_->stats();
     v.set("replans", a.replans);
@@ -585,6 +889,50 @@ std::string Daemon::stats_json(std::int64_t id) const {
   v.set("cache_hits", cache.hits);
   v.set("cache_misses", cache.misses);
   v.set("cache_size", static_cast<std::int64_t>(cache.size));
+  return v.dump();
+}
+
+std::string Daemon::health_json(std::int64_t id) const {
+  JsonValue v = JsonValue::object();
+  v.set("id", id);
+  v.set("ok", true);
+  {
+    std::lock_guard<std::mutex> guard(engine_mu_);
+    v.set("workers", static_cast<std::int64_t>(exec_queues_.size()));
+    v.set("alive", engine_.alive_workers());
+    JsonValue dead = JsonValue::array();
+    for (std::size_t w = 0; w < exec_queues_.size(); ++w) {
+      if (!engine_.worker_alive(static_cast<int>(w))) {
+        dead.push_back(static_cast<std::int64_t>(w));
+      }
+    }
+    v.set("dead_workers", std::move(dead));
+    JsonValue depths = JsonValue::object();
+    for (const auto& [model, depth] : engine_.queue_depths()) {
+      depths.set(model, static_cast<std::int64_t>(depth));
+    }
+    v.set("queue_depths", std::move(depths));
+    v.set("pending", static_cast<std::int64_t>(pending_.size()));
+    v.set("queued", static_cast<std::int64_t>(engine_.queued()));
+  }
+  v.set("admitted", admitted_.load());
+  v.set("completed", completed_.load());
+  v.set("rejected", rejected_.load());
+  v.set("shed", shed_.load());
+  v.set("protocol_errors", protocol_errors_.load());
+  v.set("idle_closes", idle_closes_.load());
+  v.set("slow_client_closes", slow_client_closes_.load());
+  v.set("oversized_lines", oversized_lines_.load());
+  v.set("worker_deaths", worker_deaths_.load());
+  v.set("requeued_requests", requeued_requests_.load());
+  if (fault_) {
+    const FaultCounters fc = fault_->counters();
+    JsonValue f = JsonValue::object();
+    f.set("torn_writes", fc.torn_writes);
+    f.set("stalls", fc.stalls);
+    f.set("disconnects", fc.disconnects);
+    v.set("injected_faults", std::move(f));
+  }
   return v.dump();
 }
 

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "serve/adaptive.hpp"
@@ -66,6 +67,32 @@ struct DaemonOptions {
   double time_scale = 1.0;
   /// Connection-handler threads; also the max concurrent connections.
   int io_threads = 4;
+  /// Close a connection that sends nothing for this long (wall
+  /// microseconds; 0 = never). Counted in DaemonStats::idle_closes.
+  double idle_timeout_us = 0;
+  /// Slow-client guard: a response write that cannot complete within this
+  /// budget (the peer stopped draining its receive window) abandons the
+  /// connection (wall microseconds; 0 = never). Counted in
+  /// DaemonStats::slow_client_closes.
+  double write_timeout_us = 0;
+  /// Bound on one request line (bytes, excluding the newline; 0 =
+  /// unlimited). An oversized line gets a protocol-error response and a
+  /// close, never an unbounded buffer.
+  std::size_t max_line_bytes = 64 * 1024;
+  /// Enables the chaos protocol verbs kill_worker / stall_worker. Off by
+  /// default: a production daemon must not let a client kill workers.
+  bool chaos = false;
+  /// Executor watchdog: a worker whose in-flight batch overruns its
+  /// expected wall service time by more than this is declared dead — the
+  /// engine routes around it and the batch's members are requeued (0 =
+  /// watchdog disabled).
+  double stuck_grace_us = 0;
+  /// Watchdog poll period (wall microseconds).
+  double watchdog_interval_us = 20000;
+  /// Daemon-side fault injection applied to every accepted connection
+  /// (torn/stalled/dropped response writes, stalled reads). All-zero =
+  /// off; chaos testing only.
+  FaultSpec fault{};
 };
 
 /// Parses a daemon config file (JSON object) into options. Recognized keys:
@@ -74,8 +101,11 @@ struct DaemonOptions {
 /// model names), prewarm_threads, max_pending, time_scale, io_threads,
 /// slo (object: model name -> SLO in us, or -> {"slo_us": n,
 /// "priority": p}), default_slo_us, default_priority, shed (bool),
-/// shed_slack, starvation_limit_us, adaptive (bool). Unknown keys throw
-/// std::runtime_error (a typo'd config should not silently serve defaults).
+/// shed_slack, starvation_limit_us, adaptive (bool), idle_timeout_us,
+/// write_timeout_us, max_line_bytes, chaos (bool), stuck_grace_us,
+/// watchdog_interval_us, fault (object: seed, torn_write_prob, stall_prob,
+/// stall_us, disconnect_prob). Unknown keys throw std::runtime_error (a
+/// typo'd config should not silently serve defaults).
 DaemonOptions daemon_options_from_json(const JsonValue& config);
 
 /// Lifetime counters of a daemon.
@@ -91,6 +121,14 @@ struct DaemonStats {
   /// clean drain.
   std::int64_t shed = 0;
   std::int64_t replans = 0;          ///< adaptive-controller re-plans
+  std::int64_t idle_closes = 0;      ///< connections closed by idle timeout
+  std::int64_t slow_client_closes = 0;  ///< writes abandoned by the timeout
+  std::int64_t oversized_lines = 0;  ///< request lines over max_line_bytes
+  std::int64_t worker_deaths = 0;    ///< workers killed (verb or watchdog)
+  /// In-flight / queued batch members resubmitted after a worker death.
+  /// They keep their pending entry, so a requeued request is answered
+  /// exactly once — never lost, never double-counted.
+  std::int64_t requeued_requests = 0;
 };
 
 /// The long-running serving daemon (see the file comment). start() binds
@@ -130,6 +168,15 @@ class Daemon {
   /// Lifetime counters.
   DaemonStats stats() const;
 
+  /// Kills `worker`: marks it dead in the engine (the router stops
+  /// considering it), steals its in-flight and queued batches, and
+  /// resubmits their members so every admitted request is still answered —
+  /// the wall-clock twin of the fleet simulator's failure handling. Refuses
+  /// (returns false, fills *error) for a bad index, an already-dead worker,
+  /// or the last alive worker. Called by the chaos verb and the watchdog;
+  /// safe from any thread.
+  bool kill_worker(int worker, std::string* error);
+
   /// The engine options the daemon actually runs with (normalized).
   const serve::ServerOptions& serving_options() const {
     return engine_.options();
@@ -159,6 +206,7 @@ class Daemon {
   void io_loop();
   void batcher_loop();
   void executor_loop(int worker);
+  void watchdog_loop();
 
   /// Serves one connection until EOF or shutdown.
   void handle_connection(const std::shared_ptr<Connection>& conn);
@@ -167,8 +215,15 @@ class Daemon {
   void handle_request(const std::shared_ptr<Connection>& conn,
                       const WireRequest& request);
 
-  /// Pushes formed batches onto the executor queues.
+  /// Pushes formed batches onto the executor queues. A batch routed to a
+  /// worker that died between formation and dispatch is not enqueued; its
+  /// members are requeued instead.
   void dispatch(std::vector<serve::EngineBatch> formed);
+
+  /// Resubmits orphaned batch members (their pending entries are intact,
+  /// so each is still answered exactly once) and dispatches whatever
+  /// batches the resubmission forms. Takes engine_mu_; call unlocked.
+  void requeue(std::vector<serve::EngineRequest> members);
 
   /// Answers shed requests with {"ok":false,"error":"shed"} and settles
   /// their pending entries. Takes engine_mu_ per record; call unlocked.
@@ -181,6 +236,10 @@ class Daemon {
 
   /// The stats JSON answered to a "stats" request.
   std::string stats_json(std::int64_t id) const;
+
+  /// The health JSON answered to a "health" request: live workers, queue
+  /// depths, and the fault/timeout counters.
+  std::string health_json(std::int64_t id) const;
 
   DaemonOptions options_;
   serve::WallClock clock_;
@@ -215,14 +274,44 @@ class Daemon {
   std::deque<std::shared_ptr<Connection>> accepted_;
   std::vector<std::weak_ptr<Connection>> live_;  ///< for shutdown_read
 
-  // Executor queues, one per engine worker.
+  // Executor queues, one per engine worker. A worker's in-flight batch
+  // stays visible in inflight_ while its executor emulates the service
+  // time, so a kill (verb or watchdog) can steal and requeue its members
+  // mid-execution; the executor notices the steal on wakeup and drops the
+  // batch. exec_dead_ mirrors the engine's liveness for the dispatch path.
   std::mutex exec_mu_;
   std::condition_variable exec_cv_;
   std::vector<std::deque<serve::EngineBatch>> exec_queues_;
   bool exec_stop_ = false;
 
+  /// A batch currently occupying its executor (see exec_mu_ comment).
+  struct InFlight {
+    bool active = false;
+    std::vector<serve::EngineRequest> members;
+    /// Wall time the batch should complete (start + service * time_scale,
+    /// excluding injected stalls) — the watchdog's overdue baseline.
+    double deadline_wall_us = 0;
+  };
+  std::vector<InFlight> inflight_;
+  std::vector<char> exec_dead_;
+  /// One-shot extra wall stall applied to the worker's next batch (the
+  /// stall_worker chaos verb; consumed on batch start).
+  std::vector<double> exec_stall_us_;
+
+  /// Daemon-side fault injector shared by every accepted connection (null
+  /// unless options.fault injects anything).
+  std::unique_ptr<FaultInjector> fault_;
+
+  // The watchdog outlives the early phases of stop() (it may have to
+  // rescue a drain wedged behind a stuck worker), so it has its own stop
+  // flag, set only after every pending request is answered.
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+
   std::thread accept_thread_;
   std::thread batcher_thread_;
+  std::thread watchdog_thread_;
   std::vector<std::thread> io_threads_;
   std::vector<std::thread> exec_threads_;
 
@@ -235,6 +324,11 @@ class Daemon {
   std::atomic<std::int64_t> protocol_errors_{0};
   std::atomic<std::int64_t> batches_{0};
   std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> idle_closes_{0};
+  std::atomic<std::int64_t> slow_client_closes_{0};
+  std::atomic<std::int64_t> oversized_lines_{0};
+  std::atomic<std::int64_t> worker_deaths_{0};
+  std::atomic<std::int64_t> requeued_requests_{0};
 };
 
 }  // namespace ios::net

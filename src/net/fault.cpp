@@ -1,0 +1,70 @@
+#include "net/fault.hpp"
+
+#include <algorithm>
+
+namespace ios::net {
+
+FaultInjector::FaultInjector(FaultSpec spec) : spec_(spec), rng_(spec.seed) {}
+
+FaultInjector::WritePlan FaultInjector::plan_write(std::size_t size) {
+  WritePlan plan;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size > 1 && spec_.torn_write_prob > 0 &&
+      rng_.bernoulli(spec_.torn_write_prob)) {
+    // Tear into 2..4 segments at distinct random offsets. A short pause
+    // between segments forces the peer's reader to observe partial lines.
+    const int cut_limit =
+        static_cast<int>(std::min<std::size_t>(3, size - 1));
+    const int cuts = 1 + rng_.uniform_int(cut_limit);
+    std::vector<std::size_t> offsets;
+    for (int i = 0; i < cuts; ++i) {
+      offsets.push_back(1 + static_cast<std::size_t>(rng_.uniform_int(
+                                static_cast<int>(size - 1))));
+    }
+    std::sort(offsets.begin(), offsets.end());
+    offsets.erase(std::unique(offsets.begin(), offsets.end()), offsets.end());
+    std::size_t previous = 0;
+    for (const std::size_t offset : offsets) {
+      plan.segments.push_back(offset - previous);
+      previous = offset;
+    }
+    plan.segments.push_back(size - previous);
+    plan.inter_segment_stall_us = std::min(spec_.stall_us, 200.0);
+    ++counters_.torn_writes;
+  } else {
+    plan.segments.push_back(size);
+  }
+  if (spec_.disconnect_prob > 0 && rng_.bernoulli(spec_.disconnect_prob)) {
+    plan.disconnect = true;
+    plan.disconnect_after =
+        static_cast<std::size_t>(rng_.uniform_int(static_cast<int>(size)));
+    ++counters_.disconnects;
+  }
+  return plan;
+}
+
+double FaultInjector::read_stall_us() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.stall_prob > 0 && rng_.bernoulli(spec_.stall_prob)) {
+    ++counters_.stalls;
+    return spec_.stall_us;
+  }
+  return 0;
+}
+
+bool FaultInjector::should_refuse_connect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.refuse_connect_prob > 0 &&
+      rng_.bernoulli(spec_.refuse_connect_prob)) {
+    ++counters_.refused_connects;
+    return true;
+  }
+  return false;
+}
+
+FaultCounters FaultInjector::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace ios::net

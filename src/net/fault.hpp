@@ -1,0 +1,108 @@
+#pragma once
+// Seeded network fault injection for chaos-testing the daemon and its
+// clients. A FaultInjector wraps the decisions "should this connect be
+// refused?", "how should this write be torn into segments?", "should the
+// connection die mid-message?", and "should this read stall?" behind one
+// deterministic RNG, so a chaos run with a fixed seed replays the exact
+// same fault sequence every time. Sockets consult an (optional, default
+// null) injector at each IO operation — with no injector installed the
+// fault paths cost one pointer check and nothing else.
+//
+// Faults are modeled at the layer the daemon actually has to survive:
+//
+//   torn writes        a logical write is split into several send() calls
+//                      with a short pause between them — the peer's reader
+//                      sees partial lines and must reassemble;
+//   read stalls        a recv() is delayed — idle/slow-peer deadlines fire;
+//   disconnects        the socket is shut down after a prefix of a write —
+//                      the peer sees a truncated line then EOF;
+//   connect refusals   connect_to throws SocketError{kConnectRefused}
+//                      without touching the network — retry/backoff paths
+//                      run.
+//
+// TCP guarantees torn writes and stalls never corrupt the byte stream, so
+// they test *timing* robustness; disconnects and refusals test *loss*
+// robustness (retries, reconnects, request de-duplication by id).
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ios::net {
+
+/// What to inject and how often. All probabilities default to 0 — a default
+/// spec injects nothing (and Socket skips the injector entirely).
+struct FaultSpec {
+  /// RNG seed: the same seed replays the same fault sequence for the same
+  /// sequence of injector calls.
+  std::uint64_t seed = 1;
+  /// Probability a write is torn into 2..4 segments with stall_us pauses
+  /// between them.
+  double torn_write_prob = 0;
+  /// Probability a read (or torn-write gap) stalls for stall_us.
+  double stall_prob = 0;
+  /// Stall duration in wall microseconds.
+  double stall_us = 200;
+  /// Probability a write shuts the socket down after a random prefix.
+  double disconnect_prob = 0;
+  /// Probability connect_to refuses without touching the network.
+  double refuse_connect_prob = 0;
+
+  /// True when any fault can fire (a Socket with an all-zero spec behaves
+  /// exactly like one with no injector).
+  bool any() const {
+    return torn_write_prob > 0 || stall_prob > 0 || disconnect_prob > 0 ||
+           refuse_connect_prob > 0;
+  }
+};
+
+/// How many faults of each kind actually fired.
+struct FaultCounters {
+  std::int64_t torn_writes = 0;
+  std::int64_t stalls = 0;
+  std::int64_t disconnects = 0;
+  std::int64_t refused_connects = 0;
+};
+
+/// The seeded fault decision source (see the file comment). Thread-safe:
+/// one injector may be shared by every connection of a daemon or client;
+/// decisions are serialized, so a single-threaded caller sees a fully
+/// deterministic sequence per seed.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec);
+
+  /// One write's worth of injected behavior, decided up front.
+  struct WritePlan {
+    /// Segment lengths summing to the write size (one entry = intact).
+    std::vector<std::size_t> segments;
+    /// Pause between segments, wall microseconds (0 = none).
+    double inter_segment_stall_us = 0;
+    /// Shut the socket down after `disconnect_after` bytes.
+    bool disconnect = false;
+    std::size_t disconnect_after = 0;
+  };
+
+  /// Decides how a write of `size` bytes should be injected.
+  WritePlan plan_write(std::size_t size);
+
+  /// Stall to apply before the next recv, wall microseconds (0 = none).
+  double read_stall_us();
+
+  /// True when the next connect should be refused.
+  bool should_refuse_connect();
+
+  FaultCounters counters() const;
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  const FaultSpec spec_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace ios::net

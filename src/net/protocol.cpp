@@ -23,9 +23,25 @@ WireRequest parse_request(std::string_view line) {
     request.kind = RequestKind::kPing;
   } else if (cmd == "stats") {
     request.kind = RequestKind::kStats;
+  } else if (cmd == "health") {
+    request.kind = RequestKind::kHealth;
+  } else if (cmd == "kill_worker" || cmd == "stall_worker") {
+    request.kind = cmd == "kill_worker" ? RequestKind::kKillWorker
+                                        : RequestKind::kStallWorker;
+    if (!v.contains("worker")) {
+      throw std::runtime_error("'" + cmd + "' request missing 'worker'");
+    }
+    request.worker = static_cast<int>(v.at("worker").as_int());
+    if (request.kind == RequestKind::kStallWorker) {
+      if (!v.contains("stall_us")) {
+        throw std::runtime_error("'stall_worker' request missing 'stall_us'");
+      }
+      request.stall_us = v.at("stall_us").as_number();
+    }
   } else {
-    throw std::runtime_error("unknown cmd '" + cmd +
-                             "'; known cmds: infer ping stats");
+    throw std::runtime_error(
+        "unknown cmd '" + cmd +
+        "'; known cmds: infer ping stats health kill_worker stall_worker");
   }
   return request;
 }
@@ -42,6 +58,18 @@ std::string format_request(const WireRequest& request) {
       break;
     case RequestKind::kStats:
       v.set("cmd", "stats");
+      break;
+    case RequestKind::kHealth:
+      v.set("cmd", "health");
+      break;
+    case RequestKind::kKillWorker:
+      v.set("cmd", "kill_worker");
+      v.set("worker", request.worker);
+      break;
+    case RequestKind::kStallWorker:
+      v.set("cmd", "stall_worker");
+      v.set("worker", request.worker);
+      v.set("stall_us", request.stall_us);
       break;
   }
   return v.dump();

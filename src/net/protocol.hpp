@@ -9,6 +9,10 @@
 //   -> {"id":7,"model":"squeezenet"}                     inference
 //   -> {"id":8,"cmd":"ping"}                             liveness probe
 //   -> {"id":9,"cmd":"stats"}                            engine counters
+//   -> {"id":10,"cmd":"health"}                          worker/fault health
+//   -> {"id":11,"cmd":"kill_worker","worker":0}          chaos: kill worker
+//   -> {"id":12,"cmd":"stall_worker","worker":0,
+//       "stall_us":500000}                               chaos: wedge worker
 //   <- {"id":7,"ok":true,"model":"squeezenet","batch_size":4,
 //       "worker":0,"device":"Tesla V100","latency_us":...,
 //       "queue_us":...,"service_us":...,"wall_latency_us":...}
@@ -26,14 +30,26 @@
 
 namespace ios::net {
 
-/// What a request line asks for.
-enum class RequestKind { kInfer, kPing, kStats };
+/// What a request line asks for. The two chaos verbs (kKillWorker,
+/// kStallWorker) are only honored when the daemon runs with chaos enabled;
+/// kStallWorker wedges a worker's next batch past its expected service time
+/// so the executor watchdog can be exercised end-to-end.
+enum class RequestKind {
+  kInfer,
+  kPing,
+  kStats,
+  kHealth,
+  kKillWorker,
+  kStallWorker,
+};
 
 /// A parsed request line.
 struct WireRequest {
   std::int64_t id = 0;
   RequestKind kind = RequestKind::kInfer;
-  std::string model;  ///< kInfer only
+  std::string model;    ///< kInfer only
+  int worker = -1;      ///< kKillWorker / kStallWorker target
+  double stall_us = 0;  ///< kStallWorker only
 };
 
 /// A response line (inference result or error; ping/stats build their JSON

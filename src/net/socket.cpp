@@ -5,20 +5,36 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstring>
-#include <stdexcept>
+#include <thread>
 #include <utility>
+
+#include "net/fault.hpp"
 
 namespace ios::net {
 
 namespace {
 
+// EPIPE and ECONNRESET both mean "the peer vanished mid-stream" — the one
+// failure class a client can safely retry on a fresh connection.
+SocketErrorKind classify_errno(int err) {
+  if (err == EPIPE || err == ECONNRESET) return SocketErrorKind::kPeerReset;
+  if (err == ECONNREFUSED) return SocketErrorKind::kConnectRefused;
+  return SocketErrorKind::kIo;
+}
+
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
+  const int err = errno;
+  throw SocketError(classify_errno(err),
+                    what + ": " + std::strerror(err));
 }
 
 // Nagle coalescing would hold each small request/response line back for the
@@ -29,18 +45,56 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void sleep_us(double us) {
+  if (us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(us)));
+  }
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
+
+const char* socket_error_kind_name(SocketErrorKind kind) {
+  switch (kind) {
+    case SocketErrorKind::kConnectRefused:
+      return "connect_refused";
+    case SocketErrorKind::kPeerReset:
+      return "peer_reset";
+    case SocketErrorKind::kTimeout:
+      return "timeout";
+    case SocketErrorKind::kOversizedLine:
+      return "oversized_line";
+    case SocketErrorKind::kInjectedFault:
+      return "injected_fault";
+    case SocketErrorKind::kIo:
+      return "io";
+  }
+  return "unknown";
+}
 
 // ---- Socket ---------------------------------------------------------------
 
 Socket::Socket(Socket&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)),
+      write_timeout_us_(other.write_timeout_us_),
+      max_line_bytes_(other.max_line_bytes_),
+      injector_(std::exchange(other.injector_, nullptr)) {}
 
 Socket& Socket::operator=(Socket&& other) noexcept {
   if (this != &other) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
+    write_timeout_us_ = other.write_timeout_us_;
+    max_line_bytes_ = other.max_line_bytes_;
+    injector_ = std::exchange(other.injector_, nullptr);
   }
   return *this;
 }
@@ -49,7 +103,13 @@ Socket::~Socket() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Socket Socket::connect_to(const std::string& host, int port) {
+Socket Socket::connect_to(const std::string& host, int port,
+                          FaultInjector* injector) {
+  const std::string peer = host + ":" + std::to_string(port);
+  if (injector != nullptr && injector->should_refuse_connect()) {
+    throw SocketError(SocketErrorKind::kConnectRefused,
+                      "connect to " + peer + ": injected refusal");
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) throw_errno("socket");
   sockaddr_in addr{};
@@ -57,17 +117,52 @@ Socket Socket::connect_to(const std::string& host, int port) {
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
     ::close(fd);
-    throw std::runtime_error("connect_to: bad IPv4 address '" + host + "'");
+    throw SocketError(SocketErrorKind::kIo,
+                      "connect_to: bad IPv4 address '" + host + "'");
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
     const int err = errno;
     ::close(fd);
     errno = err;
-    throw_errno("connect to " + host + ":" + std::to_string(port));
+    throw_errno("connect to " + peer);
   }
   set_nodelay(fd);
-  return Socket(fd);
+  Socket sock(fd);
+  sock.set_fault_injector(injector);
+  return sock;
+}
+
+std::size_t Socket::fill_buffer() {
+  if (injector_ != nullptr) sleep_us(injector_->read_stall_us());
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n >= 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      // Bounded-line guard: measure the *current* line, not the buffer —
+      // a burst of many small pipelined lines is fine.
+      const std::size_t nl = buffer_.find('\n');
+      const std::size_t line_len =
+          nl == std::string::npos ? buffer_.size() : nl;
+      if (max_line_bytes_ > 0 && line_len > max_line_bytes_) {
+        throw SocketError(
+            SocketErrorKind::kOversizedLine,
+            "request line exceeds " + std::to_string(max_line_bytes_) +
+                " bytes");
+      }
+      return static_cast<std::size_t>(n);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // No receive timeout is configured on these sockets, so this is a
+      // transient wakeup; poll until actually readable.
+      pollfd pfd{fd_, POLLIN, 0};
+      ::poll(&pfd, 1, -1);
+      continue;
+    }
+    throw_errno("recv");
+  }
 }
 
 bool Socket::read_line(std::string& line) {
@@ -78,34 +173,155 @@ bool Socket::read_line(std::string& line) {
       buffer_.erase(0, nl + 1);
       return true;
     }
-    char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n > 0) {
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n == 0) {  // orderly EOF: hand back a trailing unterminated line
+    if (fill_buffer() == 0) {  // orderly EOF: hand back a trailing line
       if (buffer_.empty()) return false;
       line = std::move(buffer_);
       buffer_.clear();
       return true;
     }
-    if (errno == EINTR) continue;
-    throw_errno("recv");
+  }
+}
+
+ReadStatus Socket::read_line_deadline(std::string& line, double timeout_us) {
+  if (timeout_us <= 0) {
+    return read_line(line) ? ReadStatus::kLine : ReadStatus::kEof;
+  }
+  const double deadline = now_us() + timeout_us;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return ReadStatus::kLine;
+    }
+    const double remaining = deadline - now_us();
+    if (remaining <= 0) return ReadStatus::kTimeout;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int timeout_ms =
+        static_cast<int>(std::ceil(remaining / 1000.0));
+    const int ready = ::poll(&pfd, 1, timeout_ms < 1 ? 1 : timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    if (ready == 0) return ReadStatus::kTimeout;
+    if (fill_buffer() == 0) {  // orderly EOF: hand back a trailing line
+      if (buffer_.empty()) return ReadStatus::kEof;
+      line = std::move(buffer_);
+      buffer_.clear();
+      return ReadStatus::kLine;
+    }
   }
 }
 
 void Socket::write_all(std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-killing SIGPIPE.
-    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
-                             MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("send");
+  if (data.empty()) return;
+  FaultInjector::WritePlan plan;
+  if (injector_ != nullptr) {
+    plan = injector_->plan_write(data.size());
+  } else {
+    plan.segments.push_back(data.size());
+  }
+  const double start = now_us();
+  std::size_t sent_total = 0;
+  for (std::size_t seg_index = 0; seg_index < plan.segments.size();
+       ++seg_index) {
+    if (seg_index > 0) sleep_us(plan.inter_segment_stall_us);
+    std::size_t seg_end = sent_total + plan.segments[seg_index];
+    bool drop_here = false;
+    if (plan.disconnect && plan.disconnect_after <= seg_end) {
+      seg_end = std::max(plan.disconnect_after, sent_total);
+      drop_here = true;
     }
-    sent += static_cast<std::size_t>(n);
+    while (sent_total < seg_end) {
+      // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process-killing
+      // SIGPIPE.
+      const ssize_t n = ::send(fd_, data.data() + sent_total,
+                               seg_end - sent_total, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          // The peer has stopped draining its receive window (blocking
+          // send gives up once SO_SNDTIMEO — armed by
+          // set_write_timeout_us — expires). Give it the rest of the
+          // write budget, then declare the client slow.
+          const double elapsed = now_us() - start;
+          if (write_timeout_us_ > 0 && elapsed >= write_timeout_us_) {
+            throw SocketError(SocketErrorKind::kTimeout,
+                              "send timed out after " +
+                                  std::to_string(static_cast<long long>(
+                                      elapsed)) +
+                                  " us");
+          }
+          continue;
+        }
+        throw_errno("send");
+      }
+      sent_total += static_cast<std::size_t>(n);
+    }
+    if (drop_here) {
+      ::shutdown(fd_, SHUT_RDWR);
+      throw SocketError(SocketErrorKind::kInjectedFault,
+                        "injected disconnect after " +
+                            std::to_string(sent_total) + " bytes");
+    }
+  }
+}
+
+bool Socket::wait_readable(double timeout_us) {
+  if (!buffer_.empty()) return true;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int timeout_ms =
+      timeout_us < 0 ? -1 : static_cast<int>(std::ceil(timeout_us / 1000.0));
+  for (;;) {
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("poll");
+    }
+    return ready > 0;
+  }
+}
+
+void Socket::set_write_timeout_us(double timeout_us) {
+  write_timeout_us_ = timeout_us;
+  // SO_SNDTIMEO makes a blocking send() return EAGAIN once the peer's
+  // receive window has been full for this long; write_all then checks the
+  // overall budget. Re-arm with a fraction of the budget so several short
+  // stalls cannot each reset the clock past the total.
+  timeval tv{};
+  const double slice_us = timeout_us > 0 ? timeout_us / 4 : 0;
+  tv.tv_sec = static_cast<time_t>(slice_us / 1e6);
+  tv.tv_usec = static_cast<suseconds_t>(
+      slice_us - static_cast<double>(tv.tv_sec) * 1e6);
+  if (timeout_us > 0 && tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void Socket::discard_pending(double window_us) {
+  buffer_.clear();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::micro>(window_us));
+  char sink[4096];
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) return;
+    const int timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count() +
+        1);
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc <= 0) return;  // quiet for the whole window
+    const ssize_t n = ::recv(fd_, sink, sizeof(sink), 0);
+    if (n > 0) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return;  // EOF or a dead peer: nothing left to absorb
   }
 }
 

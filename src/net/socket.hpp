@@ -4,13 +4,58 @@
 // accept loop can be woken by a pipe (the daemon's shutdown path). No
 // external dependencies; loopback-oriented (the daemon binds 127.0.0.1 —
 // it is a research serving daemon, not an internet-facing one).
+//
+// IO failures surface as typed SocketError exceptions so callers can route
+// on the failure class: a peer reset is retryable for a client, a timeout
+// means a slow-client close for the daemon, an oversized line is a protocol
+// error, an injected fault is chaos-testing noise. An optional FaultInjector
+// (see fault.hpp) can be installed per socket to deterministically tear
+// writes, stall reads, and drop connections mid-message.
 
 #include <cstddef>
+#include <limits>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
 namespace ios::net {
+
+class FaultInjector;
+
+/// Failure classes a Socket operation can raise. Callers switch on the kind
+/// instead of parsing what() strings.
+enum class SocketErrorKind {
+  kConnectRefused,  ///< connect() refused (or injected refusal)
+  kPeerReset,       ///< ECONNRESET / EPIPE: the peer vanished mid-stream
+  kTimeout,         ///< a configured read/write deadline expired
+  kOversizedLine,   ///< a line exceeded the configured maximum length
+  kInjectedFault,   ///< a FaultInjector dropped the connection
+  kIo,              ///< any other socket-layer errno
+};
+
+/// Human-readable name for a SocketErrorKind ("peer_reset", "timeout", ...).
+const char* socket_error_kind_name(SocketErrorKind kind);
+
+/// A socket-layer failure with a machine-routable kind. Derives from
+/// std::runtime_error so legacy catch sites keep working.
+class SocketError : public std::runtime_error {
+ public:
+  SocketError(SocketErrorKind kind, const std::string& message)
+      : std::runtime_error(message), kind_(kind) {}
+
+  SocketErrorKind kind() const { return kind_; }
+
+ private:
+  SocketErrorKind kind_;
+};
+
+/// Outcome of a deadline-bounded read (see Socket::read_line_deadline).
+enum class ReadStatus {
+  kLine,     ///< a full line was produced
+  kEof,      ///< orderly EOF with nothing buffered
+  kTimeout,  ///< the deadline expired with no complete line
+};
 
 /// A connected TCP socket: owns the fd, closes on destruction, and layers a
 /// read buffer for newline-delimited protocols. Move-only.
@@ -28,18 +73,60 @@ class Socket {
   ~Socket();
 
   /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1"). Throws
-  /// std::runtime_error on failure.
-  static Socket connect_to(const std::string& host, int port);
+  /// SocketError{kConnectRefused} when the peer refuses (retryable) and
+  /// SocketError{kIo} otherwise. When `injector` is non-null it may refuse
+  /// the connect deterministically, and it is installed on the returned
+  /// socket so all subsequent IO runs through it.
+  static Socket connect_to(const std::string& host, int port,
+                           FaultInjector* injector = nullptr);
 
   /// Reads up to and including the next '\n'; returns the line without the
   /// newline in `line`. Returns false on orderly EOF with no buffered
-  /// partial line. Throws std::runtime_error on a read error. A trailing
+  /// partial line. Throws SocketError on a read error. A trailing
   /// unterminated line at EOF is returned as a final line.
   bool read_line(std::string& line);
 
-  /// Writes all of `data`, retrying short writes. Throws std::runtime_error
-  /// on error (a closed peer surfaces here, not as SIGPIPE).
+  /// read_line with a deadline: returns kTimeout when no complete line
+  /// arrives within `timeout_us` wall microseconds (partial bytes stay
+  /// buffered — a later call resumes where this one left off). A
+  /// non-positive timeout blocks forever (equivalent to read_line).
+  ReadStatus read_line_deadline(std::string& line, double timeout_us);
+
+  /// Writes all of `data`, retrying short writes and EINTR. Throws
+  /// SocketError: kPeerReset for EPIPE/ECONNRESET, kTimeout when the write
+  /// timeout (set_write_timeout_us) expires against a stalled peer,
+  /// kInjectedFault when a FaultInjector drops the connection, kIo
+  /// otherwise. A closed peer surfaces here, not as SIGPIPE.
   void write_all(std::string_view data);
+
+  /// Blocks until the socket is readable, the peer hangs up, or
+  /// `timeout_us` expires; returns true when readable/hung-up (a subsequent
+  /// read will not block), false on timeout. Buffered bytes from a previous
+  /// partial read count as readable.
+  bool wait_readable(double timeout_us);
+
+  /// Caps the write_all duration (wall microseconds; 0 = unlimited). When a
+  /// peer stops draining its receive window for this long, write_all throws
+  /// SocketError{kTimeout} — the daemon's slow-client guard.
+  void set_write_timeout_us(double timeout_us);
+
+  /// Caps the length of a line read_line may buffer (bytes, excluding the
+  /// newline; 0 = unlimited). Exceeding it throws
+  /// SocketError{kOversizedLine} — the daemon's bounded-request-line guard.
+  void set_max_line_bytes(std::size_t max_bytes) {
+    max_line_bytes_ = max_bytes;
+  }
+
+  /// Installs a fault injector (not owned; may be nullptr to disable; the
+  /// default). The injector must outlive the socket.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Discards whatever the peer has already sent (or sends within
+  /// `window_us`), then returns. Called before closing a connection whose
+  /// final response must survive: closing a socket with unread bytes in
+  /// its receive queue sends RST, which destroys data still in flight to
+  /// the peer — draining first turns the close into a clean FIN.
+  void discard_pending(double window_us);
 
   /// Half-closes the read side (wakes a blocked reader with EOF).
   void shutdown_read();
@@ -55,8 +142,15 @@ class Socket {
   bool valid() const { return fd_ >= 0; }
 
  private:
+  /// One recv into buffer_: returns bytes read (0 = EOF). Applies injected
+  /// read stalls and the max-line guard; throws SocketError on error.
+  std::size_t fill_buffer();
+
   int fd_ = -1;
   std::string buffer_;  ///< bytes read past the last returned line
+  double write_timeout_us_ = 0;
+  std::size_t max_line_bytes_ = 0;
+  FaultInjector* injector_ = nullptr;  ///< not owned
 };
 
 /// A listening TCP socket bound to 127.0.0.1:`port` (0 = kernel-assigned

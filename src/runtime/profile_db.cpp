@@ -37,6 +37,7 @@ ProfileDb ProfileDb::from_json(const JsonValue& doc) {
       doc.at("format").as_string() != kFormat) {
     throw std::runtime_error("profile-db: not an ios-profile-db document");
   }
+  verify_content_checksum(doc, "profile-db");
   if (doc.at("version").as_int() != kVersion) {
     throw std::runtime_error("profile-db: unsupported version " +
                              std::to_string(doc.at("version").as_int()));
@@ -55,7 +56,15 @@ ProfileDb ProfileDb::from_json(const JsonValue& doc) {
 
 ProfileDb ProfileDb::load(const std::string& path) {
   if (!exists(path)) return ProfileDb{};
-  return from_json(JsonValue::parse(read_file(path)));
+  try {
+    return from_json(JsonValue::parse(read_file(path)));
+  } catch (const std::exception& e) {
+    // One named error type for every corruption mode (truncated JSON,
+    // checksum mismatch, wrong format header) so callers can fall back to
+    // a cold start without string-matching.
+    throw CorruptFileError("profile-db: cannot load '" + path +
+                           "': " + e.what());
+  }
 }
 
 bool ProfileDb::exists(const std::string& path) {
@@ -82,16 +91,11 @@ JsonValue ProfileDb::to_json() const {
 }
 
 void ProfileDb::save(const std::string& path) const {
-  // Write-then-rename: a reader (or a crash) mid-save must never observe a
-  // truncated document — a corrupt warm-start cache would fail every later
-  // run instead of degrading to a cold one.
-  const std::string tmp = path + ".tmp";
-  write_file(tmp, to_json().dump());
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("profile-db: cannot rename " + tmp + " to " +
-                             path);
-  }
+  // fsync + rename + directory fsync: a reader (or a kill -9) mid-save must
+  // never observe a truncated document, and the embedded checksum catches
+  // any corruption that still parses — a bad warm-start cache degrades to a
+  // cold one instead of failing every later run.
+  write_file_atomic(path, with_content_checksum(to_json()).dump());
 }
 
 const ProfileDb::Entries* ProfileDb::context(std::uint64_t ctx) const {

@@ -40,7 +40,10 @@ class ProfileDb {
   static ProfileDb from_json(const JsonValue& doc);
 
   /// Loads `path`, returning an empty database if the file does not exist
-  /// (the first run of a warm-start loop starts from nothing).
+  /// (the first run of a warm-start loop starts from nothing). A file that
+  /// exists but is truncated/corrupt (bad JSON, wrong format header, or a
+  /// content-checksum mismatch) throws CorruptFileError naming the path;
+  /// files saved before checksums were embedded still load.
   static ProfileDb load(const std::string& path);
 
   /// True if a file exists at `path` (how callers distinguish "empty
@@ -49,8 +52,9 @@ class ProfileDb {
 
   JsonValue to_json() const;
 
-  /// Serializes to `path` (write_file). Deterministic: contexts and entries
-  /// are emitted in sorted key order.
+  /// Serializes to `path` crash-safely (write_file_atomic: temp + fsync +
+  /// rename, with an embedded content checksum). Deterministic: contexts
+  /// and entries are emitted in sorted key order.
   void save(const std::string& path) const;
 
   /// The entry bucket of `ctx`, or nullptr if this database has none.

@@ -273,11 +273,23 @@ Recipe recipe_from_json(const JsonValue& v) {
 }
 
 void save_recipe(const Recipe& r, const std::string& path) {
-  write_file(path, recipe_to_json(r).dump());
+  // Crash-safe like ProfileDb::save: temp + fsync + atomic rename, with an
+  // embedded content checksum so a torn or bit-rotted recipe is rejected on
+  // load instead of silently mis-scheduling.
+  write_file_atomic(path, with_content_checksum(recipe_to_json(r)).dump());
 }
 
 Recipe load_recipe(const std::string& path) {
-  return recipe_from_json(JsonValue::parse(read_file(path)));
+  // A missing/unreadable file keeps its plain runtime_error; only a file
+  // that exists but fails validation becomes CorruptFileError.
+  const std::string text = read_file(path);
+  try {
+    const JsonValue v = JsonValue::parse(text);
+    verify_content_checksum(v, "recipe");
+    return recipe_from_json(v);
+  } catch (const std::exception& e) {
+    throw CorruptFileError("recipe: cannot load '" + path + "': " + e.what());
+  }
 }
 
 }  // namespace ios

@@ -586,6 +586,15 @@ std::size_t ServingEngine::queued() const {
   return n;
 }
 
+std::vector<std::pair<std::string, std::size_t>> ServingEngine::queue_depths()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> depths;
+  for (const auto& [model, q] : queues_) {
+    if (!q.pending.empty()) depths.emplace_back(model, q.pending.size());
+  }
+  return depths;
+}
+
 void ServingEngine::reset() {
   queues_.clear();
   worker_free_.assign(worker_free_.size(), 0.0);

@@ -365,6 +365,11 @@ class ServingEngine {
   /// Queued (admitted but not yet batched) requests across all models.
   std::size_t queued() const;
 
+  /// Per-model queue depths (non-empty queues only), in deterministic
+  /// model-name order — the daemon's `health` verb. Externally serialized
+  /// like submit/poll/drain.
+  std::vector<std::pair<std::string, std::size_t>> queue_depths() const;
+
   /// Marks `worker` dead: the router stops considering it from the next
   /// formed batch on. The engine does not retain batch membership after
   /// returning an EngineBatch, so batches already routed to the worker are

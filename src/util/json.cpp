@@ -1,11 +1,17 @@
 #include "util/json.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/hash.hpp"
 
 namespace ios {
 
@@ -349,6 +355,89 @@ void write_file(const std::string& path, const std::string& text) {
   if (!f) throw std::runtime_error("cannot open for writing: " + path);
   f.write(text.data(), static_cast<std::streamsize>(text.size()));
   if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+void write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw std::runtime_error("cannot open for writing: " + tmp);
+  std::size_t written = 0;
+  while (written < text.size()) {
+    const ssize_t n =
+        ::write(fd, text.data() + written, text.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write failed: " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: the rename must not be durable before the data is,
+  // or a crash could leave a correctly-named empty file.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::remove(tmp.c_str());
+    throw std::runtime_error("fsync failed: " + tmp);
+  }
+  if (::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("close failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
+  // fsync the directory so the rename itself survives a crash.
+  std::string dir = path;
+  const std::size_t slash = dir.find_last_of('/');
+  dir = slash == std::string::npos ? "." : dir.substr(0, slash + 1);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::string content_checksum(std::string_view text) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash_bytes(text)));
+  return buf;
+}
+
+namespace {
+
+// The checksum covers the document serialized *without* its "checksum"
+// member (JsonValue::dump sorts keys, so both sides serialize identically).
+std::string dump_without_checksum(const JsonValue& doc) {
+  JsonValue stripped = JsonValue::object();
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key != "checksum") stripped.set(key, value);
+  }
+  return stripped.dump();
+}
+
+}  // namespace
+
+JsonValue with_content_checksum(JsonValue doc) {
+  if (!doc.is_object()) {
+    throw std::runtime_error(
+        "with_content_checksum: document must be a JSON object");
+  }
+  doc.set("checksum", content_checksum(dump_without_checksum(doc)));
+  return doc;
+}
+
+void verify_content_checksum(const JsonValue& doc, const std::string& what) {
+  if (!doc.is_object() || !doc.contains("checksum")) return;
+  const std::string& stored = doc.at("checksum").as_string();
+  const std::string actual = content_checksum(dump_without_checksum(doc));
+  if (stored != actual) {
+    throw CorruptFileError(what + ": content checksum mismatch (stored " +
+                           stored + ", computed " + actual +
+                           ") — file is corrupt or truncated");
+  }
 }
 
 std::string read_file(const std::string& path) {

@@ -8,11 +8,21 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace ios {
+
+/// A persisted document failed validation on load: truncated JSON, a
+/// checksum mismatch, or a malformed format header. Callers that can fall
+/// back to a cold start catch this type by name instead of pattern-matching
+/// what() strings.
+class CorruptFileError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class JsonValue {
  public:
@@ -72,6 +82,27 @@ class JsonValue {
 
 /// Writes `text` to `path` atomically-ish (truncate+write). Throws on error.
 void write_file(const std::string& path, const std::string& text);
+
+/// Crash-safe write: `text` goes to `path`.tmp, is fsync'd, atomically
+/// renamed over `path`, and the parent directory is fsync'd — a crash (even
+/// kill -9 mid-write) leaves either the old file or the complete new one,
+/// never a truncated hybrid. Throws std::runtime_error on failure (the temp
+/// file is removed).
+void write_file_atomic(const std::string& path, const std::string& text);
+
+/// Hex content checksum of `text` (16 lowercase hex digits; FNV-1a + mix).
+std::string content_checksum(std::string_view text);
+
+/// Returns `doc` (must be an object) with a "checksum" member covering the
+/// serialized form of every *other* member. Verified by
+/// verify_content_checksum on load; detects torn/bit-rotted files that
+/// still happen to parse.
+JsonValue with_content_checksum(JsonValue doc);
+
+/// Verifies the embedded "checksum" of a document produced by
+/// with_content_checksum. A document without one passes (older files
+/// predate checksums); a mismatch throws CorruptFileError naming `what`.
+void verify_content_checksum(const JsonValue& doc, const std::string& what);
 
 /// Reads a whole file. Throws std::runtime_error if unreadable.
 std::string read_file(const std::string& path);

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# End-to-end exercise of `ios_opt daemon` + `ios_opt fire`, two scenarios:
+# End-to-end exercise of `ios_opt daemon` + `ios_opt fire`, three scenarios:
 #
 #   1. Plain serving: boot the daemon on an ephemeral loopback port, fire a
 #      synthetic trace at it, require every request to come back with a
@@ -10,6 +10,12 @@
 #      a phased quiet->burst trace that overwhelms the two workers (sheds
 #      required), and require the SIGTERM drain summary to account for
 #      every admitted request as completed + shed.
+#   3. Chaos: boot with chaos verbs + the executor watchdog enabled, fire a
+#      trace through a client that injects seeded torn writes and stalls
+#      while one worker is wedged mid-trace (stall_worker). Require zero
+#      lost admitted requests (every request answered, finite p99), the
+#      watchdog to kill and route around the stuck worker, and the drained
+#      daemon to write a valid stats JSON artifact.
 #
 # Registered with CTest under the `integration` label; also runnable by
 # hand:
@@ -135,5 +141,76 @@ grep -q "350 admitted, $TOTAL_OK completed, $TOTAL_SHED shed, 0 rejected" \
   "$DAEMON_LOG" || fail "slo drain summary does not balance admitted"
 DAEMON_PID=""
 echo "e2e_daemon: scenario 2 (slo/shed) PASS"
+
+# ---------------------------------------------------------------------------
+# Scenario 3: chaos — torn writes + a wedged worker mid-trace.
+#
+# The client injects seeded faults (torn writes, read stalls) and retries
+# on a per-request deadline; the daemon's watchdog (50 ms grace) must kill
+# the worker we wedge with stall_worker and requeue its in-flight batch.
+# Fixed seeds make the fault sequence deterministic.
+STATS_JSON="$WORKDIR/daemon_stats.json"
+"$IOS_OPT" daemon --port 0 --models fig3 --device v100 --workers 2 \
+  --batch-sizes 1,2,4 --max-delay-us 2000 --time-scale 0.05 \
+  --chaos 1 --stuck-grace-us 50000 --watchdog-interval-us 10000 \
+  --idle-timeout-us 30000000 --max-line-bytes 65536 \
+  --stats-json "$STATS_JSON" >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+wait_for_port
+echo "e2e_daemon: chaos daemon up on port $PORT (pid $DAEMON_PID)"
+
+# Fire in the background so the worker can be wedged mid-trace.
+"$IOS_OPT" fire --port "$PORT" --models fig3 --requests 150 --rate 300 \
+  --seed 11 --deadline-us 400000 --retries 4 --backoff-us 10000 \
+  --fault-seed 23 --torn-prob 0.35 --stall-prob 0.15 --stall-us 300 \
+  >"$FIRE_LOG" 2>&1 &
+FIRE_PID=$!
+
+# Wedge worker 0 for 5 s (100x the watchdog grace) while the trace runs.
+sleep 0.1
+"$IOS_OPT" admin --port "$PORT" --cmd stall_worker --worker 0 \
+  --stall-us 5000000 >"$WORKDIR/admin.log" 2>&1 \
+  || fail "stall_worker admin call failed"
+
+FIRE_STATUS=0
+wait "$FIRE_PID" || FIRE_STATUS=$?
+[[ "$FIRE_STATUS" -eq 0 ]] || fail "chaos fire exited $FIRE_STATUS"
+# Zero lost admitted requests: every request answered despite the faults.
+grep -q " 150 ok, 0 shed, 0 errors" "$FIRE_LOG" \
+  || fail "chaos trace lost requests"
+P99=$(sed -n 's/.*p99 \([0-9.][0-9.]*\).*/\1/p' "$FIRE_LOG" | head -n 1)
+[[ -n "$P99" ]] || fail "no finite p99 in chaos fire output"
+grep -q "resilience" "$FIRE_LOG" || fail "no resilience summary in fire output"
+echo "e2e_daemon: chaos phase 150/150 served, p99 ${P99} us"
+
+# The watchdog must have killed the wedged worker and requeued its batch.
+"$IOS_OPT" admin --port "$PORT" --cmd health >"$WORKDIR/health.json" 2>&1 \
+  || fail "health probe failed"
+grep -q '"worker_deaths":1' "$WORKDIR/health.json" \
+  || fail "watchdog did not kill the wedged worker: $(cat "$WORKDIR/health.json")"
+grep -q '"dead_workers":\[0\]' "$WORKDIR/health.json" \
+  || fail "health does not list worker 0 dead"
+grep -q "watchdog killed stuck worker 0" "$DAEMON_LOG" \
+  || fail "no watchdog kill note in daemon log"
+
+# Clean drain, with the stats JSON artifact written and valid.
+kill -TERM "$DAEMON_PID"
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+[[ "$DAEMON_STATUS" -eq 0 ]] || fail "chaos daemon exited $DAEMON_STATUS"
+grep -q "drained" "$DAEMON_LOG" || fail "no drain summary in chaos daemon log"
+grep -q "1 worker deaths" "$DAEMON_LOG" \
+  || fail "drain summary missing the worker death"
+[[ -s "$STATS_JSON" ]] || fail "daemon stats JSON was not written"
+grep -q '"worker_deaths":1' "$STATS_JSON" \
+  || fail "stats JSON missing worker_deaths: $(cat "$STATS_JSON")"
+grep -q '"requeued_requests"' "$STATS_JSON" \
+  || fail "stats JSON missing requeued_requests"
+# Export the artifact for CI upload when a destination is provided.
+if [[ -n "${E2E_STATS_OUT:-}" ]]; then
+  cp "$STATS_JSON" "$E2E_STATS_OUT"
+fi
+DAEMON_PID=""
+echo "e2e_daemon: scenario 3 (chaos) PASS"
 
 echo "e2e_daemon: PASS"

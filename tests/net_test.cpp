@@ -366,5 +366,333 @@ TEST(DaemonTest, ManyConnectionsShareTheBatcher) {
   EXPECT_EQ(daemon.stats().completed, 12);
 }
 
+// ---- fault injection -----------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedReplaysTheSamePlans) {
+  FaultSpec spec;
+  spec.seed = 42;
+  spec.torn_write_prob = 0.5;
+  spec.disconnect_prob = 0.2;
+  spec.stall_prob = 0.3;
+  FaultInjector a(spec), b(spec);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t size = 1 + static_cast<std::size_t>(i) * 7 % 300;
+    const FaultInjector::WritePlan pa = a.plan_write(size);
+    const FaultInjector::WritePlan pb = b.plan_write(size);
+    EXPECT_EQ(pa.segments, pb.segments);
+    EXPECT_EQ(pa.disconnect, pb.disconnect);
+    EXPECT_EQ(pa.disconnect_after, pb.disconnect_after);
+    // Segments always partition the write exactly.
+    std::size_t total = 0;
+    for (const std::size_t s : pa.segments) {
+      EXPECT_GT(s, 0u);
+      total += s;
+    }
+    EXPECT_EQ(total, size);
+  }
+  EXPECT_EQ(a.counters().torn_writes, b.counters().torn_writes);
+  EXPECT_GT(a.counters().torn_writes, 0);
+}
+
+TEST(FaultInjectorTest, ZeroProbabilitiesInjectNothing) {
+  FaultSpec spec;
+  EXPECT_FALSE(spec.any());
+  FaultInjector injector(spec);
+  const FaultInjector::WritePlan plan = injector.plan_write(100);
+  EXPECT_EQ(plan.segments, (std::vector<std::size_t>{100}));
+  EXPECT_FALSE(plan.disconnect);
+  EXPECT_EQ(injector.read_stall_us(), 0);
+  EXPECT_FALSE(injector.should_refuse_connect());
+}
+
+TEST(SocketTest, TornWritesStillDeliverIntactLines) {
+  ListenSocket listener(0);
+  std::vector<std::string> received;
+  std::thread server([&] {
+    std::optional<Socket> conn = listener.accept_interruptible(-1);
+    ASSERT_TRUE(conn.has_value());
+    std::string line;
+    while (conn->read_line(line)) received.push_back(line);
+  });
+
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.torn_write_prob = 1.0;  // every write torn
+  spec.stall_us = 100;
+  FaultInjector injector(spec);
+  Socket client = Socket::connect_to("127.0.0.1", listener.port());
+  client.set_fault_injector(&injector);
+  for (int i = 0; i < 20; ++i) {
+    client.write_all("line-" + std::to_string(i) + "-padding-padding\n");
+  }
+  client.shutdown_write();
+  server.join();
+  ASSERT_EQ(received.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)],
+              "line-" + std::to_string(i) + "-padding-padding");
+  }
+  EXPECT_GT(injector.counters().torn_writes, 0);
+}
+
+TEST(SocketTest, InjectedDisconnectThrowsAndPeerSeesEof) {
+  ListenSocket listener(0);
+  std::atomic<bool> got_eof{false};
+  std::thread server([&] {
+    std::optional<Socket> conn = listener.accept_interruptible(-1);
+    ASSERT_TRUE(conn.has_value());
+    std::string line;
+    while (conn->read_line(line)) {
+    }
+    got_eof.store(true);
+  });
+
+  FaultSpec spec;
+  spec.seed = 3;
+  spec.disconnect_prob = 1.0;
+  FaultInjector injector(spec);
+  Socket client = Socket::connect_to("127.0.0.1", listener.port());
+  client.set_fault_injector(&injector);
+  try {
+    // The injector may cut after 0 bytes of the first write or later;
+    // either way some write must eventually throw kInjectedFault.
+    for (int i = 0; i < 10; ++i) client.write_all("doomed-request-line\n");
+    FAIL() << "injected disconnect never fired";
+  } catch (const SocketError& e) {
+    EXPECT_EQ(e.kind(), SocketErrorKind::kInjectedFault);
+  }
+  server.join();
+  EXPECT_TRUE(got_eof.load());
+  EXPECT_EQ(injector.counters().disconnects, 1);
+}
+
+TEST(SocketTest, InjectedConnectRefusalThrowsTypedError) {
+  ListenSocket listener(0);
+  FaultSpec spec;
+  spec.refuse_connect_prob = 1.0;
+  FaultInjector injector(spec);
+  try {
+    Socket::connect_to("127.0.0.1", listener.port(), &injector);
+    FAIL() << "connect was not refused";
+  } catch (const SocketError& e) {
+    EXPECT_EQ(e.kind(), SocketErrorKind::kConnectRefused);
+  }
+  EXPECT_EQ(injector.counters().refused_connects, 1);
+}
+
+TEST(SocketTest, OversizedLineThrowsTypedError) {
+  ListenSocket listener(0);
+  std::thread server([&] {
+    std::optional<Socket> conn = listener.accept_interruptible(-1);
+    ASSERT_TRUE(conn.has_value());
+    conn->set_max_line_bytes(64);
+    std::string line;
+    try {
+      while (conn->read_line(line)) {
+      }
+      FAIL() << "oversized line was accepted";
+    } catch (const SocketError& e) {
+      EXPECT_EQ(e.kind(), SocketErrorKind::kOversizedLine);
+    }
+  });
+  Socket client = Socket::connect_to("127.0.0.1", listener.port());
+  client.write_all(std::string(500, 'x') + "\n");
+  server.join();
+}
+
+TEST(SocketTest, ReadLineDeadlineTimesOutWithoutData) {
+  ListenSocket listener(0);
+  std::thread server([&] {
+    std::optional<Socket> conn = listener.accept_interruptible(-1);
+    ASSERT_TRUE(conn.has_value());
+    std::string line;
+    // Never receives a full line; 30ms deadline must fire.
+    EXPECT_EQ(conn->read_line_deadline(line, 30e3), ReadStatus::kTimeout);
+    // A line that then arrives is still delivered.
+    EXPECT_EQ(conn->read_line_deadline(line, 5e6), ReadStatus::kLine);
+    EXPECT_EQ(line, "partial-then-finished");
+  });
+  Socket client = Socket::connect_to("127.0.0.1", listener.port());
+  client.write_all("partial-then-finished");  // no newline yet
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  client.write_all("\n");
+  server.join();
+}
+
+// ---- daemon fault tolerance ----------------------------------------------
+
+TEST(DaemonConfig, ParsesFaultToleranceKeys) {
+  const DaemonOptions options = daemon_options_from_json(JsonValue::parse(R"({
+    "idle_timeout_us": 5e6,
+    "write_timeout_us": 2e6,
+    "max_line_bytes": 4096,
+    "chaos": true,
+    "stuck_grace_us": 250000,
+    "watchdog_interval_us": 10000,
+    "fault": {"seed": 9, "torn_write_prob": 0.5, "stall_prob": 0.25,
+              "stall_us": 150, "disconnect_prob": 0.1}
+  })"));
+  EXPECT_EQ(options.idle_timeout_us, 5e6);
+  EXPECT_EQ(options.write_timeout_us, 2e6);
+  EXPECT_EQ(options.max_line_bytes, 4096u);
+  EXPECT_TRUE(options.chaos);
+  EXPECT_EQ(options.stuck_grace_us, 250000);
+  EXPECT_EQ(options.watchdog_interval_us, 10000);
+  EXPECT_EQ(options.fault.seed, 9u);
+  EXPECT_EQ(options.fault.torn_write_prob, 0.5);
+  EXPECT_EQ(options.fault.stall_prob, 0.25);
+  EXPECT_EQ(options.fault.stall_us, 150);
+  EXPECT_EQ(options.fault.disconnect_prob, 0.1);
+  EXPECT_THROW(daemon_options_from_json(
+                   JsonValue::parse(R"({"fault": {"seeed": 1}})")),
+               std::runtime_error);
+}
+
+TEST(DaemonTest, IdleConnectionsAreClosedAndCounted) {
+  DaemonOptions options = test_daemon_options();
+  options.idle_timeout_us = 50e3;  // 50ms
+  Daemon daemon(options);
+  daemon.start();
+
+  Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+  std::string line;
+  // The daemon must close the idle connection (EOF on our side) without
+  // being poked.
+  EXPECT_EQ(client.read_line_deadline(line, 5e6), ReadStatus::kEof);
+  // Closing is accounting, not an error: new connections still work.
+  Socket fresh = Socket::connect_to("127.0.0.1", daemon.port());
+  fresh.write_all(R"({"id":1,"cmd":"ping"})" "\n");
+  ASSERT_TRUE(fresh.read_line(line));
+  EXPECT_TRUE(JsonValue::parse(line).at("ok").as_bool());
+  daemon.stop();
+  EXPECT_GE(daemon.stats().idle_closes, 1);
+  EXPECT_EQ(daemon.stats().protocol_errors, 0);
+}
+
+TEST(DaemonTest, OversizedRequestLineIsAProtocolErrorThenClose) {
+  DaemonOptions options = test_daemon_options();
+  options.max_line_bytes = 256;
+  Daemon daemon(options);
+  daemon.start();
+
+  Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+  client.write_all(std::string(4096, 'a') + "\n");
+  std::string line;
+  // One error response naming the violation, then a clean close.
+  ASSERT_TRUE(client.read_line(line));
+  const JsonValue error = JsonValue::parse(line);
+  EXPECT_FALSE(error.at("ok").as_bool());
+  EXPECT_NE(error.at("error").as_string().find("line"), std::string::npos);
+  EXPECT_EQ(client.read_line_deadline(line, 5e6), ReadStatus::kEof);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().oversized_lines, 1);
+  EXPECT_EQ(daemon.stats().protocol_errors, 1);
+}
+
+TEST(DaemonTest, HealthReportsWorkersAndChaosVerbsAreGated) {
+  Daemon daemon(test_daemon_options());  // chaos defaults to off
+  daemon.start();
+  Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+  std::string line;
+
+  client.write_all(R"({"id":5,"cmd":"health"})" "\n");
+  ASSERT_TRUE(client.read_line(line));
+  const JsonValue health = JsonValue::parse(line);
+  EXPECT_TRUE(health.at("ok").as_bool());
+  EXPECT_EQ(health.at("workers").as_int(), 2);
+  EXPECT_EQ(health.at("alive").as_int(), 2);
+  EXPECT_EQ(health.at("worker_deaths").as_int(), 0);
+
+  // kill_worker/stall_worker are rejected unless the daemon opted into
+  // chaos — a remote client must not be able to kill workers by default.
+  client.write_all(R"({"id":6,"cmd":"kill_worker","worker":0})" "\n");
+  ASSERT_TRUE(client.read_line(line));
+  const JsonValue refused = JsonValue::parse(line);
+  EXPECT_FALSE(refused.at("ok").as_bool());
+  EXPECT_NE(refused.at("error").as_string().find("chaos"),
+            std::string::npos);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().worker_deaths, 0);
+}
+
+TEST(DaemonTest, KilledWorkerIsRoutedAroundAndLastWorkerIsProtected) {
+  Daemon daemon(test_daemon_options());
+  daemon.start();
+
+  std::string error;
+  EXPECT_FALSE(daemon.kill_worker(7, &error));   // out of range
+  EXPECT_TRUE(daemon.kill_worker(0, &error)) << error;
+  EXPECT_FALSE(daemon.kill_worker(0, &error));   // already dead
+  EXPECT_FALSE(daemon.kill_worker(1, &error));   // last alive is protected
+  EXPECT_NE(error.find("last"), std::string::npos);
+
+  // The survivor serves everything.
+  Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+  std::string line;
+  for (int i = 0; i < 6; ++i) {
+    WireRequest request;
+    request.id = i;
+    request.model = "fig3";
+    client.write_all(format_request(request) + "\n");
+  }
+  int ok = 0;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client.read_line(line));
+    const WireResponse response = parse_response(line);
+    EXPECT_TRUE(response.ok) << response.error;
+    EXPECT_EQ(response.worker, 1);
+    if (response.ok) ++ok;
+  }
+  EXPECT_EQ(ok, 6);
+
+  client.write_all(R"({"id":99,"cmd":"health"})" "\n");
+  ASSERT_TRUE(client.read_line(line));
+  const JsonValue health = JsonValue::parse(line);
+  EXPECT_EQ(health.at("alive").as_int(), 1);
+  ASSERT_EQ(health.at("dead_workers").as_array().size(), 1u);
+  EXPECT_EQ(health.at("dead_workers").as_array()[0].as_int(), 0);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().worker_deaths, 1);
+}
+
+TEST(DaemonTest, WatchdogKillsStalledWorkerAndRequeuesItsBatch) {
+  DaemonOptions options = test_daemon_options();
+  options.chaos = true;
+  options.stuck_grace_us = 30e3;        // stuck = 30ms past its deadline
+  options.watchdog_interval_us = 5e3;   // polled every 5ms
+  Daemon daemon(options);
+  daemon.start();
+
+  Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+  std::string line;
+  // Wedge worker 0's next batch far past the watchdog grace (10s >> 30ms).
+  client.write_all(R"({"id":1,"cmd":"stall_worker","worker":0,)"
+                   R"("stall_us":10e6})" "\n");
+  ASSERT_TRUE(client.read_line(line));
+  ASSERT_TRUE(JsonValue::parse(line).at("ok").as_bool()) << line;
+
+  // Every request must be answered even though the first batch wedges on
+  // worker 0: the watchdog detects it, kills the worker, and the batch is
+  // requeued to the survivor.
+  for (int i = 0; i < 8; ++i) {
+    WireRequest request;
+    request.id = 10 + i;
+    request.model = "fig3";
+    client.write_all(format_request(request) + "\n");
+  }
+  int ok = 0;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(client.read_line(line));
+    const WireResponse response = parse_response(line);
+    EXPECT_TRUE(response.ok) << response.error;
+    if (response.ok) ++ok;
+  }
+  EXPECT_EQ(ok, 8);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().worker_deaths, 1);
+  EXPECT_GE(daemon.stats().requeued_requests, 1);
+  EXPECT_EQ(daemon.stats().completed, 8);
+}
+
 }  // namespace
 }  // namespace ios

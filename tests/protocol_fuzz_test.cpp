@@ -1,0 +1,243 @@
+// Protocol fuzzing: the daemon's wire surface (newline-delimited JSON from
+// untrusted clients) must never crash, hang, or wedge an io thread no
+// matter what bytes arrive — malformed JSON, truncated documents,
+// oversized lines, binary garbage, or garbage interleaved with valid
+// pipelined requests. Every line gets either an error response or a clean
+// close, and the daemon still answers a ping afterwards. Seeded, so a
+// failure replays exactly. (The CMake "fuzz" label puts this binary in the
+// sanitizer shards.)
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/daemon.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace ios {
+namespace {
+
+using namespace ios::net;
+
+DaemonOptions fuzz_daemon_options() {
+  DaemonOptions options;
+  options.port = 0;
+  options.serving.device = "v100";
+  options.serving.num_workers = 2;
+  options.serving.batching.batch_sizes = {1, 2, 4};
+  options.serving.batching.max_queue_delay_us = 1000;
+  options.time_scale = 0;  // execute instantly: the fuzz loop must not sleep
+  options.io_threads = 2;
+  options.max_line_bytes = 1024;
+  return options;
+}
+
+// Hand-picked lines covering every parser branch: not-JSON, wrong-type
+// JSON, missing/extra fields, boundary ids, embedded NULs and newlines.
+std::vector<std::string> malformed_corpus() {
+  return {
+      "",
+      "   ",
+      "not json at all",
+      "{",
+      "}",
+      "[1,2,3]",
+      "null",
+      "true",
+      "12345",
+      R"("just a string")",
+      R"({"id":1})",
+      R"({"model":})",
+      R"({"id":"not-a-number","model":"fig3"})",
+      R"({"id":1,"cmd":"reboot"})",
+      R"({"id":1,"cmd":"kill_worker"})",
+      R"({"id":1,"cmd":"stall_worker","worker":0})",
+      R"({"id":1,"model":"no_such_model_anywhere"})",
+      R"({"id":-99999999999,"model":"fig3"})",
+      R"({"id":1,"model":""})",
+      R"({"id":1,"model":"fig3","extra":{"deep":[{"nest":[[[[1]]]]}]}})",
+      std::string("{\"id\":1,\0\"model\":\"fig3\"}", 24),
+      R"({"id":1,"model":"fig3")",  // truncated mid-object
+      "\xff\xfe\x80\x81 binary garbage \x00\x01",
+  };
+}
+
+TEST(ProtocolFuzz, ParsersNeverCrashOnCorpusOrSeededGarbage) {
+  for (const std::string& line : malformed_corpus()) {
+    try {
+      (void)parse_request(line);
+    } catch (const std::exception&) {
+    }
+    try {
+      (void)parse_response(line);
+    } catch (const std::exception&) {
+    }
+  }
+  // Seeded random garbage: raw bytes, and valid requests with a window of
+  // bytes scrambled (stays close to the accepted grammar, where parser
+  // bugs actually live).
+  Rng rng(20260808);
+  WireRequest valid;
+  valid.id = 7;
+  valid.model = "fig3";
+  const std::string base = format_request(valid);
+  for (int i = 0; i < 5000; ++i) {
+    std::string line;
+    if (i % 2 == 0) {
+      const int len = rng.uniform_int(64);
+      for (int j = 0; j < len; ++j) {
+        line.push_back(static_cast<char>(rng.uniform_int(256)));
+      }
+    } else {
+      line = base;
+      const int begin = rng.uniform_int(static_cast<int>(line.size()));
+      const int count = 1 + rng.uniform_int(6);
+      for (int j = begin; j < begin + count &&
+                          j < static_cast<int>(line.size());
+           ++j) {
+        line[static_cast<std::size_t>(j)] =
+            static_cast<char>(rng.uniform_int(256));
+      }
+    }
+    try {
+      (void)parse_request(line);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+// Every corpus line on its own connection: the daemon must answer with an
+// error response or close cleanly — bounded, never a hang — and still
+// serve the next client.
+TEST(ProtocolFuzz, DaemonAnswersOrClosesOnEveryMalformedLine) {
+  Daemon daemon(fuzz_daemon_options());
+  daemon.start();
+
+  for (const std::string& bad : malformed_corpus()) {
+    Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+    client.write_all(bad + "\n");
+    client.shutdown_write();
+    // Drain whatever comes back: zero or more response lines, then EOF.
+    // Each response must at least be valid JSON with ok=false (garbage) or
+    // ok=true (the NUL-embedded line may legitimately parse).
+    std::string line;
+    for (int guard = 0; guard < 8; ++guard) {
+      const ReadStatus status = client.read_line_deadline(line, 5e6);
+      ASSERT_NE(status, ReadStatus::kTimeout) << "hung on: " << bad;
+      if (status == ReadStatus::kEof) break;
+      if (line.empty()) continue;
+      EXPECT_NO_THROW((void)JsonValue::parse(line)) << line;
+    }
+  }
+
+  // The daemon survived the whole corpus.
+  Socket probe = Socket::connect_to("127.0.0.1", daemon.port());
+  probe.write_all(R"({"id":1,"cmd":"ping"})" "\n");
+  std::string line;
+  ASSERT_EQ(probe.read_line_deadline(line, 5e6), ReadStatus::kLine);
+  EXPECT_TRUE(JsonValue::parse(line).at("ok").as_bool());
+  daemon.stop();
+  EXPECT_GT(daemon.stats().protocol_errors, 0);
+}
+
+// Garbage interleaved with valid pipelined requests on one connection:
+// every valid request is still answered ok, every garbage line with an
+// error, and the connection survives (nothing here exceeds the line cap).
+TEST(ProtocolFuzz, InterleavedGarbageDoesNotPoisonValidRequests) {
+  Daemon daemon(fuzz_daemon_options());
+  daemon.start();
+  Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+
+  Rng rng(97);
+  constexpr int kValid = 24;
+  int garbage = 0;
+  std::string burst;
+  for (int i = 0; i < kValid; ++i) {
+    WireRequest request;
+    request.id = i;
+    request.model = "fig3";
+    burst += format_request(request) + "\n";
+    const int junk = rng.uniform_int(3);
+    for (int j = 0; j < junk; ++j, ++garbage) {
+      burst += "junk{{{" + std::to_string(rng.uniform_int(1000)) + "\n";
+    }
+  }
+  client.write_all(burst);
+
+  int ok = 0, errors = 0;
+  std::string line;
+  for (int i = 0; i < kValid + garbage; ++i) {
+    ASSERT_EQ(client.read_line_deadline(line, 10e6), ReadStatus::kLine);
+    const JsonValue v = JsonValue::parse(line);
+    if (v.at("ok").as_bool()) {
+      ++ok;
+    } else {
+      ++errors;
+    }
+  }
+  EXPECT_EQ(ok, kValid);
+  EXPECT_EQ(errors, garbage);
+  daemon.stop();
+  EXPECT_EQ(daemon.stats().completed, kValid);
+}
+
+// Seeded random bytes sprayed at the daemon in random-sized chunks (lines
+// may arrive torn across writes). The only invariants: bounded responses,
+// no crash, and a live daemon afterwards.
+TEST(ProtocolFuzz, SeededRandomByteSprayNeverHangsTheDaemon) {
+  Daemon daemon(fuzz_daemon_options());
+  daemon.start();
+
+  Rng rng(31337);
+  for (int conn = 0; conn < 8; ++conn) {
+    Socket client = Socket::connect_to("127.0.0.1", daemon.port());
+    std::string payload;
+    const int lines = 1 + rng.uniform_int(20);
+    for (int i = 0; i < lines; ++i) {
+      const int len = rng.uniform_int(200);
+      for (int j = 0; j < len; ++j) {
+        // Mostly printable with occasional newlines and raw bytes.
+        const int roll = rng.uniform_int(100);
+        if (roll < 5) {
+          payload.push_back('\n');
+        } else if (roll < 15) {
+          payload.push_back(static_cast<char>(rng.uniform_int(256)));
+        } else {
+          payload.push_back(static_cast<char>(32 + rng.uniform_int(95)));
+        }
+      }
+      payload.push_back('\n');
+    }
+    // Torn delivery: random-sized chunks of the payload.
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+      const std::size_t chunk = std::min(
+          payload.size() - sent,
+          static_cast<std::size_t>(1 + rng.uniform_int(64)));
+      client.write_all(std::string_view(payload).substr(sent, chunk));
+      sent += chunk;
+    }
+    client.shutdown_write();
+    std::string line;
+    for (int guard = 0; guard < 64; ++guard) {
+      const ReadStatus status = client.read_line_deadline(line, 5e6);
+      ASSERT_NE(status, ReadStatus::kTimeout);
+      if (status == ReadStatus::kEof) break;
+    }
+  }
+
+  Socket probe = Socket::connect_to("127.0.0.1", daemon.port());
+  probe.write_all(R"({"id":1,"cmd":"ping"})" "\n");
+  std::string line;
+  ASSERT_EQ(probe.read_line_deadline(line, 5e6), ReadStatus::kLine);
+  EXPECT_TRUE(JsonValue::parse(line).at("ok").as_bool());
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace ios

@@ -30,6 +30,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -41,6 +42,7 @@
 #include "core/analysis.hpp"
 #include "models/models.hpp"
 #include "net/daemon.hpp"
+#include "net/fault.hpp"
 #include "net/protocol.hpp"
 #include "net/socket.hpp"
 #include "fleet/sim.hpp"
@@ -48,6 +50,7 @@
 #include "runtime/trace_export.hpp"
 #include "serve/server.hpp"
 #include "util/names.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -95,12 +98,27 @@ void print_usage(std::FILE* out) {
                "             --io-threads N | --prewarm-threads N |\n"
                "             --slo model=SLO_US[:PRIORITY],... |\n"
                "             --default-slo-us T | --default-priority N |\n"
-               "             --shed 0|1 | --starvation-us T | --adaptive 0|1\n"
+               "             --shed 0|1 | --starvation-us T | --adaptive 0|1 |\n"
+               "             --idle-timeout-us T | --write-timeout-us T |\n"
+               "             --max-line-bytes N | --stuck-grace-us T |\n"
+               "             --watchdog-interval-us T | --chaos 0|1 (enable\n"
+               "             kill_worker/stall_worker verbs) | --stats-json\n"
+               "             FILE (dump counters on drain)\n"
                "  fire       replay a synthetic trace against a running\n"
                "             daemon and report client-observed latencies\n"
                "             --port N | --host ADDR | --models a,b,... |\n"
                "             --requests N | --rate REQ_PER_S | --seed N |\n"
-               "             --phases N@RATE,...\n"
+               "             --phases N@RATE,... |\n"
+               "             --deadline-us T (per-request deadline; 0=off) |\n"
+               "             --retries N | --backoff-us T |\n"
+               "             --fault-seed N | --torn-prob P | --stall-prob P |\n"
+               "             --stall-us T | --disconnect-prob P |\n"
+               "             --refuse-prob P (client-side fault injection)\n"
+               "  admin      send one control request to a running daemon and\n"
+               "             print the raw response line\n"
+               "             --port N | --host ADDR |\n"
+               "             --cmd ping|stats|health|kill_worker|stall_worker |\n"
+               "             --worker N | --stall-us T\n"
                "  place      optimize a workload per pool device class and\n"
                "             print the placement plan (routing + splits)\n"
                "             --devices POOL | --models a,b,... |\n"
@@ -512,6 +530,22 @@ int cmd_daemon(const Args& args) {
   if (const auto v = args.get("prewarm-threads")) {
     options.prewarm_threads = std::stoi(*v);
   }
+  if (const auto v = args.get("idle-timeout-us")) {
+    options.idle_timeout_us = std::stod(*v);
+  }
+  if (const auto v = args.get("write-timeout-us")) {
+    options.write_timeout_us = std::stod(*v);
+  }
+  if (const auto v = args.get("max-line-bytes")) {
+    options.max_line_bytes = static_cast<std::size_t>(std::stoul(*v));
+  }
+  if (const auto v = args.get("chaos")) options.chaos = *v == "1";
+  if (const auto v = args.get("stuck-grace-us")) {
+    options.stuck_grace_us = std::stod(*v);
+  }
+  if (const auto v = args.get("watchdog-interval-us")) {
+    options.watchdog_interval_us = std::stod(*v);
+  }
   apply_slo_flags(args, options.serving);
 
   net::Daemon daemon(std::move(options));
@@ -541,6 +575,35 @@ int cmd_daemon(const Args& args) {
               static_cast<long long>(stats.protocol_errors),
               static_cast<long long>(stats.batches),
               static_cast<long long>(stats.replans));
+  std::printf("  fault tolerance: %lld idle closes, %lld slow-client "
+              "closes, %lld oversized lines, %lld worker deaths, "
+              "%lld requeued\n",
+              static_cast<long long>(stats.idle_closes),
+              static_cast<long long>(stats.slow_client_closes),
+              static_cast<long long>(stats.oversized_lines),
+              static_cast<long long>(stats.worker_deaths),
+              static_cast<long long>(stats.requeued_requests));
+  if (const auto path = args.get("stats-json")) {
+    JsonValue v = JsonValue::object();
+    v.set("connections", stats.connections);
+    v.set("admitted", stats.admitted);
+    v.set("completed", stats.completed);
+    v.set("rejected", stats.rejected);
+    v.set("protocol_errors", stats.protocol_errors);
+    v.set("batches", stats.batches);
+    v.set("shed", stats.shed);
+    v.set("replans", stats.replans);
+    v.set("idle_closes", stats.idle_closes);
+    v.set("slow_client_closes", stats.slow_client_closes);
+    v.set("oversized_lines", stats.oversized_lines);
+    v.set("worker_deaths", stats.worker_deaths);
+    v.set("requeued_requests", stats.requeued_requests);
+    const serve::EngineCounters counters = daemon.engine_counters();
+    v.set("optimizations", counters.optimizations);
+    v.set("measurements", counters.measurements);
+    write_file_atomic(*path, v.dump() + "\n");
+    std::printf("  stats json written to %s\n", path->c_str());
+  }
   return 0;
 }
 
@@ -561,58 +624,180 @@ int cmd_fire(const Args& args) {
   const serve::Trace trace = serve::generate_trace(spec);
   const std::size_t n = trace.requests.size();
 
-  net::Socket sock = net::Socket::connect_to(host, port);
+  // Resilience policy: a per-request deadline with bounded, jittered
+  // exponential-backoff retries. Responses are keyed by echoed id, so a
+  // retry that races its original counts once and the straggler is
+  // tallied as a duplicate, never a second sample in the percentiles.
+  const double deadline_us = std::stod(args.get("deadline-us", "0"));
+  const int max_retries = std::stoi(args.get("retries", "0"));
+  const double backoff_us = std::stod(args.get("backoff-us", "5000"));
+
+  // Client-side fault injection (exercises the daemon's torn-read and
+  // disconnect handling from the outside; off unless a probability is set).
+  net::FaultSpec fault;
+  fault.seed = std::stoull(args.get("fault-seed", "1"));
+  fault.torn_write_prob = std::stod(args.get("torn-prob", "0"));
+  fault.stall_prob = std::stod(args.get("stall-prob", "0"));
+  fault.stall_us = std::stod(args.get("stall-us", "200"));
+  fault.disconnect_prob = std::stod(args.get("disconnect-prob", "0"));
+  fault.refuse_connect_prob = std::stod(args.get("refuse-prob", "0"));
+  std::optional<net::FaultInjector> injector;
+  if (fault.any()) injector.emplace(fault);
+
+  Rng jitter(spec.seed ^ 0x9e3779b97f4a7c15ull);
+  long long retries_sent = 0, timeouts = 0, duplicates = 0, reconnects = 0;
+
+  // Reconnect with jittered backoff so a daemon that refuses (injected or
+  // momentarily drowning in its accept queue) is not hammered.
+  auto connect = [&]() -> net::Socket {
+    double delay_us = 1000;
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return net::Socket::connect_to(host, port,
+                                       injector ? &*injector : nullptr);
+      } catch (const net::SocketError& e) {
+        if (e.kind() != net::SocketErrorKind::kConnectRefused ||
+            attempt >= 200) {
+          throw;
+        }
+        std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+            delay_us * (0.5 + jitter.uniform())));
+        delay_us = std::min(delay_us * 2, 50e3);
+      }
+    }
+  };
+  net::Socket sock = connect();
   std::printf("firing %zu requests at %s:%d (%.0f req/s offered)\n", n,
               host.c_str(), port, rate);
   std::fflush(stdout);
 
-  // Sender paces requests at the trace's arrival times on the wall clock;
-  // the receiver matches responses by id (they return in batch-completion
-  // order). recv and send on one socket from two threads is safe — the
-  // directions are independent.
   const auto start = std::chrono::steady_clock::now();
-  std::vector<double> sent_at_us(n, 0);
-  std::vector<net::WireResponse> responses;
-  responses.reserve(n);
+  auto wall = [&] {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
 
-  std::thread receiver([&] {
-    std::string line;
-    while (responses.size() < n && sock.read_line(line)) {
-      if (line.empty()) continue;
-      responses.push_back(net::parse_response(line));
-    }
-  });
+  struct ReqState {
+    int attempts = 0;          // sends so far (original + retries)
+    double next_retry_us = 0;  // wall time at which the deadline expires
+    bool done = false;         // a response (ok, shed, or error) arrived
+    bool failed = false;       // deadline + retries exhausted
+    net::WireResponse response;
+  };
+  const double kNever = std::numeric_limits<double>::infinity();
+  std::vector<ReqState> st(n);
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto due =
-        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double, std::micro>(
-                        trace.requests[i].arrival_us));
-    std::this_thread::sleep_until(due);
-    sent_at_us[i] = std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
+  // A request that dies mid-write (injected disconnect, peer reset) is
+  // retried once on a fresh connection; past that the deadline machinery
+  // owns recovery.
+  auto send_request = [&](std::size_t i) {
     net::WireRequest request;
     request.id = static_cast<std::int64_t>(i);
     request.kind = net::RequestKind::kInfer;
     request.model = trace.requests[i].model;
-    sock.write_all(net::format_request(request) + "\n");
-  }
-  receiver.join();
-  const double elapsed_us = std::chrono::duration<double, std::micro>(
-                                std::chrono::steady_clock::now() - start)
-                                .count();
+    const std::string line = net::format_request(request) + "\n";
+    for (int tries = 0; tries < 2; ++tries) {
+      try {
+        sock.write_all(line);
+        return;
+      } catch (const net::SocketError&) {
+        ++reconnects;
+        sock = connect();
+      }
+    }
+  };
 
-  // Client-observed wall latency per request: response receipt - send.
-  // (Responses all arrived by now, so receipt ~ join time is too coarse;
-  // use the daemon-measured wall latency for the distribution and count
-  // errors separately.)
+  // One thread, one pacing loop: sends fire at trace arrival times,
+  // expiries retry or fail, and the gaps are spent blocked in
+  // read_line_deadline (poll) waiting for responses.
+  std::size_t next_send = 0, settled = 0;
+  std::string line;
+  while (settled < n) {
+    const double now = wall();
+    while (next_send < n && trace.requests[next_send].arrival_us <= now) {
+      const std::size_t i = next_send++;
+      st[i].attempts = 1;
+      st[i].next_retry_us = deadline_us > 0 ? now + deadline_us : kNever;
+      send_request(i);
+    }
+    if (deadline_us > 0) {
+      for (std::size_t i = 0; i < next_send; ++i) {
+        ReqState& s = st[i];
+        if (s.done || s.failed || now < s.next_retry_us) continue;
+        if (s.attempts > max_retries) {
+          s.failed = true;
+          ++timeouts;
+          ++settled;
+          continue;
+        }
+        ++s.attempts;
+        ++retries_sent;
+        send_request(i);
+        const double backoff = backoff_us *
+                               static_cast<double>(1 << (s.attempts - 2)) *
+                               (0.5 + jitter.uniform());
+        s.next_retry_us = wall() + deadline_us + backoff;
+      }
+    }
+
+    // Sleep until the next scheduled event (arrival or expiry), capped so
+    // a lost wakeup can never wedge the loop.
+    double wake = now + 10e3;
+    if (next_send < n) {
+      wake = std::min(wake, trace.requests[next_send].arrival_us);
+    }
+    if (deadline_us > 0) {
+      for (std::size_t i = 0; i < next_send; ++i) {
+        if (!st[i].done && !st[i].failed) {
+          wake = std::min(wake, st[i].next_retry_us);
+        }
+      }
+    }
+    const double timeout_us = std::max(1.0, wake - wall());
+    net::ReadStatus status = net::ReadStatus::kTimeout;
+    try {
+      status = sock.read_line_deadline(line, timeout_us);
+    } catch (const net::SocketError&) {
+      ++reconnects;
+      sock = connect();
+      continue;
+    }
+    if (status == net::ReadStatus::kTimeout) continue;
+    if (status == net::ReadStatus::kEof) {
+      ++reconnects;
+      sock = connect();
+      continue;
+    }
+    if (line.empty()) continue;
+    net::WireResponse r;
+    try {
+      r = net::parse_response(line);
+    } catch (const std::exception&) {
+      continue;  // daemon error line for a request we already wrote off
+    }
+    if (r.id < 0 || static_cast<std::size_t>(r.id) >= n) continue;
+    ReqState& s = st[static_cast<std::size_t>(r.id)];
+    if (s.done || s.failed) {
+      ++duplicates;  // retry raced its original (or arrived past timeout)
+      continue;
+    }
+    s.done = true;
+    s.response = r;
+    ++settled;
+  }
+  const double elapsed_us = wall();
+
+  // Use the daemon-measured wall latency for the distribution and count
+  // errors separately; each id contributes at most one sample.
   std::size_t ok = 0, errors = 0, shed = 0;
-  std::vector<double> wall;
-  wall.reserve(n);
+  std::vector<double> latencies;
+  latencies.reserve(n);
   double queue_sum = 0, service_sum = 0;
   std::map<std::string, std::vector<double>> wall_by_model;
-  for (const net::WireResponse& r : responses) {
+  for (const ReqState& s : st) {
+    if (!s.done) continue;
+    const net::WireResponse& r = s.response;
     if (!r.ok) {
       if (r.error == "shed") {
         ++shed;
@@ -622,19 +807,25 @@ int cmd_fire(const Args& args) {
       continue;
     }
     ++ok;
-    wall.push_back(r.wall_latency_us);
+    latencies.push_back(r.wall_latency_us);
     wall_by_model[r.model].push_back(r.wall_latency_us);
     queue_sum += r.queue_us;
     service_sum += r.service_us;
   }
-  std::sort(wall.begin(), wall.end());
+  std::sort(latencies.begin(), latencies.end());
   std::printf("  %zu ok, %zu shed, %zu errors in %.1f ms (%.1f req/s)\n", ok,
               shed, errors, elapsed_us / 1000, ok / (elapsed_us / 1e6));
-  if (!wall.empty()) {
+  if (deadline_us > 0 || max_retries > 0 || injector) {
+    std::printf("  resilience    %lld retries, %lld timeouts, "
+                "%lld duplicates, %lld reconnects\n",
+                retries_sent, timeouts, duplicates, reconnects);
+  }
+  if (!latencies.empty()) {
     std::printf("  wall latency  p50 %.1f us | p95 %.1f | p99 %.1f | "
                 "max %.1f\n",
-                percentile_sorted(wall, 50), percentile_sorted(wall, 95),
-                percentile_sorted(wall, 99), wall.back());
+                percentile_sorted(latencies, 50),
+                percentile_sorted(latencies, 95),
+                percentile_sorted(latencies, 99), latencies.back());
     std::printf("  server view   mean queue %.1f us, mean service %.1f us\n",
                 queue_sum / static_cast<double>(ok),
                 service_sum / static_cast<double>(ok));
@@ -642,24 +833,81 @@ int cmd_fire(const Args& args) {
   // Per-model breakdown: a mixed trace hides per-model tails in the
   // aggregate (std::map => stable alphabetical order).
   if (wall_by_model.size() > 1) {
-    for (auto& [model, latencies] : wall_by_model) {
-      std::sort(latencies.begin(), latencies.end());
+    for (auto& [model, model_lat] : wall_by_model) {
+      std::sort(model_lat.begin(), model_lat.end());
       std::printf("    %-16s %5zu req | p50 %.1f us | p95 %.1f | p99 %.1f\n",
-                  model.c_str(), latencies.size(),
-                  percentile_sorted(latencies, 50),
-                  percentile_sorted(latencies, 95),
-                  percentile_sorted(latencies, 99));
+                  model.c_str(), model_lat.size(),
+                  percentile_sorted(model_lat, 50),
+                  percentile_sorted(model_lat, 95),
+                  percentile_sorted(model_lat, 99));
     }
   }
 
-  // One final stats probe, printed raw for scripting.
-  net::WireRequest stats_request;
-  stats_request.id = static_cast<std::int64_t>(n);
-  stats_request.kind = net::RequestKind::kStats;
-  sock.write_all(net::format_request(stats_request) + "\n");
-  std::string line;
-  if (sock.read_line(line)) std::printf("  daemon stats %s\n", line.c_str());
+  // One final stats probe, printed raw for scripting. Straggler duplicate
+  // responses may still be in flight, so skip lines until the stats id.
+  try {
+    net::WireRequest stats_request;
+    stats_request.id = static_cast<std::int64_t>(n);
+    stats_request.kind = net::RequestKind::kStats;
+    sock.write_all(net::format_request(stats_request) + "\n");
+    while (sock.read_line_deadline(line, 2e6) == net::ReadStatus::kLine) {
+      bool is_stats = false;
+      try {
+        const JsonValue v = JsonValue::parse(line);
+        is_stats = v.contains("id") &&
+                   v.at("id").as_int() == static_cast<std::int64_t>(n);
+      } catch (const std::exception&) {
+      }
+      if (is_stats) {
+        std::printf("  daemon stats %s\n", line.c_str());
+        break;
+      }
+      ++duplicates;
+    }
+  } catch (const net::SocketError&) {
+    // Stats are best-effort; injected faults must not fail the run.
+  }
   return 0;
+}
+
+int cmd_admin(const Args& args) {
+  const auto port_flag = args.get("port");
+  if (!port_flag) throw std::runtime_error("admin requires --port");
+  const int port = std::stoi(*port_flag);
+  const std::string host = args.get("host", "127.0.0.1");
+  const std::string cmd = args.get("cmd", "health");
+
+  net::WireRequest request;
+  request.id = 0;
+  if (cmd == "ping") {
+    request.kind = net::RequestKind::kPing;
+  } else if (cmd == "stats") {
+    request.kind = net::RequestKind::kStats;
+  } else if (cmd == "health") {
+    request.kind = net::RequestKind::kHealth;
+  } else if (cmd == "kill_worker") {
+    request.kind = net::RequestKind::kKillWorker;
+    request.worker = std::stoi(args.get("worker", "-1"));
+  } else if (cmd == "stall_worker") {
+    request.kind = net::RequestKind::kStallWorker;
+    request.worker = std::stoi(args.get("worker", "-1"));
+    request.stall_us = std::stod(args.get("stall-us", "100000"));
+  } else {
+    throw std::runtime_error(
+        "unknown --cmd '" + cmd +
+        "' (known: ping stats health kill_worker stall_worker)");
+  }
+
+  net::Socket sock = net::Socket::connect_to(host, port);
+  sock.write_all(net::format_request(request) + "\n");
+  std::string line;
+  if (sock.read_line_deadline(line, 5e6) != net::ReadStatus::kLine) {
+    throw std::runtime_error("daemon closed without answering");
+  }
+  std::printf("%s\n", line.c_str());
+  const JsonValue v = JsonValue::parse(line);
+  const bool ok = v.contains("ok") && v.at("ok").as_bool();
+  return ok ? 0 : 1;
 }
 
 int cmd_place(const Args& args) {
@@ -901,6 +1149,7 @@ int main(int argc, char** argv) {
     if (args.command == "serve") return cmd_serve(args);
     if (args.command == "daemon") return cmd_daemon(args);
     if (args.command == "fire") return cmd_fire(args);
+    if (args.command == "admin") return cmd_admin(args);
     if (args.command == "place") return cmd_place(args);
     if (args.command == "fleet") return cmd_fleet(args);
     if (args.command == "inspect") return cmd_inspect(args);
