@@ -1,21 +1,47 @@
-// Search-engine benchmark: times the DP search core — the serial recursive
-// reference engine versus the wave-parallel bottom-up engine at 1/2/4
-// threads — on the models whose largest block dominates the search (the
-// per-block parallelism of schedule_partition cannot help those; only the
-// wave engine's intra-block fan-out can). Every engine run uses a fresh
-// CostModel so measured stage latencies are re-simulated, not served from a
-// previous run's cache, and the resulting schedules are checked to be
-// bit-identical across engines and thread counts.
+// Search-engine benchmark: pins the DP search core's constant factors. Per
+// model it runs the serial recursive reference, the previous wave solver
+// (SearchEngine::kWaveLegacy, kept verbatim as the in-tree baseline), the
+// arena-backed wave engine at 1/2/4 threads, the dominance pruner, and a
+// beam-width frontier — and gates the ratios, not just correctness.
+//
+// Measurement protocol: every timed run shares ONE CostModel per model that
+// a single untimed exact pass has already warmed. Exact enumeration visits
+// a superset of every stage any engine or prune mode can request, so each
+// timed run is 100% cache-warm: wall time measures the search engine's own
+// work (enumeration, hashing, memo upkeep, pruning bookkeeping), not the
+// stage simulator. That makes states/sec comparable across engines and
+// reproducible on loaded or single-core CI hosts, where cold multi-thread
+// walls are dominated by simulator time and scheduler jitter.
+//
+// Peak RSS is measured in forked children (getrusage RUSAGE_SELF), forked
+// BEFORE any in-process search so the legacy and arena children inherit an
+// identical parent image and their ru_maxrss deltas are attributable to the
+// engines' own state (per-state transition vectors + node heap vs arena
+// waves).
 //
 // Like bench_optimizer this is a plain main() (no google-benchmark) that
 // writes machine-readable JSON for the perf trajectory:
 //
 //   $ ./bench_search [out.json] [repeats]     # default: BENCH_search.json, 2
 //
-// Exit status is the CI gate: nonzero when any engine/thread count changes
-// the schedule, or when — on a multi-core host — the 4-thread wave search
-// is slower than the serial engine. On a single-core host the wall-time
-// gate is recorded as skipped (there is nothing to fan out to).
+// Exit status is the CI gate; any of these fail the run:
+//   - exactness: wave@{1,2,4} and legacy@4 bit-identical to serial
+//     (latency, stages, states, transitions) — divergence is fatal;
+//   - dominance: the exact optimum latency (tie-broken schedules may
+//     differ), latency_gap_bound_us == 0, strictly fewer distinct stage
+//     profiles than exact (cold, deterministic), and lower aggregate COLD
+//     wall time — cold is where pruning pays, since the saving is skipped
+//     stage simulations;
+//   - beam: found latency never below exact, and the certified bound holds
+//     (found - gap_bound <= exact) at every width;
+//   - throughput: aggregate warm states/sec of the arena wave engine @4
+//     threads >= 1.3x the legacy baseline @4 threads;
+//   - memory: the arena engine's cold peak RSS on randwire (largest search)
+//     below the legacy engine's.
+
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
@@ -36,22 +62,32 @@ namespace {
 
 using namespace ios;
 
+constexpr double kStatesPerSecGate = 1.3;  // arena wave@4 vs legacy@4, warm
+constexpr int kGateThreads = 4;
+
+ExecConfig bench_config() {
+  return ExecConfig{device_by_name("v100"), KernelModelParams{}};
+}
+
 struct RunResult {
-  double wall_ms = 0;          // best-of-repeats host time of the search
-  double latency_us = 0;       // executor latency of the found schedule
+  double wall_ms = 0;     // best-of-repeats host time of the search
+  double latency_us = 0;  // executor latency of the found schedule
   std::size_t stages = 0;
   SchedulerStats stats;
+
+  double states_per_sec() const {
+    return static_cast<double>(stats.states) / (wall_ms / 1000.0);
+  }
 };
 
-RunResult run_search(const Graph& g, const ExecConfig& config,
-                     SearchEngine engine, int threads, int repeats) {
+/// One timed search against the shared warm cost model. Repeats re-run the
+/// whole search (the per-block DP memo is per-run; only stage latencies are
+/// shared) and keep the best wall time.
+RunResult run_warm(const Graph& g, CostModel& cost,
+                   const SchedulerOptions& options, int repeats) {
   RunResult out;
   out.wall_ms = std::numeric_limits<double>::infinity();
   for (int rep = 0; rep < repeats; ++rep) {
-    CostModel cost(g, config);  // fresh: no cached stage latencies
-    SchedulerOptions options;
-    options.engine = engine;
-    options.num_threads = threads;
     SchedulerStats stats;
     const auto t0 = std::chrono::steady_clock::now();
     const Schedule q = IosScheduler(cost, options).schedule_graph(&stats);
@@ -59,11 +95,64 @@ RunResult run_search(const Graph& g, const ExecConfig& config,
                           std::chrono::steady_clock::now() - t0)
                           .count();
     if (ms < out.wall_ms) out.wall_ms = ms;
-    out.latency_us = Executor(g, config).schedule_latency_us(q);
+    out.latency_us = Executor(g, bench_config()).schedule_latency_us(q);
     out.stages = q.stages.size();
     out.stats = stats;
   }
   return out;
+}
+
+SchedulerOptions make_options(SearchEngine engine, int threads,
+                              PruneMode prune = PruneMode::kExact,
+                              int beam_width = 8) {
+  SchedulerOptions options;
+  options.engine = engine;
+  options.num_threads = threads;
+  options.prune = prune;
+  options.beam_width = beam_width;
+  return options;
+}
+
+/// Cold search in a forked child; returns the child's peak RSS in KiB, or
+/// -1 on failure. Called before any in-process search so every child starts
+/// from the same pristine parent image.
+long forked_peak_rss_kb(const std::string& model, SearchEngine engine,
+                        int threads) {
+  int fds[2];
+  if (pipe(fds) != 0) return -1;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    {
+      const Graph g = models::build_model(model, 1);
+      CostModel cost(g, bench_config());
+      SchedulerStats stats;
+      const Schedule q =
+          IosScheduler(cost, make_options(engine, threads)).schedule_graph(&stats);
+      struct rusage ru {};
+      getrusage(RUSAGE_SELF, &ru);
+      long kb = q.stages.empty() ? -1 : ru.ru_maxrss;  // ru_maxrss is KiB on Linux
+      if (write(fds[1], &kb, sizeof kb) != sizeof kb) _exit(1);
+    }
+    close(fds[1]);
+    _exit(0);
+  }
+  close(fds[1]);
+  long kb = -1;
+  const ssize_t got = read(fds[0], &kb, sizeof kb);
+  close(fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != static_cast<ssize_t>(sizeof kb) || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    return -1;
+  }
+  return kb;
 }
 
 }  // namespace
@@ -72,83 +161,284 @@ int main(int argc, char** argv) {
   const std::string out_path = argc > 1 ? argv[1] : "BENCH_search.json";
   const int repeats = argc > 2 ? std::max(1, std::atoi(argv[2])) : 2;
   const unsigned hw = std::thread::hardware_concurrency();
-  const bool multi_core = hw >= 2;
   const std::vector<std::string> models = {"randwire", "nasnet",
                                            "inception_v3"};
   const std::vector<int> wave_threads = {1, 2, 4};
+  const std::vector<int> beam_widths = {2, 4, 8, 16};
 
-  std::printf("search engines on %u hardware threads (best of %d runs, "
-              "wall-time gate %s)\n\n",
-              hw, repeats, multi_core ? "enforced" : "skipped: single core");
+  std::printf("search engines on %u hardware threads "
+              "(warm-cache protocol, best of %d runs)\n\n",
+              hw, repeats);
+
+  // Peak RSS first: fork while this process has run no search, spawned no
+  // pool threads, and touched no heap beyond argv handling.
+  const std::string rss_model = "randwire";
+  const long rss_legacy_kb =
+      forked_peak_rss_kb(rss_model, SearchEngine::kWaveLegacy, kGateThreads);
+  const long rss_wave_kb =
+      forked_peak_rss_kb(rss_model, SearchEngine::kWave, kGateThreads);
 
   bool ok = true;
+  double agg_legacy_states = 0, agg_legacy_sec = 0;
+  double agg_wave_states = 0, agg_wave_sec = 0;
+  double agg_exact_cold_ms = 0, agg_dominance_cold_ms = 0;
   JsonValue results = JsonValue::array();
+
   for (const std::string& model : models) {
     const Graph g = models::build_model(model, 1);
-    const ExecConfig config{device_by_name("v100"), KernelModelParams{}};
+
+    // The cache-warming exact pass doubles as the cold-exact reference: its
+    // wall time includes every stage simulation, and its (deterministic)
+    // profile count anchors the dominance gate.
+    CostModel cost(g, bench_config());
+    SchedulerStats warm_stats;
+    const auto tw0 = std::chrono::steady_clock::now();
+    IosScheduler(cost, make_options(SearchEngine::kWave, kGateThreads))
+        .schedule_graph(&warm_stats);
+    const double exact_cold_ms = std::chrono::duration<double, std::milli>(
+                                     std::chrono::steady_clock::now() - tw0)
+                                     .count();
+    const std::int64_t exact_profiles = warm_stats.measurements;
+
+    // Dominance evaluates a subset of exact's endings, so a fresh model
+    // shows how many stage profiles (and how much cold wall) it saved.
+    std::int64_t dominance_profiles = 0;
+    double dominance_cold_ms = 0;
+    {
+      CostModel cold(g, bench_config());
+      SchedulerStats stats;
+      const auto t0 = std::chrono::steady_clock::now();
+      IosScheduler(cold, make_options(SearchEngine::kAuto, kGateThreads,
+                                      PruneMode::kDominance))
+          .schedule_graph(&stats);
+      dominance_cold_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      dominance_profiles = stats.measurements;
+    }
+    agg_exact_cold_ms += exact_cold_ms;
+    agg_dominance_cold_ms += dominance_cold_ms;
 
     const RunResult serial =
-        run_search(g, config, SearchEngine::kSerial, 1, repeats);
-    std::printf("%-14s serial %9.1f ms  (%lld states, %lld transitions, "
+        run_warm(g, cost, make_options(SearchEngine::kSerial, 1), repeats);
+    std::printf("%-14s serial   %9.2f ms  (%lld states, %lld transitions, "
                 "%lld profiles)\n",
                 model.c_str(), serial.wall_ms,
                 static_cast<long long>(serial.stats.states),
                 static_cast<long long>(serial.stats.transitions),
-                static_cast<long long>(serial.stats.measurements));
+                static_cast<long long>(exact_profiles));
+
+    const auto check_identical = [&](const char* name, const RunResult& r) {
+      const bool identical = r.latency_us == serial.latency_us &&
+                             r.stages == serial.stages &&
+                             r.stats.states == serial.stats.states &&
+                             r.stats.transitions == serial.stats.transitions;
+      if (!identical) {
+        std::fprintf(stderr,
+                     "FAIL: %s %s diverged from serial "
+                     "(latency %.6f vs %.6f us, %zu vs %zu stages)\n",
+                     model.c_str(), name, r.latency_us, serial.latency_us,
+                     r.stages, serial.stages);
+        ok = false;
+      }
+      return identical;
+    };
+
+    // The two sides of the states/sec gate always get at least three
+    // repeats: best-of-N keeps a stray scheduler hiccup on a loaded host
+    // from deciding the ratio.
+    const int gate_repeats = std::max(repeats, 3);
+    const RunResult legacy = run_warm(
+        g, cost, make_options(SearchEngine::kWaveLegacy, kGateThreads),
+        gate_repeats);
+    check_identical("legacy@4", legacy);
+    std::printf("               legacy@%d %9.2f ms  (%.0f states/s)\n",
+                kGateThreads, legacy.wall_ms, legacy.states_per_sec());
+    agg_legacy_states += static_cast<double>(legacy.stats.states);
+    agg_legacy_sec += legacy.wall_ms / 1000.0;
 
     JsonValue entry = JsonValue::object();
     entry.set("model", model);
     entry.set("device", "v100");
-    entry.set("serial_wall_ms", serial.wall_ms);
     entry.set("states", serial.stats.states);
     entry.set("transitions", serial.stats.transitions);
-    entry.set("measurements", serial.stats.measurements);
     entry.set("latency_us", serial.latency_us);
+    entry.set("serial_wall_ms", serial.wall_ms);
+    entry.set("exact_profiles", exact_profiles);
+    entry.set("legacy4_wall_ms", legacy.wall_ms);
+    entry.set("legacy4_states_per_sec", legacy.states_per_sec());
 
     JsonValue waves = JsonValue::object();
-    double wave1_ms = 0, wave4_ms = 0;
+    RunResult wave4;
     for (const int threads : wave_threads) {
-      const RunResult wave =
-          run_search(g, config, SearchEngine::kWave, threads, repeats);
-      const bool identical = wave.latency_us == serial.latency_us &&
-                             wave.stages == serial.stages &&
-                             wave.stats.states == serial.stats.states &&
-                             wave.stats.transitions == serial.stats.transitions;
-      if (!identical) {
-        std::fprintf(stderr,
-                     "FAIL: %s wave@%d diverged from serial "
-                     "(latency %.6f vs %.6f us, %zu vs %zu stages)\n",
-                     model.c_str(), threads, wave.latency_us,
-                     serial.latency_us, wave.stages, serial.stages);
-        ok = false;
-      }
-      std::printf("               wave@%d %9.1f ms  (%.2fx vs serial)%s\n",
-                  threads, wave.wall_ms, serial.wall_ms / wave.wall_ms,
+      const RunResult wave = run_warm(
+          g, cost, make_options(SearchEngine::kWave, threads),
+          threads == kGateThreads ? gate_repeats : repeats);
+      const bool identical =
+          check_identical(("wave@" + std::to_string(threads)).c_str(), wave);
+      std::printf("               wave@%d   %9.2f ms  (%.0f states/s, "
+                  "%.2fx legacy)%s\n",
+                  threads, wave.wall_ms, wave.states_per_sec(),
+                  legacy.wall_ms / wave.wall_ms,
                   identical ? "" : "  [MISMATCH]");
-      waves.set(std::to_string(threads), wave.wall_ms);
-      if (threads == 1) wave1_ms = wave.wall_ms;
-      if (threads == 4) wave4_ms = wave.wall_ms;
+      JsonValue w = JsonValue::object();
+      w.set("wall_ms", wave.wall_ms);
+      w.set("states_per_sec", wave.states_per_sec());
+      waves.set(std::to_string(threads), std::move(w));
+      if (threads == kGateThreads) wave4 = wave;
     }
-    entry.set("wave_wall_ms", std::move(waves));
-    entry.set("speedup_wave4_vs_wave1", wave1_ms / wave4_ms);
-    entry.set("speedup_wave4_vs_serial", serial.wall_ms / wave4_ms);
+    entry.set("wave", std::move(waves));
+    entry.set("ratio_wave4_vs_legacy4",
+              wave4.states_per_sec() / legacy.states_per_sec());
+    agg_wave_states += static_cast<double>(wave4.stats.states);
+    agg_wave_sec += wave4.wall_ms / 1000.0;
 
-    if (multi_core && wave4_ms > serial.wall_ms) {
+    // Dominance: the exact optimum latency (equal-latency tie-breaks may
+    // pick a different partition), certified zero gap, fewer profiles.
+    const RunResult dom = run_warm(
+        g, cost,
+        make_options(SearchEngine::kAuto, kGateThreads, PruneMode::kDominance),
+        repeats);
+    if (dom.latency_us != serial.latency_us) {
       std::fprintf(stderr,
-                   "FAIL: %s wave@4 (%.1f ms) slower than serial (%.1f ms) "
-                   "on a multi-core host\n",
-                   model.c_str(), wave4_ms, serial.wall_ms);
+                   "FAIL: %s dominance missed the optimum "
+                   "(latency %.6f vs %.6f us)\n",
+                   model.c_str(), dom.latency_us, serial.latency_us);
       ok = false;
     }
+    if (dom.stats.latency_gap_bound_us != 0) {
+      std::fprintf(stderr, "FAIL: %s dominance reported a nonzero gap bound "
+                   "(%.6f us)\n",
+                   model.c_str(), dom.stats.latency_gap_bound_us);
+      ok = false;
+    }
+    if (dominance_profiles >= exact_profiles) {
+      std::fprintf(stderr,
+                   "FAIL: %s dominance measured %lld profiles, exact %lld — "
+                   "pruning saved nothing\n",
+                   model.c_str(), static_cast<long long>(dominance_profiles),
+                   static_cast<long long>(exact_profiles));
+      ok = false;
+    }
+    std::printf("               dom@%d    %9.2f ms cold, %8.2f ms warm  "
+                "(%lld of %lld profiles, %lld states cut, gap 0)\n",
+                kGateThreads, dominance_cold_ms, dom.wall_ms,
+                static_cast<long long>(dominance_profiles),
+                static_cast<long long>(exact_profiles),
+                static_cast<long long>(dom.stats.pruned_states));
+    JsonValue domj = JsonValue::object();
+    domj.set("wall_ms", dom.wall_ms);
+    domj.set("cold_wall_ms", dominance_cold_ms);
+    domj.set("exact_cold_wall_ms", exact_cold_ms);
+    domj.set("profiles", dominance_profiles);
+    domj.set("pruned_states", dom.stats.pruned_states);
+    domj.set("trimmed_transitions", dom.stats.beam_trimmed);
+    domj.set("latency_gap_bound_us", dom.stats.latency_gap_bound_us);
+    entry.set("dominance4", std::move(domj));
+
+    // Beam frontier: latency vs certified gap bound per width.
+    JsonValue beams = JsonValue::array();
+    for (const int width : beam_widths) {
+      const RunResult beam = run_warm(
+          g, cost,
+          make_options(SearchEngine::kAuto, kGateThreads, PruneMode::kBeam,
+                       width),
+          repeats);
+      const double eps = 1e-6 * serial.latency_us;
+      if (beam.latency_us + eps < serial.latency_us) {
+        std::fprintf(stderr,
+                     "FAIL: %s beam:%d found %.6f us, below the exact "
+                     "optimum %.6f us\n",
+                     model.c_str(), width, beam.latency_us, serial.latency_us);
+        ok = false;
+      }
+      if (beam.latency_us - beam.stats.latency_gap_bound_us >
+          serial.latency_us + eps) {
+        std::fprintf(stderr,
+                     "FAIL: %s beam:%d certified bound violated — found "
+                     "%.6f us, gap %.6f us, exact %.6f us\n",
+                     model.c_str(), width, beam.latency_us,
+                     beam.stats.latency_gap_bound_us, serial.latency_us);
+        ok = false;
+      }
+      std::printf("               beam:%-3d %9.2f ms  (latency +%.3f us, "
+                  "gap bound %.3f us, %lld trimmed)\n",
+                  width, beam.wall_ms, beam.latency_us - serial.latency_us,
+                  beam.stats.latency_gap_bound_us,
+                  static_cast<long long>(beam.stats.beam_trimmed));
+      JsonValue b = JsonValue::object();
+      b.set("width", static_cast<std::int64_t>(width));
+      b.set("wall_ms", beam.wall_ms);
+      b.set("latency_us", beam.latency_us);
+      b.set("latency_delta_us", beam.latency_us - serial.latency_us);
+      b.set("latency_gap_bound_us", beam.stats.latency_gap_bound_us);
+      b.set("trimmed_transitions", beam.stats.beam_trimmed);
+      beams.push_back(std::move(b));
+    }
+    entry.set("beam4", std::move(beams));
     results.push_back(std::move(entry));
+    std::printf("\n");
   }
+
+  // Aggregate gates — summed over the model zoo so the verdict rides the
+  // largest searches instead of per-model timer noise.
+  const double legacy_sps = agg_legacy_states / agg_legacy_sec;
+  const double wave_sps = agg_wave_states / agg_wave_sec;
+  const double sps_ratio = wave_sps / legacy_sps;
+  if (sps_ratio < kStatesPerSecGate) {
+    std::fprintf(stderr,
+                 "FAIL: aggregate wave@%d states/sec only %.2fx legacy@%d "
+                 "(gate %.2fx)\n",
+                 kGateThreads, sps_ratio, kGateThreads, kStatesPerSecGate);
+    ok = false;
+  }
+  if (agg_dominance_cold_ms >= agg_exact_cold_ms) {
+    std::fprintf(stderr,
+                 "FAIL: dominance aggregate cold wall %.2f ms not below "
+                 "exact %.2f ms\n",
+                 agg_dominance_cold_ms, agg_exact_cold_ms);
+    ok = false;
+  }
+  const bool rss_measured = rss_legacy_kb > 0 && rss_wave_kb > 0;
+  if (!rss_measured) {
+    std::fprintf(stderr, "FAIL: peak-RSS fork measurement failed "
+                 "(legacy %ld KiB, wave %ld KiB)\n",
+                 rss_legacy_kb, rss_wave_kb);
+    ok = false;
+  } else if (rss_wave_kb >= rss_legacy_kb) {
+    std::fprintf(stderr,
+                 "FAIL: wave peak RSS %ld KiB not below legacy %ld KiB on "
+                 "%s\n",
+                 rss_wave_kb, rss_legacy_kb, rss_model.c_str());
+    ok = false;
+  }
+  std::printf("aggregate: wave@%d %.0f states/s vs legacy@%d %.0f states/s "
+              "(%.2fx, gate %.1fx)\n",
+              kGateThreads, wave_sps, kGateThreads, legacy_sps, sps_ratio,
+              kStatesPerSecGate);
+  std::printf("aggregate: dominance %.2f ms vs exact %.2f ms (cold)\n",
+              agg_dominance_cold_ms, agg_exact_cold_ms);
+  std::printf("peak RSS (%s, cold, forked): wave %ld KiB vs legacy %ld KiB\n",
+              rss_model.c_str(), rss_wave_kb, rss_legacy_kb);
+
+  JsonValue gates = JsonValue::object();
+  gates.set("protocol", "warm-cache");
+  gates.set("states_per_sec_ratio", sps_ratio);
+  gates.set("states_per_sec_gate", kStatesPerSecGate);
+  gates.set("dominance_cold_wall_ms", agg_dominance_cold_ms);
+  gates.set("exact_cold_wall_ms", agg_exact_cold_ms);
+  JsonValue rss = JsonValue::object();
+  rss.set("model", rss_model);
+  rss.set("legacy_kb", static_cast<std::int64_t>(rss_legacy_kb));
+  rss.set("wave_kb", static_cast<std::int64_t>(rss_wave_kb));
+  gates.set("peak_rss", std::move(rss));
 
   JsonValue root = JsonValue::object();
   root.set("bench", "search");
   root.set("unit", "ms");
   root.set("hardware_threads", static_cast<std::int64_t>(hw));
-  root.set("wall_time_gate",
-           multi_core ? "enforced" : "skipped-single-core");
+  root.set("repeats", static_cast<std::int64_t>(repeats));
+  root.set("gates", std::move(gates));
   root.set("results", std::move(results));
   write_file(out_path, root.dump());
   std::printf("\nwrote %s\n", out_path.c_str());

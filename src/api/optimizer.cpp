@@ -9,6 +9,7 @@
 
 #include "frameworks/frameworks.hpp"
 #include "models/models.hpp"
+#include "runtime/canonical_cache.hpp"
 #include "runtime/profile_db.hpp"
 #include "schedule/baselines.hpp"
 #include "util/hash.hpp"
@@ -193,6 +194,18 @@ std::string scheduler_config_key(const SchedulerOptions& options,
   key += ";noise=" +
          std::to_string(std::bit_cast<std::uint64_t>(protocol.noise_frac));
   key += ";seed=" + std::to_string(protocol.noise_seed);
+  // Pruned-mode fields are appended only when active so every key minted
+  // before the pruning knob existed stays byte-identical (pinned golden
+  // recipes and serving cache keys must not churn). cross_block_reuse is
+  // deliberately excluded: replayed block templates reproduce the search's
+  // own schedule bit for bit.
+  if (options.prune != PruneMode::kExact) {
+    key += ";prune=";
+    key += prune_mode_name(options.prune);
+    if (options.prune == PruneMode::kBeam) {
+      key += ";beam=" + std::to_string(options.beam_width);
+    }
+  }
   return key;
 }
 
@@ -248,20 +261,36 @@ OptimizationResult Optimizer::optimize(const OptimizationRequest& request) {
 
   if (!result.cache_hit) {
     CostModel cost(g, config, request.protocol);
+    SchedulerOptions options = request.options;
+    if (request.cross_reuse) {
+      // Throws under a noisy protocol — reused latencies must equal what
+      // profiling would have measured, or the found schedule would change.
+      cost.enable_canonical_reuse(&shared_canonical_stage_cache());
+      options.cross_block_reuse = true;
+    }
     std::shared_ptr<OpenProfileDb> profile_db;
     if (!request.profile_db.empty()) {
       profile_db = profile_db_registry().open(request.profile_db);
       std::lock_guard<std::mutex> db_lock(profile_db->mu);
       result.profile_entries_loaded = cost.load_profile(profile_db->db);
+      if (request.cross_reuse) {
+        result.profile_entries_loaded += cost.load_canonical(profile_db->db);
+      }
     }
     result.schedule =
-        IosScheduler(cost, request.options).schedule_graph(&result.stats);
+        IosScheduler(cost, options).schedule_graph(&result.stats);
     validate_schedule(g, result.schedule);
     result.new_measurements = cost.num_measurements();
+    result.canonical_hits = result.stats.canonical_hits;
+    result.cross_model_hits = result.stats.cross_model_hits;
+    result.block_cache_hits = result.stats.block_cache_hits;
     if (profile_db) {
       std::lock_guard<std::mutex> db_lock(profile_db->mu);
       const std::size_t before = profile_db->db.num_entries();
       result.profile_entries_saved = cost.save_profile(profile_db->db);
+      if (request.cross_reuse) {
+        result.profile_entries_saved += cost.save_canonical(profile_db->db);
+      }
       // Merged values for already-known fingerprints are identical (the
       // simulator is deterministic), so only a growing database is worth a
       // full rewrite — warm runs then do zero file writes.

@@ -96,6 +96,17 @@ struct OptimizationRequest {
   /// would have measured, so the found schedule is unchanged; the path is
   /// therefore not part of the recipe cache key.
   std::string profile_db;
+  /// Cross-request reuse (opt-in). When set, a cache miss attaches the
+  /// process-wide canonical stage cache (runtime/canonical_cache.hpp) — so
+  /// stages with identical kernel streams are simulated once across models,
+  /// blocks, and batch sizes — and turns on the scheduler's cross-block
+  /// template reuse (SchedulerOptions::cross_block_reuse). When profile_db
+  /// is also set, the canonical cache is loaded from / merged into the
+  /// database's canonical bucket, extending reuse across processes. Reused
+  /// latencies equal what profiling would have measured, so the found
+  /// schedule is unchanged and this flag is not part of the recipe cache
+  /// key. Requires a noise-free protocol (optimize() throws otherwise).
+  bool cross_reuse = false;
 
   /// Shorthand for a zoo-model request.
   static OptimizationRequest for_model(std::string name,
@@ -135,8 +146,17 @@ struct OptimizationResult {
   std::int64_t new_measurements = 0;
   /// Stage latencies imported from / merged into request.profile_db by this
   /// call (both 0 when no profile_db was set or the recipe cache hit).
+  /// With cross_reuse set, canonical-bucket entries are included.
   std::int64_t profile_entries_loaded = 0;
   std::int64_t profile_entries_saved = 0;
+  /// Cross-request reuse counters of *this* call (all 0 unless
+  /// request.cross_reuse was set and the recipe cache missed): stage
+  /// measurements answered by the canonical stage cache, how many of those
+  /// were recorded by a different model (or an earlier process), and blocks
+  /// replayed from the cross-request block template cache.
+  std::int64_t canonical_hits = 0;
+  std::int64_t cross_model_hits = 0;
+  std::int64_t block_cache_hits = 0;
   /// The cache key the request mapped to.
   std::uint64_t fingerprint = 0;
 
@@ -243,7 +263,9 @@ std::string request_cache_key(const Graph& g, const std::string& device,
 
 /// The options/protocol suffix of every recipe-cache key: each
 /// SchedulerOptions and ProfilingProtocol field that can change the found
-/// schedule (num_threads and engine excluded, see request_cache_key).
+/// schedule (num_threads, engine, and cross_block_reuse excluded, see
+/// request_cache_key; prune/beam_width appended only when prune != kExact so
+/// pre-existing keys stay byte-identical).
 /// Shared by
 /// request_cache_key and the serving layer's serving_cache_key, so the two
 /// key schemes can never drift apart on these fields.

@@ -51,6 +51,35 @@ class BlockDag {
   void for_each_ending(Set64 s, int max_ops, int max_group_ops,
                        const std::function<void(Set64)>& f) const;
 
+  /// Allocation-free ending enumeration: identical visit order and pruning
+  /// to for_each_ending, but templated on the callback (no std::function
+  /// indirection) and using fixed stack scratch for the reverse-topological
+  /// order and the per-depth component lists (no per-include-step vector
+  /// copies). The callback receives f(ending, comps, ncomps): the weakly
+  /// connected components the enumerator already maintains for its group-
+  /// size cut, valid only for the duration of the call. They are the same
+  /// partition components(ending) would compute (in enumeration order, not
+  /// smallest-member order), so evaluators can skip the per-ending flood
+  /// fill entirely. This is the wave engine's hot path; for_each_ending is
+  /// kept as the reference (and as the legacy engine's unchanged code path).
+  template <typename F>
+  void visit_endings(Set64 s, int max_ops, int max_group_ops, F&& f) const {
+    int rev_topo[64];
+    int m = 0;
+    for (int i : s) rev_topo[m++] = i;
+    for (int lo = 0, hi = m - 1; lo < hi; ++lo, --hi) {
+      const int tmp = rev_topo[lo];
+      rev_topo[lo] = rev_topo[hi];
+      rev_topo[hi] = tmp;
+    }
+    // rows[d] holds the component list built by an include step at depth d;
+    // exclude steps pass their caller's list through untouched, so distinct
+    // depths never alias.
+    ComponentRows rows;
+    visit_rec(rev_topo, m, 0, s, Set64{}, nullptr, 0, rows, max_ops,
+              max_group_ops, f);
+  }
+
   /// Weakly connected components of the induced subgraph on `s`, each a
   /// Set64, ordered by smallest member.
   std::vector<Set64> components(Set64 s) const;
@@ -82,6 +111,50 @@ class BlockDag {
                    Set64 chosen, std::vector<Set64>& comps, int max_ops,
                    int max_group_ops,
                    const std::function<void(Set64)>& f) const;
+
+  /// Per-depth scratch rows for visit_endings' component merging (32 KiB of
+  /// stack; fine on pool worker threads).
+  struct ComponentRows {
+    Set64 row[64][64];
+  };
+
+  template <typename F>
+  void visit_rec(const int* rev_topo, int m, int pos, Set64 s, Set64 chosen,
+                 const Set64* comps, int ncomps, ComponentRows& rows,
+                 int max_ops, int max_group_ops, F& f) const {
+    if (pos == m) {
+      if (!chosen.empty()) f(chosen, comps, ncomps);
+      return;
+    }
+    const int u = rev_topo[pos];
+    // Exclude u.
+    visit_rec(rev_topo, m, pos + 1, s, chosen, comps, ncomps, rows, max_ops,
+              max_group_ops, f);
+    // Include u: legal iff every in-S successor of u is already chosen
+    // (successors precede u in reverse-topological order).
+    if (chosen.size() < max_ops && (succ_mask(u) & s).is_subset_of(chosen)) {
+      Set64 merged = Set64::single(u);
+      Set64* next = rows.row[pos];
+      int nnext = 0;
+      const Set64 adj = adj_mask(u);
+      for (int c = 0; c < ncomps; ++c) {
+        if (comps[c].intersects(adj)) {
+          merged |= comps[c];
+        } else {
+          next[nnext++] = comps[c];
+        }
+      }
+      // Components only grow as ops are added, so exceeding max_group_ops
+      // cuts the whole include subtree exactly (same cut as rec_endings).
+      if (merged.size() <= max_group_ops) {
+        next[nnext++] = merged;
+        Set64 next_chosen = chosen;
+        next_chosen.insert(u);
+        visit_rec(rev_topo, m, pos + 1, s, next_chosen, next, nnext, rows,
+                  max_ops, max_group_ops, f);
+      }
+    }
+  }
 
   int n_ = 0;
   std::vector<OpId> ops_;

@@ -18,6 +18,8 @@
 // Memo and ending caches are flat open-addressing tables (util/flat_map.hpp)
 // keyed by Set64::bits().
 
+#include <string>
+
 #include "core/block_dag.hpp"
 #include "runtime/cost_model.hpp"
 #include "schedule/schedule.hpp"
@@ -45,20 +47,58 @@ enum class IosVariant {
 
 const char* ios_variant_name(IosVariant v);
 
-/// Which DP solver runs the per-block search. Both engines explore exactly
-/// the same states and produce bit-identical schedules, latencies, and
-/// statistics; they differ only in wall-clock and memory behavior (the
-/// wave engine records every surviving transition between its two passes —
-/// O(transitions) peak memory, which search time bounds long before it
-/// becomes the binding constraint).
+/// Which DP solver runs the per-block search. In exact mode every engine
+/// explores exactly the same states and produces bit-identical schedules,
+/// latencies, and statistics; they differ only in wall-clock and memory
+/// behavior (the wave engines record every surviving transition between
+/// their two passes — O(transitions) peak memory, which search time bounds
+/// long before it becomes the binding constraint).
 enum class SearchEngine {
-  kAuto,    ///< kWave when memoization is on and more than one worker is
-            ///< available, kSerial otherwise
-  kSerial,  ///< reference recursive top-down solver (always one thread)
-  kWave,    ///< iterative bottom-up solver, wave-parallel on the thread pool
+  kAuto,        ///< kWave when memoization is on and either pruning or more
+                ///< than one worker is requested, kSerial otherwise
+  kSerial,      ///< reference recursive top-down solver (always one thread)
+  kWave,        ///< arena-backed bottom-up solver, wave-parallel on the
+                ///< thread pool; the only engine supporting PruneMode
+  kWaveLegacy,  ///< the previous wave solver, kept verbatim as the in-tree
+                ///< performance baseline for the states/sec and peak-RSS
+                ///< bench gates and as the exactness reference in
+                ///< prune_property_test; exact mode only, never picked by
+                ///< kAuto
 };
 
 const char* search_engine_name(SearchEngine e);
+
+/// How aggressively the DP search may cut state space beyond the paper's
+/// P(r, s) transition pruning.
+enum class PruneMode {
+  /// No state-space cuts: bit-identical schedules, latencies, and
+  /// statistics to the reference serial engine. The default.
+  kExact,
+  /// Branch-and-bound state dominance: a beam presearch supplies a feasible
+  /// upper bound U, and any state whose best known prefix cost plus an
+  /// admissible roofline lower bound on its remaining work exceeds U is cut
+  /// before its endings are enumerated. Provably returns the exact optimum
+  /// (the optimal chain always survives), so the reported
+  /// latency_gap_bound_us is always 0 — the knob trades the guarantee's
+  /// proof obligation for wall-clock only.
+  kDominance,
+  /// Per-state transition beam: each state evaluates only its `beam_width`
+  /// most promising endings (largest first, enumeration order tie-break)
+  /// plus an always-feasible singleton safety valve. Results are monotone
+  /// non-worsening in the width and carry a sound latency_gap_bound_us;
+  /// schedules may be suboptimal by at most that bound.
+  kBeam,
+};
+
+const char* prune_mode_name(PruneMode m);
+
+struct SchedulerOptions;
+
+/// Parses a pruning spec — "exact", "dominance", or "beam:<width>" (bare
+/// "beam" keeps the default width) — into `options`. Throws
+/// std::invalid_argument on unknown specs. This is the string form the CLI
+/// (`ios_opt optimize --prune beam:8`) and the benches share.
+void apply_prune_spec(SchedulerOptions& options, const std::string& spec);
 
 struct SchedulerOptions {
   PruningStrategy pruning{};
@@ -79,6 +119,23 @@ struct SchedulerOptions {
   /// 1 = fully sequential; <= 0 = one per hardware thread. The resulting
   /// schedule is identical regardless of the count.
   int num_threads = 1;
+  /// State-space pruning beyond P(r, s). Non-exact modes require the wave
+  /// engine (kAuto resolves there; kSerial / kWaveLegacy throw) and
+  /// memoization. Results stay bit-identical across thread counts in every
+  /// mode.
+  PruneMode prune = PruneMode::kExact;
+  /// Endings each state evaluates under PruneMode::kBeam (>= 1; the
+  /// always-feasible safety-valve singleton is added on top). Larger widths
+  /// are monotone non-worsening; a width >= the state's ending count is
+  /// exact.
+  int beam_width = 8;
+  /// Cross-request reuse: when set, blocks whose canonical descriptor
+  /// (operator kinds, attributes, shapes, internal wiring, device, kernel
+  /// params, protocol, and scheduler config) was already solved — in this
+  /// or any other graph this process scheduled — reuse the cached stage
+  /// layout instead of re-running the DP. Off by default because hits make
+  /// SchedulerStats depend on what the process scheduled before.
+  bool cross_block_reuse = false;
 
   /// Throws std::invalid_argument on inconsistent settings (pruning bounds
   /// < 1, wave engine with memoization disabled). Called by the
@@ -100,6 +157,27 @@ struct SchedulerStats {
   /// Ending visits cut by P(r, s) — every (S, S') pair whose ending is
   /// pruned, including repeat visits answered from the cache.
   std::int64_t pruned_endings = 0;
+  /// States where the dominance bound skipped at least one transition's
+  /// evaluation. Zero in exact and beam modes.
+  std::int64_t pruned_states = 0;
+  /// Transitions cut without their stage being evaluated: by the beam
+  /// width cap (beam mode), or by the dominance argmin bound — a
+  /// transition whose admissible stage floor plus exact sub-state cost
+  /// cannot beat the state's best evaluated total is skipped before its
+  /// stage is simulated, which provably changes nothing about the found
+  /// schedule. Zero in exact mode.
+  std::int64_t beam_trimmed = 0;
+  /// Sound upper bound on how far the found latency can sit above the exact
+  /// optimum, summed over blocks. Always 0 for kExact and kDominance; a
+  /// beam search reports the bound its cut states imply.
+  double latency_gap_bound_us = 0;
+  /// Blocks whose schedule came from the cross-request block cache instead
+  /// of a DP run (cross_block_reuse only).
+  std::int64_t block_cache_hits = 0;
+  /// Stage measurements answered by the canonical stage cache (cross-request
+  /// reuse only), and how many of those were recorded by a different graph.
+  std::int64_t canonical_hits = 0;
+  std::int64_t cross_model_hits = 0;
   double profiling_cost_us = 0;  ///< simulated device time spent profiling
   double search_wall_ms = 0;     ///< host time spent in the DP itself
 
@@ -111,6 +189,12 @@ struct SchedulerStats {
     measurements += o.measurements;
     cache_hits += o.cache_hits;
     pruned_endings += o.pruned_endings;
+    pruned_states += o.pruned_states;
+    beam_trimmed += o.beam_trimmed;
+    latency_gap_bound_us += o.latency_gap_bound_us;
+    block_cache_hits += o.block_cache_hits;
+    canonical_hits += o.canonical_hits;
+    cross_model_hits += o.cross_model_hits;
     profiling_cost_us += o.profiling_cost_us;
     search_wall_ms += o.search_wall_ms;
     return *this;
@@ -174,6 +258,15 @@ class IosScheduler {
   /// the P(r, s) pruning verdict. Pure with respect to the DP state.
   EndingEval compute_ending(const BlockDag& dag, Set64 ending) const;
 
+  /// compute_ending for callers that already hold the ending's weakly
+  /// connected components (the wave enumerator maintains them as it
+  /// recurses). Skips the per-ending flood fill and derives the stage
+  /// fingerprints directly from the component masks, so a warm latency
+  /// cache is probed without materializing any Stage. Bit-identical
+  /// results to compute_ending — same cache keys, same tie-breaking.
+  EndingEval compute_ending_grouped(const BlockDag& dag, Set64 ending,
+                                    const Set64* comps, int ncomps) const;
+
   /// compute_ending memoized in ctx.ending_cache with hit/pruned counting
   /// (serial engine path).
   EndingEval evaluate_ending(BlockContext& ctx, Set64 ending,
@@ -184,9 +277,35 @@ class IosScheduler {
 
   /// The wave engine: discovers the reachable states level-by-level
   /// (popcount descending, evaluating every ending in parallel on the way)
-  /// and then fills ctx.memo level-by-level popcount ascending. Produces
-  /// bit-identical memo entries and statistics to solve(ctx, dag.all()).
+  /// and then fills ctx.memo level-by-level popcount ascending. In exact
+  /// mode it produces bit-identical memo entries and statistics to
+  /// solve(ctx, dag.all()); kDominance / kBeam run their pruned searches
+  /// here too (see WavePass in scheduler.cpp).
   void solve_wave(BlockContext& ctx, SchedulerStats* stats);
+
+  /// The PR 4 wave solver, kept verbatim (own transition vectors, own
+  /// ending-cache accounting) as the states/sec and peak-RSS baseline the
+  /// bench gates compare against, and as the independent exactness
+  /// reference for prune_property_test. Exact mode only.
+  void solve_wave_legacy(BlockContext& ctx, SchedulerStats* stats);
+
+  /// One bottom-up wave search over `dag` into `memo` under `mode`.
+  /// kExact and kBeam evaluate endings during discovery (kBeam only the
+  /// `beam_width` selected per state); kDominance discovers structurally
+  /// and evaluates lazily in the cost pass, skipping every transition
+  /// whose floor-plus-exact-sub-cost bound cannot beat the state's running
+  /// best — bit-identical results with fewer simulations. Returns the root
+  /// cost. See scheduler.cpp for the machinery.
+  double wave_pass(const BlockDag& dag, EndingStripes& endings,
+                   FlatMap64<Entry>& memo, PruneMode mode, int beam_width,
+                   SchedulerStats* stats);
+
+  /// The cross-request identity of a block: operator kinds, attributes, and
+  /// shapes by local index, internal wiring, external-input sharing
+  /// structure and shapes, the scheduler config, and the measurement
+  /// environment. Equal keys get bit-identical DP outcomes, so the block
+  /// template cache can replay the stage layout (cross_block_reuse).
+  std::string canonical_block_key(const BlockDag& dag) const;
 
   Stage build_stage(const BlockDag& dag, Set64 ending, StageBuild build) const;
 

@@ -2,7 +2,9 @@
 
 #include <bit>
 #include <limits>
+#include <stdexcept>
 
+#include "runtime/canonical_cache.hpp"
 #include "runtime/profile_db.hpp"
 #include "schedule/serialize.hpp"
 #include "util/hash.hpp"
@@ -51,6 +53,13 @@ std::uint64_t protocol_fingerprint(const ProfilingProtocol& p) {
   return h;
 }
 
+/// The ProfileDb context canonical entries live under. Process- and
+/// graph-independent: the keys themselves embed the environment
+/// fingerprint, so one bucket safely holds every device/protocol mix.
+constexpr std::uint64_t canonical_profile_context() {
+  return 0x63616e6f6e696361ull;  // "canonica"
+}
+
 }  // namespace
 
 CostModel::CostModel(const Graph& g, ExecConfig cfg,
@@ -67,6 +76,36 @@ double CostModel::measure(const Stage& stage) {
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     if (const double* hit = shard.cache.find(key)) return *hit;
+  }
+  return measure_slow(key, stage);
+}
+
+double CostModel::measure_slow(std::uint64_t key, const Stage& stage) {
+  Shard& shard = shard_for(key);
+  std::uint64_t canon_key = 0;
+  if (canonical_ != nullptr) {
+    // Canonical reuse: another model/block/batch may have simulated a stage
+    // with identical kernel streams. Installing its latency locally skips
+    // the simulation and leaves the measurement counters untouched — reuse
+    // is free, like a load_profile() entry.
+    canon_key = canonical_stage_key(stage);
+    if (const auto hit = canonical_->get(canon_key)) {
+      bool inserted = false;
+      double stored = hit->latency_us;
+      {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const auto [slot, fresh] = shard.cache.try_emplace(key, stored);
+        inserted = fresh;
+        stored = *slot;
+      }
+      if (inserted) {
+        canonical_hits_.fetch_add(1, std::memory_order_relaxed);
+        if (hit->origin != origin_) {
+          cross_model_hits_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      return stored;
+    }
   }
 
   // Simulate outside the lock so concurrent DPs overlap their profiling.
@@ -101,6 +140,7 @@ double CostModel::measure(const Stage& stage) {
         true_latency * (protocol_.warmup + protocol_.repeats),
         std::memory_order_relaxed);
   }
+  if (canonical_ != nullptr) canonical_->put(canon_key, stored, origin_);
   return stored;
 }
 
@@ -160,6 +200,66 @@ int CostModel::load_profile(const ProfileDb& db) {
     Shard& shard = shard_for(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     if (shard.cache.try_emplace(key, latency).second) ++loaded;
+  }
+  return loaded;
+}
+
+void CostModel::enable_canonical_reuse(CanonicalStageCache* cache) {
+  if (cache != nullptr && protocol_.noise_frac > 0) {
+    throw std::invalid_argument(
+        "canonical stage reuse requires a noise-free protocol: noisy "
+        "measurements are seeded by the id-keyed stage fingerprint, so "
+        "reusing a latency across stages would change the schedules found");
+  }
+  canonical_ = cache;
+  if (cache != nullptr) {
+    origin_ = hash_bytes(graph_to_json(graph()).dump());
+    env_fp_ = environment_fingerprint();
+  }
+}
+
+std::uint64_t CostModel::environment_fingerprint() const {
+  std::uint64_t h = device_fingerprint(executor_.device());
+  h = hash_combine(h, kernel_params_fingerprint(executor_.kernel_params()));
+  h = hash_combine(h, protocol_fingerprint(protocol_));
+  return h;
+}
+
+std::uint64_t CostModel::canonical_stage_key(const Stage& stage) const {
+  std::uint64_t h = env_fp_ != 0 ? env_fp_ : environment_fingerprint();
+  for (const KernelStream& stream : executor_.stage_streams(stage)) {
+    h = hash_combine(h, 0x73ull);  // stream separator
+    for (const KernelDesc& k : stream) {
+      h = hash_double(h, k.flops);
+      h = hash_double(h, k.bytes);
+      h = hash_double(h, k.warps);
+      h = hash_double(h, k.efficiency);
+    }
+  }
+  return h;
+}
+
+int CostModel::save_canonical(ProfileDb& db) const {
+  if (canonical_ == nullptr) return 0;
+  ProfileDb::Entries& entries =
+      db.context_for_update(canonical_profile_context());
+  int written = 0;
+  canonical_->for_each(
+      [&](std::uint64_t key, const CanonicalStageCache::Entry& e) {
+        entries[key] = e.latency_us;
+        ++written;
+      });
+  return written;
+}
+
+int CostModel::load_canonical(const ProfileDb& db) {
+  if (canonical_ == nullptr) return 0;
+  const ProfileDb::Entries* entries =
+      db.context(canonical_profile_context());
+  if (!entries) return 0;
+  int loaded = 0;
+  for (const auto& [key, latency] : *entries) {
+    if (canonical_->put(key, latency, /*origin=*/0)) ++loaded;
   }
   return loaded;
 }

@@ -21,6 +21,7 @@
 // re-runs zero simulations for stages any previous run already measured.
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,7 @@
 namespace ios {
 
 class ProfileDb;  // runtime/profile_db.hpp — persistence only, not hot-path
+class CanonicalStageCache;  // runtime/canonical_cache.hpp — opt-in reuse
 
 struct StageChoice {
   double latency_us = 0;
@@ -65,6 +67,7 @@ class CostModel {
 
   const Graph& graph() const { return executor_.graph(); }
   const Executor& executor() const { return executor_; }
+  const ProfilingProtocol& protocol() const { return protocol_; }
 
   /// Algorithm 1 GENERATE_STAGE: measures "concurrent execution" (groups =
   /// weakly connected components) and, when mergeable, "operator merge";
@@ -79,6 +82,25 @@ class CostModel {
   /// deterministic, so both compute the same value and only the winning
   /// insert bumps the counters (keeping them order-independent).
   double measure(const Stage& stage);
+
+  /// Cache probe by a precomputed key: `key` MUST equal
+  /// stage_fingerprint(make()), and `make` is invoked only on a cache miss.
+  /// This is the scheduler's warm fast path — callers that can derive the
+  /// fingerprint directly (the wave engine knows each ending's groups from
+  /// enumeration) skip materializing the Stage and its per-group vectors
+  /// for every repeat lookup, which is the overwhelmingly common case once
+  /// a search is underway. Same caching/counter semantics as measure().
+  template <typename MakeStage>
+  double measure_keyed(std::uint64_t key, MakeStage&& make) {
+    Shard& shard = shard_for(key);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      if (const double* hit = shard.cache.find(key)) return *hit;
+    }
+    const Stage stage = make();
+    assert(key == stage_fingerprint(stage));
+    return measure_slow(key, stage);
+  }
 
   /// Number of distinct stage configurations profiled so far (lock-free).
   /// Stages installed by load_profile are not counted — they cost nothing.
@@ -115,11 +137,62 @@ class CostModel {
   /// measure() calls on them are pure cache hits.
   int load_profile(const ProfileDb& db);
 
+  // -- Cross-request canonical reuse (opt-in) ------------------------------
+
+  /// Turns on canonical stage reuse against `cache` (usually
+  /// shared_canonical_stage_cache()). On an id-keyed cache miss, measure()
+  /// first probes the canonical cache by canonical_stage_key(); a hit is
+  /// installed locally without bumping the measurement counters, and every
+  /// fresh simulation is published back. Pass nullptr to turn reuse off.
+  /// Throws std::invalid_argument when the protocol has measurement noise:
+  /// noisy measurements are seeded by the id-keyed fingerprint, so
+  /// canonical reuse would change which noise a stage receives (and hence
+  /// the schedules found).
+  void enable_canonical_reuse(CanonicalStageCache* cache);
+
+  /// Measurements answered by the canonical cache since construction, and
+  /// how many of those were recorded by a different graph (or loaded from a
+  /// ProfileDb by an earlier process). Lock-free reads.
+  std::int64_t canonical_hits() const {
+    return canonical_hits_.load(std::memory_order_relaxed);
+  }
+  std::int64_t cross_model_hits() const {
+    return cross_model_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Fingerprint of the measurement environment *without* the graph: device
+  /// spec, kernel-model parameters, profiling protocol. Part of every
+  /// canonical stage key, so latencies never leak across devices or
+  /// protocols.
+  std::uint64_t environment_fingerprint() const;
+
+  /// The canonical identity of a stage: environment_fingerprint() combined
+  /// with the numeric content of the stage's expanded kernel streams
+  /// (per-kernel flops/bytes/warps/efficiency and the stream boundaries —
+  /// no operator ids or names). The simulated latency is a pure function of
+  /// exactly this, so equal keys imply equal latencies across models,
+  /// blocks, and batch sizes.
+  std::uint64_t canonical_stage_key(const Stage& stage) const;
+
+  /// Exports the *entire* attached canonical cache into `db` under the
+  /// process-independent canonical context; returns entries written. No-op
+  /// (0) when reuse is off.
+  int save_canonical(ProfileDb& db) const;
+
+  /// Installs `db`'s canonical bucket into the attached cache (origin 0 =
+  /// recorded by an earlier process, so hits count as cross-model); returns
+  /// entries newly installed. No-op (0) when reuse is off.
+  int load_canonical(const ProfileDb& db);
+
  private:
   struct Shard {
     mutable std::mutex mu;
     FlatMap64<double> cache;
   };
+
+  /// Cache-miss tail shared by measure() and measure_keyed(): canonical
+  /// reuse probe, simulation, noise averaging, and the counted insert.
+  double measure_slow(std::uint64_t key, const Stage& stage);
 
   Shard& shard_for(std::uint64_t key) const {
     return *shards_[shard_index(key, shards_.size())];
@@ -131,6 +204,12 @@ class CostModel {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::int64_t> num_measurements_{0};
   std::atomic<double> profiling_cost_us_{0};
+
+  CanonicalStageCache* canonical_ = nullptr;  ///< null = reuse off
+  std::uint64_t origin_ = 0;      ///< this graph's fingerprint (reuse on)
+  std::uint64_t env_fp_ = 0;      ///< cached environment_fingerprint()
+  std::atomic<std::int64_t> canonical_hits_{0};
+  std::atomic<std::int64_t> cross_model_hits_{0};
 };
 
 }  // namespace ios

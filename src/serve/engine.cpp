@@ -174,6 +174,7 @@ CachedRecipe ServingEngine::optimize_config(const std::string& model,
   request.options = options_.scheduler;
   request.protocol = options_.protocol;
   request.profile_db = options_.profile_db;
+  request.cross_reuse = options_.cross_reuse;
   request.baselines.clear();  // serving needs the schedule, not comparisons
   const OptimizationResult result = optimizer_.optimize(request);
   {

@@ -169,6 +169,13 @@ struct ServerOptions {
   /// warm-started engine whose previous life profiled the same
   /// (model, device, batch) configurations re-runs zero simulations.
   std::string profile_db;
+  /// Forward OptimizationRequest::cross_reuse on every recipe-cache miss:
+  /// stage latencies and solved block layouts are shared across the models
+  /// and batch sizes this engine serves (and across processes when
+  /// profile_db is set). Reused values equal what profiling would have
+  /// measured, so cached recipes are unchanged — the flag is not part of
+  /// the serving cache key. Requires a noise-free protocol.
+  bool cross_reuse = false;
   /// Per-model latency SLOs, priorities, and the shed/degrade policy. The
   /// default (no SLOs) reproduces the plain global-timer engine bit for
   /// bit.

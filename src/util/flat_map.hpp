@@ -13,6 +13,7 @@
 // concurrent readers are fine only while no writer is active (the wave
 // search relies on this: tables are frozen between parallel phases).
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -90,6 +91,16 @@ class FlatMap64 {
   void clear() {
     slots_.clear();
     mask_ = 0;
+    size_ = 0;
+    has_zero_ = false;
+    zero_value_ = Value{};
+  }
+
+  /// Removes every entry but keeps the slot array allocated, so steady-state
+  /// refill cycles (e.g. the wave cache's per-level fresh stripes) neither
+  /// reallocate nor regrow from the minimum capacity.
+  void clear_retain() {
+    std::fill(slots_.begin(), slots_.end(), Slot{});
     size_ = 0;
     has_zero_ = false;
     zero_value_ = Value{};

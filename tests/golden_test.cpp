@@ -38,11 +38,17 @@ struct GoldenConfig {
   int batch;
   IosVariant variant;
   int r, s;
+  // Pruning knob. Entries predating the knob leave the defaults; their
+  // golden files (and the JSON emitted for them) are byte-identical to
+  // before the knob existed.
+  PruneMode prune = PruneMode::kExact;
+  int beam = 8;
 };
 
 // The corpus: every zoo-relevant device family, both non-default variants,
-// a non-default pruning bound, and batch sizes 1/4/8. Keep entries cheap to
-// optimize — the whole suite re-searches all of them from scratch.
+// a non-default pruning bound, batch sizes 1/4/8, and the three pruned
+// search modes. Keep entries cheap to optimize — the whole suite
+// re-searches all of them from scratch.
 constexpr GoldenConfig kCorpus[] = {
     {"fig2_v100_b1.json", "fig2", "v100", 1, IosVariant::kBoth, 3, 8},
     {"fig2_k80_b1.json", "fig2", "k80", 1, IosVariant::kBoth, 3, 8},
@@ -59,6 +65,15 @@ constexpr GoldenConfig kCorpus[] = {
      2, 4},
     {"inception_v3_v100_b1.json", "inception_v3", "v100", 1, IosVariant::kBoth,
      3, 8},
+    // Pruned modes: dominance must match squeezenet_v100_b1.json's schedule
+    // and latency exactly (only the search-shape counters differ); the beam
+    // entries pin the lossy frontier at two widths.
+    {"squeezenet_v100_b1_dominance.json", "squeezenet", "v100", 1,
+     IosVariant::kBoth, 3, 8, PruneMode::kDominance},
+    {"squeezenet_v100_b1_beam2.json", "squeezenet", "v100", 1,
+     IosVariant::kBoth, 3, 8, PruneMode::kBeam, 2},
+    {"inception_v3_v100_b1_beam4.json", "inception_v3", "v100", 1,
+     IosVariant::kBoth, 3, 8, PruneMode::kBeam, 4},
 };
 
 OptimizationRequest request_for(const GoldenConfig& config) {
@@ -67,6 +82,8 @@ OptimizationRequest request_for(const GoldenConfig& config) {
                                      config.batch);
   request.options.variant = config.variant;
   request.options.pruning = PruningStrategy{config.r, config.s};
+  request.options.prune = config.prune;
+  request.options.beam_width = config.beam;
   request.baselines.clear();
   return request;
 }
@@ -80,6 +97,11 @@ JsonValue golden_json(const GoldenConfig& config,
   cfg.set("variant", ios_variant_name(config.variant));
   cfg.set("r", config.r);
   cfg.set("s", config.s);
+  // Pruning keys only when active, so pre-knob files stay byte-identical.
+  if (config.prune != PruneMode::kExact) {
+    cfg.set("prune", prune_mode_name(config.prune));
+    if (config.prune == PruneMode::kBeam) cfg.set("beam_width", config.beam);
+  }
 
   JsonValue stats = JsonValue::object();
   stats.set("states", result.stats.states);
@@ -87,6 +109,11 @@ JsonValue golden_json(const GoldenConfig& config,
   stats.set("measurements", result.stats.measurements);
   stats.set("cache_hits", result.stats.cache_hits);
   stats.set("pruned_endings", result.stats.pruned_endings);
+  if (config.prune != PruneMode::kExact) {
+    stats.set("pruned_states", result.stats.pruned_states);
+    stats.set("beam_trimmed", result.stats.beam_trimmed);
+    stats.set("latency_gap_bound_us", result.stats.latency_gap_bound_us);
+  }
 
   JsonValue root = JsonValue::object();
   root.set("format", "ios-golden-schedule");
@@ -146,6 +173,15 @@ TEST_P(GoldenScheduleTest, ReoptimizationIsBitIdentical) {
       << config.file;
   EXPECT_EQ(result.stats.pruned_endings, stats.at("pruned_endings").as_int())
       << config.file;
+  if (config.prune != PruneMode::kExact) {
+    EXPECT_EQ(result.stats.pruned_states, stats.at("pruned_states").as_int())
+        << config.file;
+    EXPECT_EQ(result.stats.beam_trimmed, stats.at("beam_trimmed").as_int())
+        << config.file;
+    EXPECT_EQ(result.stats.latency_gap_bound_us,
+              stats.at("latency_gap_bound_us").as_number())
+        << config.file;
+  }
 }
 
 std::string corpus_name(const ::testing::TestParamInfo<std::size_t>& info) {

@@ -66,6 +66,9 @@ void print_usage(std::FILE* out) {
                "             --model NAME | --batch N | --device NAME |\n"
                "             --variant both|parallel|merge | --r N | --s N |\n"
                "             --engine auto|serial|wave | --threads N |\n"
+               "             --prune exact|dominance|beam[:WIDTH] |\n"
+               "             --cross-reuse 0|1 (share stage latencies and\n"
+               "             block layouts across models/batches) |\n"
                "             --profile-db FILE | --baselines a,b,... |\n"
                "             --print 1 | --save FILE | --dot FILE |\n"
                "             --trace FILE\n"
@@ -82,7 +85,7 @@ void print_usage(std::FILE* out) {
                "             overrides --requests/--rate) |\n"
                "             --batch-sizes a,b,... | --max-delay-us T |\n"
                "             --shards N | --capacity N | --prewarm 0|1 |\n"
-               "             --profile-db FILE |\n"
+               "             --profile-db FILE | --cross-reuse 0|1 |\n"
                "             --slo model=SLO_US[:PRIORITY],... |\n"
                "             --default-slo-us T | --default-priority N |\n"
                "             --shed 0|1 | --starvation-us T | --adaptive 0|1\n"
@@ -207,13 +210,15 @@ int cmd_optimize(const Args& args) {
   request.options.pruning.s = std::stoi(args.get("s", "8"));
   request.options.engine = engine_from(args.get("engine", "auto"));
   request.options.num_threads = std::stoi(args.get("threads", "1"));
+  apply_prune_spec(request.options, args.get("prune", "exact"));
+  request.cross_reuse = args.get("cross-reuse", "0") == "1";
   request.profile_db = args.get("profile-db", "");
   if (const auto csv = args.get("baselines")) {
     request.baselines = baselines_from(*csv);
   }
 
   std::printf("optimizing %s (batch %d) for %s with %s, pruning r=%d s=%d, "
-              "%s engine, %s search threads\n",
+              "%s engine, %s search threads",
               request.model.c_str(), request.batch, request.device.c_str(),
               ios_variant_name(request.options.variant),
               request.options.pruning.r, request.options.pruning.s,
@@ -221,6 +226,12 @@ int cmd_optimize(const Args& args) {
               request.options.num_threads > 0
                   ? std::to_string(request.options.num_threads).c_str()
                   : "auto");
+  if (request.options.prune == PruneMode::kBeam) {
+    std::printf(", beam:%d prune", request.options.beam_width);
+  } else if (request.options.prune != PruneMode::kExact) {
+    std::printf(", %s prune", prune_mode_name(request.options.prune));
+  }
+  std::printf("\n");
 
   Optimizer optimizer;
   const OptimizationResult result = optimizer.optimize(request);
@@ -240,6 +251,20 @@ int cmd_optimize(const Args& args) {
               static_cast<long long>(result.stats.measurements),
               result.stats.profiling_cost_us / 1e6,
               result.stats.search_wall_ms);
+  if (request.options.prune != PruneMode::kExact) {
+    std::printf("pruning: %lld states tightened, %lld transitions trimmed, "
+                "latency gap bound %.3f us\n",
+                static_cast<long long>(result.stats.pruned_states),
+                static_cast<long long>(result.stats.beam_trimmed),
+                result.stats.latency_gap_bound_us);
+  }
+  if (request.cross_reuse) {
+    std::printf("cross-request reuse: %lld canonical stage hits, "
+                "%lld cross-model hits, %lld block-schedule hits\n",
+                static_cast<long long>(result.canonical_hits),
+                static_cast<long long>(result.cross_model_hits),
+                static_cast<long long>(result.block_cache_hits));
+  }
   if (!request.profile_db.empty()) {
     std::printf("profile db %s: %lld stage latencies loaded, %lld saved, "
                 "%lld new simulations this run\n",
@@ -396,6 +421,7 @@ int cmd_serve(const Args& args) {
   options.cache.shard_capacity =
       static_cast<std::size_t>(positive_int(args, "capacity", "64"));
   options.profile_db = args.get("profile-db", "");
+  options.cross_reuse = args.get("cross-reuse", "0") == "1";
   apply_slo_flags(args, options);
 
   if (spec.phases.empty()) {
